@@ -1,0 +1,13 @@
+"""E1 — Proposition 2.1: no optimum EBA protocol exists.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e01_no_optimum import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e01_no_optimum(benchmark):
+    run_experiment_benchmark(benchmark, run)

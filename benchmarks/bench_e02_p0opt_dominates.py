@@ -1,0 +1,13 @@
+"""E2 — Section 2.2: P0opt strictly dominates P0.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e02_p0opt_dominates import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e02_p0opt_dominates(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E3 — Proposition 3.1: S5 axioms for K_i.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e03_s5_axioms import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e03_s5_axioms(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E4 — Lemma 3.4: continual common knowledge axioms and strictness.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e04_continual_ck import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e04_continual_ck(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E5 — Propositions 4.3/4.4: knowledge conditions for agreement.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e05_knowledge_conditions import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e05_knowledge_conditions(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E6 — Theorem 5.2: two-step optimal construction.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e06_two_step import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e06_two_step(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E7 — Theorem 5.3: optimality characterization.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e07_optimality_charn import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e07_optimality_charn(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E8 — Theorems 6.1/6.2: crash-mode collapse of F^{Λ,2}.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e08_crash_equivalence import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e08_crash_equivalence(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E10 — Proposition 6.4: chain protocol decides by f+1.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e10_chain_f_plus_1 import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e10_chain_f_plus_1(benchmark):
+    run_experiment_benchmark(benchmark, run)

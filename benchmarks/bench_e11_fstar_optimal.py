@@ -1,0 +1,13 @@
+"""E11 — Proposition 6.6: F* optimal for omission EBA.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e11_fstar_optimal import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e11_fstar_optimal(benchmark):
+    run_experiment_benchmark(benchmark, run)

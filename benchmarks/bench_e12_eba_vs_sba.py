@@ -1,0 +1,13 @@
+"""E12 — [DRS90] motivation: EBA decides earlier than SBA.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e12_eba_vs_sba import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e12_eba_vs_sba(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E13 — Proposition 2.2: full-information universality.
+
+Regenerates the experiment table and asserts the paper's claim holds; see
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from repro.experiments.e13_fip_simulation import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e13_fip_simulation(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,15 @@
+"""E14 — scaling ablation: enumeration and knowledge-evaluation cost across
+``(mode, n, t, horizon)`` cells, plus concrete-protocol message complexity.
+
+This is the one benchmark where the *time itself* is the result; the
+experiment's own table records per-cell timings independent of the
+pytest-benchmark wrapper.
+"""
+
+from repro.experiments.e14_scaling import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e14_scaling(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E15 — extension ablation: receive- and general-omission modes ([PT86]).
+
+Measures which of the paper's guarantees survive outside the analyzed
+failure modes; see EXPERIMENTS.md for the recorded verdicts.
+"""
+
+from repro.experiments.e15_beyond_modes import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e15_beyond_modes(benchmark):
+    run_experiment_benchmark(benchmark, run)

@@ -1,0 +1,13 @@
+"""E16 — the [DM90] optimum-SBA baseline, reproduced concretely.
+
+The waste-based rule matches the common-knowledge oracle decision-for-
+decision; see EXPERIMENTS.md for the recorded comparison.
+"""
+
+from repro.experiments.e16_dm90_sba import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e16_dm90_sba(benchmark):
+    run_experiment_benchmark(benchmark, run)

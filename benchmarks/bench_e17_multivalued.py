@@ -1,0 +1,13 @@
+"""E17 — multivalued agreement: the paper's "general case" extension.
+
+Generalized race/optimized protocols over |V| = 2, 3, 4 with the binary
+collapse check; see EXPERIMENTS.md for recorded results.
+"""
+
+from repro.experiments.e17_multivalued import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e17_multivalued(benchmark):
+    run_experiment_benchmark(benchmark, run)

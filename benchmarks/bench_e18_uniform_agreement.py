@@ -1,0 +1,13 @@
+"""E18 — uniform agreement ablation ([Nei90]/[NB92], Section 7).
+
+Measures the non-uniformity of early-deciding EBA vs. the uniform
+simultaneous baselines; see EXPERIMENTS.md for recorded results.
+"""
+
+from repro.experiments.e18_uniform_agreement import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e18_uniform_agreement(benchmark):
+    run_experiment_benchmark(benchmark, run)

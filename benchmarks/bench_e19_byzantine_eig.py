@@ -1,0 +1,11 @@
+"""E19 — Byzantine EIG and the n > 3t threshold (Section 7 conjecture's
+classical substrate); see EXPERIMENTS.md for recorded results.
+"""
+
+from repro.experiments.e19_byzantine_eig import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e19_byzantine_eig(benchmark):
+    run_experiment_benchmark(benchmark, run)

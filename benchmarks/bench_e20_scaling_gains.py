@@ -1,0 +1,11 @@
+"""E20 — scaling sweep: optimal-EBA gains at larger n and t; see
+EXPERIMENTS.md for recorded results.
+"""
+
+from repro.experiments.e20_scaling_gains import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e20_scaling_gains(benchmark):
+    run_experiment_benchmark(benchmark, run)

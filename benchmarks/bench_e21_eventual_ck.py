@@ -1,0 +1,12 @@
+"""E21 — Section 3.2: eventual common knowledge is the wrong tool;
+the F₀ protocol is dominated by the continual-common-knowledge optima.
+See EXPERIMENTS.md for recorded results.
+"""
+
+from repro.experiments.e21_eventual_ck import run
+
+from conftest import run_experiment_benchmark
+
+
+def test_e21_eventual_ck(benchmark):
+    run_experiment_benchmark(benchmark, run)

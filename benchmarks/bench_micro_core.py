@@ -1,0 +1,73 @@
+"""Micro-benchmarks for the reproduction's hot paths.
+
+Unlike the experiment benches (one deterministic round each), these run
+multi-round timings of the core operations so regressions in the model
+checker or the simulator show up directly:
+
+* full-information system enumeration;
+* continual-common-knowledge evaluation — component fast path vs. the
+  greatest-fixed-point reference;
+* the two-step optimal construction;
+* simulator throughput for the concrete protocols.
+"""
+
+import pytest
+
+from repro.core.construction import two_step_optimization
+from repro.core.decision_sets import empty_pair
+from repro.knowledge.formulas import ContinualCommon, Exists
+from repro.knowledge.nonrigid import NONFAULTY
+from repro.knowledge.semantics import (
+    eval_continual_common,
+    eval_continual_common_components,
+)
+from repro.model.adversary import ExhaustiveCrashAdversary
+from repro.model.builder import crash_system, omission_system
+from repro.model.system import build_system
+from repro.protocols.p0opt import p0opt
+from repro.sim.engine import run_over_scenarios
+
+
+def test_enumerate_crash_system_n4(benchmark):
+    """Enumerate the n=4, t=1, horizon=3 crash system (1360 runs)."""
+    benchmark(lambda: build_system(ExhaustiveCrashAdversary(4, 1, 3)))
+
+
+def test_continual_ck_component_fast_path(benchmark):
+    system = crash_system(4, 1, 3)
+    phi = Exists(1).evaluate(system)
+    run_level = [row[0] for row in phi.values]
+
+    benchmark(
+        lambda: eval_continual_common_components(system, NONFAULTY, run_level)
+    )
+
+
+def test_continual_ck_fixpoint_reference(benchmark):
+    system = crash_system(3, 1, 3)
+    phi = Exists(1).evaluate(system)
+    benchmark(lambda: eval_continual_common(system, NONFAULTY, phi))
+
+
+def test_two_step_construction_crash_n3(benchmark):
+    system = crash_system(3, 1, 3)
+
+    def construct():
+        system.clear_caches()
+        return two_step_optimization(system, empty_pair())
+
+    benchmark(construct)
+
+
+def test_simulator_throughput_p0opt(benchmark):
+    system = crash_system(4, 1, 3)
+    scenarios = system.scenarios()
+    benchmark(lambda: run_over_scenarios(p0opt(), scenarios, 3, 1))
+
+
+def test_formula_cache_hit_path(benchmark):
+    """Re-evaluating a cached formula must be near-free."""
+    system = omission_system(3, 1, 3)
+    formula = ContinualCommon(NONFAULTY, Exists(0))
+    formula.evaluate(system)  # warm
+    benchmark(lambda: formula.evaluate(system))

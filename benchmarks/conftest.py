@@ -1,0 +1,26 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one experiment from DESIGN.md's index (the
+paper's propositions/theorems as measured tables), asserts that the paper's
+claim reproduces, and reports the wall time through ``pytest-benchmark``.
+
+Experiments run once per benchmark (``rounds=1``): they are deterministic
+end-to-end reproductions, not microbenchmarks, and several enumerate large
+run spaces.  The reproduced tables are attached to the benchmark's
+``extra_info`` so ``--benchmark-json`` output carries them.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment_benchmark(benchmark, runner, **params):
+    """Run one experiment under the benchmark fixture and assert
+    reproduction."""
+    result = benchmark.pedantic(
+        lambda: runner(**params), rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["ok"] = result.ok
+    benchmark.extra_info["table"] = result.table
+    assert result.ok, result.render()
+    return result

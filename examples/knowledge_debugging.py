@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Debugging a decision rule with the analysis toolkit.
+
+Walks the epistemic anatomy of one adversarial crash run — processor 0
+holds the only 0, crashes in round 1, and whispers it to processor 1
+alone — using every tool in :mod:`repro.analysis`:
+
+* the space-time diagram of the run;
+* the belief matrix ("who believes ∃0, when");
+* the knowledge table tracing the exact formulas of ``F^{Λ,2}``'s decision
+  rule;
+* a *witness path* explaining, link by indistinguishable link, why
+  ``C□_{N∧Z^{Λ,1}} ∃1`` fails in the all-ones failure-free run — i.e. why
+  no processor may decide 1 at time 0.
+
+Run: ``python examples/knowledge_debugging.py``
+"""
+
+from repro import CrashBehavior, FailurePattern, InitialConfiguration, crash_system, fip
+from repro.analysis import (
+    belief_matrix,
+    knowledge_table,
+    render_outcome_diagram,
+    who_learns_value,
+    witness_path,
+)
+from repro.knowledge.formulas import Believes, ContinualCommon, Exists, Not
+from repro.knowledge.nonrigid import nonfaulty_and_zeros
+from repro.protocols.f_lambda import f_lambda_sequence
+
+N, T = 3, 1
+
+
+def main() -> None:
+    system = crash_system(n=N, t=T)
+    config = InitialConfiguration((0, 1, 1))
+    pattern = FailurePattern({0: CrashBehavior(1, frozenset((1,)))})
+    run_index = system.run_index_for(config, pattern)
+
+    base, first, second = f_lambda_sequence(system)
+    outcome = fip(second).outcome(system)
+
+    print("== the run, as a space-time diagram ==")
+    print(render_outcome_diagram(outcome.get((config, pattern))))
+
+    print("\n== who believes ∃0, and when ==")
+    print(belief_matrix(system, run_index, Exists(0), "∃0"))
+    print("first-learned times:", who_learns_value(system, run_index, 0))
+
+    print("\n== the decision rule of F^{Λ,2}, traced ==")
+    n_and_z1 = nonfaulty_and_zeros(first)
+    cbox = ContinualCommon(n_and_z1, Exists(1))
+    print(
+        knowledge_table(
+            system,
+            run_index,
+            [
+                ("∃0", Exists(0)),
+                ("C□_{N∧Z¹}∃1", cbox),
+                ("B_2^N ∃0", Believes(2, Exists(0))),
+                ("B_2^N(∃1∧C□)", Believes(2, cbox)),
+                ("B_2^N ¬C□", Believes(2, Not(cbox))),
+            ],
+        )
+    )
+
+    print("\n== why nobody decides 1 at time 0 (a reachability witness) ==")
+    # In the all-ones failure-free run, C□_{N∧Z¹}∃1 fails at time 0 in the
+    # sense that the belief B_i^N(C□∃1) does: processor i cannot exclude a
+    # run where another processor holds a 0 — and from THAT run the
+    # S-□-reachability walk reaches the all-zeros run, where ∃1 is false.
+    all_ones = system.run_index_for(
+        InitialConfiguration((1, 1, 1)), FailurePattern(())
+    )
+    mixed = system.run_index_for(
+        InitialConfiguration((0, 1, 1)), FailurePattern(())
+    )
+    all_zeros = system.run_index_for(
+        InitialConfiguration((0, 0, 0)), FailurePattern(())
+    )
+    path = witness_path(system, n_and_z1, mixed, all_zeros)
+    assert path is not None
+    for link in path:
+        print("  " + link.describe(system))
+    holds = cbox.evaluate(system)
+    print(
+        f"\nC□ in all-ones failure-free run: {holds.at(all_ones, 0)}; "
+        f"in the 0-containing run it reaches: {holds.at(mixed, 0)}; "
+        f"decision on 1 therefore waits until the round-1 exchange."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's optimal crash-mode EBA protocol.
+
+This example walks the library's three layers in ~60 lines:
+
+1. enumerate the *exact* system of full-information runs for a small
+   synchronous network with crash failures;
+2. build the optimal EBA protocol ``F^{Λ,2}`` by optimizing the
+   never-deciding protocol ``F^Λ`` with the paper's two-step construction;
+3. check the EBA specification over every run, inspect one concrete run,
+   and execute the message-efficient twin ``P0opt`` on the simulator.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    CrashBehavior,
+    FailurePattern,
+    InitialConfiguration,
+    check_eba,
+    crash_system,
+    execute,
+    f_lambda_2_pair,
+    fip,
+    p0opt,
+)
+
+N, T = 3, 1
+
+
+def main() -> None:
+    # 1. The system: every initial configuration crossed with every
+    #    canonical crash pattern (knowledge tests over it are exact).
+    system = crash_system(n=N, t=T)
+    print(f"enumerated {len(system.runs)} runs "
+          f"({len(system.table)} distinct local states)")
+
+    # 2. The optimal protocol, derived — not hand-coded: two construction
+    #    steps starting from the protocol that never decides.
+    pair = f_lambda_2_pair(system)
+    protocol = fip(pair)
+    outcome = protocol.outcome(system)
+
+    # 3a. Specification check over the whole run space.
+    report = check_eba(outcome)
+    print(report)
+    report.raise_on_failure()
+
+    # 3b. One interesting run: processor 0 holds the only 0 and crashes in
+    #     round 1, whispering it to processor 1 alone.
+    config = InitialConfiguration((0, 1, 1))
+    pattern = FailurePattern({0: CrashBehavior(1, frozenset((1,)))})
+    run = outcome.get((config, pattern))
+    print(f"\nrun: config={config}, {pattern}")
+    for processor, record in sorted(run.nonfaulty_decisions().items()):
+        value, time = record
+        print(f"  nonfaulty processor {processor} decides {value} "
+              f"at time {time}")
+
+    # 3c. The concrete implementation decides identically (Theorem 6.2)
+    #     with linear-size messages on the round-based simulator.
+    trace = execute(p0opt(), config, pattern, horizon=T + 2, t=T)
+    print(f"\nP0opt on the simulator: decisions={trace.decisions}, "
+          f"messages sent per round={trace.sent_counts}")
+
+
+if __name__ == "__main__":
+    main()

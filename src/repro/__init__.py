@@ -1,0 +1,142 @@
+"""repro — Eventual Byzantine Agreement via continual common knowledge.
+
+A faithful, executable reproduction of Halpern, Moses & Waarts,
+*"A Characterization of Eventual Byzantine Agreement"* (PODC 1990):
+
+* a synchronous round-based simulator with crash and sending-omission
+  failure modes (:mod:`repro.sim`, :mod:`repro.model`);
+* an exact knowledge model checker over enumerated full-information run
+  spaces, including the paper's new **continual common knowledge** operator
+  ``C□_S`` (:mod:`repro.knowledge`);
+* the two-step optimal-EBA construction of Theorem 5.2 and the Theorem 5.3
+  optimality characterization (:mod:`repro.core`);
+* the paper's protocols — ``P0``/``P1``, ``P0opt``, ``F^Λ``/``F^{Λ,2}``,
+  ``FIP(Z⁰,O⁰)``, ``F*`` — plus SBA baselines (:mod:`repro.protocols`);
+* an experiment harness regenerating every proposition/theorem as a
+  measured table (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import crash_system, f_lambda_2_pair, fip, check_eba
+
+    system = crash_system(n=3, t=1)          # enumerate all runs exactly
+    optimal = fip(f_lambda_2_pair(system))   # the paper's optimal EBA
+    report = check_eba(optimal.outcome(system))
+    assert report.ok
+"""
+
+from .core import (
+    DecisionPair,
+    DominationReport,
+    OptimalityReport,
+    ProtocolOutcome,
+    RunOutcome,
+    SpecReport,
+    check_eba,
+    check_nontrivial_agreement,
+    check_optimality,
+    check_sba,
+    compare,
+    construction_sequence,
+    dominates,
+    double_prime_step,
+    empty_pair,
+    equivalent_decisions,
+    prime_step,
+    strictly_dominates,
+    two_step_optimization,
+)
+from .errors import (
+    ConfigurationError,
+    EvaluationError,
+    ProtocolViolationError,
+    ReproError,
+    SpecificationError,
+    UnsupportedModeError,
+)
+from .model import (
+    CrashBehavior,
+    FailureMode,
+    FailurePattern,
+    InitialConfiguration,
+    OmissionBehavior,
+    System,
+    crash_system,
+    omission_system,
+    restricted_system,
+    system_for,
+)
+from .protocols import (
+    chain_eba,
+    chain_pair,
+    f_lambda_2_pair,
+    f_lambda_pair,
+    f_lambda_sequence,
+    f_star_pair,
+    fip,
+    flood_sba,
+    p0,
+    p0opt,
+    p1,
+    pair_from_formulas,
+    sba_common_knowledge_pair,
+    zcr_ocr_pair,
+)
+from .sim import execute, run_over_scenarios
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "CrashBehavior",
+    "DecisionPair",
+    "DominationReport",
+    "EvaluationError",
+    "FailureMode",
+    "FailurePattern",
+    "InitialConfiguration",
+    "OmissionBehavior",
+    "OptimalityReport",
+    "ProtocolOutcome",
+    "ProtocolViolationError",
+    "ReproError",
+    "RunOutcome",
+    "SpecReport",
+    "SpecificationError",
+    "System",
+    "UnsupportedModeError",
+    "__version__",
+    "chain_eba",
+    "chain_pair",
+    "check_eba",
+    "check_nontrivial_agreement",
+    "check_optimality",
+    "check_sba",
+    "compare",
+    "construction_sequence",
+    "crash_system",
+    "dominates",
+    "double_prime_step",
+    "empty_pair",
+    "equivalent_decisions",
+    "execute",
+    "f_lambda_2_pair",
+    "f_lambda_pair",
+    "f_lambda_sequence",
+    "f_star_pair",
+    "fip",
+    "flood_sba",
+    "omission_system",
+    "p0",
+    "p0opt",
+    "p1",
+    "pair_from_formulas",
+    "prime_step",
+    "restricted_system",
+    "run_over_scenarios",
+    "sba_common_knowledge_pair",
+    "strictly_dominates",
+    "system_for",
+    "two_step_optimization",
+    "zcr_ocr_pair",
+]

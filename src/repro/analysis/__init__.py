@@ -1,0 +1,37 @@
+"""Analysis and diagnostics: diagrams, knowledge reports, component
+inspection and view introspection."""
+
+from .components import (
+    ComponentSummary,
+    ReachabilityLink,
+    component_summaries,
+    witness_path,
+)
+from .diagram import (
+    render_decision_timeline,
+    render_outcome_diagram,
+    render_run_diagram,
+)
+from .introspection import (
+    discovered_failure_counts,
+    failure_evidence,
+    visible_deliveries,
+    waste,
+)
+from .knowledge_report import belief_matrix, knowledge_table, who_learns_value
+
+__all__ = [
+    "ComponentSummary",
+    "ReachabilityLink",
+    "belief_matrix",
+    "component_summaries",
+    "discovered_failure_counts",
+    "failure_evidence",
+    "knowledge_table",
+    "render_decision_timeline",
+    "render_outcome_diagram",
+    "render_run_diagram",
+    "visible_deliveries",
+    "waste",
+    "who_learns_value",
+]

@@ -1,0 +1,160 @@
+"""Reachability-component inspection for continual common knowledge.
+
+Corollary 3.3 reduces ``C□_S φ`` (for run-level φ) to a question about
+*S-□-reachability components* over runs.  This module exposes those
+components for inspection: their sizes, which facts hold uniformly inside
+each, and — the part proofs need — an explicit *witness path* of
+(run, processor, state) links explaining **why** two runs are mutually
+reachable.  The Proposition 6.3 analysis in the examples uses witness
+paths to show exactly how a perturbed run escapes `C□∃1`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..knowledge.formulas import Formula
+from ..knowledge.nonrigid import NonrigidSet
+from ..knowledge.semantics import run_reachability_components
+from ..model.system import System
+
+
+@dataclass
+class ComponentSummary:
+    """One S-□-reachability component.
+
+    Attributes:
+        representative: Union-find representative run index.
+        run_indices: Members, in run order.
+        fact_uniform: For each labelled fact, whether it holds in *every*
+            member run (the condition under which ``C□_S fact`` holds
+            throughout the component).
+    """
+
+    representative: int
+    run_indices: List[int]
+    fact_uniform: Dict[str, bool]
+
+
+def component_summaries(
+    system: System,
+    nonrigid: NonrigidSet,
+    facts: Dict[str, Formula] = None,
+) -> List[ComponentSummary]:
+    """All components of *nonrigid* over *system*, largest first.
+
+    Runs with no ``S`` occurrence (where every ``C□_S φ`` holds vacuously)
+    are not part of any component and are omitted.
+    """
+    facts = facts or {}
+    components = run_reachability_components(system, nonrigid)
+    members: Dict[int, List[int]] = defaultdict(list)
+    for run_index, representative in enumerate(components):
+        if representative != -1:
+            members[representative].append(run_index)
+    evaluated = {
+        label: formula.evaluate(system) for label, formula in facts.items()
+    }
+    summaries = []
+    for representative, run_indices in members.items():
+        uniform = {
+            label: all(truth.at(run_index, 0) for run_index in run_indices)
+            for label, truth in evaluated.items()
+        }
+        summaries.append(
+            ComponentSummary(representative, run_indices, uniform)
+        )
+    summaries.sort(key=lambda summary: -len(summary.run_indices))
+    return summaries
+
+
+@dataclass(frozen=True)
+class ReachabilityLink:
+    """One step of an S-□-reachability witness path.
+
+    Processor *processor*, while in ``S`` at both endpoints, has the same
+    local state at time *time_a* of run *run_a* and time *time_b* of run
+    *run_b*.
+    """
+
+    run_a: int
+    time_a: int
+    run_b: int
+    time_b: int
+    processor: int
+
+    def describe(self, system: System) -> str:
+        config_a = system.runs[self.run_a].config
+        config_b = system.runs[self.run_b].config
+        return (
+            f"p{self.processor}@t{self.time_a} of run#{self.run_a} "
+            f"(config={config_a}) is indistinguishable from "
+            f"p{self.processor}@t{self.time_b} of run#{self.run_b} "
+            f"(config={config_b})"
+        )
+
+
+def witness_path(
+    system: System,
+    nonrigid: NonrigidSet,
+    source_run: int,
+    target_run: int,
+) -> Optional[List[ReachabilityLink]]:
+    """A shortest chain of state-sharing links from one run to another.
+
+    Returns ``None`` when the target is not S-□-reachable from the source.
+    BFS over the run graph whose edges are shared ``(processor ∈ S,
+    state)`` occurrences — each returned link is one edge, directly
+    checkable against the definition of S-□-reachability.
+    """
+    members = nonrigid.members_matrix(system)
+    occurrences: Dict[int, List[Tuple[int, int, int]]] = defaultdict(list)
+    for run_index, run in enumerate(system.runs):
+        for time in range(system.horizon + 1):
+            for processor in members[run_index][time]:
+                occurrences[run.view(processor, time)].append(
+                    (run_index, time, processor)
+                )
+
+    adjacency: Dict[int, List[ReachabilityLink]] = defaultdict(list)
+    for view, points in occurrences.items():
+        if len(points) < 2:
+            continue
+        anchor_run, anchor_time, processor = points[0]
+        for run_index, time, _ in points[1:]:
+            link = ReachabilityLink(
+                anchor_run, anchor_time, run_index, time, processor
+            )
+            adjacency[anchor_run].append(link)
+            adjacency[run_index].append(
+                ReachabilityLink(
+                    run_index, time, anchor_run, anchor_time, processor
+                )
+            )
+
+    if source_run == target_run:
+        return []
+    queue = deque([source_run])
+    parents: Dict[int, ReachabilityLink] = {}
+    visited = {source_run}
+    while queue:
+        current = queue.popleft()
+        for link in adjacency.get(current, []):
+            nxt = link.run_b
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            parents[nxt] = link
+            if nxt == target_run:
+                path = []
+                walk = target_run
+                while walk != source_run:
+                    link = parents[walk]
+                    path.append(link)
+                    walk = link.run_a
+                path.reverse()
+                return path
+            queue.append(nxt)
+    return None

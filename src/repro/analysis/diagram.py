@@ -1,0 +1,140 @@
+"""ASCII space-time diagrams of runs and traces.
+
+Renders a run as a processor-by-time grid in the style distributed-systems
+papers draw executions: one row per processor, one column per time step,
+with markers for decisions, crashes and dropped messages.  Works for both
+enumerated full-information runs (:class:`repro.model.runs.Run`) and
+simulator traces (:class:`repro.sim.trace.Trace`).
+
+Example output for the "whisper" run of ``examples/omission_chains.py``::
+
+    time      0      1      2      3
+    p0*      [0]    D0     .      .        faulty: omit r1-[2];r2-[2];r3-[2]
+    p1       [1]    D0     .      .
+    p2       [1]    x0     D0     .
+
+    x0 = message from p0 dropped this round; Dv = decides v.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.outcomes import DecisionRecord, RunOutcome
+from ..model.config import InitialConfiguration
+from ..model.failures import FailurePattern
+
+
+def _drop_markers(
+    pattern: FailurePattern, n: int, horizon: int
+) -> Dict[Tuple[int, int], List[int]]:
+    """(receiver, round) -> senders whose message was dropped."""
+    drops: Dict[Tuple[int, int], List[int]] = {}
+    for round_number in range(1, horizon + 1):
+        for receiver in range(n):
+            for sender in range(n):
+                if sender == receiver:
+                    continue
+                if not pattern.delivered(sender, receiver, round_number):
+                    drops.setdefault((receiver, round_number), []).append(
+                        sender
+                    )
+    return drops
+
+
+def render_run_diagram(
+    config: InitialConfiguration,
+    pattern: FailurePattern,
+    horizon: int,
+    decisions: Optional[Sequence[DecisionRecord]] = None,
+) -> str:
+    """Render one scenario (and optional decisions) as an ASCII diagram.
+
+    Args:
+        config: Initial values, shown in brackets at time 0.
+        pattern: Failure pattern; faulty processors get a ``*`` and a
+            trailing behaviour note, dropped messages an ``x<sender>``
+            marker in the round they were lost.
+        horizon: Number of rounds to draw.
+        decisions: Optional per-processor ``(value, time)`` records; the
+            decision time is marked ``Dv``.
+    """
+    n = config.n
+    drops = _drop_markers(pattern, n, horizon)
+    decision_at: Dict[Tuple[int, int], int] = {}
+    if decisions is not None:
+        for processor, record in enumerate(decisions):
+            if record is not None:
+                value, time = record
+                decision_at[(processor, time)] = value
+
+    width = 7
+    header = "time".ljust(5) + "".join(
+        str(time).center(width) for time in range(horizon + 1)
+    )
+    lines = [header]
+    faulty = pattern.faulty
+    for processor in range(n):
+        star = "*" if processor in faulty else " "
+        cells = []
+        for time in range(horizon + 1):
+            parts = []
+            if time == 0:
+                parts.append(f"[{config.value_of(processor)}]")
+            dropped = drops.get((processor, time))
+            if dropped:
+                parts.append("x" + ",".join(str(s) for s in sorted(dropped)))
+            if (processor, time) in decision_at:
+                parts.append(f"D{decision_at[(processor, time)]}")
+            cells.append(("+".join(parts) if parts else ".").center(width))
+        line = f"p{processor}{star}".ljust(5) + "".join(cells)
+        behavior = pattern.behavior_of(processor)
+        if behavior is not None:
+            note = str(
+                FailurePattern({processor: behavior})
+            ).removeprefix("FailurePattern(").removesuffix(")")
+            line += f"   {note}"
+        lines.append(line)
+    lines.append("")
+    lines.append(
+        "legend: [v] initial value; x<s> message from p<s> dropped this "
+        "round; Dv decides v; * faulty."
+    )
+    return "\n".join(lines)
+
+
+def render_outcome_diagram(run: RunOutcome) -> str:
+    """Diagram a :class:`RunOutcome` (scenario + recorded decisions)."""
+    return render_run_diagram(
+        run.config, run.pattern, run.horizon, run.decisions
+    )
+
+
+def render_decision_timeline(
+    outcomes: Sequence[RunOutcome], names: Sequence[str]
+) -> str:
+    """Side-by-side decision timelines of corresponding runs.
+
+    All outcomes must describe the same scenario; one row per nonfaulty
+    processor, one column per protocol, cells ``v@t``.
+    """
+    if not outcomes:
+        return "(no runs)"
+    key = outcomes[0].scenario_key()
+    for run in outcomes[1:]:
+        if run.scenario_key() != key:
+            raise ValueError("decision timelines need corresponding runs")
+    nonfaulty = sorted(outcomes[0].nonfaulty)
+    width = max(12, max(len(name) for name in names) + 2)
+    header = "proc".ljust(6) + "".join(name.center(width) for name in names)
+    lines = [header]
+    for processor in nonfaulty:
+        cells = []
+        for run in outcomes:
+            record = run.decisions[processor]
+            cells.append(
+                ("never" if record is None else f"{record[0]}@t{record[1]}")
+                .center(width)
+            )
+        lines.append(f"p{processor}".ljust(6) + "".join(cells))
+    return "\n".join(lines)

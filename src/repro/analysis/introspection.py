@@ -1,0 +1,112 @@
+"""Structural introspection of full-information views.
+
+A full-information local state embeds, recursively, everything its owner
+ever heard.  These helpers decode that structure into flat, queryable
+tables — "which deliveries does this processor know about", "which
+processors does it know to be faulty, and since when" — which power both
+the human-facing reports in :mod:`repro.analysis.knowledge_report` and the
+view-local decision rules (e.g. the DM90-style waste protocol in
+:mod:`repro.protocols.dm90`).
+
+Unlike the formula layer (:mod:`repro.knowledge`), these functions read a
+*single* view structurally; they compute what is *visible*, which is a
+sound lower bound on what is *known* (knowledge additionally quantifies
+over indistinguishable runs).  For failure evidence in the crash and
+sending-omission modes, visible-miss and knowable-miss coincide: a missing
+delivery from an expected sender proves faultiness outright.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..model.views import ViewId, ViewTable
+
+#: (processor, round) -> the senders that processor heard from in that
+#: round, as far as the inspected view can see.
+DeliveryTable = Dict[Tuple[int, int], FrozenSet[int]]
+
+
+def visible_deliveries(table: ViewTable, view: ViewId) -> DeliveryTable:
+    """Every round-delivery fact embedded in *view*.
+
+    Walks the view DAG once (iteratively — views can be deep) and records,
+    for each embedded ``(processor, time > 0)`` state, the sender set of
+    its last round.  If the same processor-time state is reachable along
+    several paths the entries agree (full-information states are unique per
+    processor and time within a run), so first-wins is safe.
+    """
+    deliveries: DeliveryTable = {}
+    stack = [view]
+    seen = set()
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = table.info(current)
+        if info.time > 0:
+            key = (info.processor, info.time)
+            if key not in deliveries:
+                deliveries[key] = info.senders
+            if info.previous is not None:
+                stack.append(info.previous)
+        for _, sender_view in info.heard_from:
+            stack.append(sender_view)
+    return deliveries
+
+
+def failure_evidence(
+    table: ViewTable, view: ViewId, n: int
+) -> Dict[int, int]:
+    """Earliest failure round provable from *view*, per processor.
+
+    Returns ``{processor: round}`` where *round* is the earliest round in
+    which the view contains evidence that *processor* omitted a required
+    message (some embedded state of another processor did not hear from it
+    that round).  Sound in the crash and sending-omission modes, where
+    every processor is required to send to everyone each round and
+    nonfaulty processors always deliver.
+    """
+    evidence: Dict[int, int] = {}
+    for (receiver, round_number), heard in visible_deliveries(
+        table, view
+    ).items():
+        for processor in range(n):
+            if processor == receiver or processor in heard:
+                continue
+            previous = evidence.get(processor)
+            if previous is None or round_number < previous:
+                evidence[processor] = round_number
+    return evidence
+
+
+def discovered_failure_counts(
+    table: ViewTable, view: ViewId, n: int
+) -> Dict[int, int]:
+    """``D(j)`` — how many processors are known failed *by round j*.
+
+    ``D(j)`` counts processors whose earliest failure evidence round is
+    ``<= j``; defined for ``j = 1 .. time(view)``.  This is the quantity
+    the DM90-style waste is computed from.
+    """
+    evidence = failure_evidence(table, view, n)
+    time = table.time_of(view)
+    return {
+        j: sum(1 for round_number in evidence.values() if round_number <= j)
+        for j in range(1, time + 1)
+    }
+
+
+def waste(table: ViewTable, view: ViewId, n: int) -> int:
+    """The run's *waste* as visible from *view*: ``max_j (D(j) - j, 0)``.
+
+    [DM90]'s measure of how much the failure pattern "wasted" its budget:
+    ``D(j) - j > 0`` means more failures were exposed by round ``j`` than
+    rounds have passed, which brings common knowledge — and therefore the
+    optimum simultaneous decision — forward by exactly that amount.
+    """
+    best = 0
+    for j, count in discovered_failure_counts(table, view, n).items():
+        best = max(best, count - j)
+    return best

@@ -1,0 +1,92 @@
+"""Human-facing knowledge reports: who knows what, when.
+
+Produces the "epistemic trace" of a run: for each time step and processor,
+the truth of a chosen set of formulas — the table one draws on the
+whiteboard when working through an agreement argument.  Used by the
+examples and handy in a REPL when debugging a protocol's decision rule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..knowledge.formulas import Believes, Exists, Formula
+from ..knowledge.nonrigid import NONFAULTY
+from ..metrics.tables import render_table
+from ..model.system import System
+
+
+def knowledge_table(
+    system: System,
+    run_index: int,
+    formulas: Sequence[Tuple[str, Formula]],
+) -> str:
+    """Render the truth of labelled formulas at every point of one run.
+
+    Args:
+        system: The enumerated system the formulas are interpreted over.
+        run_index: Which run to trace.
+        formulas: ``(label, formula)`` pairs; each becomes a column.
+    """
+    run = system.runs[run_index]
+    headers = ["time"] + [label for label, _ in formulas]
+    evaluated = [
+        (label, formula.evaluate(system)) for label, formula in formulas
+    ]
+    rows: List[List[object]] = []
+    for time in range(system.horizon + 1):
+        row: List[object] = [time]
+        for _, truth in evaluated:
+            row.append("T" if truth.at(run_index, time) else ".")
+        rows.append(row)
+    title = (
+        f"run: config={run.config} {run.pattern} "
+        f"nonfaulty={sorted(run.nonfaulty)}"
+    )
+    return title + "\n" + render_table(headers, rows)
+
+
+def belief_matrix(
+    system: System, run_index: int, operand: Formula, label: str = "φ"
+) -> str:
+    """Per-processor, per-time truth of ``B_i^N operand`` in one run.
+
+    The workhorse view when tracing a decision rule: columns are
+    processors, rows are times, ``T`` marks points where the processor
+    believes the fact (relative to the nonfaulty set).
+    """
+    run = system.runs[run_index]
+    beliefs = [
+        Believes(processor, operand, NONFAULTY).evaluate(system)
+        for processor in range(system.n)
+    ]
+    headers = ["time"] + [
+        f"B_{processor}^N {label}"
+        + ("" if run.is_nonfaulty(processor) else " (faulty)")
+        for processor in range(system.n)
+    ]
+    rows = []
+    for time in range(system.horizon + 1):
+        rows.append(
+            [time]
+            + [
+                "T" if beliefs[processor].at(run_index, time) else "."
+                for processor in range(system.n)
+            ]
+        )
+    return render_table(headers, rows)
+
+
+def who_learns_value(
+    system: System, run_index: int, value: int
+) -> Dict[int, int]:
+    """First time each processor believes ``∃value`` in a run
+    (``B_i^N ∃value``); processors that never learn are absent."""
+    result: Dict[int, int] = {}
+    for processor in range(system.n):
+        truth = Believes(processor, Exists(value), NONFAULTY).evaluate(system)
+        for time in range(system.horizon + 1):
+            if truth.at(run_index, time):
+                result[processor] = time
+                break
+    return result

@@ -1,0 +1,26 @@
+"""Byzantine substrate: EIG agreement under arbitrary (lying) failures —
+the execution-level companion to the paper's Section 7 conjecture."""
+
+from .eig import (
+    DEFAULT_VALUE,
+    ByzantineResult,
+    ByzantineStrategy,
+    EIGTree,
+    EquivocateStrategy,
+    HonestStrategy,
+    RandomLiarStrategy,
+    SilentStrategy,
+    run_eig,
+)
+
+__all__ = [
+    "ByzantineResult",
+    "ByzantineStrategy",
+    "DEFAULT_VALUE",
+    "EIGTree",
+    "EquivocateStrategy",
+    "HonestStrategy",
+    "RandomLiarStrategy",
+    "SilentStrategy",
+    "run_eig",
+]

@@ -1,0 +1,299 @@
+"""Command-line interface: experiments, protocol comparisons and diagrams.
+
+Usage::
+
+    repro-eba list                 # show the experiment index
+    repro-eba run E2 E8            # run selected experiments
+    repro-eba run --all --skip E9  # everything except the heavy cell
+    repro-eba protocols            # show the protocol registry
+    repro-eba compare P0opt P0 --mode crash -n 4 -t 1
+    repro-eba diagram P0opt --config 011 --crash 0:1:1
+
+Failure patterns on the command line use a mini-language:
+
+* ``--crash P:K`` — processor P crashes in round K delivering nothing;
+  ``--crash P:K:R1,R2`` delivers the round-K message to R1 and R2 only.
+* ``--omit P:K:D1,D2`` — processor P omits its round-K messages to D1, D2
+  (repeat the flag for more rounds/processors; sending omissions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from .errors import ReproError
+from .experiments.registry import EXPERIMENTS, run_experiment
+
+_DESCRIPTIONS = {
+    "E1": "No optimum EBA protocol (Proposition 2.1)",
+    "E2": "P0opt strictly dominates P0 (Section 2.2)",
+    "E3": "S5 axioms for K_i (Proposition 3.1)",
+    "E4": "Continual common knowledge axioms (Lemma 3.4)",
+    "E5": "Knowledge conditions for agreement (Propositions 4.3/4.4)",
+    "E6": "Two-step optimal construction (Theorem 5.2)",
+    "E7": "Optimality characterization (Theorem 5.3)",
+    "E8": "Crash-mode collapse of F^{Λ,2} (Theorems 6.1/6.2)",
+    "E9": "Omission non-termination of F^{Λ,2} (Proposition 6.3) [heavy]",
+    "E10": "Chain protocol decides by f+1 (Proposition 6.4)",
+    "E11": "F* optimal for omission EBA (Proposition 6.6)",
+    "E12": "EBA vs SBA decision times ([DRS90] motivation)",
+    "E13": "Full-information universality (Prop 2.2 / Cor 2.3)",
+    "E14": "Scaling ablation (reproduction cost model)",
+    "E15": "Beyond the analyzed failure modes ([PT86] ablation)",
+    "E16": "Optimum SBA baseline reproduced concretely ([DM90])",
+    "E17": "Multivalued agreement (the 'general case' extension)",
+    "E18": "Uniform agreement ablation ([Nei90]/[NB92], Section 7)",
+    "E19": "Byzantine EIG and the n > 3t threshold (Section 7)",
+    "E20": "Scaling sweep: optimal-EBA gains at larger n and t",
+    "E21": "Eventual common knowledge is the wrong tool (Section 3.2)",
+}
+
+
+def _cmd_list() -> int:
+    for experiment_id in EXPERIMENTS:
+        print(f"{experiment_id:4} {_DESCRIPTIONS.get(experiment_id, '')}")
+    return 0
+
+
+def _cmd_run(
+    ids: List[str], run_all: bool, skip: List[str], json_path: str = None
+) -> int:
+    selected = list(EXPERIMENTS) if run_all else ids
+    selected = [eid for eid in selected if eid not in skip]
+    if not selected:
+        print("nothing to run; try `repro-eba list`", file=sys.stderr)
+        return 2
+    failures = 0
+    exported = []
+    for experiment_id in selected:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"(took {elapsed:.1f}s)")
+        print()
+        if not result.ok:
+            failures += 1
+        if json_path is not None:
+            from .io.export import experiment_result_to_json
+
+            entry = experiment_result_to_json(result)
+            entry["seconds"] = round(elapsed, 3)
+            exported.append(entry)
+    if json_path is not None:
+        import json as json_module
+
+        with open(json_path, "w") as handle:
+            json_module.dump(exported, handle, indent=2)
+        print(f"wrote {len(exported)} result(s) to {json_path}")
+    if failures:
+        print(f"{failures} experiment(s) did NOT reproduce", file=sys.stderr)
+        return 1
+    print(f"all {len(selected)} experiment(s) reproduced")
+    return 0
+
+
+def parse_crash_spec(spec: str):
+    """Parse ``P:K`` or ``P:K:R1,R2`` into (processor, CrashBehavior)."""
+    from .model.failures import CrashBehavior
+
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ReproError(
+            f"bad --crash spec {spec!r}; expected P:K or P:K:R1,R2"
+        )
+    processor = int(parts[0])
+    crash_round = int(parts[1])
+    receivers = (
+        frozenset(int(r) for r in parts[2].split(",") if r)
+        if len(parts) == 3
+        else frozenset()
+    )
+    return processor, CrashBehavior(crash_round, receivers)
+
+
+def parse_omit_specs(specs: List[str]):
+    """Parse repeated ``P:K:D1,D2`` into {processor: OmissionBehavior}."""
+    from .model.failures import OmissionBehavior
+
+    tables: Dict[int, Dict[int, List[int]]] = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"bad --omit spec {spec!r}; expected P:K:D1,D2"
+            )
+        processor = int(parts[0])
+        round_number = int(parts[1])
+        destinations = [int(d) for d in parts[2].split(",") if d]
+        table = tables.setdefault(processor, {})
+        table.setdefault(round_number, []).extend(destinations)
+    return {
+        processor: OmissionBehavior(table)
+        for processor, table in tables.items()
+    }
+
+
+def _build_pattern(crash_specs: List[str], omit_specs: List[str]):
+    from .model.failures import FailurePattern
+
+    behaviors = {}
+    for spec in crash_specs:
+        processor, behavior = parse_crash_spec(spec)
+        behaviors[processor] = behavior
+    behaviors.update(parse_omit_specs(omit_specs))
+    return FailurePattern(behaviors)
+
+
+def _cmd_protocols() -> int:
+    from .protocols.registry import (
+        CONCRETE_PROTOCOLS,
+        KNOWLEDGE_PROTOCOLS,
+    )
+
+    print("concrete (simulator) protocols:")
+    for name in CONCRETE_PROTOCOLS:
+        print(f"  {name}")
+    print("knowledge-level protocols (need an enumerated system):")
+    for name in KNOWLEDGE_PROTOCOLS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_compare(names: List[str], mode: str, n: int, t: int) -> int:
+    from .core.domination import compare
+    from .core.specs import check_eba
+    from .metrics.stats import decision_time_stats
+    from .metrics.tables import format_float, render_table
+    from .model.builder import system_for
+    from .model.failures import FailureMode
+    from .protocols.registry import outcome_for
+
+    system = system_for(FailureMode(mode), n, t)
+    outcomes = [outcome_for(name, system) for name in names]
+    rows = []
+    for outcome in outcomes:
+        stats = decision_time_stats(outcome)
+        rows.append(
+            [outcome.name, check_eba(outcome).ok,
+             format_float(stats.mean), stats.maximum, stats.undecided]
+        )
+    print(
+        render_table(
+            ["protocol", "EBA", "mean t", "max t", "undecided"], rows
+        )
+    )
+    print()
+    for first in outcomes:
+        for second in outcomes:
+            if first is not second:
+                print(compare(first, second))
+    return 0
+
+
+def _cmd_diagram(
+    name: str,
+    mode: str,
+    n: int,
+    t: int,
+    config_bits: str,
+    crash_specs: List[str],
+    omit_specs: List[str],
+) -> int:
+    from .analysis.diagram import render_outcome_diagram
+    from .model.config import InitialConfiguration
+
+    config = InitialConfiguration([int(bit) for bit in config_bits])
+    if config.n != n:
+        raise ReproError(
+            f"--config {config_bits!r} has {config.n} bits but n={n}"
+        )
+    pattern = _build_pattern(crash_specs, omit_specs).validate(n, t)
+    from .protocols.registry import is_knowledge_level
+
+    if is_knowledge_level(name):
+        from .model.builder import system_for
+        from .model.failures import FailureMode
+
+        system = system_for(FailureMode(mode), n, t)
+        from .protocols.registry import outcome_for
+
+        outcome = outcome_for(name, system)
+        run = outcome.get((config, pattern))
+    else:
+        from .protocols.registry import CONCRETE_PROTOCOLS
+        from .sim.engine import execute
+
+        run = execute(
+            CONCRETE_PROTOCOLS[name](), config, pattern, t + 2, t
+        ).to_outcome()
+    print(f"protocol: {name}")
+    print(render_outcome_diagram(run))
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eba",
+        description=(
+            "Reproduction harness for 'A Characterization of Eventual "
+            "Byzantine Agreement' (Halpern, Moses & Waarts, PODC 1990)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="show the experiment index")
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument("ids", nargs="*", help="experiment ids (E1..E14)")
+    run_parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    run_parser.add_argument(
+        "--skip", nargs="*", default=[], help="experiment ids to skip"
+    )
+    run_parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the results as JSON to PATH",
+    )
+    subparsers.add_parser("protocols", help="show the protocol registry")
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare protocols over an exhaustive system"
+    )
+    compare_parser.add_argument("names", nargs="+", help="protocol names")
+    compare_parser.add_argument("--mode", default="crash",
+                                choices=["crash", "omission"])
+    compare_parser.add_argument("-n", type=int, default=3)
+    compare_parser.add_argument("-t", type=int, default=1)
+    diagram_parser = subparsers.add_parser(
+        "diagram", help="draw one scenario's space-time diagram"
+    )
+    diagram_parser.add_argument("name", help="protocol name")
+    diagram_parser.add_argument("--mode", default="crash",
+                                choices=["crash", "omission"])
+    diagram_parser.add_argument("-n", type=int, default=3)
+    diagram_parser.add_argument("-t", type=int, default=1)
+    diagram_parser.add_argument("--config", required=True,
+                                help="initial values, e.g. 011")
+    diagram_parser.add_argument("--crash", action="append", default=[],
+                                metavar="P:K[:R1,R2]")
+    diagram_parser.add_argument("--omit", action="append", default=[],
+                                metavar="P:K:D1,D2")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "protocols":
+        return _cmd_protocols()
+    if args.command == "compare":
+        return _cmd_compare(args.names, args.mode, args.n, args.t)
+    if args.command == "diagram":
+        return _cmd_diagram(
+            args.name, args.mode, args.n, args.t, args.config,
+            args.crash, args.omit,
+        )
+    return _cmd_run(args.ids, args.all, args.skip, args.json)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

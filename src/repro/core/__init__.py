@@ -1,0 +1,86 @@
+"""Core: values, decision sets, outcomes, specs, domination, construction
+and optimality — the paper's primary contribution, on top of the model and
+knowledge substrates."""
+
+from .construction import (
+    construction_sequence,
+    double_prime_step,
+    prime_step,
+    two_step_optimization,
+)
+from .decision_sets import (
+    DecisionPair,
+    close_under_recall,
+    empty_pair,
+    pair_from_predicates,
+)
+from .domination import (
+    DominationReport,
+    DominationWitness,
+    compare,
+    dominates,
+    equivalent_decisions,
+    strictly_dominates,
+)
+from .optimality import (
+    OptimalityReport,
+    check_optimality,
+    proposition_4_3_conditions,
+    theorem_5_3_conditions,
+)
+from .outcomes import DecisionRecord, ProtocolOutcome, RunOutcome, ScenarioKey
+from .specs import (
+    SpecReport,
+    check_agreement,
+    check_decision,
+    check_eba,
+    check_nontrivial_agreement,
+    check_sba,
+    check_simultaneity,
+    check_validity,
+    check_weak_agreement,
+    check_weak_validity,
+)
+from .values import VALUES, Decision, Value, all_same, check_decision as check_decision_value, check_value, other
+
+__all__ = [
+    "DecisionPair",
+    "DecisionRecord",
+    "Decision",
+    "DominationReport",
+    "DominationWitness",
+    "OptimalityReport",
+    "ProtocolOutcome",
+    "RunOutcome",
+    "ScenarioKey",
+    "SpecReport",
+    "VALUES",
+    "Value",
+    "all_same",
+    "check_agreement",
+    "check_decision",
+    "check_decision_value",
+    "check_eba",
+    "check_nontrivial_agreement",
+    "check_optimality",
+    "check_sba",
+    "check_simultaneity",
+    "check_validity",
+    "check_value",
+    "check_weak_agreement",
+    "check_weak_validity",
+    "close_under_recall",
+    "compare",
+    "construction_sequence",
+    "dominates",
+    "double_prime_step",
+    "empty_pair",
+    "equivalent_decisions",
+    "other",
+    "pair_from_predicates",
+    "prime_step",
+    "proposition_4_3_conditions",
+    "strictly_dominates",
+    "theorem_5_3_conditions",
+    "two_step_optimization",
+]

@@ -1,0 +1,143 @@
+"""Decision sets and decision pairs (paper, Section 4).
+
+A *decision set* ``A = (A_1, ..., A_n)`` lists, for each processor, the local
+states at which it is deciding or has decided on a particular value.  Because
+interned view ids (see :mod:`repro.model.views`) embed their owner, we
+represent a decision set as a single frozen set of view ids — ``A_i`` is the
+subset owned by processor ``i``.
+
+A *decision pair* ``(Z, O)`` gives the zero- and one-decision sets; it fully
+determines the full-information protocol ``FIP(Z, O)``.
+
+Decision sets here are *closed under perfect recall*: if a state is in the
+set, so is every later state of the same processor in the same run ("decides
+or has decided").  :func:`close_under_recall` performs the closure against a
+view table; :class:`DecisionPair` stores already-closed sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set
+
+from ..errors import ProtocolViolationError
+from ..model.views import ViewId, ViewTable
+
+#: Monotone counter used to give decision pairs stable cache tokens.
+_TOKEN_COUNTER = itertools.count()
+
+
+def close_under_recall(
+    trigger_states: Iterable[ViewId],
+    all_states: Iterable[ViewId],
+    table: ViewTable,
+) -> FrozenSet[ViewId]:
+    """Close a trigger-state set under perfect recall.
+
+    A state belongs to the closure iff some state along its own history
+    (itself included) is a trigger state.  *all_states* bounds the closure to
+    the states that actually occur in the system of interest.
+    """
+    triggers = set(trigger_states)
+    closed: Dict[ViewId, bool] = {}
+
+    def is_closed(view: ViewId) -> bool:
+        cached = closed.get(view)
+        if cached is not None:
+            return cached
+        if view in triggers:
+            closed[view] = True
+            return True
+        previous = table.info(view).previous
+        result = previous is not None and is_closed(previous)
+        closed[view] = result
+        return result
+
+    return frozenset(view for view in all_states if is_closed(view))
+
+
+@dataclass(frozen=True)
+class DecisionPair:
+    """A decision pair ``(Z, O)``: closed state sets for deciding 0 / 1.
+
+    Attributes:
+        zeros: States at which the owner is deciding or has decided 0.
+        ones: States at which the owner is deciding or has decided 1.
+        name: Human-readable label (e.g. ``"F^{Λ,2}"``), used in reports.
+        token: Stable integer used as part of evaluation cache keys; two
+            pairs with equal sets but different tokens are cached separately
+            (harmless, merely less sharing).
+    """
+
+    zeros: FrozenSet[ViewId]
+    ones: FrozenSet[ViewId]
+    name: str = "FIP"
+    token: int = -1
+
+    def __post_init__(self) -> None:
+        if self.token < 0:
+            object.__setattr__(self, "token", next(_TOKEN_COUNTER))
+
+    def cache_key(self) -> object:
+        return ("decision-pair", self.token)
+
+    def decides_zero(self, view: ViewId) -> bool:
+        """Whether the owner of *view* is deciding or has decided 0."""
+        return view in self.zeros
+
+    def decides_one(self, view: ViewId) -> bool:
+        """Whether the owner of *view* is deciding or has decided 1."""
+        return view in self.ones
+
+    def overlap(self) -> FrozenSet[ViewId]:
+        """States claimed by both sets (potential conflicts).
+
+        An overlap is not automatically an error: a state can enter ``Z``
+        strictly after entering ``O`` (the processor decided 1 first and the
+        zero-condition became true later), which is harmless because
+        decisions are irreversible and resolved by first trigger.  Genuine
+        conflicts — both sets first firing at the same point — are detected
+        during decision-map construction in :mod:`repro.protocols.fip`.
+        """
+        return self.zeros & self.ones
+
+    def renamed(self, name: str) -> "DecisionPair":
+        """A copy of this pair under a different display name (same token,
+        so cached evaluations are shared)."""
+        return DecisionPair(self.zeros, self.ones, name=name, token=self.token)
+
+    def same_sets_as(self, other: "DecisionPair") -> bool:
+        """Whether both pairs contain exactly the same state sets."""
+        return self.zeros == other.zeros and self.ones == other.ones
+
+
+def empty_pair(name: str = "F^Λ") -> DecisionPair:
+    """The decision pair of the never-deciding protocol ``F^Λ`` (§6.1)."""
+    return DecisionPair(frozenset(), frozenset(), name=name)
+
+
+def pair_from_predicates(
+    states: Iterable[ViewId],
+    table: ViewTable,
+    zero_trigger: Callable[[ViewId], bool],
+    one_trigger: Callable[[ViewId], bool],
+    name: str = "FIP",
+) -> DecisionPair:
+    """Build a closed decision pair from per-state trigger predicates.
+
+    Args:
+        states: The states occurring in the system of interest.
+        table: View table for recall closure.
+        zero_trigger / one_trigger: State predicates marking where each
+            decision *first becomes enabled*.
+        name: Display name for the resulting pair.
+    """
+    state_list = list(states)
+    zero_triggers = [view for view in state_list if zero_trigger(view)]
+    one_triggers = [view for view in state_list if one_trigger(view)]
+    return DecisionPair(
+        close_under_recall(zero_triggers, state_list, table),
+        close_under_recall(one_triggers, state_list, table),
+        name=name,
+    )

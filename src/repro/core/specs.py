@@ -1,0 +1,216 @@
+"""Specification checkers for agreement problems (paper, Section 2.1).
+
+Checks a :class:`~repro.core.outcomes.ProtocolOutcome` against:
+
+* **Decision** — every nonfaulty processor eventually (within the observed
+  horizon) decides;
+* **Agreement** — all nonfaulty processors decide on the same value;
+* **Validity** — if all initial values are identical, nonfaulty processors
+  decide that value;
+* **Simultaneity** — all nonfaulty processors decide at the same round
+  (turns EBA into SBA);
+* the **weak** variants (weak agreement: nonfaulty processors never decide
+  on *different* values; weak validity: deciders respect unanimous inputs)
+  that define *nontrivial agreement protocols*.
+
+Each checker returns a list of violation strings; the aggregate helpers
+(:func:`check_eba`, :func:`check_sba`, :func:`check_nontrivial_agreement`)
+bundle them into a :class:`SpecReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..core.values import all_same
+from ..errors import SpecificationError
+from .outcomes import ProtocolOutcome, RunOutcome
+
+
+def _describe(run: RunOutcome) -> str:
+    return f"config={run.config} pattern={run.pattern}"
+
+
+def check_decision(outcome: ProtocolOutcome) -> List[str]:
+    """Decision: every nonfaulty processor decides within the horizon."""
+    violations: List[str] = []
+    for run in outcome:
+        for processor in sorted(run.nonfaulty):
+            if run.decisions[processor] is None:
+                violations.append(
+                    f"[decision] processor {processor} undecided by time "
+                    f"{run.horizon} in {_describe(run)}"
+                )
+    return violations
+
+
+def check_weak_agreement(outcome: ProtocolOutcome) -> List[str]:
+    """Weak agreement: nonfaulty processors never decide differently."""
+    violations: List[str] = []
+    for run in outcome:
+        values = {
+            run.decision_value(processor)
+            for processor in run.nonfaulty
+            if run.decisions[processor] is not None
+        }
+        if len(values) > 1:
+            violations.append(
+                f"[weak-agreement] nonfaulty decisions {sorted(values)} "
+                f"in {_describe(run)}"
+            )
+    return violations
+
+
+def check_agreement(outcome: ProtocolOutcome) -> List[str]:
+    """Agreement: all nonfaulty processors decide, on the same value."""
+    return check_decision(outcome) + check_weak_agreement(outcome)
+
+
+def check_weak_validity(outcome: ProtocolOutcome) -> List[str]:
+    """Weak validity: under unanimous input, deciders decide that input."""
+    violations: List[str] = []
+    for run in outcome:
+        unanimous = all_same(run.config.values)
+        if unanimous is None:
+            continue
+        for processor in sorted(run.nonfaulty):
+            record = run.decisions[processor]
+            if record is not None and record[0] != unanimous:
+                violations.append(
+                    f"[weak-validity] processor {processor} decided "
+                    f"{record[0]} despite unanimous {unanimous} in "
+                    f"{_describe(run)}"
+                )
+    return violations
+
+
+def check_validity(outcome: ProtocolOutcome) -> List[str]:
+    """Validity: under unanimous input, all nonfaulty decide that input."""
+    violations = check_weak_validity(outcome)
+    for run in outcome:
+        if all_same(run.config.values) is None:
+            continue
+        for processor in sorted(run.nonfaulty):
+            if run.decisions[processor] is None:
+                violations.append(
+                    f"[validity] processor {processor} undecided under "
+                    f"unanimous input in {_describe(run)}"
+                )
+    return violations
+
+
+def check_uniform_agreement(outcome: ProtocolOutcome) -> List[str]:
+    """Uniform agreement: *no two deciders* — faulty or not — decide on
+    different values.
+
+    The paper's Section 7 points to coordination problems "in which all
+    processors (and not only the nonfaulty ones) are required to act
+    consistently" [Nei90, NB92].  None of the paper's EBA protocols aim
+    for this (a processor may decide and then crash while the survivors,
+    never having seen its evidence, decide the other way), and experiment
+    E18 measures exactly where each protocol violates it.
+    """
+    violations: List[str] = []
+    for run in outcome:
+        values = {
+            record[0]
+            for record in run.acted_decisions().values()
+            if record is not None
+        }
+        if len(values) > 1:
+            violations.append(
+                f"[uniform-agreement] decisions {sorted(values)} "
+                f"(faulty included) in {_describe(run)}"
+            )
+    return violations
+
+
+def check_simultaneity(outcome: ProtocolOutcome) -> List[str]:
+    """Simultaneity: all nonfaulty decisions in a run share one round."""
+    violations: List[str] = []
+    for run in outcome:
+        times = {
+            run.decision_time(processor)
+            for processor in run.nonfaulty
+            if run.decisions[processor] is not None
+        }
+        if len(times) > 1:
+            violations.append(
+                f"[simultaneity] nonfaulty decision times {sorted(times)} "
+                f"in {_describe(run)}"
+            )
+    return violations
+
+
+@dataclass
+class SpecReport:
+    """Aggregated verdict of a specification check.
+
+    Attributes:
+        spec_name: Which specification was checked.
+        protocol_name: Which protocol's outcome was checked.
+        violations: Human-readable violation descriptions (empty = pass).
+        runs_checked: Number of runs examined.
+    """
+
+    spec_name: str
+    protocol_name: str
+    violations: List[str] = field(default_factory=list)
+    runs_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_on_failure(self) -> "SpecReport":
+        """Raise :class:`SpecificationError` when violations exist."""
+        if not self.ok:
+            preview = "; ".join(self.violations[:3])
+            raise SpecificationError(
+                f"{self.protocol_name} violates {self.spec_name} "
+                f"({len(self.violations)} violations): {preview}"
+            )
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        status = "PASS" if self.ok else f"FAIL ({len(self.violations)})"
+        return (
+            f"{self.protocol_name} vs {self.spec_name}: {status} "
+            f"over {self.runs_checked} runs"
+        )
+
+
+def check_nontrivial_agreement(outcome: ProtocolOutcome) -> SpecReport:
+    """Weak agreement + weak validity (paper, conditions 2' and 3')."""
+    return SpecReport(
+        spec_name="nontrivial agreement",
+        protocol_name=outcome.name,
+        violations=check_weak_agreement(outcome) + check_weak_validity(outcome),
+        runs_checked=len(outcome),
+    )
+
+
+def check_eba(outcome: ProtocolOutcome) -> SpecReport:
+    """Decision + agreement + validity (paper, conditions 1-3)."""
+    return SpecReport(
+        spec_name="EBA",
+        protocol_name=outcome.name,
+        violations=(
+            check_decision(outcome)
+            + check_weak_agreement(outcome)
+            + check_validity(outcome)
+        ),
+        runs_checked=len(outcome),
+    )
+
+
+def check_sba(outcome: ProtocolOutcome) -> SpecReport:
+    """EBA + simultaneity (paper, condition 4)."""
+    eba = check_eba(outcome)
+    return SpecReport(
+        spec_name="SBA",
+        protocol_name=outcome.name,
+        violations=eba.violations + check_simultaneity(outcome),
+        runs_checked=len(outcome),
+    )

@@ -1,0 +1,64 @@
+"""Input values and decisions for binary Byzantine agreement.
+
+The paper restricts attention to *binary* agreement: every processor starts
+with an initial value in ``V = {0, 1}`` and eventually outputs a value in
+``O = {bottom, 0, 1}`` where *bottom* means "no output yet".  We represent
+values as plain ints (``0`` / ``1``) and the undecided output as ``None`` so
+that decisions compose naturally with Python's truthiness-free comparisons
+(``decision is None`` reads exactly like the paper's ``bottom``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+#: The binary input domain of the agreement problem.
+VALUES: Tuple[int, int] = (0, 1)
+
+#: Type alias for an initial value.
+Value = int
+
+#: Type alias for a decision output: ``None`` = undecided (the paper's ⊥).
+Decision = Optional[int]
+
+
+def other(value: Value) -> Value:
+    """Return the other binary value (``1 - value``).
+
+    The paper repeatedly exploits the 0/1 symmetry (e.g. protocol ``P1`` is
+    ``P0`` with the roles of the two values exchanged); this helper keeps
+    those constructions readable.
+    """
+    if value not in VALUES:
+        raise ValueError(f"not a binary agreement value: {value!r}")
+    return 1 - value
+
+
+def check_value(value: Value) -> Value:
+    """Validate that *value* is a legal initial value and return it."""
+    if value not in VALUES:
+        raise ValueError(f"initial values must be 0 or 1, got {value!r}")
+    return value
+
+
+def check_decision(decision: Decision) -> Decision:
+    """Validate that *decision* is ``None``, ``0`` or ``1`` and return it."""
+    if decision is not None and decision not in VALUES:
+        raise ValueError(f"decisions must be None, 0 or 1, got {decision!r}")
+    return decision
+
+
+def all_same(values: Iterable[Value]) -> Optional[Value]:
+    """Return the common value if all *values* are identical, else ``None``.
+
+    Used by the validity checkers: the validity condition only constrains
+    runs in which *all* initial values agree.  An empty iterable returns
+    ``None`` (there is no common value to enforce).
+    """
+    common: Optional[Value] = None
+    for index, value in enumerate(values):
+        if index == 0:
+            common = value
+        elif value != common:
+            return None
+    return common

@@ -1,0 +1,15 @@
+"""Reproduction experiments E1-E14 (see DESIGN.md's experiment index)."""
+
+from .framework import ExperimentResult
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_all", "run_experiment"]
+
+
+def __getattr__(name):
+    # Deferred: registry imports every experiment module; keep plain
+    # `import repro.experiments` light.
+    if name in ("EXPERIMENTS", "run_all", "run_experiment", "experiment_ids"):
+        from . import registry
+
+        return getattr(registry, name)
+    raise AttributeError(name)

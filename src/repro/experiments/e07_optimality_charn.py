@@ -1,0 +1,75 @@
+"""E7 — Theorem 5.3: the optimality characterization separates optimal
+from non-optimal protocols.
+
+Positive cases (must satisfy both biconditionals): ``F^{Λ,2}`` in the
+crash mode, ``F*`` in the omission mode.
+
+Negative cases (must satisfy the necessary directions of Proposition 4.3
+while *violating* at least one converse): ``F^{Λ,1}`` (never decides 1 for
+nonfaulty processors) and ``FIP(Z⁰, O⁰)`` (the chain protocol that ``F*``
+strictly dominates at larger parameters).
+"""
+
+from __future__ import annotations
+
+from ..core.optimality import check_optimality
+from ..metrics.tables import render_table
+from ..model.builder import crash_system, omission_system
+from ..protocols.chain_fip import chain_pair
+from ..protocols.f_lambda import f_lambda_sequence
+from ..protocols.f_star import f_star_pair
+from ..protocols.fip import fip
+from .framework import ExperimentResult
+
+
+def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
+    crash = crash_system(n, t, horizon)
+    omission = omission_system(n, t, horizon)
+    _, crash_f1, crash_f2 = f_lambda_sequence(crash)
+    cases = [
+        ("crash", crash, crash_f2, True),
+        ("crash", crash, crash_f1, False),
+        ("omission", omission, f_star_pair(omission), True),
+    ]
+    rows = []
+    all_ok = True
+    for mode_name, system, pair, expect_optimal in cases:
+        sticky = fip(pair).sticky_pair(system)
+        report = check_optimality(system, sticky)
+        verdict_ok = report.optimal == expect_optimal and report.necessary_ok
+        rows.append(
+            [mode_name, pair.name, expect_optimal, report.optimal,
+             report.necessary_ok, "PASS" if verdict_ok else "FAIL"]
+        )
+        all_ok = all_ok and verdict_ok
+
+    # The chain protocol: necessary conditions must hold; optimality is
+    # parameter-dependent (at n=3, t=1 it coincides with F*), so report it
+    # without asserting a direction.
+    chain_sticky = fip(chain_pair(omission)).sticky_pair(omission)
+    chain_report = check_optimality(omission, chain_sticky)
+    rows.append(
+        ["omission", chain_sticky.name, "(informational)",
+         chain_report.optimal, chain_report.necessary_ok,
+         "PASS" if chain_report.necessary_ok else "FAIL"]
+    )
+    all_ok = all_ok and chain_report.necessary_ok
+
+    table = render_table(
+        ["mode", "protocol", "expected optimal", "Thm 5.3 optimal",
+         "Prop 4.3 necessary", "verdict"],
+        rows,
+    )
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Optimality characterization (Theorem 5.3)",
+        paper_claim=(
+            "A full-information nontrivial agreement protocol is optimal "
+            "iff decisions occur exactly when the continual-common-"
+            "knowledge biconditionals hold."
+        ),
+        ok=all_ok,
+        table=table,
+        notes=[f"n={n}, t={t}; exhaustive systems"],
+        data={},
+    )

@@ -1,0 +1,67 @@
+"""E8 — Theorems 6.1 / 6.2: crash-mode collapse of ``F^{Λ,2}``.
+
+Measured reproduction, over exhaustive crash systems:
+
+* **Theorem 6.1**: ``F^{Λ,2}`` and the explicit pair ``FIP(Z^cr, O^cr)``
+  (``Z^cr = B_i^N ∃0``, ``O^cr = B_i^N((N∧Z^cr) = ∅)``) make identical
+  decisions at corresponding points;
+* **Theorem 6.2**: the concrete protocol ``P0opt`` makes the same decisions
+  as ``F^{Λ,2}`` at corresponding points (nonfaulty processors), so both
+  are optimal EBA protocols for the crash mode;
+* ``F^{Λ,2}`` is an EBA protocol here (it decides — contrast with E9).
+"""
+
+from __future__ import annotations
+
+from ..core.domination import equivalent_decisions
+from ..core.specs import check_eba
+from ..metrics.tables import render_table
+from ..model.builder import crash_system
+from ..protocols.f_lambda import f_lambda_2_pair, zcr_ocr_pair
+from ..protocols.fip import fip
+from ..protocols.p0opt import p0opt
+from ..sim.engine import run_over_scenarios
+from .framework import ExperimentResult
+
+
+def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
+    system = crash_system(n, t, horizon)
+    fl2 = fip(f_lambda_2_pair(system))
+    fl2.assert_no_nonfaulty_conflicts(system)
+    fl2_out = fl2.outcome(system)
+
+    zcr = fip(zcr_ocr_pair(system))
+    zcr_out = zcr.outcome(system)
+
+    popt_out = run_over_scenarios(
+        p0opt(), system.scenarios(), system.horizon, t
+    )
+
+    eba = check_eba(fl2_out)
+    thm61, diffs61 = equivalent_decisions(fl2_out, zcr_out)
+    thm62, diffs62 = equivalent_decisions(fl2_out, popt_out)
+
+    rows = [
+        ["F^{Λ,2} is EBA (crash)", eba.ok],
+        ["Thm 6.1: F^{Λ,2} == FIP(Z^cr,O^cr)", thm61],
+        ["Thm 6.2: F^{Λ,2} == P0opt (nonfaulty decisions)", thm62],
+    ]
+    table = render_table(["claim", "measured"], rows)
+    notes = [
+        f"crash mode, n={n}, t={t}, horizon={system.horizon}, "
+        f"{len(system.runs)} runs",
+    ]
+    notes.extend(f"Thm 6.1 diff: {diff}" for diff in diffs61[:3])
+    notes.extend(f"Thm 6.2 diff: {diff}" for diff in diffs62[:3])
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Crash-mode collapse of F^{Λ,2} (Theorems 6.1/6.2)",
+        paper_claim=(
+            "In the crash mode F^{Λ,2} = FIP(Z^cr, O^cr) and decides "
+            "identically to P0opt; both are optimal EBA protocols."
+        ),
+        ok=eba.ok and thm61 and thm62,
+        table=table,
+        notes=notes,
+        data={"thm61": thm61, "thm62": thm62},
+    )

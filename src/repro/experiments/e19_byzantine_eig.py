@@ -1,0 +1,130 @@
+"""E19 — extension: Byzantine failures and the n > 3t threshold
+(Sections 2.1 / 7: "we believe that our techniques will extend" to
+Byzantine failures).
+
+The paper analyzes crash and sending-omission failures only.  This
+experiment supplies the classical Byzantine substrate its conjecture is
+about and measures the textbook facts against it:
+
+* **EIG achieves Byzantine agreement for n > 3t**: zero violations of
+  agreement + validity over an exhaustive adversarial sweep at
+  ``n = 4, t = 1`` (every configuration x every faulty processor x a
+  strategy pool of silence, both equivocation polarities and seeded random
+  liars) and a seeded two-traitor sweep at ``n = 7, t = 2``;
+* **the threshold is sharp**: at ``n = 3, t = 1`` the same sweep produces
+  violations — the three-generals impossibility, concretely;
+* **Byzantine subsumes crash**: under the silent strategy at
+  ``n = 4, t = 1`` the protocol still agrees (with the default value
+  filling the traitor's subtree).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List
+
+from ..byzantine.eig import (
+    ByzantineStrategy,
+    EquivocateStrategy,
+    RandomLiarStrategy,
+    SilentStrategy,
+    run_eig,
+)
+from ..metrics.tables import render_table
+from .framework import ExperimentResult
+
+
+def _strategy_pool(seeds: int = 5) -> List[ByzantineStrategy]:
+    return (
+        [SilentStrategy(), EquivocateStrategy(0, 1), EquivocateStrategy(1, 0)]
+        + [RandomLiarStrategy(seed) for seed in range(seeds)]
+    )
+
+
+def _sweep_single_traitor(n: int, t: int, seeds: int = 5):
+    violations = 0
+    total = 0
+    witness = None
+    for values in itertools.product((0, 1), repeat=n):
+        for faulty in range(n):
+            for strategy in _strategy_pool(seeds):
+                result = run_eig(values, {faulty: strategy}, t)
+                total += 1
+                if not (
+                    result.agreement_holds() and result.validity_holds()
+                ):
+                    violations += 1
+                    if witness is None:
+                        witness = (
+                            f"values={values}, traitor=p{faulty} "
+                            f"({strategy.name}), decisions="
+                            f"{result.decisions}"
+                        )
+    return violations, total, witness
+
+
+def run(samples_n7: int = 60, seed: int = 0) -> ExperimentResult:
+    rows = []
+
+    v4, total4, _ = _sweep_single_traitor(4, 1)
+    rows.append(["n=4, t=1 (n > 3t)", "exhaustive single traitor",
+                 total4, v4])
+
+    v3, total3, witness3 = _sweep_single_traitor(3, 1)
+    rows.append(["n=3, t=1 (n = 3t)", "exhaustive single traitor",
+                 total3, v3])
+
+    rng = random.Random(seed)
+    v7 = 0
+    for trial in range(samples_n7):
+        values = tuple(rng.randint(0, 1) for _ in range(7))
+        first, second = rng.sample(range(7), 2)
+        result = run_eig(
+            values,
+            {
+                first: EquivocateStrategy(),
+                second: RandomLiarStrategy(trial),
+            },
+            t=2,
+        )
+        if not (result.agreement_holds() and result.validity_holds()):
+            v7 += 1
+    rows.append(["n=7, t=2 (n > 3t)", "seeded two-traitor sample",
+                 samples_n7, v7])
+
+    # Byzantine subsumes crash: the silent traitor never breaks n=4.
+    silent_violations = 0
+    for values in itertools.product((0, 1), repeat=4):
+        for faulty in range(4):
+            result = run_eig(values, {faulty: SilentStrategy()}, 1)
+            if not (result.agreement_holds() and result.validity_holds()):
+                silent_violations += 1
+    rows.append(["n=4, t=1, silence only", "exhaustive", 64,
+                 silent_violations])
+
+    table = render_table(
+        ["cell", "sweep", "runs", "agreement/validity violations"], rows
+    )
+    ok = v4 == 0 and v7 == 0 and silent_violations == 0 and v3 > 0
+    notes = [
+        "strategy pool: silent, equivocate (both polarities), 5 seeded "
+        "random liars",
+        "EIG resolves claim trees bottom-up by strict majority with "
+        "default 0",
+    ]
+    if witness3:
+        notes.append(f"three-generals witness: {witness3}")
+    return ExperimentResult(
+        experiment_id="E19",
+        title="Byzantine EIG and the n > 3t threshold (Section 7)",
+        paper_claim=(
+            "(extension — the paper conjectures its techniques extend to "
+            "Byzantine failures; this provides the classical substrate: "
+            "EIG agrees iff n > 3t, sharply.)"
+        ),
+        ok=ok,
+        table=table,
+        notes=notes,
+        data={"n3_violations": v3, "n4_violations": v4},
+    )

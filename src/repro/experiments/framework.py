@@ -1,0 +1,56 @@
+"""Experiment framework: uniform results for the reproduction harness.
+
+Each experiment module exposes ``run(**params) -> ExperimentResult``; the
+registry in :mod:`repro.experiments.registry` maps experiment ids (E1..E14,
+mirroring DESIGN.md's index) to those functions.  The benchmark suite calls
+``run`` under ``pytest-benchmark`` and asserts ``result.ok``;
+``EXPERIMENTS.md`` is generated from the same results, so the document and
+the benches can never drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduction experiment.
+
+    Attributes:
+        experiment_id: Index entry (``"E1"`` ... ``"E14"``).
+        title: Human-readable title.
+        paper_claim: What the paper asserts (proposition/theorem text, in
+            brief).
+        ok: Whether the measured behaviour matches the claim.
+        table: Rendered plain-text table of the measured rows.
+        notes: Free-form measurement notes (parameters, regimes,
+            substitutions used).
+        data: Machine-readable measurements for further analysis.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    ok: bool
+    table: str
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Full plain-text report block for this experiment."""
+        status = "REPRODUCED" if self.ok else "MISMATCH"
+        lines = [
+            f"== {self.experiment_id}: {self.title} [{status}] ==",
+            f"Paper claim: {self.paper_claim}",
+            "",
+            self.table,
+        ]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+ExperimentRunner = Callable[..., ExperimentResult]

@@ -1,0 +1,80 @@
+"""Registry of reproduction experiments (DESIGN.md experiment index)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    e01_no_optimum,
+    e02_p0opt_dominates,
+    e03_s5_axioms,
+    e04_continual_ck,
+    e05_knowledge_conditions,
+    e06_two_step,
+    e07_optimality_charn,
+    e08_crash_equivalence,
+    e09_omission_nontermination,
+    e10_chain_f_plus_1,
+    e11_fstar_optimal,
+    e12_eba_vs_sba,
+    e13_fip_simulation,
+    e14_scaling,
+    e15_beyond_modes,
+    e16_dm90_sba,
+    e17_multivalued,
+    e18_uniform_agreement,
+    e19_byzantine_eig,
+    e20_scaling_gains,
+    e21_eventual_ck,
+)
+from .framework import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e01_no_optimum.run,
+    "E2": e02_p0opt_dominates.run,
+    "E3": e03_s5_axioms.run,
+    "E4": e04_continual_ck.run,
+    "E5": e05_knowledge_conditions.run,
+    "E6": e06_two_step.run,
+    "E7": e07_optimality_charn.run,
+    "E8": e08_crash_equivalence.run,
+    "E9": e09_omission_nontermination.run,
+    "E10": e10_chain_f_plus_1.run,
+    "E11": e11_fstar_optimal.run,
+    "E12": e12_eba_vs_sba.run,
+    "E13": e13_fip_simulation.run,
+    "E14": e14_scaling.run,
+    "E15": e15_beyond_modes.run,
+    "E16": e16_dm90_sba.run,
+    "E17": e17_multivalued.run,
+    "E18": e18_uniform_agreement.run,
+    "E19": e19_byzantine_eig.run,
+    "E20": e20_scaling_gains.run,
+    "E21": e21_eventual_ck.run,
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids, in index order."""
+    return list(EXPERIMENTS.keys())
+
+
+def run_experiment(experiment_id: str, **params) -> ExperimentResult:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(**params)
+
+
+def run_all(skip: List[str] = ()) -> List[ExperimentResult]:
+    """Run every experiment (optionally skipping ids, e.g. the heavy E9)."""
+    return [
+        run_experiment(experiment_id)
+        for experiment_id in EXPERIMENTS
+        if experiment_id not in skip
+    ]

@@ -1,0 +1,191 @@
+"""JSON export/import of scenarios, outcomes and experiment results.
+
+Enables downstream analysis (plotting, regression tracking) without
+re-running enumerations.  The format is stable and versioned; round-trip
+fidelity is covered by tests:
+
+* failure patterns serialize behaviour-by-behaviour with their mode;
+* :class:`~repro.core.outcomes.ProtocolOutcome` round-trips completely
+  (configurations, patterns, decisions, horizon);
+* :class:`~repro.experiments.framework.ExperimentResult` exports one-way
+  (results embed free-form tables meant for humans; they are not parsed
+  back).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..core.outcomes import ProtocolOutcome, RunOutcome
+from ..errors import ConfigurationError
+from ..experiments.framework import ExperimentResult
+from ..model.config import InitialConfiguration
+from ..model.failures import (
+    CrashBehavior,
+    FailurePattern,
+    GeneralOmissionBehavior,
+    OmissionBehavior,
+    ReceiveOmissionBehavior,
+)
+
+FORMAT_VERSION = 1
+
+
+def _omissions_to_json(entries) -> List[List[Any]]:
+    return [
+        [round_number, sorted(processors)]
+        for round_number, processors in entries
+    ]
+
+
+def _omissions_from_json(data) -> Dict[int, List[int]]:
+    return {round_number: processors for round_number, processors in data}
+
+
+def behavior_to_json(behavior) -> Dict[str, Any]:
+    """Serialize any faulty behaviour to a tagged JSON object."""
+    if isinstance(behavior, CrashBehavior):
+        return {
+            "kind": "crash",
+            "crash_round": behavior.crash_round,
+            "receivers": sorted(behavior.receivers),
+        }
+    if isinstance(behavior, OmissionBehavior):
+        return {
+            "kind": "omission",
+            "omissions": _omissions_to_json(behavior.omissions),
+        }
+    if isinstance(behavior, ReceiveOmissionBehavior):
+        return {
+            "kind": "receive-omission",
+            "omissions": _omissions_to_json(behavior.omissions),
+        }
+    if isinstance(behavior, GeneralOmissionBehavior):
+        return {
+            "kind": "general-omission",
+            "send_omissions": _omissions_to_json(behavior.send_omissions),
+            "receive_omissions": _omissions_to_json(
+                behavior.receive_omissions
+            ),
+        }
+    raise ConfigurationError(f"unknown behaviour {behavior!r}")
+
+
+def behavior_from_json(data: Dict[str, Any]):
+    """Inverse of :func:`behavior_to_json`."""
+    kind = data.get("kind")
+    if kind == "crash":
+        return CrashBehavior(data["crash_round"], frozenset(data["receivers"]))
+    if kind == "omission":
+        return OmissionBehavior(_omissions_from_json(data["omissions"]))
+    if kind == "receive-omission":
+        return ReceiveOmissionBehavior(
+            _omissions_from_json(data["omissions"])
+        )
+    if kind == "general-omission":
+        return GeneralOmissionBehavior(
+            _omissions_from_json(data["send_omissions"]),
+            _omissions_from_json(data["receive_omissions"]),
+        )
+    raise ConfigurationError(f"unknown behaviour kind {kind!r}")
+
+
+def pattern_to_json(pattern: FailurePattern) -> List[Dict[str, Any]]:
+    """Serialize a failure pattern."""
+    return [
+        {"processor": processor, **behavior_to_json(behavior)}
+        for processor, behavior in pattern.behaviors
+    ]
+
+
+def pattern_from_json(data: List[Dict[str, Any]]) -> FailurePattern:
+    """Inverse of :func:`pattern_to_json`."""
+    return FailurePattern(
+        {entry["processor"]: behavior_from_json(entry) for entry in data}
+    )
+
+
+def run_outcome_to_json(run: RunOutcome) -> Dict[str, Any]:
+    """Serialize one run's outcome."""
+    return {
+        "config": list(run.config.values),
+        "pattern": pattern_to_json(run.pattern),
+        "decisions": [
+            None if record is None else [record[0], record[1]]
+            for record in run.decisions
+        ],
+        "horizon": run.horizon,
+    }
+
+
+def run_outcome_from_json(data: Dict[str, Any]) -> RunOutcome:
+    """Inverse of :func:`run_outcome_to_json`."""
+    return RunOutcome(
+        config=InitialConfiguration(data["config"]),
+        pattern=pattern_from_json(data["pattern"]),
+        decisions=tuple(
+            None if record is None else (record[0], record[1])
+            for record in data["decisions"]
+        ),
+        horizon=data["horizon"],
+    )
+
+
+def outcome_to_json(outcome: ProtocolOutcome) -> Dict[str, Any]:
+    """Serialize a whole protocol outcome."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "protocol": outcome.name,
+        "runs": [run_outcome_to_json(run) for run in outcome],
+    }
+
+
+def outcome_from_json(data: Dict[str, Any]) -> ProtocolOutcome:
+    """Inverse of :func:`outcome_to_json`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported outcome format version {version!r}"
+        )
+    return ProtocolOutcome(
+        data["protocol"],
+        (run_outcome_from_json(entry) for entry in data["runs"]),
+    )
+
+
+def experiment_result_to_json(result: ExperimentResult) -> Dict[str, Any]:
+    """Serialize an experiment result (one-way; tables stay as text)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "ok": result.ok,
+        "table": result.table,
+        "notes": list(result.notes),
+        "data": _jsonable(result.data),
+    }
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment data payloads to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(entry) for entry in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def dump_outcome(outcome: ProtocolOutcome, path: str) -> None:
+    """Write a protocol outcome to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(outcome_to_json(outcome), handle)
+
+
+def load_outcome(path: str) -> ProtocolOutcome:
+    """Read a protocol outcome from a JSON file."""
+    with open(path) as handle:
+        return outcome_from_json(json.load(handle))

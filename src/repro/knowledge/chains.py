@@ -1,0 +1,139 @@
+"""0-chains and the fact ``∃0*`` (paper, Section 6.2).
+
+A *0-chain* of ``L`` members is a sequence of **distinct** processors
+``i_1, ..., i_L`` such that:
+
+* ``i_1`` has initial value 0;
+* for each ``k < L``, ``i_{k+1}`` received a message from ``i_k`` in round
+  ``k`` and, at time ``k``, ``¬ B^N_{i_{k+1}}(i_k ∉ N)`` holds (``i_{k+1}``
+  does not believe ``i_k`` is faulty);
+* ``i_L`` is nonfaulty.
+
+Its last receipt happens in round ``L - 1``, so the chain is *complete* from
+time ``L - 1`` on.  We define ``∃0*`` to hold at ``(r, m)`` iff some 0-chain
+is complete by time ``m`` — a monotone, point-level fact.
+
+**Timing note.**  The paper's Section 6.2 timestamps an ``m``-member chain
+at the point ``(r, m)`` — one round *after* its last receipt — while the
+proof of Proposition 6.4 lets a processor that receives the chain-bearing
+message in round ``m`` decide at time ``m``, which is what yields the
+``f + 1`` decision bound (and what the informal description "accepts 0 in
+round ``m`` only if transferred by a chain of ``m - 1`` distinct
+processors" also suggests).  The two are off by one; we follow the proof:
+chains count from their last receipt.  In particular a *nonfaulty processor
+with initial value 0* is a complete 1-chain at time 0, so under
+``FIP(Z⁰, O⁰)`` value-0 processors decide at time 0 — mirroring ``P0``.
+
+Because chains use distinct processors, no chain has more than ``n``
+members, which bounds how late ``∃0*`` can first become true and hence the
+decision time of ``FIP(Z⁰, O⁰)`` (Proposition 6.4).
+
+The ``believes-faulty`` subformulas make ``∃0*`` a genuinely
+knowledge-laden fact: it cannot be computed from a single run in isolation,
+only relative to a system.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..model.system import System, TruthAssignment
+from .formulas import Believes, Formula, IsNonfaulty, Not, Predicate
+from .nonrigid import NONFAULTY
+
+#: Cache-key tag for the ∃0* predicate (value-0 chains, per the paper).
+_EXISTS0STAR_KEY = ("exists-0-star",)
+
+
+def believes_faulty(observer: int, suspect: int) -> Formula:
+    """``B^N_observer(suspect ∉ N)`` — observer believes suspect faulty."""
+    return Believes(observer, Not(IsNonfaulty(suspect)), NONFAULTY)
+
+
+def earliest_chain_time(
+    system: System,
+    run_index: int,
+    suspects: List[List[TruthAssignment]],
+) -> Optional[int]:
+    """Earliest time at which some 0-chain is complete in a run.
+
+    Returns ``L - 1`` for the shortest valid chain (``L`` members), or
+    ``None`` when no chain completes within the horizon.
+
+    *suspects[j][i]* is the evaluated truth of ``B^N_j(i ∉ N)``.
+    """
+    run = system.runs[run_index]
+    n = system.n
+
+    # frontier: chains of length k represented as (last member, member set);
+    # a length-k chain's receipts cover rounds 1..k-1.
+    frontier: Set[Tuple[int, frozenset]] = {
+        (processor, frozenset((processor,)))
+        for processor in range(n)
+        if run.config.value_of(processor) == 0
+    }
+    length = 1
+    while frontier:
+        if any(run.is_nonfaulty(last) for last, _ in frontier):
+            return length - 1
+        if length >= n or length > system.horizon:
+            return None
+        next_frontier: Set[Tuple[int, frozenset]] = set()
+        receipt_round = length  # link k = length happens in round `length`
+        for last, used in frontier:
+            for successor in range(n):
+                if successor in used:
+                    continue
+                if last not in run.senders_to(successor, receipt_round):
+                    continue
+                if suspects[successor][last].at(run_index, receipt_round):
+                    continue  # i_{k+1} believes i_k faulty at time k
+                next_frontier.add((successor, used | {successor}))
+        frontier = next_frontier
+        length += 1
+    return None
+
+
+def _compute_exists0star(system: System) -> TruthAssignment:
+    suspects: List[List[TruthAssignment]] = [
+        [
+            believes_faulty(observer, suspect).evaluate(system)
+            for suspect in range(system.n)
+        ]
+        for observer in range(system.n)
+    ]
+    result = TruthAssignment.constant(system, False)
+    for run_index in range(len(system.runs)):
+        first = earliest_chain_time(system, run_index, suspects)
+        if first is None:
+            continue
+        for time in range(first, system.horizon + 1):
+            result.values[run_index][time] = True
+    return result
+
+
+def exists_zero_star() -> Formula:
+    """The monotone point-level fact ``∃0*``.
+
+    Note: *not* run-level — early times of a run may lack any complete
+    chain even when later times have one.
+    """
+    return Predicate(_EXISTS0STAR_KEY, _compute_exists0star, run_level=False)
+
+
+def eventually_exists_zero_star() -> Formula:
+    """``◇∃0*`` evaluated as ``∃0*`` at the horizon (monotone fact).
+
+    Within a finite-horizon system, "``∃0*`` will ever hold" is exactly
+    "``∃0*`` holds at the horizon"; exact whenever ``horizon ≥ n - 1``
+    (chains cannot outgrow ``n`` members).  Used by the one-rule ``O⁰`` of
+    :mod:`repro.protocols.chain_fip`.
+    """
+    def compute(system: System) -> TruthAssignment:
+        base = _compute_exists0star(system)
+        return TruthAssignment.from_predicate(
+            system,
+            lambda run_index, _: base.at(run_index, system.horizon),
+        )
+
+    return Predicate(("eventually",) + _EXISTS0STAR_KEY, compute, run_level=True)

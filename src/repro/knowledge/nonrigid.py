@@ -1,0 +1,163 @@
+"""Nonrigid sets of processors (paper, Section 3.1).
+
+A *nonrigid set* ``S`` assigns to every point ``(r, m)`` a subset of the
+processors.  The two instances the paper uses everywhere are:
+
+* ``N`` — the nonfaulty processors (time-independent per run under the
+  paper's EBA convention), and
+* ``N ∧ A`` — nonfaulty processors whose current local state lies in a
+  decision set ``A``.
+
+Every nonrigid set exposes a per-point member matrix, memoized on the system
+by cache key, plus an O(1) membership test.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, List
+
+from ..core.decision_sets import DecisionPair
+from ..model.system import System
+
+
+class NonrigidSet(ABC):
+    """A function from points of a system to processor subsets."""
+
+    @abstractmethod
+    def cache_key(self) -> object:
+        """Stable key identifying this set for evaluation caching."""
+
+    @abstractmethod
+    def _compute_members(self, system: System) -> List[List[FrozenSet[int]]]:
+        """Member matrix: ``matrix[run_index][time]``."""
+
+    def members_matrix(self, system: System) -> List[List[FrozenSet[int]]]:
+        """The memoized member matrix over *system*."""
+        return system.cached_nonrigid(
+            self.cache_key(), lambda: self._compute_members(system)
+        )
+
+    def members(self, system: System, run_index: int, time: int) -> FrozenSet[int]:
+        """``S(r, m)`` for the point ``(run_index, time)``."""
+        return self.members_matrix(system)[run_index][time]
+
+    def contains(
+        self, system: System, run_index: int, time: int, processor: int
+    ) -> bool:
+        """Whether *processor* belongs to ``S(r, m)``."""
+        return processor in self.members(system, run_index, time)
+
+    def always_empty(self, system: System) -> bool:
+        """Whether ``S`` is empty at every point of *system*."""
+        matrix = self.members_matrix(system)
+        return all(not cell for row in matrix for cell in row)
+
+
+class Nonfaulty(NonrigidSet):
+    """The nonrigid set ``N`` of nonfaulty processors.
+
+    Under the paper's convention for EBA a processor is nonfaulty in a run
+    iff it follows the protocol throughout, so membership is constant over
+    time within each run.
+    """
+
+    def cache_key(self) -> object:
+        return ("nonrigid", "N")
+
+    def _compute_members(self, system: System) -> List[List[FrozenSet[int]]]:
+        return [
+            [run.nonfaulty] * (system.horizon + 1) for run in system.runs
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "N"
+
+
+class Everyone(NonrigidSet):
+    """The constant nonrigid set of all processors (rigid ``G = {1..n}``)."""
+
+    def cache_key(self) -> object:
+        return ("nonrigid", "everyone")
+
+    def _compute_members(self, system: System) -> List[List[FrozenSet[int]]]:
+        everyone = frozenset(range(system.n))
+        return [
+            [everyone] * (system.horizon + 1) for _ in system.runs
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ALL"
+
+
+class ConstantSet(NonrigidSet):
+    """A rigid set: the same fixed group ``G`` at every point."""
+
+    def __init__(self, processors: FrozenSet[int]) -> None:
+        self.processors = frozenset(processors)
+
+    def cache_key(self) -> object:
+        return ("nonrigid", "const", tuple(sorted(self.processors)))
+
+    def _compute_members(self, system: System) -> List[List[FrozenSet[int]]]:
+        return [
+            [self.processors] * (system.horizon + 1) for _ in system.runs
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"G{sorted(self.processors)}"
+
+
+class NonfaultyAndDeciding(NonrigidSet):
+    """The nonrigid set ``N ∧ A`` for a decision set ``A`` (paper, §4).
+
+    ``(N ∧ A)(r, m) = { i : i ∈ N(r, m) and r_i(m) ∈ A_i }`` where ``A`` is
+    either the zero- or the one-set of a :class:`DecisionPair`.
+    """
+
+    def __init__(self, pair: DecisionPair, which: str) -> None:
+        if which not in ("zeros", "ones"):
+            raise ValueError(f"which must be 'zeros' or 'ones', got {which!r}")
+        self.pair = pair
+        self.which = which
+        self._states = pair.zeros if which == "zeros" else pair.ones
+
+    def cache_key(self) -> object:
+        return ("nonrigid", "N-and", self.pair.token, self.which)
+
+    def _compute_members(self, system: System) -> List[List[FrozenSet[int]]]:
+        states = self._states
+        matrix: List[List[FrozenSet[int]]] = []
+        for run in system.runs:
+            row: List[FrozenSet[int]] = []
+            for time in range(system.horizon + 1):
+                row.append(
+                    frozenset(
+                        processor
+                        for processor in run.nonfaulty
+                        if run.view(processor, time) in states
+                    )
+                )
+            matrix.append(row)
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        symbol = "Z" if self.which == "zeros" else "O"
+        return f"(N∧{symbol}[{self.pair.name}])"
+
+
+#: Shared instance of ``N`` — the common case.
+NONFAULTY = Nonfaulty()
+
+#: Shared instance of the all-processors rigid set.
+EVERYONE = Everyone()
+
+
+def nonfaulty_and_zeros(pair: DecisionPair) -> NonrigidSet:
+    """``N ∧ Z`` for a decision pair."""
+    return NonfaultyAndDeciding(pair, "zeros")
+
+
+def nonfaulty_and_ones(pair: DecisionPair) -> NonrigidSet:
+    """``N ∧ O`` for a decision pair."""
+    return NonfaultyAndDeciding(pair, "ones")

@@ -1,0 +1,297 @@
+"""Core evaluation routines for the knowledge formalism.
+
+This module implements the satisfaction relation of Section 3 of the paper
+over enumerated systems:
+
+* ``K_i φ`` — knowledge as truth at all same-state points;
+* ``B_i^S φ = K_i(i ∈ S ⇒ φ)`` — belief relative to a nonrigid set;
+* ``E_S φ`` — "everyone in S believes";
+* ``C_S φ`` — common knowledge, as the greatest fixed point of
+  ``X ↔ E_S(φ ∧ X)``;
+* ``□ / ◇ / ⊡`` — temporal operators (present-and-future always /
+  eventually, and the paper's all-times ``⊡``);
+* ``E□_S φ = ⊡ E_S φ`` and **continual common knowledge** ``C□_S φ`` as the
+  greatest fixed point of ``X ↔ E□_S(φ ∧ X)``, plus the fast
+  reachability-component algorithm of Corollary 3.3 for run-level facts.
+
+All functions take and return :class:`~repro.model.system.TruthAssignment`
+matrices; formula-level caching lives in :mod:`repro.knowledge.formulas`.
+
+Finite-horizon caveat: temporal operators treat the horizon as the end of
+time.  For the run-level and monotone facts used throughout the paper this
+is exact provided the horizon exceeds all decision times (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..model.system import Point, System, TruthAssignment
+from .nonrigid import NonrigidSet
+
+
+def eval_knows(
+    system: System, processor: int, phi: TruthAssignment
+) -> TruthAssignment:
+    """``K_i φ``: truth of φ at every point where ``i`` has the same state.
+
+    Knowledge is state-determined, so the result is computed once per
+    distinct local state of *processor* and broadcast to all points sharing
+    it.
+    """
+    result = TruthAssignment.constant(system, False)
+    table = system.table
+    seen: Dict[int, bool] = {}
+    for run_index, run in enumerate(system.runs):
+        for time in range(system.horizon + 1):
+            view = run.view(processor, time)
+            value = seen.get(view)
+            if value is None:
+                value = all(
+                    phi.at(other_run, other_time)
+                    for other_run, other_time in system.same_state_points(view)
+                )
+                seen[view] = value
+            result.values[run_index][time] = value
+    # Silence the unused-variable lint for `table`; kept for symmetry with
+    # eval_believes which needs it.
+    del table
+    return result
+
+
+def eval_believes(
+    system: System,
+    nonrigid: NonrigidSet,
+    processor: int,
+    phi: TruthAssignment,
+) -> TruthAssignment:
+    """``B_i^S φ = K_i(i ∈ S ⇒ φ)``.
+
+    True at ``(r, m)`` iff φ holds at every same-state point ``(r', m')``
+    with ``i ∈ S(r', m')``.  Vacuously true when no such point exists —
+    matching the paper's observation that ``B_i^S`` is a *belief*: it does
+    not imply φ when ``i ∉ S``.
+    """
+    members = nonrigid.members_matrix(system)
+    result = TruthAssignment.constant(system, False)
+    seen: Dict[int, bool] = {}
+    for run_index, run in enumerate(system.runs):
+        for time in range(system.horizon + 1):
+            view = run.view(processor, time)
+            value = seen.get(view)
+            if value is None:
+                value = all(
+                    phi.at(other_run, other_time)
+                    for other_run, other_time in system.same_state_points(view)
+                    if processor in members[other_run][other_time]
+                )
+                seen[view] = value
+            result.values[run_index][time] = value
+    return result
+
+
+def eval_everyone(
+    system: System, nonrigid: NonrigidSet, phi: TruthAssignment
+) -> TruthAssignment:
+    """``E_S φ = ∧_{i ∈ S} B_i^S φ`` (vacuously true when ``S`` is empty)."""
+    members = nonrigid.members_matrix(system)
+    beliefs = [
+        eval_believes(system, nonrigid, processor, phi)
+        for processor in range(system.n)
+    ]
+    result = TruthAssignment.constant(system, True)
+    for run_index in range(len(system.runs)):
+        for time in range(system.horizon + 1):
+            for processor in members[run_index][time]:
+                if not beliefs[processor].at(run_index, time):
+                    result.values[run_index][time] = False
+                    break
+    return result
+
+
+def eval_common(
+    system: System, nonrigid: NonrigidSet, phi: TruthAssignment
+) -> TruthAssignment:
+    """``C_S φ``: greatest fixed point of ``X ↔ E_S(φ ∧ X)``.
+
+    Iterates downward from the all-true assignment; each iteration strictly
+    shrinks the true set until stable, so termination is guaranteed on a
+    finite system.
+    """
+    current = TruthAssignment.constant(system, True)
+    while True:
+        candidate = eval_everyone(system, nonrigid, phi.conjoin(current))
+        if candidate == current:
+            return current
+        current = candidate
+
+
+def eval_always(system: System, phi: TruthAssignment) -> TruthAssignment:
+    """``□ φ``: φ holds now and at all later times of the run."""
+    result = TruthAssignment.constant(system, False)
+    for run_index in range(len(system.runs)):
+        holds = True
+        for time in range(system.horizon, -1, -1):
+            holds = holds and phi.at(run_index, time)
+            result.values[run_index][time] = holds
+        # `holds` intentionally carried across the descending sweep.
+    return result
+
+
+def eval_eventually(system: System, phi: TruthAssignment) -> TruthAssignment:
+    """``◇ φ``: φ holds now or at some later time of the run."""
+    result = TruthAssignment.constant(system, False)
+    for run_index in range(len(system.runs)):
+        holds = False
+        for time in range(system.horizon, -1, -1):
+            holds = holds or phi.at(run_index, time)
+            result.values[run_index][time] = holds
+    return result
+
+
+def eval_at_all_times(system: System, phi: TruthAssignment) -> TruthAssignment:
+    """The paper's ``⊡ φ``: φ holds at *every* time of the run (past,
+    present and future) — a run-level property."""
+    result = TruthAssignment.constant(system, False)
+    for run_index in range(len(system.runs)):
+        holds = all(phi.at(run_index, time) for time in range(system.horizon + 1))
+        for time in range(system.horizon + 1):
+            result.values[run_index][time] = holds
+    return result
+
+
+def eval_everyone_box(
+    system: System, nonrigid: NonrigidSet, phi: TruthAssignment
+) -> TruthAssignment:
+    """``E□_S φ = ⊡ E_S φ`` (paper, Section 3.3)."""
+    return eval_at_all_times(system, eval_everyone(system, nonrigid, phi))
+
+
+def eval_continual_common(
+    system: System, nonrigid: NonrigidSet, phi: TruthAssignment
+) -> TruthAssignment:
+    """``C□_S φ``: greatest fixed point of ``X ↔ E□_S(φ ∧ X)``.
+
+    This is the reference (semantic-definition) evaluator; for run-level φ
+    the component algorithm :func:`eval_continual_common_components` is
+    equivalent (Corollary 3.3) and much faster.  Tests cross-check the two.
+    """
+    current = TruthAssignment.constant(system, True)
+    while True:
+        candidate = eval_everyone_box(system, nonrigid, phi.conjoin(current))
+        if candidate == current:
+            return current
+        current = candidate
+
+
+def eval_eventual_common(
+    system: System, nonrigid: NonrigidSet, phi: TruthAssignment
+) -> TruthAssignment:
+    """Eventual common knowledge ``C◇_S φ`` ([HM90]; paper, Section 3.2).
+
+    "Eventually everyone will know that eventually everyone will know
+    that … φ": the greatest fixed point of ``X ↔ ◇ E_S(φ ∧ X)``.  The
+    paper's Section 3.2 uses it to motivate continual common knowledge —
+    ``C◇`` is *too weak* a basis for a decision rule on its own (both
+    ``C◇∃0`` and ``C◇∃1`` can be known by different processors at once),
+    which is exactly what experiment E21 exhibits.
+
+    Satisfies ``◇ C_S φ ⇒ C◇_S φ`` (if φ ever becomes common knowledge it
+    is eventual common knowledge) — checked in tests.
+    """
+    current = TruthAssignment.constant(system, True)
+    while True:
+        candidate = eval_eventually(
+            system, eval_everyone(system, nonrigid, phi.conjoin(current))
+        )
+        if candidate == current:
+            return current
+        current = candidate
+
+
+class _UnionFind:
+    """Minimal union-find over run indices (path halving + union by size)."""
+
+    def __init__(self, size: int) -> None:
+        self.parent = list(range(size))
+        self.size = [1] * size
+
+    def find(self, item: int) -> int:
+        parent = self.parent
+        while parent[item] != item:
+            parent[item] = parent[parent[item]]
+            item = parent[item]
+        return item
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self.size[root_a] < self.size[root_b]:
+            root_a, root_b = root_b, root_a
+        self.parent[root_b] = root_a
+        self.size[root_a] += self.size[root_b]
+
+
+def run_reachability_components(
+    system: System, nonrigid: NonrigidSet
+) -> List[int]:
+    """S-□-reachability components over runs (Corollary 3.3).
+
+    Two runs are linked when some processor, while a member of ``S``, has
+    the same local state at a point of each — exactly the one-step relation
+    of the paper's ``S-□-reachability``, which (per Lemma 3.4(g)) depends
+    only on the runs, not the times.  Returns, for each run index, a
+    component representative; runs with **no** ``S`` occurrence at any point
+    get the sentinel ``-1`` (no point is reachable from them, so any
+    ``C□_S φ`` holds there vacuously).
+    """
+    members = nonrigid.members_matrix(system)
+    uf = _UnionFind(len(system.runs))
+    has_occurrence = [False] * len(system.runs)
+    first_run_for_view: Dict[int, int] = {}
+    for run_index, run in enumerate(system.runs):
+        for time in range(system.horizon + 1):
+            for processor in members[run_index][time]:
+                has_occurrence[run_index] = True
+                view = run.view(processor, time)
+                anchor = first_run_for_view.get(view)
+                if anchor is None:
+                    first_run_for_view[view] = run_index
+                else:
+                    uf.union(anchor, run_index)
+    return [
+        uf.find(run_index) if has_occurrence[run_index] else -1
+        for run_index in range(len(system.runs))
+    ]
+
+
+def eval_continual_common_components(
+    system: System,
+    nonrigid: NonrigidSet,
+    run_level_phi: List[bool],
+) -> TruthAssignment:
+    """Fast ``C□_S φ`` for run-level φ via reachability components.
+
+    ``C□_S φ`` holds at (every point of) run ``r`` iff φ holds in every run
+    of ``r``'s S-□-reachability component; runs without any ``S``
+    occurrence satisfy it vacuously.
+
+    Args:
+        run_level_phi: ``run_level_phi[run_index]`` — truth of φ in the run
+            (φ must be time-independent).
+    """
+    components = run_reachability_components(system, nonrigid)
+    component_ok: Dict[int, bool] = {}
+    for run_index, component in enumerate(components):
+        if component == -1:
+            continue
+        component_ok[component] = component_ok.get(component, True) and (
+            run_level_phi[run_index]
+        )
+    result = TruthAssignment.constant(system, False)
+    for run_index, component in enumerate(components):
+        value = True if component == -1 else component_ok[component]
+        for time in range(system.horizon + 1):
+            result.values[run_index][time] = value
+    return result

@@ -1,0 +1,22 @@
+"""Metrics: decision-time statistics, message complexity and table output."""
+
+from .stats import (
+    DecisionTimeStats,
+    MessageStats,
+    decision_time_stats,
+    mean_decision_gap,
+    message_stats,
+    per_time_cumulative_share,
+)
+from .tables import format_float, render_table
+
+__all__ = [
+    "DecisionTimeStats",
+    "MessageStats",
+    "decision_time_stats",
+    "format_float",
+    "mean_decision_gap",
+    "message_stats",
+    "per_time_cumulative_share",
+    "render_table",
+]

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment reports.
+
+No third-party dependency: the experiment harness and the CLI print
+fixed-width tables that read well in terminals and in ``EXPERIMENTS.md``
+code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Cells are stringified with ``str``; ``None`` renders as ``-``.
+    """
+    materialized: List[List[str]] = [
+        ["-" if cell is None else str(cell) for cell in row] for row in rows
+    ]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.extend([0] * (index + 1 - len(widths)))
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(row)
+        ).rstrip()
+
+    lines = [fmt(header_row), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_float(value: object, digits: int = 2) -> str:
+    """Format a float (or None) for a table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)

@@ -1,0 +1,444 @@
+"""Adversaries: enumerators and samplers of failure patterns.
+
+Knowledge operators quantify over *all* runs of a protocol, so the exactness
+of every knowledge test in this library depends on enumerating the complete
+space of failure patterns for the chosen parameters.  This module provides:
+
+* :class:`ExhaustiveCrashAdversary` — every canonical crash pattern with at
+  most ``t`` faulty processors and crash rounds within the horizon.
+* :class:`ExhaustiveOmissionAdversary` — every canonical sending-omission
+  pattern (exponential; intended for small ``n``, ``t``, ``horizon``).
+* :class:`SampledOmissionAdversary` — seeded random sampling for statistics
+  experiments at sizes where exhaustive enumeration is intractable.
+* :class:`SilentCrashAdversary` — the restricted "crash silently at round k"
+  family, useful for fast large-``n`` sweeps.
+
+Canonicalization (documented in DESIGN.md): a crash in round ``k`` that
+delivers the complete round-``k`` message set is observationally identical to
+a crash in round ``k + 1`` delivering nothing, so the exhaustive crash
+adversary only emits strict receiver subsets.  Behaviours with no observable
+deviation inside the horizon are skipped entirely — a "faulty" processor that
+never misbehaves would duplicate the nonfaulty run while perturbing the
+nonrigid set ``N`` for no informational reason.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .failures import (
+    CrashBehavior,
+    FailureMode,
+    FailurePattern,
+    GeneralOmissionBehavior,
+    OmissionBehavior,
+    ProcessorId,
+    ReceiveOmissionBehavior,
+)
+
+
+def _strict_subsets(items: Sequence[ProcessorId]) -> Iterator[FrozenSet[ProcessorId]]:
+    """All strict subsets of *items* (excluding the full set)."""
+    for size in range(len(items)):
+        for combo in itertools.combinations(items, size):
+            yield frozenset(combo)
+
+
+def _all_subsets(items: Sequence[ProcessorId]) -> Iterator[FrozenSet[ProcessorId]]:
+    """All subsets of *items* (including empty and full)."""
+    for size in range(len(items) + 1):
+        for combo in itertools.combinations(items, size):
+            yield frozenset(combo)
+
+
+class Adversary(ABC):
+    """A source of failure patterns for a fixed ``(n, t, horizon)``.
+
+    Adversaries are deterministic iterables: iterating twice yields the same
+    patterns in the same order, which keeps enumerated systems reproducible.
+    """
+
+    def __init__(self, n: int, t: int, horizon: int) -> None:
+        if n < 2:
+            raise ConfigurationError(f"need n >= 2, got {n}")
+        if t < 0 or t >= n:
+            raise ConfigurationError(f"need 0 <= t < n, got t={t}, n={n}")
+        if horizon < 1:
+            raise ConfigurationError(f"need horizon >= 1, got {horizon}")
+        self.n = n
+        self.t = t
+        self.horizon = horizon
+
+    @property
+    @abstractmethod
+    def mode(self) -> FailureMode:
+        """The failure mode this adversary generates."""
+
+    @abstractmethod
+    def behaviors_for(self, processor: ProcessorId) -> Iterator[object]:
+        """All canonical behaviours this adversary allows for *processor*."""
+
+    def patterns(self) -> Iterator[FailurePattern]:
+        """Yield every failure pattern: the failure-free pattern first, then
+        all assignments of canonical behaviours to faulty sets of size
+        ``1..t``."""
+        yield FailurePattern(())
+        processors = list(range(self.n))
+        for size in range(1, self.t + 1):
+            for faulty_set in itertools.combinations(processors, size):
+                behavior_choices = [
+                    list(self.behaviors_for(processor)) for processor in faulty_set
+                ]
+                for assignment in itertools.product(*behavior_choices):
+                    yield FailurePattern(dict(zip(faulty_set, assignment)))
+
+    def count_patterns(self) -> int:
+        """Number of patterns generated (materializes lazily, cached)."""
+        return sum(1 for _ in self.patterns())
+
+    def __iter__(self) -> Iterator[FailurePattern]:
+        return self.patterns()
+
+
+class ExhaustiveCrashAdversary(Adversary):
+    """Every canonical crash failure pattern with at most ``t`` failures.
+
+    Per-processor behaviours: crash round ``k`` in ``1..horizon`` and a
+    *strict* subset of the other processors receiving the round-``k``
+    message.  This is exactly the canonical, duplicate-free parameterization
+    of the paper's crash model truncated at the horizon.
+    """
+
+    @property
+    def mode(self) -> FailureMode:
+        return FailureMode.CRASH
+
+    def behaviors_for(self, processor: ProcessorId) -> Iterator[CrashBehavior]:
+        others = [p for p in range(self.n) if p != processor]
+        for crash_round in range(1, self.horizon + 1):
+            for receivers in _strict_subsets(others):
+                yield CrashBehavior(crash_round, receivers)
+
+
+class SilentCrashAdversary(Adversary):
+    """The restricted crash family "die silently at the start of round k".
+
+    Each faulty processor sends everything before round ``k`` and nothing
+    from round ``k`` on.  This family is *not* sufficient for exact
+    knowledge evaluation (knowledge computed against it is an
+    over-approximation) but is ideal for large-``n`` decision-time sweeps of
+    concrete protocols, where only the trace matters.
+    """
+
+    @property
+    def mode(self) -> FailureMode:
+        return FailureMode.CRASH
+
+    def behaviors_for(self, processor: ProcessorId) -> Iterator[CrashBehavior]:
+        for crash_round in range(1, self.horizon + 1):
+            yield CrashBehavior(crash_round, frozenset())
+
+
+class ExhaustiveOmissionAdversary(Adversary):
+    """Every canonical sending-omission pattern with at most ``t`` failures.
+
+    Per-processor behaviours: an arbitrary choice, for each round in
+    ``1..horizon``, of the subset of other processors whose message is
+    omitted — excluding the all-empty choice (no observable deviation).
+    The behaviour count per processor is ``2**((n-1) * horizon) - 1``; use
+    only for small parameters (see DESIGN.md section 2).
+    """
+
+    @property
+    def mode(self) -> FailureMode:
+        return FailureMode.OMISSION
+
+    def behaviors_for(self, processor: ProcessorId) -> Iterator[OmissionBehavior]:
+        others = [p for p in range(self.n) if p != processor]
+        per_round = list(_all_subsets(others))
+        for choice in itertools.product(per_round, repeat=self.horizon):
+            if all(not subset for subset in choice):
+                continue  # vacuous: no observable deviation
+            yield OmissionBehavior(
+                {
+                    round_number: subset
+                    for round_number, subset in enumerate(choice, start=1)
+                    if subset
+                }
+            )
+
+
+class ExhaustiveReceiveOmissionAdversary(Adversary):
+    """Every canonical receive-omission pattern ([PT86] extension mode).
+
+    Mirrors :class:`ExhaustiveOmissionAdversary` with the direction
+    reversed: per round, an arbitrary subset of *senders* whose message the
+    faulty processor fails to receive.
+    """
+
+    @property
+    def mode(self) -> FailureMode:
+        return FailureMode.RECEIVE_OMISSION
+
+    def behaviors_for(
+        self, processor: ProcessorId
+    ) -> Iterator[ReceiveOmissionBehavior]:
+        others = [p for p in range(self.n) if p != processor]
+        per_round = list(_all_subsets(others))
+        for choice in itertools.product(per_round, repeat=self.horizon):
+            if all(not subset for subset in choice):
+                continue
+            yield ReceiveOmissionBehavior(
+                {
+                    round_number: subset
+                    for round_number, subset in enumerate(choice, start=1)
+                    if subset
+                }
+            )
+
+
+class SampledGeneralOmissionAdversary(Adversary):
+    """Seeded random general-omission patterns ([PT86] extension mode).
+
+    The exhaustive general-omission space squares the already-exponential
+    sending-omission space, so only a sampler is provided.  Each faulty
+    processor gets independent random send- and receive-omission tables; a
+    vacuous draw is patched with one forced omission.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        horizon: int,
+        *,
+        samples: int = 100,
+        seed: int = 0,
+        omission_probability: float = 0.3,
+    ) -> None:
+        super().__init__(n, t, horizon)
+        if samples < 0:
+            raise ConfigurationError(f"need samples >= 0, got {samples}")
+        if not 0.0 <= omission_probability <= 1.0:
+            raise ConfigurationError(
+                "omission_probability must lie in [0, 1], "
+                f"got {omission_probability}"
+            )
+        self.samples = samples
+        self.seed = seed
+        self.omission_probability = omission_probability
+
+    @property
+    def mode(self) -> FailureMode:
+        return FailureMode.GENERAL_OMISSION
+
+    def behaviors_for(self, processor: ProcessorId) -> Iterator[object]:
+        raise NotImplementedError(
+            "SampledGeneralOmissionAdversary generates whole patterns, not "
+            "per-processor behaviour enumerations"
+        )
+
+    def _random_table(
+        self, rng: random.Random, processor: ProcessorId
+    ) -> Dict[int, List[ProcessorId]]:
+        table: Dict[int, List[ProcessorId]] = {}
+        for round_number in range(1, self.horizon + 1):
+            dropped = [
+                other
+                for other in range(self.n)
+                if other != processor
+                and rng.random() < self.omission_probability
+            ]
+            if dropped:
+                table[round_number] = dropped
+        return table
+
+    def patterns(self) -> Iterator[FailurePattern]:
+        rng = random.Random(self.seed)
+        yield FailurePattern(())
+        seen = set()
+        produced = 0
+        attempts = 0
+        max_attempts = max(20 * self.samples, 100)
+        while produced < self.samples and attempts < max_attempts:
+            attempts += 1
+            if self.t < 1:
+                break
+            size = rng.randint(1, self.t)
+            faulty = rng.sample(range(self.n), size)
+            behaviors: Dict[ProcessorId, GeneralOmissionBehavior] = {}
+            for processor in faulty:
+                send = self._random_table(rng, processor)
+                receive = self._random_table(rng, processor)
+                if not send and not receive:
+                    victim = rng.choice(
+                        [p for p in range(self.n) if p != processor]
+                    )
+                    send[rng.randint(1, self.horizon)] = [victim]
+                behaviors[processor] = GeneralOmissionBehavior(send, receive)
+            pattern = FailurePattern(behaviors)
+            if pattern in seen:
+                continue
+            seen.add(pattern)
+            produced += 1
+            yield pattern
+
+
+class SampledOmissionAdversary(Adversary):
+    """Seeded random sample of sending-omission patterns.
+
+    Produces the failure-free pattern plus *samples* random patterns.  Each
+    sample independently picks a faulty set of size ``1..t`` and, for each
+    faulty processor and round, a random omission subset (biased by
+    *omission_probability* per destination).  Deduplicated, deterministic
+    given the seed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        horizon: int,
+        *,
+        samples: int = 100,
+        seed: int = 0,
+        omission_probability: float = 0.4,
+    ) -> None:
+        super().__init__(n, t, horizon)
+        if samples < 0:
+            raise ConfigurationError(f"need samples >= 0, got {samples}")
+        if not 0.0 <= omission_probability <= 1.0:
+            raise ConfigurationError(
+                "omission_probability must lie in [0, 1], "
+                f"got {omission_probability}"
+            )
+        self.samples = samples
+        self.seed = seed
+        self.omission_probability = omission_probability
+
+    @property
+    def mode(self) -> FailureMode:
+        return FailureMode.OMISSION
+
+    def behaviors_for(self, processor: ProcessorId) -> Iterator[OmissionBehavior]:
+        raise NotImplementedError(
+            "SampledOmissionAdversary generates whole patterns, not "
+            "per-processor behaviour enumerations"
+        )
+
+    def patterns(self) -> Iterator[FailurePattern]:
+        rng = random.Random(self.seed)
+        yield FailurePattern(())
+        seen = set()
+        produced = 0
+        attempts = 0
+        max_attempts = max(20 * self.samples, 100)
+        while produced < self.samples and attempts < max_attempts:
+            attempts += 1
+            size = rng.randint(1, self.t) if self.t >= 1 else 0
+            if size == 0:
+                continue
+            faulty = rng.sample(range(self.n), size)
+            behaviors: Dict[ProcessorId, OmissionBehavior] = {}
+            for processor in faulty:
+                omissions: Dict[int, List[ProcessorId]] = {}
+                for round_number in range(1, self.horizon + 1):
+                    dropped = [
+                        dest
+                        for dest in range(self.n)
+                        if dest != processor
+                        and rng.random() < self.omission_probability
+                    ]
+                    if dropped:
+                        omissions[round_number] = dropped
+                if not omissions:
+                    # Force at least one observable omission so the
+                    # processor is genuinely faulty.
+                    victim = rng.choice(
+                        [dest for dest in range(self.n) if dest != processor]
+                    )
+                    omissions[rng.randint(1, self.horizon)] = [victim]
+                behaviors[processor] = OmissionBehavior(omissions)
+            pattern = FailurePattern(behaviors)
+            if pattern in seen:
+                continue
+            seen.add(pattern)
+            produced += 1
+            yield pattern
+
+
+class ExplicitAdversary(Adversary):
+    """An adversary over a caller-supplied list of patterns.
+
+    Used to build the *restricted sub-systems* of DESIGN.md (e.g. the closed
+    run family from the proof of Proposition 6.3).  The failure-free pattern
+    is prepended if absent, keeping specifications that quantify over
+    failure-free runs meaningful.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        horizon: int,
+        patterns: Sequence[FailurePattern],
+        *,
+        mode: FailureMode,
+        include_failure_free: bool = True,
+    ) -> None:
+        super().__init__(n, t, horizon)
+        self._mode = mode
+        ordered: List[FailurePattern] = []
+        seen = set()
+        empty = FailurePattern(())
+        if include_failure_free:
+            ordered.append(empty)
+            seen.add(empty)
+        for pattern in patterns:
+            pattern.validate(n, t)
+            pattern_mode = pattern.mode()
+            if pattern_mode is not None and pattern_mode is not mode:
+                raise ConfigurationError(
+                    f"pattern {pattern} is not a {mode} pattern"
+                )
+            if pattern not in seen:
+                seen.add(pattern)
+                ordered.append(pattern)
+        self._patterns = ordered
+
+    @property
+    def mode(self) -> FailureMode:
+        return self._mode
+
+    def behaviors_for(self, processor: ProcessorId) -> Iterator[object]:
+        raise NotImplementedError(
+            "ExplicitAdversary holds whole patterns, not per-processor "
+            "behaviour enumerations"
+        )
+
+    def patterns(self) -> Iterator[FailurePattern]:
+        return iter(self._patterns)
+
+
+def exhaustive_adversary(
+    mode: FailureMode, n: int, t: int, horizon: int
+) -> Adversary:
+    """The exhaustive adversary for *mode* (factory helper).
+
+    General omissions have no exhaustive enumerator (the space squares the
+    sending-omission one); use
+    :class:`SampledGeneralOmissionAdversary` there.
+    """
+    if mode is FailureMode.CRASH:
+        return ExhaustiveCrashAdversary(n, t, horizon)
+    if mode is FailureMode.OMISSION:
+        return ExhaustiveOmissionAdversary(n, t, horizon)
+    if mode is FailureMode.RECEIVE_OMISSION:
+        return ExhaustiveReceiveOmissionAdversary(n, t, horizon)
+    raise ConfigurationError(
+        f"no exhaustive adversary for failure mode {mode!r}"
+    )

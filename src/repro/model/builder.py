@@ -1,0 +1,136 @@
+"""Convenience constructors for enumerated systems.
+
+These wrap :func:`repro.model.system.build_system` with the adversaries from
+:mod:`repro.model.adversary` and provide a process-wide cache so that tests
+and experiments touching the same ``(mode, n, t, horizon)`` parameters share
+one enumeration.
+
+Sizing guidance (see DESIGN.md):
+
+* crash mode is exhaustive and comfortable up to roughly ``n=5, t=2,
+  horizon=4``;
+* omission mode is exhaustive only for small parameters (``n=3..4, t=1,
+  horizon=3``); beyond that use a restricted or sampled adversary and treat
+  knowledge results as approximations (DESIGN.md explains in which direction
+  each approximation errs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from .adversary import (
+    Adversary,
+    ExhaustiveCrashAdversary,
+    ExhaustiveOmissionAdversary,
+    ExplicitAdversary,
+)
+from .config import InitialConfiguration
+from .failures import FailureMode, FailurePattern
+from .system import System, build_system
+
+_CacheKey = Tuple[FailureMode, int, int, int]
+_SYSTEM_CACHE: Dict[_CacheKey, System] = {}
+
+
+def default_horizon(t: int) -> int:
+    """The library's default horizon, ``t + 2``.
+
+    Decisions in the paper's protocols happen by time ``t + 1``; one extra
+    round keeps the post-decision relay visible and gives temporal operators
+    a nontrivial future at the decision time.
+    """
+    return t + 2
+
+
+def crash_system(
+    n: int,
+    t: int,
+    horizon: Optional[int] = None,
+    *,
+    configs: Optional[Iterable[InitialConfiguration]] = None,
+    use_cache: bool = True,
+) -> System:
+    """The exhaustive crash-mode system for ``(n, t, horizon)``."""
+    horizon = default_horizon(t) if horizon is None else horizon
+    key = (FailureMode.CRASH, n, t, horizon)
+    if use_cache and configs is None and key in _SYSTEM_CACHE:
+        return _SYSTEM_CACHE[key]
+    system = build_system(
+        ExhaustiveCrashAdversary(n, t, horizon), configs=configs
+    )
+    if use_cache and configs is None:
+        _SYSTEM_CACHE[key] = system
+    return system
+
+
+def omission_system(
+    n: int,
+    t: int,
+    horizon: Optional[int] = None,
+    *,
+    configs: Optional[Iterable[InitialConfiguration]] = None,
+    use_cache: bool = True,
+) -> System:
+    """The exhaustive omission-mode system for ``(n, t, horizon)``.
+
+    Exponential in ``(n - 1) * horizon`` per faulty processor — intended for
+    small parameters only.
+    """
+    horizon = default_horizon(t) if horizon is None else horizon
+    key = (FailureMode.OMISSION, n, t, horizon)
+    if use_cache and configs is None and key in _SYSTEM_CACHE:
+        return _SYSTEM_CACHE[key]
+    system = build_system(
+        ExhaustiveOmissionAdversary(n, t, horizon), configs=configs
+    )
+    if use_cache and configs is None:
+        _SYSTEM_CACHE[key] = system
+    return system
+
+
+def system_for(
+    mode: FailureMode,
+    n: int,
+    t: int,
+    horizon: Optional[int] = None,
+    **kwargs,
+) -> System:
+    """Factory dispatching on *mode* (exhaustive adversaries)."""
+    if mode is FailureMode.CRASH:
+        return crash_system(n, t, horizon, **kwargs)
+    return omission_system(n, t, horizon, **kwargs)
+
+
+def restricted_system(
+    mode: FailureMode,
+    n: int,
+    t: int,
+    horizon: int,
+    patterns: Sequence[FailurePattern],
+    *,
+    configs: Optional[Iterable[InitialConfiguration]] = None,
+    include_failure_free: bool = True,
+) -> System:
+    """A sub-system over an explicit pattern family.
+
+    Knowledge evaluated over a sub-system is an *over*-approximation (fewer
+    runs means fewer indistinguishable alternatives, hence more knowledge);
+    dually, the *failure* of a continual-common-knowledge test in a
+    sub-system transfers soundly to the full system (DESIGN.md §2).  The
+    Proposition 6.3 experiment relies on this direction.
+    """
+    adversary = ExplicitAdversary(
+        n,
+        t,
+        horizon,
+        patterns,
+        mode=mode,
+        include_failure_free=include_failure_free,
+    )
+    return build_system(adversary, configs=configs)
+
+
+def clear_system_cache() -> None:
+    """Drop the process-wide system cache (mainly for tests)."""
+    _SYSTEM_CACHE.clear()

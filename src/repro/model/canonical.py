@@ -1,0 +1,93 @@
+"""Cross-mode encodings: crash failures as a special case of omissions.
+
+Within a bounded horizon, a crash in round ``k`` that delivers to ``R`` is
+*observationally identical* to a sending-omission behaviour that omits the
+complement of ``R`` in round ``k`` and everything afterwards.  This module
+makes that inclusion executable:
+
+* :func:`crash_as_omission` / :func:`pattern_as_omission` — the encoding;
+* :func:`embed_crash_patterns` — lift a crash adversary's patterns into
+  omission form.
+
+Two uses.  First, consistency testing: the simulator and the run builder
+must produce byte-identical runs for a pattern and its encoding (the test
+suite checks this property-based).  Second, the conceptual point the paper
+makes when moving between the modes: every crash *run* is an omission run,
+but the crash *system* is a strict subset of the omission system — which is
+precisely why knowledge (and hence optimal protocols: Theorem 6.1 vs.
+Proposition 6.3) differs so sharply between the modes even though the runs
+embed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..errors import ConfigurationError
+from .failures import (
+    CrashBehavior,
+    FailurePattern,
+    OmissionBehavior,
+    ProcessorId,
+)
+
+
+def crash_as_omission(
+    behavior: CrashBehavior, n: int, horizon: int, processor: ProcessorId
+) -> OmissionBehavior:
+    """Encode a crash behaviour as an observationally identical sending-
+    omission behaviour, valid for runs of length *horizon*."""
+    others = [p for p in range(n) if p != processor]
+    omissions: Dict[int, List[ProcessorId]] = {}
+    crash_round = behavior.crash_round
+    if crash_round <= horizon:
+        blocked = [p for p in others if p not in behavior.receivers]
+        if blocked:
+            omissions[crash_round] = blocked
+        for round_number in range(crash_round + 1, horizon + 1):
+            omissions[round_number] = list(others)
+    return OmissionBehavior(omissions)
+
+
+def pattern_as_omission(
+    pattern: FailurePattern, n: int, horizon: int
+) -> FailurePattern:
+    """Encode every crash behaviour of a pattern into omission form.
+
+    Non-crash behaviours pass through unchanged; mixed patterns are
+    rejected (the encoding is only defined from the crash mode).
+    """
+    behaviors = {}
+    for processor, behavior in pattern.behaviors:
+        if isinstance(behavior, CrashBehavior):
+            behaviors[processor] = crash_as_omission(
+                behavior, n, horizon, processor
+            )
+        elif isinstance(behavior, OmissionBehavior):
+            behaviors[processor] = behavior
+        else:
+            raise ConfigurationError(
+                f"cannot encode behaviour {behavior!r} as a sending "
+                "omission"
+            )
+    return FailurePattern(behaviors)
+
+
+def embed_crash_patterns(
+    patterns: Iterable[FailurePattern], n: int, horizon: int
+) -> List[FailurePattern]:
+    """Encode a crash pattern family into the omission mode, deduplicated.
+
+    Distinct crash behaviours can collapse to one omission behaviour at a
+    given horizon (e.g. "crash at ``horizon`` delivering to all" and
+    "nonfaulty" — though canonical enumerators never emit the former), so
+    the result is deduplicated while preserving first-seen order.
+    """
+    seen = set()
+    result: List[FailurePattern] = []
+    for pattern in patterns:
+        encoded = pattern_as_omission(pattern, n, horizon)
+        if encoded not in seen:
+            seen.add(encoded)
+            result.append(encoded)
+    return result

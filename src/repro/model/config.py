@@ -1,0 +1,90 @@
+"""Initial configurations: the vector of initial values.
+
+The paper assumes each processor's initial state *is* its initial value
+(Section 2.4), so an initial configuration is simply a tuple of ``n`` binary
+values.  This module provides the configuration type plus enumeration helpers
+used by the exhaustive system builders and the workload generators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from ..core.values import Value, check_value
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InitialConfiguration:
+    """The list of processors' initial values (the paper's *initial
+    configuration*).
+
+    Attributes:
+        values: ``values[i]`` is processor ``i``'s initial value.
+    """
+
+    values: Tuple[Value, ...]
+
+    def __init__(self, values: Sequence[Value]) -> None:
+        object.__setattr__(
+            self, "values", tuple(check_value(v) for v in values)
+        )
+        if len(self.values) < 2:
+            raise ConfigurationError(
+                "a system needs at least 2 processors "
+                f"(got configuration of length {len(self.values)})"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return len(self.values)
+
+    def value_of(self, processor: int) -> Value:
+        """Initial value of *processor*."""
+        return self.values[processor]
+
+    def exists(self, value: Value) -> bool:
+        """Whether some processor starts with *value* (the paper's ∃v)."""
+        return value in self.values
+
+    def all_equal(self, value: Value) -> bool:
+        """Whether every processor starts with *value*."""
+        return all(v == value for v in self.values)
+
+    def count(self, value: Value) -> int:
+        """How many processors start with *value*."""
+        return sum(1 for v in self.values if v == value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "".join(str(v) for v in self.values)
+
+
+def all_configurations(n: int) -> Iterator[InitialConfiguration]:
+    """Yield all ``2**n`` initial configurations for an *n*-processor system.
+
+    The order is lexicographic over the value vectors, which makes enumerated
+    systems deterministic across runs and platforms.
+    """
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2, got {n}")
+    for bits in itertools.product((0, 1), repeat=n):
+        yield InitialConfiguration(bits)
+
+
+def uniform_configuration(n: int, value: Value) -> InitialConfiguration:
+    """The configuration in which every processor starts with *value*."""
+    return InitialConfiguration((check_value(value),) * n)
+
+
+def one_dissenter(n: int, dissenter: int, value: Value) -> InitialConfiguration:
+    """All processors start with ``1 - value`` except *dissenter*.
+
+    Useful for the adversarial scenario families in the paper's proofs, where
+    a single (possibly faulty) processor holds the minority value.
+    """
+    values = [1 - check_value(value)] * n
+    values[dissenter] = value
+    return InitialConfiguration(values)

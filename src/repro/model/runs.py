@@ -1,0 +1,126 @@
+"""Runs of the full-information protocol.
+
+A *run* (paper, Section 2.3) is the complete description of the system at
+every time step: initial configuration, failure pattern and the resulting
+message/state evolution.  Because full-information states are independent of
+the decision function, one run object serves every ``FIP(Z, O)``; decisions
+are layered on top by :mod:`repro.protocols.fip`.
+
+Runs are built against a shared :class:`~repro.model.views.ViewTable` so that
+identical local states across runs receive identical interned ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..errors import ConfigurationError
+from .config import InitialConfiguration
+from .failures import FailurePattern, ProcessorId
+from .views import ViewId, ViewTable
+
+
+@dataclass
+class Run:
+    """One run of the full-information protocol.
+
+    Attributes:
+        config: The initial configuration.
+        pattern: The failure pattern (uniquely determines the run together
+            with the configuration — paper, Section 2.3).
+        horizon: Number of rounds simulated; points exist for times
+            ``0..horizon``.
+        views: ``views[m][i]`` is the interned view id of processor ``i`` at
+            time ``m``.
+        nonfaulty: The (time-independent, per the paper's convention for
+            EBA) set of nonfaulty processors.
+        deliveries: ``deliveries[m]`` is, for round ``m`` (1-based, stored at
+            index ``m - 1``), a tuple over receivers of the frozen set of
+            senders whose message arrived.
+    """
+
+    config: InitialConfiguration
+    pattern: FailurePattern
+    horizon: int
+    views: List[Tuple[ViewId, ...]] = field(default_factory=list)
+    nonfaulty: FrozenSet[ProcessorId] = frozenset()
+    deliveries: List[Tuple[FrozenSet[ProcessorId], ...]] = field(
+        default_factory=list
+    )
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self.config.n
+
+    def view(self, processor: ProcessorId, time: int) -> ViewId:
+        """Processor *processor*'s local state (view id) at *time*."""
+        return self.views[time][processor]
+
+    def is_nonfaulty(self, processor: ProcessorId) -> bool:
+        """Whether *processor* is nonfaulty throughout this run."""
+        return processor in self.nonfaulty
+
+    def senders_to(
+        self, receiver: ProcessorId, round_number: int
+    ) -> FrozenSet[ProcessorId]:
+        """Processors whose round-*round_number* message reached *receiver*
+        (excluding *receiver* itself)."""
+        return self.deliveries[round_number - 1][receiver]
+
+    def scenario_key(self) -> Tuple[InitialConfiguration, FailurePattern]:
+        """The (configuration, pattern) pair identifying corresponding runs.
+
+        Two runs of different protocols *correspond* when they share this
+        key (paper, Section 2.3).
+        """
+        return (self.config, self.pattern)
+
+    def exists(self, value: int) -> bool:
+        """The paper's run-level fact ∃value."""
+        return self.config.exists(value)
+
+
+def build_run(
+    config: InitialConfiguration,
+    pattern: FailurePattern,
+    horizon: int,
+    table: ViewTable,
+) -> Run:
+    """Execute the full-information protocol and record the resulting run.
+
+    Every processor — faulty ones included — sends its current state to all
+    others each round; the failure pattern filters which messages arrive.
+    Crashed processors keep "receiving" in the model (their post-crash state
+    is never observed by anyone, so this choice is inconsequential), which
+    keeps the state evolution uniform.
+    """
+    n = config.n
+    if horizon < 1:
+        raise ConfigurationError(f"need horizon >= 1, got {horizon}")
+    run = Run(config=config, pattern=pattern, horizon=horizon)
+    run.nonfaulty = pattern.nonfaulty(n)
+
+    current: List[ViewId] = [
+        table.leaf(processor, config.value_of(processor))
+        for processor in range(n)
+    ]
+    run.views.append(tuple(current))
+
+    for round_number in range(1, horizon + 1):
+        delivered_per_receiver: List[FrozenSet[ProcessorId]] = []
+        next_views: List[ViewId] = []
+        for receiver in range(n):
+            heard: Dict[ProcessorId, ViewId] = {}
+            for sender in range(n):
+                if sender == receiver:
+                    continue
+                if pattern.delivered(sender, receiver, round_number):
+                    heard[sender] = current[sender]
+            delivered_per_receiver.append(frozenset(heard))
+            next_views.append(table.extend(current[receiver], heard))
+        run.deliveries.append(tuple(delivered_per_receiver))
+        current = next_views
+        run.views.append(tuple(current))
+    return run

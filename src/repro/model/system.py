@@ -1,0 +1,264 @@
+"""Systems: the full set of runs used to interpret knowledge formulas.
+
+A *system* ``R`` (paper, Section 2.3) is a set of runs; knowledge at a point
+``(r, m)`` quantifies over all points of the system at which the processor
+has the same local state.  This module provides:
+
+* :class:`System` — the enumerated run set for one ``(n, t, mode, horizon)``
+  together with the state index that powers knowledge evaluation, and
+* :class:`TruthAssignment` — a boolean valuation of all points of a system,
+  the working currency of the formula evaluator.
+
+Systems are immutable after construction; evaluation results are cached on
+the system keyed by formula cache keys (see :mod:`repro.knowledge.formulas`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, EvaluationError
+from .adversary import Adversary
+from .config import InitialConfiguration, all_configurations
+from .failures import FailureMode, FailurePattern, ProcessorId
+from .runs import Run, build_run
+from .views import ViewId, ViewTable
+
+Point = Tuple[int, int]  # (run index, time)
+ScenarioKey = Tuple[InitialConfiguration, FailurePattern]
+
+
+class TruthAssignment:
+    """A boolean valuation over every point of a system.
+
+    Stored as one list of booleans per run (indexed by time ``0..horizon``).
+    Instances are treated as immutable by the evaluator; helpers that derive
+    new assignments always allocate.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: List[List[bool]]) -> None:
+        self.values = values
+
+    @classmethod
+    def constant(cls, system: "System", value: bool) -> "TruthAssignment":
+        return cls(
+            [[value] * (system.horizon + 1) for _ in range(len(system.runs))]
+        )
+
+    @classmethod
+    def from_predicate(
+        cls, system: "System", predicate: Callable[[int, int], bool]
+    ) -> "TruthAssignment":
+        """Build from a ``(run_index, time) -> bool`` predicate."""
+        return cls(
+            [
+                [predicate(run_index, time) for time in range(system.horizon + 1)]
+                for run_index in range(len(system.runs))
+            ]
+        )
+
+    def at(self, run_index: int, time: int) -> bool:
+        return self.values[run_index][time]
+
+    def count_true(self) -> int:
+        return sum(sum(1 for v in row if v) for row in self.values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthAssignment):
+            return NotImplemented
+        return self.values == other.values
+
+    def __hash__(self) -> int:  # pragma: no cover - not hashed in practice
+        return hash(tuple(tuple(row) for row in self.values))
+
+    # -- pointwise algebra -------------------------------------------------
+
+    def negate(self) -> "TruthAssignment":
+        return TruthAssignment([[not v for v in row] for row in self.values])
+
+    def conjoin(self, other: "TruthAssignment") -> "TruthAssignment":
+        return TruthAssignment(
+            [
+                [a and b for a, b in zip(row_a, row_b)]
+                for row_a, row_b in zip(self.values, other.values)
+            ]
+        )
+
+    def disjoin(self, other: "TruthAssignment") -> "TruthAssignment":
+        return TruthAssignment(
+            [
+                [a or b for a, b in zip(row_a, row_b)]
+                for row_a, row_b in zip(self.values, other.values)
+            ]
+        )
+
+    def implies(self, other: "TruthAssignment") -> "TruthAssignment":
+        return TruthAssignment(
+            [
+                [(not a) or b for a, b in zip(row_a, row_b)]
+                for row_a, row_b in zip(self.values, other.values)
+            ]
+        )
+
+    def is_valid(self) -> bool:
+        """True when the assignment holds at *every* point (the paper's
+        ``R |= φ``)."""
+        return all(all(row) for row in self.values)
+
+
+class System:
+    """An enumerated system of full-information runs.
+
+    Attributes:
+        n: Number of processors.
+        t: Fault bound used during enumeration.
+        mode: Failure mode of the adversary (``None`` for a purely
+            failure-free system).
+        horizon: Times ``0..horizon`` exist in every run.
+        runs: The run list; order is deterministic.
+        table: The shared view-interning table.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        horizon: int,
+        runs: Sequence[Run],
+        table: ViewTable,
+        mode: Optional[FailureMode],
+    ) -> None:
+        if not runs:
+            raise ConfigurationError("a system needs at least one run")
+        self.n = n
+        self.t = t
+        self.horizon = horizon
+        self.runs: List[Run] = list(runs)
+        self.table = table
+        self.mode = mode
+        # state index: view id -> points sharing that local state.  View ids
+        # embed processor and time, so one map covers all processors.
+        self._state_index: Dict[ViewId, List[Point]] = {}
+        self._scenario_index: Dict[ScenarioKey, int] = {}
+        for run_index, run in enumerate(self.runs):
+            key = run.scenario_key()
+            if key in self._scenario_index:
+                raise ConfigurationError(
+                    f"duplicate scenario in system: {key[0]} / {key[1]}"
+                )
+            self._scenario_index[key] = run_index
+            for time in range(horizon + 1):
+                for processor in range(n):
+                    view = run.view(processor, time)
+                    self._state_index.setdefault(view, []).append(
+                        (run_index, time)
+                    )
+        self._formula_cache: Dict[object, TruthAssignment] = {}
+        self._nonrigid_cache: Dict[object, List[List[FrozenSet[int]]]] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    def points(self) -> Iterator[Point]:
+        """All points ``(run_index, time)`` of the system."""
+        for run_index in range(len(self.runs)):
+            for time in range(self.horizon + 1):
+                yield (run_index, time)
+
+    def num_points(self) -> int:
+        return len(self.runs) * (self.horizon + 1)
+
+    def run(self, run_index: int) -> Run:
+        return self.runs[run_index]
+
+    def same_state_points(self, view: ViewId) -> List[Point]:
+        """All points at which the view's owner has exactly this state."""
+        return self._state_index.get(view, [])
+
+    def run_index_for(
+        self, config: InitialConfiguration, pattern: FailurePattern
+    ) -> int:
+        """Index of the run determined by a scenario (config, pattern)."""
+        try:
+            return self._scenario_index[(config, pattern)]
+        except KeyError:
+            raise EvaluationError(
+                f"scenario not present in system: {config} / {pattern}"
+            ) from None
+
+    def scenarios(self) -> List[ScenarioKey]:
+        """The (config, pattern) pairs of all runs, in run order."""
+        return [run.scenario_key() for run in self.runs]
+
+    def occurring_views(self) -> Iterator[ViewId]:
+        """All view ids that occur at some point of the system."""
+        return iter(self._state_index)
+
+    # -- caches ------------------------------------------------------------
+
+    def cached_evaluation(
+        self, key: object, compute: Callable[[], TruthAssignment]
+    ) -> TruthAssignment:
+        """Memoize a formula evaluation under *key*."""
+        existing = self._formula_cache.get(key)
+        if existing is not None:
+            return existing
+        result = compute()
+        self._formula_cache[key] = result
+        return result
+
+    def cached_nonrigid(
+        self, key: object, compute: Callable[[], List[List[FrozenSet[int]]]]
+    ) -> List[List[FrozenSet[int]]]:
+        """Memoize a nonrigid set's member matrix under *key*."""
+        existing = self._nonrigid_cache.get(key)
+        if existing is not None:
+            return existing
+        result = compute()
+        self._nonrigid_cache[key] = result
+        return result
+
+    def clear_caches(self) -> None:
+        """Drop all memoized evaluations (mainly for tests)."""
+        self._formula_cache.clear()
+        self._nonrigid_cache.clear()
+
+
+def build_system(
+    adversary: Adversary,
+    *,
+    configs: Optional[Iterable[InitialConfiguration]] = None,
+    table: Optional[ViewTable] = None,
+) -> System:
+    """Enumerate the system of full-information runs for *adversary*.
+
+    Args:
+        adversary: Supplies ``(n, t, horizon)`` and the failure patterns.
+        configs: Initial configurations to include; defaults to all ``2**n``.
+        table: View table to intern into; defaults to a fresh one.  Supplying
+            a shared table lets several systems (e.g. crash and omission
+            variants of the same parameters) share state ids.
+
+    Returns:
+        The enumerated :class:`System`.
+    """
+    n, t, horizon = adversary.n, adversary.t, adversary.horizon
+    if table is None:
+        table = ViewTable()
+    if configs is None:
+        config_list = list(all_configurations(n))
+    else:
+        config_list = list(configs)
+        for config in config_list:
+            if config.n != n:
+                raise ConfigurationError(
+                    f"configuration {config} has n={config.n}, expected {n}"
+                )
+    patterns = list(adversary.patterns())
+    runs: List[Run] = []
+    for config in config_list:
+        for pattern in patterns:
+            pattern.validate(n, t)
+            runs.append(build_run(config, pattern, horizon, table))
+    return System(n, t, horizon, runs, table, adversary.mode)

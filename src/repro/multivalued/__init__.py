@@ -1,0 +1,20 @@
+"""Multivalued agreement: the paper's "general case" extension
+(Section 2.1: "Extending our methods to the general case is
+straightforward").
+
+Concrete-protocol layer only: multivalued initial configurations duck-type
+the binary ones, so the simulator, outcome containers, specification
+checkers and domination analysis all apply unchanged.
+"""
+
+from .config import MultiConfiguration, all_multi_configurations
+from .protocols import MultiOpt, MultiRace, multi_opt, multi_race
+
+__all__ = [
+    "MultiConfiguration",
+    "MultiOpt",
+    "MultiRace",
+    "all_multi_configurations",
+    "multi_opt",
+    "multi_race",
+]

@@ -1,0 +1,78 @@
+"""Initial configurations over arbitrary finite value domains.
+
+The paper restricts to binary agreement "for simplicity", noting that
+"extending our methods to the general case is straightforward"
+(Section 2.1).  This subpackage carries the concrete-protocol layer of
+that extension: values are ``0 .. domain_size - 1``.
+
+:class:`MultiConfiguration` deliberately mirrors the interface of
+:class:`repro.model.config.InitialConfiguration` (``n``, ``values``,
+``value_of``, ``exists``, ``all_equal``) so the simulator, the outcome
+containers and the specification checkers — all of which only use that
+interface — work unchanged over multivalued runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MultiConfiguration:
+    """Initial values drawn from ``{0, ..., domain_size - 1}``.
+
+    Attributes:
+        values: ``values[i]`` is processor ``i``'s initial value.
+        domain_size: Size of the value domain ``V``.
+    """
+
+    values: Tuple[int, ...]
+    domain_size: int
+
+    def __init__(self, values: Sequence[int], domain_size: int) -> None:
+        if domain_size < 2:
+            raise ConfigurationError(
+                f"need a domain of size >= 2, got {domain_size}"
+            )
+        values = tuple(values)
+        for value in values:
+            if not 0 <= value < domain_size:
+                raise ConfigurationError(
+                    f"value {value} outside domain 0..{domain_size - 1}"
+                )
+        if len(values) < 2:
+            raise ConfigurationError("a system needs at least 2 processors")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "domain_size", domain_size)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def value_of(self, processor: int) -> int:
+        return self.values[processor]
+
+    def exists(self, value: int) -> bool:
+        return value in self.values
+
+    def all_equal(self, value: int) -> bool:
+        return all(v == value for v in self.values)
+
+    def minimum(self) -> int:
+        """The smallest initial value present (the canonical tie-break)."""
+        return min(self.values)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "".join(str(v) for v in self.values)
+
+
+def all_multi_configurations(
+    n: int, domain_size: int
+) -> Iterator[MultiConfiguration]:
+    """All ``domain_size ** n`` configurations, lexicographically."""
+    for values in itertools.product(range(domain_size), repeat=n):
+        yield MultiConfiguration(values, domain_size)

@@ -1,0 +1,50 @@
+"""Protocols: the paper's knowledge-level protocols and their concrete
+message-passing implementations."""
+
+from .base import ConcreteProtocol, broadcast
+from .chain_eba import ChainEBA, chain_eba
+from .chain_fip import chain_pair
+from .dm90 import DM90Waste, dm90_waste
+from .f_lambda import (
+    f_lambda_1_explicit_pair,
+    f_lambda_2_pair,
+    f_lambda_pair,
+    f_lambda_sequence,
+    zcr_ocr_pair,
+)
+from .f_star import f_star_pair, f_star_via_construction
+from .f_zero import f_zero_pair
+from .fip import FullInformationProtocol, fip, pair_from_formulas
+from .flood_sba import FloodSBA, assert_crash_pattern, flood_sba
+from .p0 import ValueRaceProtocol, p0, p1
+from .p0opt import P0OptProtocol, p0opt
+from .sba_ck import sba_common_knowledge_pair
+
+__all__ = [
+    "ChainEBA",
+    "ConcreteProtocol",
+    "FloodSBA",
+    "FullInformationProtocol",
+    "P0OptProtocol",
+    "ValueRaceProtocol",
+    "assert_crash_pattern",
+    "broadcast",
+    "chain_eba",
+    "chain_pair",
+    "DM90Waste",
+    "dm90_waste",
+    "f_lambda_1_explicit_pair",
+    "f_lambda_2_pair",
+    "f_lambda_pair",
+    "f_lambda_sequence",
+    "f_star_pair",
+    "f_star_via_construction",
+    "f_zero_pair",
+    "fip",
+    "flood_sba",
+    "p0",
+    "p0opt",
+    "pair_from_formulas",
+    "sba_common_knowledge_pair",
+    "zcr_ocr_pair",
+]

@@ -1,0 +1,48 @@
+"""The 0-chain EBA protocol ``FIP(Z⁰, O⁰)`` for omission failures
+(paper, Section 6.2).
+
+Decision rules, at the knowledge level::
+
+    Z⁰_i = B_i^N ∃0*         — believe a validated 0-chain has formed
+    O⁰_i = B_i^N ¬◇∃0*       — believe no validated 0-chain will ever form
+
+Two reading notes against the paper's text:
+
+* the statement "let ``O⁰_i = B_i^N ∃0*``" is an evident typesetting slip —
+  Lemma A.11 and the surrounding discussion make clear the one-set is the
+  belief in the *negation*;
+* ``∃0*`` as defined is time-dependent ("a 0-chain exists at some
+  ``m' ≤ m``"), under which a literal ``B_i^N ¬∃0*`` would hold vacuously at
+  time 0 and wreck weak validity.  Lemma A.11 proves
+  ``B_i^N(∃1 ∧ ⊡((N∧Z⁰) = ∅)) ⇔ B_i^N(¬∃0*)``, i.e. the intended one-rule
+  is belief that no chain **ever** forms.  We implement exactly that:
+  ``B_i^N ¬◇∃0*``.  Because chains use distinct processors, ``◇∃0*`` is
+  decided by time ``n``, so finite-horizon evaluation is exact whenever
+  ``horizon ≥ n`` (and for the bounded-failure runs of Proposition 6.4,
+  whenever ``horizon ≥ f + 1``).
+
+Proposition 6.4: in any omission-mode run with ``f`` actual failures, all
+nonfaulty processors decide by time ``f + 1`` — experiment E10.
+"""
+
+from __future__ import annotations
+
+from ..core.decision_sets import DecisionPair
+from ..knowledge.chains import eventually_exists_zero_star, exists_zero_star
+from ..knowledge.formulas import Believes, Formula, Not
+from ..model.system import System
+from .fip import pair_from_formulas
+
+
+def chain_pair(system: System) -> DecisionPair:
+    """The decision pair ``(Z⁰, O⁰)`` over *system*."""
+    zero_star_now = exists_zero_star()
+    zero_star_ever = eventually_exists_zero_star()
+
+    def zero(processor: int) -> Formula:
+        return Believes(processor, zero_star_now)
+
+    def one(processor: int) -> Formula:
+        return Believes(processor, Not(zero_star_ever))
+
+    return pair_from_formulas(system, zero, one, "FIP(Z⁰,O⁰)")

@@ -1,0 +1,103 @@
+"""The protocols ``F^Λ``, ``F^{Λ,1}``, ``F^{Λ,2}`` and the crash-mode pair
+``FIP(Z^cr, O^cr)`` (paper, Section 6.1).
+
+``F^Λ`` is the trivially nontrivial agreement protocol in which nobody ever
+decides.  Applying the paper's two-step optimization yields:
+
+* ``Z^{Λ,1}_i = B_i^N ∃0`` and ``O^{Λ,1}_i = B_i^N false`` (never fires for
+  a nonfaulty processor), then
+* ``Z^{Λ,2}_i = B_i^N(∃0 ∧ ¬C□_{N∧Z^{Λ,1}} ∃1)`` and
+  ``O^{Λ,2}_i = B_i^N(∃1 ∧ C□_{N∧Z^{Λ,1}} ∃1)``.
+
+Theorem 6.1 states that in the **crash** failure mode ``F^{Λ,2}`` collapses
+to the simple pair ``Z^cr_i = B_i^N ∃0`` / ``O^cr_i = B_i^N((N∧Z^cr) = ∅)``
+— the knowledge-level formulation of the concrete protocol ``P0opt`` — while
+Proposition 6.3 shows that in the omission mode ``F^{Λ,2}`` may never
+terminate.  Experiments E8 and E9 regenerate both results.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.construction import two_step_optimization
+from ..core.decision_sets import DecisionPair, empty_pair
+from ..knowledge.formulas import (
+    And,
+    Believes,
+    Exists,
+    Formula,
+    SetEmpty,
+)
+from ..knowledge.nonrigid import nonfaulty_and_zeros
+from ..model.system import System
+from .fip import pair_from_formulas
+
+
+def f_lambda_pair() -> DecisionPair:
+    """``F^Λ``: the full-information protocol in which no one ever decides."""
+    return empty_pair(name="F^Λ")
+
+
+def f_lambda_sequence(system: System) -> Tuple[DecisionPair, DecisionPair, DecisionPair]:
+    """``(F^Λ, F^{Λ,1}, F^{Λ,2})`` via the generic two-step construction."""
+    base = f_lambda_pair()
+    first, second = two_step_optimization(system, base)
+    return (
+        base,
+        first.renamed("F^{Λ,1}"),
+        second.renamed("F^{Λ,2}"),
+    )
+
+
+def f_lambda_2_pair(system: System) -> DecisionPair:
+    """``F^{Λ,2}`` — the optimal nontrivial agreement protocol obtained by
+    optimizing ``F^Λ`` (both failure modes)."""
+    return f_lambda_sequence(system)[2]
+
+
+def zcr_ocr_pair(system: System) -> DecisionPair:
+    """The explicit crash-mode pair of Theorem 6.1.
+
+    ``Z^cr_i = B_i^N ∃0`` and ``O^cr_i = B_i^N((N ∧ Z^cr) = ∅)`` — decide 0
+    on learning of a 0; decide 1 on believing that no nonfaulty processor
+    currently knows of a 0 (which, in the crash mode, implies none ever
+    will — Lemma A.8).
+    """
+    def zero(processor: int) -> Formula:
+        return Believes(processor, Exists(0))
+
+    zcr = pair_from_formulas(
+        system, zero, lambda _: _never(), "Z^cr-only"
+    )
+    n_and_zcr = nonfaulty_and_zeros(zcr)
+
+    def one(processor: int) -> Formula:
+        return Believes(processor, SetEmpty(n_and_zcr))
+
+    return pair_from_formulas(system, zero, one, "FIP(Z^cr,O^cr)")
+
+
+def _never() -> Formula:
+    from ..knowledge.formulas import FALSE
+
+    return FALSE
+
+
+def f_lambda_1_explicit_pair(system: System) -> DecisionPair:
+    """``F^{Λ,1}`` written out directly: ``Z = B_i^N ∃0``, ``O`` empty for
+    nonfaulty processors (``B_i^N(∃1 ∧ false)``).
+
+    Provided separately from :func:`f_lambda_sequence` so tests can confirm
+    the generic construction reproduces the paper's hand-derived
+    simplification.
+    """
+    def zero(processor: int) -> Formula:
+        return Believes(processor, Exists(0))
+
+    def one(processor: int) -> Formula:
+        from ..knowledge.formulas import FALSE
+
+        return Believes(processor, And((Exists(1), FALSE)))
+
+    return pair_from_formulas(system, zero, one, "F^{Λ,1}-explicit")

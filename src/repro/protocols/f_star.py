@@ -1,0 +1,46 @@
+"""``F*``: the optimal EBA protocol for omission failures
+(paper, Section 6.2, Proposition 6.6).
+
+Obtained by applying the two-step construction — in the mirrored order the
+paper uses for this example: first the double-prime step (optimize the
+decision on 1 given ``Z⁰``), then the prime step (optimize the decision on 0
+given the resulting one-rule).  Lemmas A.10/A.11 show the first step is a
+no-op on decisions (``Z¹ ≡ Z⁰``, ``O¹ ≡ O⁰``), so::
+
+    Z*_i = B_i^N(∃0 ∧  C□_{N∧O⁰} ∃0)
+    O*_i = B_i^N(∃1 ∧ ¬C□_{N∧O⁰} ∃0)
+
+``F* = FIP(Z*, O*)`` is an optimal EBA protocol in the omission failure mode
+that dominates ``FIP(Z⁰, O⁰)`` — experiment E11.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.construction import double_prime_step, prime_step
+from ..core.decision_sets import DecisionPair
+from ..model.system import System
+from .chain_fip import chain_pair
+
+
+def f_star_pair(system: System) -> DecisionPair:
+    """``F*`` built directly from ``O⁰`` (the paper's simplified form)."""
+    base = chain_pair(system)
+    return prime_step(system, base, name="F*")
+
+
+def f_star_via_construction(
+    system: System,
+) -> Tuple[DecisionPair, DecisionPair, DecisionPair]:
+    """``(FIP(Z⁰,O⁰), F¹, F²)`` through the explicit mirrored two-step
+    construction.
+
+    ``F¹`` (double-prime on the chain pair) should decide identically to
+    ``FIP(Z⁰, O⁰)`` by Lemmas A.10/A.11, and ``F²`` identically to
+    :func:`f_star_pair`; tests verify both equivalences.
+    """
+    base = chain_pair(system)
+    first = double_prime_step(system, base, name="FIP(Z⁰,O⁰)^1")
+    second = prime_step(system, first, name="F*-via-construction")
+    return base, first, second

@@ -1,0 +1,47 @@
+"""``F₀``: the eventual-common-knowledge protocol of Section 3.2.
+
+The paper's stepping stone toward continual common knowledge: a
+full-information protocol whose decision rules use *eventual* common
+knowledge ``C◇``::
+
+    zero_i = B_i^N ( C◇_N ∃0 )
+    one_i  = B_i^N ( C◇_N ∃1  ∧  □ ¬ C◇_N ∃0 )
+
+Decide 0 on knowing there is eventual common knowledge of a 0; decide 1
+only on knowing there can *never* be eventual common knowledge of a 0.
+The asymmetric, overly cautious one-rule is forced exactly because ``C◇``
+lacks the consistency property of ``C``/``C□`` (one processor can know
+``C◇∃0`` while another knows ``C◇∃1``), and it is what makes ``F₀``
+dominated: Section 3.2 sketches, and experiment E21 measures, protocols
+that decide 1 strictly earlier — culminating in ``F*``.
+"""
+
+from __future__ import annotations
+
+from ..core.decision_sets import DecisionPair
+from ..knowledge.formulas import (
+    Always,
+    And,
+    Believes,
+    EventualCommon,
+    Exists,
+    Formula,
+    Not,
+)
+from ..knowledge.nonrigid import NONFAULTY
+from ..model.system import System
+from .fip import pair_from_formulas
+
+
+def f_zero_pair(system: System) -> DecisionPair:
+    """The decision pair of ``F₀`` over *system*."""
+    ec_zero = EventualCommon(NONFAULTY, Exists(0))
+    ec_one = EventualCommon(NONFAULTY, Exists(1))
+
+    def zero(processor: int) -> Formula:
+        return Believes(processor, ec_zero)
+
+    def one(processor: int) -> Formula:
+        return Believes(processor, And((ec_one, Always(Not(ec_zero)))))
+
+    return pair_from_formulas(system, zero, one, "F₀")

@@ -1,0 +1,41 @@
+"""Knowledge-level SBA: decide on *common knowledge* of an initial value.
+
+[DM90]/[MT88] show that simultaneous Byzantine agreement is exactly the
+problem of attaining common knowledge of an initial value among the
+nonfaulty processors: deciding the moment ``C_N(∃v)`` holds is an *optimum*
+SBA protocol (it is attained simultaneously by all nonfaulty processors —
+the fixed-point axiom — and no SBA protocol can decide earlier).
+
+Decision rules (0-preferring, state-determined via ``B_i^N``)::
+
+    zero_i = B_i^N C_N ∃0
+    one_i  = B_i^N (C_N ∃1 ∧ ¬ C_N ∃0)
+
+This protocol is the paper's point of contrast for EBA (Section 1 /
+[DRS90]): the freedom to decide at different times lets EBA protocols like
+``P0opt`` decide much earlier than *any* simultaneous protocol.  Experiment
+E12 measures the gap against this optimum-SBA yardstick and the concrete
+``FloodSBA`` baseline.
+"""
+
+from __future__ import annotations
+
+from ..core.decision_sets import DecisionPair
+from ..knowledge.formulas import And, Believes, Common, Exists, Formula, Not
+from ..knowledge.nonrigid import NONFAULTY
+from ..model.system import System
+from .fip import pair_from_formulas
+
+
+def sba_common_knowledge_pair(system: System) -> DecisionPair:
+    """The decision pair of the common-knowledge SBA protocol."""
+    ck_zero = Common(NONFAULTY, Exists(0))
+    ck_one = Common(NONFAULTY, Exists(1))
+
+    def zero(processor: int) -> Formula:
+        return Believes(processor, ck_zero)
+
+    def one(processor: int) -> Formula:
+        return Believes(processor, And((ck_one, Not(ck_zero))))
+
+    return pair_from_formulas(system, zero, one, "SBA-CK")

@@ -1,0 +1,11 @@
+"""Synchronous round-based execution of concrete protocols."""
+
+from .engine import execute, run_over_scenarios, traces_over_scenarios
+from .trace import Trace
+
+__all__ = [
+    "Trace",
+    "execute",
+    "run_over_scenarios",
+    "traces_over_scenarios",
+]

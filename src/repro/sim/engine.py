@@ -1,0 +1,144 @@
+"""The synchronous round-based execution engine (paper, Section 2.3).
+
+Executes a :class:`~repro.protocols.base.ConcreteProtocol` under an initial
+configuration and a failure pattern:
+
+* round ``k`` happens between times ``k - 1`` and ``k``;
+* every processor first emits its round-``k`` messages from its time-
+  ``k - 1`` state, the failure pattern drops the omitted/crashed ones, and
+  each processor then transitions on what it received;
+* decisions are read from the output function *at points* (times), matching
+  the paper's convention that messages are sent *in rounds* and decisions
+  are made *at times*.
+
+Faulty processors run the same protocol code; only their outgoing messages
+are filtered.  (In both failure modes of the paper the faulty processor's
+*contents* are correct whenever a message is delivered — there is no
+Byzantine corruption.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.outcomes import DecisionRecord, ProtocolOutcome
+from ..errors import ConfigurationError
+from ..model.config import InitialConfiguration
+from ..model.failures import FailurePattern, ProcessorId
+from ..protocols.base import ConcreteProtocol, Message
+from .trace import Trace
+
+ScenarioKey = Tuple[InitialConfiguration, FailurePattern]
+
+
+def execute(
+    protocol: ConcreteProtocol,
+    config: InitialConfiguration,
+    pattern: FailurePattern,
+    horizon: int,
+    t: int,
+) -> Trace:
+    """Run *protocol* for *horizon* rounds under one scenario.
+
+    Returns the full :class:`~repro.sim.trace.Trace`; use
+    ``trace.to_outcome()`` for decision-only analysis.
+    """
+    n = config.n
+    if horizon < 1:
+        raise ConfigurationError(f"need horizon >= 1, got {horizon}")
+    pattern.validate(n, t)
+
+    states = [
+        protocol.initial_state(processor, n, t, config.value_of(processor))
+        for processor in range(n)
+    ]
+    trace = Trace(
+        protocol_name=protocol.name,
+        config=config,
+        pattern=pattern,
+        horizon=horizon,
+    )
+    trace.states.append(tuple(states))
+
+    decisions: List[DecisionRecord] = [None] * n
+    for processor in range(n):
+        value = protocol.output(states[processor])
+        if value is not None:
+            decisions[processor] = (value, 0)
+
+    for round_number in range(1, horizon + 1):
+        outboxes: List[Dict[ProcessorId, Message]] = []
+        sent = 0
+        for sender in range(n):
+            outbox = {
+                destination: payload
+                for destination, payload in protocol.messages(
+                    states[sender], round_number
+                ).items()
+                if payload is not None and destination != sender
+            }
+            for destination in outbox:
+                if not 0 <= destination < n:
+                    raise ConfigurationError(
+                        f"{protocol.name}: processor {sender} addressed "
+                        f"message to unknown destination {destination}"
+                    )
+            sent += len(outbox)
+            outboxes.append(outbox)
+
+        delivered = 0
+        inboxes: List[Dict[ProcessorId, Message]] = [dict() for _ in range(n)]
+        for sender in range(n):
+            for destination, payload in outboxes[sender].items():
+                if pattern.delivered(sender, destination, round_number):
+                    inboxes[destination][sender] = payload
+                    delivered += 1
+
+        states = [
+            protocol.transition(states[processor], round_number, inboxes[processor])
+            for processor in range(n)
+        ]
+        trace.states.append(tuple(states))
+        trace.sent_counts.append(sent)
+        trace.delivered_counts.append(delivered)
+
+        for processor in range(n):
+            if decisions[processor] is None:
+                value = protocol.output(states[processor])
+                if value is not None:
+                    decisions[processor] = (value, round_number)
+
+    trace.decisions = decisions
+    return trace
+
+
+def run_over_scenarios(
+    protocol: ConcreteProtocol,
+    scenarios: Iterable[ScenarioKey],
+    horizon: int,
+    t: int,
+) -> ProtocolOutcome:
+    """Execute *protocol* over a scenario space, collecting outcomes.
+
+    The scenario iterable is typically ``system.scenarios()`` for an
+    enumerated system (so knowledge-level and concrete protocols are
+    compared over identical corresponding runs) or a workload generator's
+    output.
+    """
+    outcome = ProtocolOutcome(protocol.name)
+    for config, pattern in scenarios:
+        outcome.add(execute(protocol, config, pattern, horizon, t).to_outcome())
+    return outcome
+
+
+def traces_over_scenarios(
+    protocol: ConcreteProtocol,
+    scenarios: Iterable[ScenarioKey],
+    horizon: int,
+    t: int,
+) -> List[Trace]:
+    """Like :func:`run_over_scenarios` but keeping the full traces."""
+    return [
+        execute(protocol, config, pattern, horizon, t)
+        for config, pattern in scenarios
+    ]

@@ -1,0 +1,67 @@
+"""Execution traces of concrete protocols.
+
+A :class:`Trace` records everything observable about one execution: per-time
+states, per-round message counts (sent by the protocol vs. actually
+delivered after the failure pattern), and the decision record extracted from
+the output function.  Traces convert to
+:class:`~repro.core.outcomes.RunOutcome` for specification and domination
+analysis, and feed the message-complexity metrics of experiment E14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.outcomes import DecisionRecord, RunOutcome
+from ..model.config import InitialConfiguration
+from ..model.failures import FailurePattern
+
+
+@dataclass
+class Trace:
+    """Full record of one concrete-protocol execution.
+
+    Attributes:
+        protocol_name: The executed protocol's display name.
+        config: Initial configuration of the run.
+        pattern: Failure pattern of the run.
+        horizon: Rounds executed; states exist for times ``0..horizon``.
+        states: ``states[m][i]`` — processor ``i``'s state at time ``m``.
+        decisions: Per-processor first decision ``(value, time)`` or
+            ``None``.
+        sent_counts: ``sent_counts[k]`` — messages emitted by all protocol
+            instances in round ``k + 1`` (before failure filtering).
+        delivered_counts: Same, after the failure pattern dropped messages.
+    """
+
+    protocol_name: str
+    config: InitialConfiguration
+    pattern: FailurePattern
+    horizon: int
+    states: List[Tuple[Any, ...]] = field(default_factory=list)
+    decisions: List[DecisionRecord] = field(default_factory=list)
+    sent_counts: List[int] = field(default_factory=list)
+    delivered_counts: List[int] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return self.config.n
+
+    def total_sent(self) -> int:
+        return sum(self.sent_counts)
+
+    def total_delivered(self) -> int:
+        return sum(self.delivered_counts)
+
+    def state_of(self, processor: int, time: int) -> Any:
+        return self.states[time][processor]
+
+    def to_outcome(self) -> RunOutcome:
+        """Project the trace onto the decision-only :class:`RunOutcome`."""
+        return RunOutcome(
+            config=self.config,
+            pattern=self.pattern,
+            decisions=tuple(self.decisions),
+            horizon=self.horizon,
+        )

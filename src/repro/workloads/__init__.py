@@ -1,0 +1,17 @@
+"""Workload generation for experiments and sweeps."""
+
+from .scenarios import (
+    Scenario,
+    exhaustive_scenarios,
+    proposition_6_3_family,
+    random_scenarios,
+    worst_case_crash_chain,
+)
+
+__all__ = [
+    "Scenario",
+    "exhaustive_scenarios",
+    "proposition_6_3_family",
+    "random_scenarios",
+    "worst_case_crash_chain",
+]

@@ -1,0 +1,213 @@
+"""Workload generation: scenario spaces for experiments and sweeps.
+
+A *scenario* is an ``(initial configuration, failure pattern)`` pair — the
+data that, together with a protocol, uniquely determines a run.  This module
+provides exhaustive, random (seeded) and proof-derived scenario families:
+
+* :func:`exhaustive_scenarios` — the same space an enumerated system covers;
+* :func:`random_scenarios` — seeded samples for large-``n`` sweeps of
+  concrete protocols (where knowledge evaluation is not needed);
+* :func:`proposition_6_3_family` — the closed run family from the proof of
+  Proposition 6.3 (omission-mode non-termination of ``F^{Λ,2}``);
+* :func:`worst_case_crash_chain` — the classic "one crash per round, each
+  informing exactly one survivor" runs that force ``t + 1``-round decisions
+  ([DS82]; used by experiment E1's lower-bound probe).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..model.adversary import (
+    SampledOmissionAdversary,
+    exhaustive_adversary,
+)
+from ..model.config import (
+    InitialConfiguration,
+    all_configurations,
+    one_dissenter,
+    uniform_configuration,
+)
+from ..model.failures import (
+    CrashBehavior,
+    FailureMode,
+    FailurePattern,
+    OmissionBehavior,
+)
+
+Scenario = Tuple[InitialConfiguration, FailurePattern]
+
+
+def exhaustive_scenarios(
+    mode: FailureMode, n: int, t: int, horizon: int
+) -> List[Scenario]:
+    """Every configuration crossed with every canonical failure pattern."""
+    patterns = list(exhaustive_adversary(mode, n, t, horizon).patterns())
+    return [
+        (config, pattern)
+        for config in all_configurations(n)
+        for pattern in patterns
+    ]
+
+
+def random_scenarios(
+    mode: FailureMode,
+    n: int,
+    t: int,
+    horizon: int,
+    *,
+    count: int = 200,
+    seed: int = 0,
+) -> List[Scenario]:
+    """Seeded random scenarios for statistics-only sweeps.
+
+    Crash patterns pick a random faulty set, crash round and receiver
+    subset per faulty processor; omission patterns come from
+    :class:`~repro.model.adversary.SampledOmissionAdversary`.  Configurations
+    are uniform random bit vectors.  Scenarios may repeat configurations but
+    never the exact (config, pattern) pair.
+    """
+    rng = random.Random(seed)
+    scenarios: List[Scenario] = []
+    seen = set()
+    if mode is FailureMode.OMISSION:
+        patterns = list(
+            SampledOmissionAdversary(
+                n, t, horizon, samples=max(count, 1), seed=seed
+            ).patterns()
+        )
+    else:
+        patterns = None
+    attempts = 0
+    while len(scenarios) < count and attempts < 50 * count:
+        attempts += 1
+        config = InitialConfiguration(
+            tuple(rng.randint(0, 1) for _ in range(n))
+        )
+        if mode is FailureMode.CRASH:
+            pattern = _random_crash_pattern(rng, n, t, horizon)
+        else:
+            pattern = patterns[rng.randrange(len(patterns))]
+        key = (config, pattern)
+        if key in seen:
+            continue
+        seen.add(key)
+        scenarios.append(key)
+    return scenarios
+
+
+def _random_crash_pattern(
+    rng: random.Random, n: int, t: int, horizon: int
+) -> FailurePattern:
+    size = rng.randint(0, t)
+    faulty = rng.sample(range(n), size)
+    behaviors = {}
+    for processor in faulty:
+        others = [p for p in range(n) if p != processor]
+        receivers = frozenset(
+            dest for dest in others if rng.random() < 0.5
+        )
+        if len(receivers) == len(others):
+            receivers = frozenset()  # keep the behaviour canonical
+        behaviors[processor] = CrashBehavior(
+            rng.randint(1, horizon), receivers
+        )
+    return FailurePattern(behaviors)
+
+
+def proposition_6_3_family(
+    n: int = 4, horizon: int = 4, *, silent: int = 0
+) -> Tuple[List[Scenario], Scenario]:
+    """The run family from the proof of Proposition 6.3.
+
+    Returns ``(scenarios, target)`` where *target* is the run ``r``: all
+    processors start with 1 and processor *silent* is faulty, omitting every
+    message forever.  The family adds, for every round ``m`` and every
+    processor ``j ≠ silent``, the perturbed run ``r'``: processor *silent*
+    has initial value 0 and delivers exactly one message — in round ``m`` to
+    ``j`` — plus supporting runs (value-0 silent, failure-free variants)
+    used by the indistinguishability chain of Lemma A.9.
+
+    Knowledge evaluated over this *sub-system* over-approximates the full
+    omission system, and the failure of ``C□`` transfers soundly to the
+    full system (DESIGN.md §2), which is the direction Proposition 6.3
+    needs.
+    """
+    if n < 4:
+        raise ConfigurationError("Proposition 6.3 needs n >= t + 2 with t > 1")
+    all_ones = uniform_configuration(n, 1)
+    silent_zero = one_dissenter(n, silent, 0)
+
+    def silent_behavior() -> OmissionBehavior:
+        return OmissionBehavior(
+            {
+                round_number: [p for p in range(n) if p != silent]
+                for round_number in range(1, horizon + 1)
+            }
+        )
+
+    def deliver_once(round_number: int, target: int) -> OmissionBehavior:
+        return OmissionBehavior(
+            {
+                rn: [
+                    p
+                    for p in range(n)
+                    if p != silent and not (rn == round_number and p == target)
+                ]
+                for rn in range(1, horizon + 1)
+            }
+        )
+
+    target_scenario: Scenario = (
+        all_ones,
+        FailurePattern({silent: silent_behavior()}),
+    )
+    scenarios: List[Scenario] = [target_scenario]
+    for config in (all_ones, silent_zero):
+        scenarios.append((config, FailurePattern({silent: silent_behavior()})))
+        for round_number in range(1, horizon + 1):
+            for receiver in range(n):
+                if receiver == silent:
+                    continue
+                scenarios.append(
+                    (
+                        config,
+                        FailurePattern(
+                            {silent: deliver_once(round_number, receiver)}
+                        ),
+                    )
+                )
+    # failure-free anchors for the reachability chain
+    scenarios.append((all_ones, FailurePattern(())))
+    scenarios.append((silent_zero, FailurePattern(())))
+    scenarios.append((uniform_configuration(n, 0), FailurePattern(())))
+    deduped: List[Scenario] = []
+    seen = set()
+    for scenario in scenarios:
+        if scenario not in seen:
+            seen.add(scenario)
+            deduped.append(scenario)
+    return deduped, target_scenario
+
+
+def worst_case_crash_chain(
+    n: int, t: int, value_carrier: int = 0
+) -> Scenario:
+    """The [DS82]-style lower-bound run: processor ``k`` crashes in round
+    ``k + 1`` after whispering the lone 0 to exactly one successor.
+
+    Configuration: only *value_carrier* starts with 0.  Processor ``k``
+    (for ``k = 0..t-1``) crashes in round ``k + 1`` delivering its message
+    only to processor ``k + 1``; the 0 thus stays hidden from the survivors
+    until round ``t``, forcing late decisions in any protocol that must
+    respect ``∃0``.
+    """
+    if t >= n - 1:
+        raise ConfigurationError("need t < n - 1 for a nonfaulty survivor")
+    config = one_dissenter(n, value_carrier, 0)
+    behaviors = {}
+    for k in range(t):
+        behaviors[k] = CrashBehavior(k + 1, frozenset((k + 1,)))
+    return (config, FailurePattern(behaviors))

@@ -1,0 +1,32 @@
+"""Shared fixtures: exhaustively enumerated systems at the test sizes.
+
+Systems are expensive to enumerate and strictly immutable once built (all
+mutation is confined to internal memo caches), so they are session-scoped
+and shared across the whole suite.  The library-level cache in
+:mod:`repro.model.builder` additionally shares them with code under test
+that builds its own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.builder import crash_system, omission_system
+
+
+@pytest.fixture(scope="session")
+def crash3(request):
+    """Exhaustive crash system, n=3, t=1, horizon=3 (224 runs)."""
+    return crash_system(3, 1, 3)
+
+
+@pytest.fixture(scope="session")
+def crash4(request):
+    """Exhaustive crash system, n=4, t=1, horizon=3 (1360 runs)."""
+    return crash_system(4, 1, 3)
+
+
+@pytest.fixture(scope="session")
+def omission3(request):
+    """Exhaustive omission system, n=3, t=1, horizon=3 (1520 runs)."""
+    return omission_system(3, 1, 3)

@@ -1,0 +1,188 @@
+"""Unit + property tests for the adversaries (pattern enumerators)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.model.adversary import (
+    ExhaustiveCrashAdversary,
+    ExhaustiveOmissionAdversary,
+    ExplicitAdversary,
+    SampledOmissionAdversary,
+    SilentCrashAdversary,
+    exhaustive_adversary,
+)
+from repro.model.failures import FailureMode, FailurePattern, OmissionBehavior
+
+
+class TestExhaustiveCrash:
+    def test_pattern_count_formula(self):
+        # per-processor behaviours: horizon * (2^(n-1) - 1); patterns:
+        # 1 + n * that  (for t = 1).
+        adversary = ExhaustiveCrashAdversary(3, 1, 3)
+        per_processor = 3 * (2 ** 2 - 1)
+        assert adversary.count_patterns() == 1 + 3 * per_processor
+
+    def test_first_pattern_failure_free(self):
+        patterns = list(ExhaustiveCrashAdversary(3, 1, 2).patterns())
+        assert patterns[0] == FailurePattern(())
+
+    def test_all_patterns_within_bound(self):
+        for pattern in ExhaustiveCrashAdversary(4, 2, 2).patterns():
+            assert pattern.num_faulty() <= 2
+
+    def test_no_duplicate_patterns(self):
+        patterns = list(ExhaustiveCrashAdversary(3, 1, 3).patterns())
+        assert len(set(patterns)) == len(patterns)
+
+    def test_receivers_always_strict_subsets(self):
+        for pattern in ExhaustiveCrashAdversary(3, 1, 2).patterns():
+            for processor, behavior in pattern.behaviors:
+                others = {p for p in range(3) if p != processor}
+                assert behavior.receivers < others or not behavior.receivers
+
+    def test_deterministic(self):
+        adversary = ExhaustiveCrashAdversary(3, 1, 2)
+        assert list(adversary.patterns()) == list(adversary.patterns())
+
+    def test_t_two_includes_pairs(self):
+        sizes = {
+            pattern.num_faulty()
+            for pattern in ExhaustiveCrashAdversary(3, 2, 1).patterns()
+        }
+        assert sizes == {0, 1, 2}
+
+
+class TestExhaustiveOmission:
+    def test_pattern_count_formula(self):
+        # per-processor behaviours: 2^((n-1)*h) - 1.
+        adversary = ExhaustiveOmissionAdversary(3, 1, 3)
+        per_processor = 2 ** (2 * 3) - 1
+        assert adversary.count_patterns() == 1 + 3 * per_processor
+
+    def test_no_vacuous_behaviours(self):
+        for pattern in ExhaustiveOmissionAdversary(3, 1, 2).patterns():
+            for processor, behavior in pattern.behaviors:
+                assert behavior.is_visible_within(2, 3, processor)
+
+    def test_no_duplicates(self):
+        patterns = list(ExhaustiveOmissionAdversary(3, 1, 2).patterns())
+        assert len(set(patterns)) == len(patterns)
+
+
+class TestSilentCrash:
+    def test_one_behaviour_per_round(self):
+        adversary = SilentCrashAdversary(5, 1, 4)
+        behaviors = list(adversary.behaviors_for(0))
+        assert len(behaviors) == 4
+        assert all(not b.receivers for b in behaviors)
+
+
+class TestSampledOmission:
+    def test_deterministic_given_seed(self):
+        kwargs = dict(samples=20, seed=7)
+        a = list(SampledOmissionAdversary(4, 2, 3, **kwargs).patterns())
+        b = list(SampledOmissionAdversary(4, 2, 3, **kwargs).patterns())
+        assert a == b
+
+    def test_distinct_seeds_differ(self):
+        a = list(SampledOmissionAdversary(4, 2, 3, samples=20, seed=1).patterns())
+        b = list(SampledOmissionAdversary(4, 2, 3, samples=20, seed=2).patterns())
+        assert a != b
+
+    def test_includes_failure_free(self):
+        patterns = list(
+            SampledOmissionAdversary(4, 1, 3, samples=5, seed=0).patterns()
+        )
+        assert patterns[0] == FailurePattern(())
+
+    def test_sample_count_and_uniqueness(self):
+        patterns = list(
+            SampledOmissionAdversary(4, 2, 3, samples=30, seed=0).patterns()
+        )
+        assert len(set(patterns)) == len(patterns)
+        assert len(patterns) <= 31
+
+    def test_every_sampled_processor_deviates(self):
+        for pattern in SampledOmissionAdversary(
+            4, 2, 3, samples=25, seed=3
+        ).patterns():
+            for processor, behavior in pattern.behaviors:
+                assert behavior.is_visible_within(3, 4, processor)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            SampledOmissionAdversary(3, 1, 2, omission_probability=1.5)
+
+
+class TestExplicitAdversary:
+    def test_prepends_failure_free(self):
+        pattern = FailurePattern({0: OmissionBehavior({1: [1]})})
+        adversary = ExplicitAdversary(
+            3, 1, 2, [pattern], mode=FailureMode.OMISSION
+        )
+        patterns = list(adversary.patterns())
+        assert patterns[0] == FailurePattern(())
+        assert pattern in patterns
+
+    def test_deduplicates(self):
+        pattern = FailurePattern({0: OmissionBehavior({1: [1]})})
+        adversary = ExplicitAdversary(
+            3, 1, 2, [pattern, pattern], mode=FailureMode.OMISSION
+        )
+        assert len(list(adversary.patterns())) == 2
+
+    def test_rejects_wrong_mode(self):
+        from repro.model.failures import CrashBehavior
+
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        with pytest.raises(ConfigurationError):
+            ExplicitAdversary(3, 1, 2, [pattern], mode=FailureMode.OMISSION)
+
+
+class TestFactoryAndValidation:
+    def test_factory_dispatch(self):
+        assert isinstance(
+            exhaustive_adversary(FailureMode.CRASH, 3, 1, 2),
+            ExhaustiveCrashAdversary,
+        )
+        assert isinstance(
+            exhaustive_adversary(FailureMode.OMISSION, 3, 1, 2),
+            ExhaustiveOmissionAdversary,
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustiveCrashAdversary(1, 0, 2)
+        with pytest.raises(ConfigurationError):
+            ExhaustiveCrashAdversary(3, 3, 2)
+        with pytest.raises(ConfigurationError):
+            ExhaustiveCrashAdversary(3, 1, 0)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    t=st.integers(min_value=0, max_value=2),
+    horizon=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_crash_patterns_valid(n, t, horizon):
+    """Every enumerated crash pattern validates against its parameters."""
+    if t >= n:
+        return
+    for pattern in ExhaustiveCrashAdversary(n, t, horizon).patterns():
+        pattern.validate(n, t)
+        assert pattern.mode() in (None, FailureMode.CRASH)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    samples=st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_sampled_patterns_valid(seed, samples):
+    """Sampled omission patterns are valid and genuinely faulty."""
+    adversary = SampledOmissionAdversary(4, 2, 3, samples=samples, seed=seed)
+    for pattern in adversary.patterns():
+        pattern.validate(4, 2)

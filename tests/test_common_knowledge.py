@@ -1,0 +1,92 @@
+"""Tests for common knowledge ``C_S``: fixed-point semantics and the
+DM90-style facts that the SBA baseline relies on."""
+
+from repro.knowledge.formulas import (
+    And,
+    Believes,
+    Common,
+    Everyone,
+    Exists,
+    Implies,
+    Knows,
+    Not,
+)
+from repro.knowledge.nonrigid import NONFAULTY, ConstantSet
+from repro.model.config import InitialConfiguration
+from repro.model.failures import FailurePattern
+
+
+def _run_index(system, values, pattern=FailurePattern(())):
+    return system.run_index_for(InitialConfiguration(values), pattern)
+
+
+class TestCommonKnowledgeSemantics:
+    def test_common_implies_everyone(self, crash3):
+        phi = Exists(1)
+        assert Implies(
+            Common(NONFAULTY, phi), Everyone(NONFAULTY, phi)
+        ).is_valid(crash3)
+
+    def test_common_implies_iterated_everyone(self, crash3):
+        phi = Exists(1)
+        nested = Everyone(NONFAULTY, Everyone(NONFAULTY, phi))
+        assert Implies(Common(NONFAULTY, phi), nested).is_valid(crash3)
+
+    def test_fixed_point_property(self, crash3):
+        """C_S φ ⇒ E_S(φ ∧ C_S φ)."""
+        phi = Exists(0)
+        c_phi = Common(NONFAULTY, phi)
+        assert Implies(
+            c_phi, Everyone(NONFAULTY, And((phi, c_phi)))
+        ).is_valid(crash3)
+
+    def test_never_common_at_time_zero(self, crash3):
+        """No initial value can be common knowledge at time 0: a processor
+        holding 1 considers a run possible in which no 0 exists."""
+        truth = Common(NONFAULTY, Exists(0)).evaluate(crash3)
+        for run_index in range(len(crash3.runs)):
+            assert not truth.at(run_index, 0)
+
+    def test_common_by_t_plus_1_failure_free(self, crash3):
+        """DM90: with no failures, the initial values become common
+        knowledge among N by time t + 1."""
+        truth = Common(NONFAULTY, Exists(0)).evaluate(crash3)
+        index = _run_index(crash3, (0, 1, 1))
+        assert truth.at(index, 2)  # t + 1 = 2
+
+    def test_common_knowledge_is_group_shared(self, crash3):
+        """When C_N φ holds, every nonfaulty processor believes it — the
+        property that makes simultaneous decisions possible."""
+        c_phi = Common(NONFAULTY, Exists(1))
+        truth = c_phi.evaluate(crash3)
+        for processor in range(3):
+            belief = Believes(processor, c_phi, NONFAULTY).evaluate(crash3)
+            for run_index, run in enumerate(crash3.runs):
+                if not run.is_nonfaulty(processor):
+                    continue
+                for time in range(crash3.horizon + 1):
+                    if truth.at(run_index, time):
+                        assert belief.at(run_index, time)
+
+    def test_negative_introspection_k45(self, crash3):
+        """¬C_S φ ⇒ C_S ¬C_S φ (C_S is K45, paper Section 3.3 remark)."""
+        phi = Exists(0)
+        c_phi = Common(NONFAULTY, phi)
+        assert Implies(
+            Not(c_phi), Common(NONFAULTY, Not(c_phi))
+        ).is_valid(crash3)
+
+    def test_rigid_singleton_group_reduces_to_knowledge(self, crash3):
+        singleton = ConstantSet(frozenset((0,)))
+        phi = Exists(1)
+        assert (
+            Common(singleton, phi).evaluate(crash3)
+            == Knows(0, phi).evaluate(crash3)
+        )
+
+    def test_common_in_omission_mode(self, omission3):
+        """Common knowledge still arises in omission systems (failure-free
+        runs reach it by t + 1)."""
+        truth = Common(NONFAULTY, Exists(1)).evaluate(omission3)
+        index = _run_index(omission3, (1, 1, 1))
+        assert truth.at(index, 2)

@@ -1,0 +1,162 @@
+"""Behavioural tests for the concrete protocols P0/P1, P0opt, FloodSBA and
+ChainEBA on hand-picked scenarios."""
+
+import pytest
+
+from repro.errors import UnsupportedModeError
+from repro.model.config import InitialConfiguration
+from repro.model.failures import (
+    CrashBehavior,
+    FailureMode,
+    FailurePattern,
+    OmissionBehavior,
+)
+from repro.protocols.chain_eba import chain_eba
+from repro.protocols.flood_sba import assert_crash_pattern, flood_sba
+from repro.protocols.p0 import p0, p1
+from repro.protocols.p0opt import p0opt
+from repro.sim.engine import execute
+
+EMPTY = FailurePattern(())
+
+
+def _config(*values):
+    return InitialConfiguration(values)
+
+
+class TestP0:
+    def test_zero_holders_decide_at_time_zero(self):
+        trace = execute(p0(), _config(0, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions[0] == (0, 0)
+
+    def test_others_decide_zero_after_relay(self):
+        trace = execute(p0(), _config(0, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions[1] == (0, 1)
+        assert trace.decisions[2] == (0, 1)
+
+    def test_all_ones_default_at_t_plus_1(self):
+        trace = execute(p0(), _config(1, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions == [(1, 2), (1, 2), (1, 2)]
+
+    def test_relay_happens_once_then_halt(self):
+        trace = execute(p0(), _config(0, 1, 1), EMPTY, 3, 1)
+        # round 1: processor 0 relays (2 msgs); round 2: processors 1 and 2
+        # relay (4 msgs); round 3: everyone halted.
+        assert trace.sent_counts == [2, 4, 0]
+
+    def test_crashed_relay_reaches_subset(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset((1,)))})
+        trace = execute(p0(), _config(0, 1, 1), pattern, 3, 1)
+        assert trace.decisions[1] == (0, 1)
+        assert trace.decisions[2] == (0, 2)  # via processor 1's relay
+
+    def test_p1_symmetric(self):
+        trace = execute(p1(), _config(0, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions[1] == (1, 0)
+        assert trace.decisions[2] == (1, 0)
+        assert trace.decisions[0] == (1, 1)
+
+
+class TestP0Opt:
+    def test_failure_free_all_ones_decides_at_one(self):
+        trace = execute(p0opt(), _config(1, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions == [(1, 1), (1, 1), (1, 1)]
+
+    def test_zero_decisions_match_p0_speed(self):
+        trace = execute(p0opt(), _config(0, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions[0] == (0, 0)
+        assert trace.decisions[1] == (0, 1)
+
+    def test_condition_b_stable_heard_set(self):
+        """Processor 0 crashes silently in round 1; the survivors hear the
+        same (reduced) set in rounds 1 and 2 and decide 1 at time 2 without
+        knowing all initial values."""
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        trace = execute(p0opt(), _config(1, 1, 1), pattern, 3, 1)
+        assert trace.decisions[1] == (1, 2)
+        assert trace.decisions[2] == (1, 2)
+
+    def test_hidden_zero_blocks_condition_b(self):
+        """If the crashed processor held a 0 that reached someone, the 0
+        propagates and everyone decides 0."""
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset((1,)))})
+        trace = execute(p0opt(), _config(0, 1, 1), pattern, 3, 1)
+        assert trace.decisions[1] == (0, 1)
+        assert trace.decisions[2] == (0, 2)
+
+    def test_halts_after_configured_rounds(self):
+        trace = execute(p0opt(), _config(1, 1, 1), EMPTY, 3, 1)
+        # decide at time 1, relay in round 2, silent in round 3
+        assert trace.sent_counts[2] == 0
+
+    def test_never_halt_variant_keeps_sending(self):
+        trace = execute(p0opt(halt_after=None), _config(1, 1, 1), EMPTY, 3, 1)
+        assert all(count == 6 for count in trace.sent_counts)
+
+
+class TestFloodSBA:
+    def test_simultaneous_decision_at_t_plus_1(self):
+        trace = execute(flood_sba(), _config(0, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions == [(0, 2), (0, 2), (0, 2)]
+
+    def test_unanimous_one(self):
+        trace = execute(flood_sba(), _config(1, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions == [(1, 2), (1, 2), (1, 2)]
+
+    def test_crash_does_not_break_agreement(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset((1,)))})
+        trace = execute(flood_sba(), _config(0, 1, 1), pattern, 3, 1)
+        survivor_decisions = {trace.decisions[1], trace.decisions[2]}
+        assert len(survivor_decisions) == 1
+        assert trace.decisions[1] == (0, 2)
+
+    def test_guard_rejects_omission_patterns(self):
+        pattern = FailurePattern({0: OmissionBehavior({1: [1]})})
+        with pytest.raises(UnsupportedModeError):
+            assert_crash_pattern(pattern)
+        assert_crash_pattern(EMPTY)  # failure-free passes
+        assert_crash_pattern(
+            FailurePattern({0: CrashBehavior(1, frozenset())})
+        )
+
+
+class TestChainEBA:
+    def test_zero_holder_decides_at_zero(self):
+        trace = execute(chain_eba(), _config(0, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions[0] == (0, 0)
+
+    def test_receivers_accept_chain_at_round_one(self):
+        trace = execute(chain_eba(), _config(0, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions[1] == (0, 1)
+        assert trace.decisions[2] == (0, 1)
+
+    def test_all_ones_failure_free_decides_at_one(self):
+        trace = execute(chain_eba(), _config(1, 1, 1), EMPTY, 3, 1)
+        assert trace.decisions == [(1, 1), (1, 1), (1, 1)]
+
+    def test_silent_zero_carrier_everyone_decides_one(self):
+        """Faulty value-0 processor that never delivers: f = 1, survivors
+        decide 1 by f + 1 = 2 (no chain ever completes)."""
+        silent = OmissionBehavior({r: [1, 2] for r in (1, 2, 3)})
+        trace = execute(
+            chain_eba(), _config(0, 1, 1), FailurePattern({0: silent}), 3, 1
+        )
+        assert trace.decisions[1] == (1, 2)
+        assert trace.decisions[2] == (1, 2)
+
+    def test_partial_delivery_spreads_chain(self):
+        """The 0 delivered to one processor in round 1 reaches the other as
+        a 2-member chain in round 2."""
+        partial = OmissionBehavior({r: [2] for r in (1, 2, 3)})
+        trace = execute(
+            chain_eba(), _config(0, 1, 1), FailurePattern({0: partial}), 3, 1
+        )
+        assert trace.decisions[1] == (0, 1)
+        assert trace.decisions[2] == (0, 2)
+
+    def test_never_halts(self):
+        trace = execute(chain_eba(), _config(1, 1, 1), EMPTY, 3, 1)
+        assert all(count == 6 for count in trace.sent_counts)
+
+    def test_mode_constant_exposed(self):
+        assert FailureMode.OMISSION  # ChainEBA targets the omission mode

@@ -1,0 +1,83 @@
+"""Unit tests for initial configurations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.config import (
+    InitialConfiguration,
+    all_configurations,
+    one_dissenter,
+    uniform_configuration,
+)
+
+
+class TestInitialConfiguration:
+    def test_values_preserved(self):
+        config = InitialConfiguration((0, 1, 1))
+        assert config.values == (0, 1, 1)
+        assert config.n == 3
+
+    def test_value_of(self):
+        config = InitialConfiguration((0, 1))
+        assert config.value_of(0) == 0
+        assert config.value_of(1) == 1
+
+    def test_exists(self):
+        config = InitialConfiguration((1, 1, 0))
+        assert config.exists(0)
+        assert config.exists(1)
+        assert not InitialConfiguration((1, 1)).exists(0)
+
+    def test_all_equal(self):
+        assert InitialConfiguration((1, 1, 1)).all_equal(1)
+        assert not InitialConfiguration((1, 0, 1)).all_equal(1)
+
+    def test_count(self):
+        assert InitialConfiguration((0, 1, 0, 0)).count(0) == 3
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            InitialConfiguration((0, 2))
+
+    def test_rejects_single_processor(self):
+        with pytest.raises(ConfigurationError):
+            InitialConfiguration((0,))
+
+    def test_hashable_and_equal(self):
+        assert InitialConfiguration((0, 1)) == InitialConfiguration((0, 1))
+        assert hash(InitialConfiguration((0, 1))) == hash(
+            InitialConfiguration((0, 1))
+        )
+
+    def test_str_is_bit_vector(self):
+        assert str(InitialConfiguration((1, 0, 1))) == "101"
+
+
+class TestEnumeration:
+    def test_count_is_power_of_two(self):
+        assert len(list(all_configurations(3))) == 8
+        assert len(list(all_configurations(4))) == 16
+
+    def test_all_distinct(self):
+        configs = list(all_configurations(3))
+        assert len(set(configs)) == len(configs)
+
+    def test_deterministic_order(self):
+        assert list(all_configurations(2)) == list(all_configurations(2))
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ConfigurationError):
+            list(all_configurations(1))
+
+
+class TestConstructors:
+    def test_uniform(self):
+        assert uniform_configuration(3, 1).values == (1, 1, 1)
+
+    def test_one_dissenter(self):
+        config = one_dissenter(4, 2, 0)
+        assert config.values == (1, 1, 0, 1)
+
+    def test_one_dissenter_value_one(self):
+        config = one_dissenter(3, 0, 1)
+        assert config.values == (1, 0, 0)

@@ -1,0 +1,97 @@
+"""Tests for the two-step optimal construction (Prop 5.1 / Thm 5.2)."""
+
+from repro.core.construction import (
+    construction_sequence,
+    double_prime_step,
+    prime_step,
+    two_step_optimization,
+)
+from repro.core.domination import compare, equivalent_decisions
+from repro.core.specs import check_eba, check_nontrivial_agreement
+from repro.protocols.f_lambda import (
+    f_lambda_1_explicit_pair,
+    f_lambda_pair,
+    f_lambda_sequence,
+)
+from repro.protocols.fip import fip
+
+
+class TestPrimeStep:
+    def test_prime_of_empty_pair_is_believes_zero(self, crash3):
+        """With O = ∅, C□_{N∧O}∃0 is vacuous, so Z¹ = B_i^N ∃0 and the
+        one-rule reduces to B_i^N false — never firing for nonfaulty
+        processors (Section 6.1's hand derivation)."""
+        first = prime_step(crash3, f_lambda_pair())
+        explicit = f_lambda_1_explicit_pair(crash3)
+        eq, diffs = equivalent_decisions(
+            fip(first).outcome(crash3), fip(explicit).outcome(crash3)
+        )
+        assert eq, diffs
+
+    def test_prime_step_dominates(self, crash3):
+        base = f_lambda_pair()
+        first = prime_step(crash3, base)
+        report = compare(
+            fip(first).outcome(crash3), fip(base).outcome(crash3)
+        )
+        assert report.dominates
+
+    def test_prime_step_nontrivial(self, crash3):
+        first = prime_step(crash3, f_lambda_pair())
+        protocol = fip(first)
+        protocol.assert_no_nonfaulty_conflicts(crash3)
+        assert check_nontrivial_agreement(protocol.outcome(crash3)).ok
+
+
+class TestDoublePrimeStep:
+    def test_double_prime_dominates(self, crash3):
+        first = prime_step(crash3, f_lambda_pair())
+        second = double_prime_step(crash3, first)
+        report = compare(
+            fip(second).outcome(crash3), fip(first).outcome(crash3)
+        )
+        assert report.strict  # F^{Λ,2} finally decides 1 somewhere
+
+    def test_double_prime_nontrivial(self, crash3):
+        first = prime_step(crash3, f_lambda_pair())
+        second = double_prime_step(crash3, first)
+        assert check_nontrivial_agreement(fip(second).outcome(crash3)).ok
+
+
+class TestTwoStepOptimization:
+    def test_matches_f_lambda_sequence(self, crash3):
+        first, second = two_step_optimization(crash3, f_lambda_pair())
+        _, seq_first, seq_second = f_lambda_sequence(crash3)
+        assert equivalent_decisions(
+            fip(first).outcome(crash3), fip(seq_first).outcome(crash3)
+        )[0]
+        assert equivalent_decisions(
+            fip(second).outcome(crash3), fip(seq_second).outcome(crash3)
+        )[0]
+
+    def test_result_is_eba_in_crash_mode(self, crash3):
+        _, second = two_step_optimization(crash3, f_lambda_pair())
+        assert check_eba(fip(second).outcome(crash3)).ok
+
+    def test_fixed_point_after_two_steps(self, crash3):
+        """Theorem 5.2: further steps change no nonfaulty decision."""
+        sequence = construction_sequence(crash3, f_lambda_pair(), steps=4)
+        outcomes = [fip(pair).outcome(crash3) for pair in sequence]
+        assert equivalent_decisions(outcomes[3], outcomes[2])[0]
+        assert equivalent_decisions(outcomes[4], outcomes[2])[0]
+
+    def test_monotone_domination_chain(self, omission3):
+        from repro.protocols.chain_fip import chain_pair
+
+        sequence = construction_sequence(
+            omission3, chain_pair(omission3), steps=3
+        )
+        outcomes = [fip(pair).outcome(omission3) for pair in sequence]
+        for earlier, later in zip(outcomes, outcomes[1:]):
+            assert compare(later, earlier).dominates
+
+    def test_construction_preserves_eba_omission(self, omission3):
+        from repro.protocols.chain_fip import chain_pair
+
+        _, second = two_step_optimization(omission3, chain_pair(omission3))
+        assert check_eba(fip(second).outcome(omission3)).ok

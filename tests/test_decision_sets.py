@@ -1,0 +1,113 @@
+"""Tests for decision sets, recall closure and decision pairs."""
+
+from repro.core.decision_sets import (
+    DecisionPair,
+    close_under_recall,
+    empty_pair,
+    pair_from_predicates,
+)
+from repro.model.views import ViewTable
+
+
+def _line_of_states(table, length):
+    """A single processor's chain of states over `length` rounds."""
+    states = [table.leaf(0, 1)]
+    for _ in range(length):
+        states.append(table.extend(states[-1], {}))
+    return states
+
+
+class TestCloseUnderRecall:
+    def test_trigger_propagates_forward(self):
+        table = ViewTable()
+        states = _line_of_states(table, 3)
+        closed = close_under_recall([states[1]], states, table)
+        assert closed == frozenset(states[1:])
+
+    def test_no_trigger_no_closure(self):
+        table = ViewTable()
+        states = _line_of_states(table, 2)
+        assert close_under_recall([], states, table) == frozenset()
+
+    def test_closure_respects_branching(self):
+        """Only descendants of the trigger state join the closure."""
+        table = ViewTable()
+        a0 = table.leaf(0, 1)
+        b0 = table.leaf(1, 0)
+        heard = table.extend(a0, {1: b0})
+        alone = table.extend(a0, {})
+        states = [a0, b0, heard, alone]
+        closed = close_under_recall([heard], states, table)
+        assert heard in closed
+        assert alone not in closed
+        assert a0 not in closed
+
+    def test_closure_bounded_by_universe(self):
+        table = ViewTable()
+        states = _line_of_states(table, 3)
+        closed = close_under_recall([states[0]], states[:2], table)
+        assert closed == frozenset(states[:2])
+
+    def test_idempotent(self):
+        table = ViewTable()
+        states = _line_of_states(table, 3)
+        once = close_under_recall([states[1]], states, table)
+        twice = close_under_recall(once, states, table)
+        assert once == twice
+
+
+class TestDecisionPair:
+    def test_empty_pair(self):
+        pair = empty_pair()
+        assert not pair.zeros and not pair.ones
+        assert pair.name == "F^Λ"
+
+    def test_tokens_unique(self):
+        a = DecisionPair(frozenset(), frozenset())
+        b = DecisionPair(frozenset(), frozenset())
+        assert a.token != b.token
+
+    def test_renamed_keeps_token(self):
+        pair = DecisionPair(frozenset((1,)), frozenset())
+        renamed = pair.renamed("other")
+        assert renamed.token == pair.token
+        assert renamed.name == "other"
+        assert renamed.zeros == pair.zeros
+
+    def test_same_sets_as(self):
+        a = DecisionPair(frozenset((1,)), frozenset((2,)))
+        b = DecisionPair(frozenset((1,)), frozenset((2,)))
+        c = DecisionPair(frozenset((1,)), frozenset((3,)))
+        assert a.same_sets_as(b)
+        assert not a.same_sets_as(c)
+
+    def test_membership_queries(self):
+        pair = DecisionPair(frozenset((1,)), frozenset((2,)))
+        assert pair.decides_zero(1) and not pair.decides_zero(2)
+        assert pair.decides_one(2) and not pair.decides_one(1)
+
+    def test_overlap(self):
+        pair = DecisionPair(frozenset((1, 2)), frozenset((2, 3)))
+        assert pair.overlap() == frozenset((2,))
+
+    def test_cache_key_distinct(self):
+        a = DecisionPair(frozenset(), frozenset())
+        b = DecisionPair(frozenset(), frozenset())
+        assert a.cache_key() != b.cache_key()
+
+
+class TestPairFromPredicates:
+    def test_builds_closed_sets(self):
+        table = ViewTable()
+        states = _line_of_states(table, 3)
+        trigger = states[1]
+        pair = pair_from_predicates(
+            states,
+            table,
+            zero_trigger=lambda view: view == trigger,
+            one_trigger=lambda view: False,
+            name="test",
+        )
+        assert pair.zeros == frozenset(states[1:])
+        assert pair.ones == frozenset()
+        assert pair.name == "test"

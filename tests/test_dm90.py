@@ -1,0 +1,124 @@
+"""Tests for the DM90-style waste-based optimum SBA protocol."""
+
+import pytest
+
+from repro.core.domination import compare, equivalent_decisions
+from repro.core.specs import check_sba
+from repro.model.config import InitialConfiguration
+from repro.model.failures import CrashBehavior, FailurePattern
+from repro.protocols.dm90 import dm90_waste, waste_from_deliveries
+from repro.protocols.fip import fip
+from repro.protocols.flood_sba import flood_sba
+from repro.protocols.sba_ck import sba_common_knowledge_pair
+from repro.sim.engine import execute, run_over_scenarios
+
+EMPTY = FailurePattern(())
+
+
+class TestWasteComputation:
+    def test_no_failures_no_waste(self):
+        deliveries = {(0, 1): frozenset((1, 2)), (1, 1): frozenset((0, 2))}
+        assert waste_from_deliveries(deliveries, 3, 2) == 0
+
+    def test_one_exposed_failure_round_one_no_waste(self):
+        # one processor exposed in round 1: D(1) = 1, waste = 0
+        deliveries = {(0, 1): frozenset((1,))}  # processor 2 silent
+        assert waste_from_deliveries(deliveries, 3, 1) == 0
+
+    def test_two_exposed_failures_round_one(self):
+        deliveries = {(0, 1): frozenset()}  # both others silent
+        assert waste_from_deliveries(deliveries, 3, 1) == 1
+
+    def test_late_exposure_does_not_add_waste(self):
+        # one failure exposed only at round 2: D(1)=0, D(2)=1 -> waste 0
+        deliveries = {
+            (0, 1): frozenset((1, 2)),
+            (0, 2): frozenset((1,)),
+        }
+        assert waste_from_deliveries(deliveries, 3, 2) == 0
+
+
+class TestBehaviour:
+    def test_failure_free_decides_at_t_plus_1(self):
+        trace = execute(
+            dm90_waste(), InitialConfiguration((0, 1, 1)), EMPTY, 3, 1
+        )
+        assert trace.decisions == [(0, 2), (0, 2), (0, 2)]
+
+    def test_double_silent_crash_decides_early(self):
+        """Two silent round-1 crashes at t=2 expose waste 1: survivors
+        decide at t + 1 - 1 = 2."""
+        pattern = FailurePattern(
+            {
+                0: CrashBehavior(1, frozenset()),
+                1: CrashBehavior(1, frozenset()),
+            }
+        )
+        trace = execute(
+            dm90_waste(), InitialConfiguration((1, 1, 1, 1)), pattern, 4, 2
+        )
+        assert trace.decisions[2] == (1, 2)
+        assert trace.decisions[3] == (1, 2)
+
+    def test_hidden_zero_decides_zero(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset((1,)))})
+        trace = execute(
+            dm90_waste(), InitialConfiguration((0, 1, 1)), pattern, 3, 1
+        )
+        survivors = {trace.decisions[1], trace.decisions[2]}
+        assert survivors == {(0, 2)}
+
+    def test_halts_after_decision(self):
+        trace = execute(
+            dm90_waste(), InitialConfiguration((1, 1)), EMPTY, 3, 1
+        )
+        assert trace.sent_counts[-1] == 0
+
+
+class TestAgainstOracle:
+    def test_matches_common_knowledge_oracle_n3(self, crash3):
+        oracle = fip(sba_common_knowledge_pair(crash3)).outcome(crash3)
+        concrete = run_over_scenarios(
+            dm90_waste(), crash3.scenarios(), crash3.horizon, crash3.t
+        )
+        assert check_sba(concrete).ok
+        equal, diffs = equivalent_decisions(concrete, oracle)
+        assert equal, diffs
+
+    def test_matches_common_knowledge_oracle_n4(self, crash4):
+        oracle = fip(sba_common_knowledge_pair(crash4)).outcome(crash4)
+        concrete = run_over_scenarios(
+            dm90_waste(), crash4.scenarios(), crash4.horizon, crash4.t
+        )
+        equal, diffs = equivalent_decisions(concrete, oracle)
+        assert equal, diffs
+
+    def test_dominates_flood_sba(self, crash3):
+        dm90 = run_over_scenarios(
+            dm90_waste(), crash3.scenarios(), crash3.horizon, crash3.t
+        )
+        flood = run_over_scenarios(
+            flood_sba(), crash3.scenarios(), crash3.horizon, crash3.t
+        )
+        assert compare(dm90, flood).dominates
+
+    def test_sba_on_sampled_t2(self):
+        from repro.model.failures import FailureMode
+        from repro.workloads.scenarios import random_scenarios
+
+        scenarios = random_scenarios(
+            FailureMode.CRASH, 5, 2, 4, count=150, seed=3
+        )
+        outcome = run_over_scenarios(dm90_waste(), scenarios, 4, 2)
+        assert check_sba(outcome).ok
+
+    def test_strictly_dominates_flood_at_t2(self):
+        from repro.model.failures import FailureMode
+        from repro.workloads.scenarios import random_scenarios
+
+        scenarios = random_scenarios(
+            FailureMode.CRASH, 5, 2, 4, count=200, seed=11
+        )
+        dm90 = run_over_scenarios(dm90_waste(), scenarios, 4, 2)
+        flood = run_over_scenarios(flood_sba(), scenarios, 4, 2)
+        assert compare(dm90, flood).strict

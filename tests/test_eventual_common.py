@@ -1,0 +1,133 @@
+"""Tests for eventual common knowledge ``C◇`` and the ``F₀`` protocol
+(paper, Section 3.2)."""
+
+import pytest
+
+from repro.core.domination import compare
+from repro.core.specs import check_eba, check_nontrivial_agreement
+from repro.knowledge.formulas import (
+    Believes,
+    Common,
+    ContinualCommon,
+    EventualCommon,
+    Eventually,
+    Exists,
+    Implies,
+    Not,
+)
+from repro.knowledge.nonrigid import NONFAULTY, ConstantSet
+from repro.protocols.f_star import f_star_pair
+from repro.protocols.f_zero import f_zero_pair
+from repro.protocols.fip import fip
+
+
+class TestEventualCommonOperator:
+    def test_eventually_common_implies_eventual_common(self, crash3):
+        """◇ C_S φ ⇒ C◇_S φ — the paper's stated validity."""
+        for value in (0, 1):
+            phi = Exists(value)
+            assert Implies(
+                Eventually(Common(NONFAULTY, phi)),
+                EventualCommon(NONFAULTY, phi),
+            ).is_valid(crash3)
+
+    def test_common_implies_eventual_common(self, crash3):
+        phi = Exists(1)
+        assert Implies(
+            Common(NONFAULTY, phi), EventualCommon(NONFAULTY, phi)
+        ).is_valid(crash3)
+
+    def test_continual_implies_eventual_common(self, omission3):
+        phi = Exists(1)
+        assert Implies(
+            ContinualCommon(NONFAULTY, phi), EventualCommon(NONFAULTY, phi)
+        ).is_valid(omission3)
+
+    def test_strictly_weaker_than_common(self, crash3):
+        """Some point has C◇∃1 without C∃1 (e.g. time 0 of a failure-free
+        run: common knowledge will arrive but has not yet)."""
+        common = Common(NONFAULTY, Exists(1)).evaluate(crash3)
+        eventual = EventualCommon(NONFAULTY, Exists(1)).evaluate(crash3)
+        assert any(
+            eventual.at(run_index, time) and not common.at(run_index, time)
+            for run_index in range(len(crash3.runs))
+            for time in range(crash3.horizon + 1)
+        )
+
+    def test_never_true_when_fact_is_false(self, crash3):
+        """C◇∃0 must fail throughout runs with no 0 (C◇ still implies the
+        fact held... eventually everyone KNOWS it, and knowledge is
+        factive)."""
+        truth = EventualCommon(NONFAULTY, Exists(0)).evaluate(crash3)
+        for run_index, run in enumerate(crash3.runs):
+            if not run.config.exists(0):
+                for time in range(crash3.horizon + 1):
+                    assert not truth.at(run_index, time)
+
+    def test_empty_set_vacuous(self, crash3):
+        from repro.knowledge.formulas import FALSE
+
+        empty = ConstantSet(frozenset())
+        assert EventualCommon(empty, FALSE).is_valid(crash3)
+
+    def test_consistency_failure_witness(self, omission3):
+        """The §3.2 point: simultaneously, one nonfaulty processor believes
+        C◇∃0 and another believes C◇∃1 (without believing C◇∃0)."""
+        ec_zero = EventualCommon(NONFAULTY, Exists(0))
+        ec_one = EventualCommon(NONFAULTY, Exists(1))
+        b_zero = [
+            Believes(processor, ec_zero).evaluate(omission3)
+            for processor in range(3)
+        ]
+        b_one = [
+            Believes(processor, ec_one).evaluate(omission3)
+            for processor in range(3)
+        ]
+        found = False
+        for run_index, run in enumerate(omission3.runs):
+            for time in range(omission3.horizon + 1):
+                zero_side = any(
+                    b_zero[processor].at(run_index, time)
+                    for processor in run.nonfaulty
+                )
+                one_side = any(
+                    b_one[processor].at(run_index, time)
+                    and not b_zero[processor].at(run_index, time)
+                    for processor in run.nonfaulty
+                )
+                if zero_side and one_side:
+                    found = True
+        assert found
+
+
+class TestFZero:
+    def test_nontrivial_agreement_both_modes(self, crash3, omission3):
+        for system in (crash3, omission3):
+            protocol = fip(f_zero_pair(system))
+            protocol.assert_no_nonfaulty_conflicts(system)
+            assert check_nontrivial_agreement(protocol.outcome(system)).ok
+
+    def test_f_zero_is_even_eba_at_small_sizes(self, crash3):
+        assert check_eba(fip(f_zero_pair(crash3)).outcome(crash3)).ok
+
+    def test_f_star_strictly_dominates_f_zero_omission(self, omission3):
+        """The measurable core of Section 3.2: continual-common-knowledge
+        protocols decide strictly earlier than the eventual-common-
+        knowledge one."""
+        f_zero_out = fip(f_zero_pair(omission3)).outcome(omission3)
+        f_star_out = fip(f_star_pair(omission3)).outcome(omission3)
+        report = compare(f_star_out, f_zero_out)
+        assert report.strict
+
+    def test_zero_decisions_not_slower_than_one_decisions_rule(self, crash3):
+        """F₀'s asymmetry: a processor holding the lone 0 decides 0 at
+        time 0 (it knows C◇∃0 immediately — its own knowledge will
+        spread), but 1-decisions wait for the □¬C◇∃0 certainty."""
+        from repro.model.config import InitialConfiguration
+        from repro.model.failures import FailurePattern
+
+        outcome = fip(f_zero_pair(crash3)).outcome(crash3)
+        run = outcome.get(
+            (InitialConfiguration((0, 1, 1)), FailurePattern(()))
+        )
+        assert run.decisions[0] == (0, 0)

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion and prints the
+landmarks its docstring promises."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> substrings its output must contain.
+LANDMARKS = {
+    "quickstart.py": ["PASS", "nonfaulty processor", "P0opt on the simulator"],
+    "optimal_construction.py": [
+        "strictly dominates",
+        "fixed point after two steps: True",
+        "OPTIMAL",
+    ],
+    "omission_chains.py": [
+        "exhaustive omission system",
+        "bound f+1",
+        "whisper attack",
+        "OPTIMAL",
+    ],
+    "eba_vs_sba.py": ["P0opt", "FloodSBA", "random crash scenarios"],
+    "knowledge_debugging.py": [
+        "space-time diagram",
+        "who believes",
+        "indistinguishable from",
+    ],
+}
+
+
+def _run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(LANDMARKS))
+def test_example_runs_and_prints_landmarks(name):
+    output = _run_example(name)
+    for landmark in LANDMARKS[name]:
+        assert landmark in output, (name, landmark)
+
+
+def test_all_examples_covered():
+    """Every example script in the directory has a smoke test."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(LANDMARKS)

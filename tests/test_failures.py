@@ -1,0 +1,159 @@
+"""Unit tests for faulty behaviours and failure patterns."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.failures import (
+    NO_FAILURES,
+    CrashBehavior,
+    FailureMode,
+    FailurePattern,
+    OmissionBehavior,
+    behavior_mode,
+    make_pattern,
+)
+
+
+class TestCrashBehavior:
+    def test_sends_before_crash_round(self):
+        behavior = CrashBehavior(2, frozenset())
+        assert behavior.sends_to(1, 1)
+
+    def test_crash_round_subset_delivery(self):
+        behavior = CrashBehavior(2, frozenset((1,)))
+        assert behavior.sends_to(1, 2)
+        assert not behavior.sends_to(2, 2)
+
+    def test_silent_after_crash(self):
+        behavior = CrashBehavior(1, frozenset((1, 2)))
+        assert not behavior.sends_to(1, 2)
+        assert not behavior.sends_to(2, 5)
+
+    def test_rejects_round_zero(self):
+        with pytest.raises(ConfigurationError):
+            CrashBehavior(0, frozenset())
+
+    def test_visibility_within_horizon(self):
+        # Crash at round 4 is invisible when the horizon is 3.
+        assert not CrashBehavior(4, frozenset()).is_visible_within(3, 3, 0)
+        assert CrashBehavior(3, frozenset()).is_visible_within(3, 3, 0)
+
+    def test_full_delivery_at_horizon_invisible(self):
+        # Crashing at the horizon while delivering to everyone deviates
+        # only after the horizon.
+        behavior = CrashBehavior(3, frozenset((1, 2)))
+        assert not behavior.is_visible_within(3, 3, 0)
+
+
+class TestOmissionBehavior:
+    def test_omits_listed_round(self):
+        behavior = OmissionBehavior({2: [1]})
+        assert behavior.sends_to(1, 1)
+        assert not behavior.sends_to(1, 2)
+        assert behavior.sends_to(2, 2)
+
+    def test_unlisted_rounds_send(self):
+        behavior = OmissionBehavior({1: [2]})
+        assert behavior.sends_to(2, 3)
+
+    def test_empty_sets_dropped_from_canonical_form(self):
+        behavior = OmissionBehavior({1: [], 2: [1]})
+        assert behavior.omissions == ((2, frozenset((1,))),)
+
+    def test_equal_behaviours_hash_equal(self):
+        a = OmissionBehavior({1: [2, 1]})
+        b = OmissionBehavior({1: [1, 2]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_rejects_round_zero(self):
+        with pytest.raises(ConfigurationError):
+            OmissionBehavior({0: [1]})
+
+    def test_rejects_duplicate_round(self):
+        with pytest.raises(ConfigurationError):
+            OmissionBehavior([(1, [2]), (1, [3])])
+
+    def test_visibility(self):
+        assert OmissionBehavior({2: [1]}).is_visible_within(3, 3, 0)
+        assert not OmissionBehavior({4: [1]}).is_visible_within(3, 3, 0)
+
+
+class TestFailurePattern:
+    def test_empty_pattern_is_failure_free(self):
+        assert NO_FAILURES.faulty == frozenset()
+        assert NO_FAILURES.num_faulty() == 0
+        assert NO_FAILURES.mode() is None
+
+    def test_nonfaulty_complement(self):
+        pattern = FailurePattern({1: CrashBehavior(1, frozenset())})
+        assert pattern.nonfaulty(3) == frozenset((0, 2))
+
+    def test_delivered_nonfaulty_always(self):
+        pattern = FailurePattern({1: CrashBehavior(1, frozenset())})
+        assert pattern.delivered(0, 2, 5)
+
+    def test_delivered_respects_behaviour(self):
+        pattern = FailurePattern({1: CrashBehavior(2, frozenset((0,)))})
+        assert pattern.delivered(1, 0, 2)
+        assert not pattern.delivered(1, 2, 2)
+        assert not pattern.delivered(1, 0, 3)
+
+    def test_self_delivery_vacuous(self):
+        pattern = FailurePattern({0: OmissionBehavior({1: [0, 1]})})
+        assert pattern.delivered(0, 0, 1)
+
+    def test_rejects_duplicate_processor(self):
+        with pytest.raises(ConfigurationError):
+            FailurePattern(
+                [(0, CrashBehavior(1, frozenset())),
+                 (0, CrashBehavior(2, frozenset()))]
+            )
+
+    def test_validate_fault_bound(self):
+        pattern = FailurePattern(
+            {0: CrashBehavior(1, frozenset()), 1: CrashBehavior(1, frozenset())}
+        )
+        with pytest.raises(ConfigurationError):
+            pattern.validate(3, 1)
+        assert pattern.validate(3, 2) is pattern
+
+    def test_validate_processor_range(self):
+        pattern = FailurePattern({5: CrashBehavior(1, frozenset())})
+        with pytest.raises(ConfigurationError):
+            pattern.validate(3, 2)
+
+    def test_mode_detection(self):
+        crash = FailurePattern({0: CrashBehavior(1, frozenset())})
+        omission = FailurePattern({0: OmissionBehavior({1: [1]})})
+        assert crash.mode() is FailureMode.CRASH
+        assert omission.mode() is FailureMode.OMISSION
+
+    def test_hashable(self):
+        a = FailurePattern({0: CrashBehavior(1, frozenset())})
+        b = FailurePattern({0: CrashBehavior(1, frozenset())})
+        assert a == b and hash(a) == hash(b)
+
+
+class TestMakePattern:
+    def test_mode_enforcement(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern(
+                {0: CrashBehavior(1, frozenset())},
+                n=3,
+                t=1,
+                mode=FailureMode.OMISSION,
+            )
+
+    def test_accepts_matching_mode(self):
+        pattern = make_pattern(
+            {0: OmissionBehavior({1: [1]})},
+            n=3,
+            t=1,
+            mode=FailureMode.OMISSION,
+        )
+        assert pattern.num_faulty() == 1
+
+    def test_behavior_mode_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            behavior_mode("not a behaviour")

@@ -1,0 +1,184 @@
+"""Tests for JSON serialization: hand-written cases plus hypothesis
+round-trips over random patterns and outcomes."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.outcomes import ProtocolOutcome, RunOutcome
+from repro.errors import ConfigurationError
+from repro.io.export import (
+    FORMAT_VERSION,
+    behavior_from_json,
+    behavior_to_json,
+    dump_outcome,
+    experiment_result_to_json,
+    load_outcome,
+    outcome_from_json,
+    outcome_to_json,
+    pattern_from_json,
+    pattern_to_json,
+)
+from repro.experiments.framework import ExperimentResult
+from repro.model.config import InitialConfiguration
+from repro.model.failures import (
+    CrashBehavior,
+    FailurePattern,
+    GeneralOmissionBehavior,
+    OmissionBehavior,
+    ReceiveOmissionBehavior,
+)
+
+
+class TestBehaviorRoundTrips:
+    @pytest.mark.parametrize(
+        "behavior",
+        [
+            CrashBehavior(2, frozenset((0, 2))),
+            CrashBehavior(1, frozenset()),
+            OmissionBehavior({1: [2], 3: [0, 1]}),
+            ReceiveOmissionBehavior({2: [1]}),
+            GeneralOmissionBehavior({1: [0]}, {2: [1, 2]}),
+            GeneralOmissionBehavior({}, {1: [0]}),
+        ],
+    )
+    def test_round_trip(self, behavior):
+        data = behavior_to_json(behavior)
+        json.dumps(data)  # must be JSON-serializable
+        assert behavior_from_json(data) == behavior
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            behavior_from_json({"kind": "byzantine"})
+
+    def test_unknown_behavior_rejected(self):
+        with pytest.raises(ConfigurationError):
+            behavior_to_json("junk")
+
+
+class TestPatternRoundTrips:
+    def test_mixed_pattern(self):
+        pattern = FailurePattern(
+            {
+                0: CrashBehavior(1, frozenset((1,))),
+                2: OmissionBehavior({2: [0]}),
+            }
+        )
+        assert pattern_from_json(pattern_to_json(pattern)) == pattern
+
+    def test_failure_free(self):
+        assert pattern_from_json(pattern_to_json(FailurePattern(()))) == (
+            FailurePattern(())
+        )
+
+
+class TestOutcomeRoundTrips:
+    def _outcome(self):
+        outcome = ProtocolOutcome("demo")
+        outcome.add(
+            RunOutcome(
+                config=InitialConfiguration((0, 1, 1)),
+                pattern=FailurePattern({0: CrashBehavior(1, frozenset())}),
+                decisions=((0, 0), (1, 2), None),
+                horizon=3,
+            )
+        )
+        outcome.add(
+            RunOutcome(
+                config=InitialConfiguration((1, 1, 1)),
+                pattern=FailurePattern(()),
+                decisions=((1, 1), (1, 1), (1, 1)),
+                horizon=3,
+            )
+        )
+        return outcome
+
+    def test_round_trip_preserves_everything(self):
+        original = self._outcome()
+        restored = outcome_from_json(outcome_to_json(original))
+        assert restored.name == original.name
+        assert restored.scenario_keys() == original.scenario_keys()
+        for key in original.scenario_keys():
+            assert restored.get(key).decisions == original.get(key).decisions
+            assert restored.get(key).horizon == original.get(key).horizon
+
+    def test_file_round_trip(self, tmp_path):
+        original = self._outcome()
+        path = str(tmp_path / "outcome.json")
+        dump_outcome(original, path)
+        restored = load_outcome(path)
+        assert restored.scenario_keys() == original.scenario_keys()
+
+    def test_version_checked(self):
+        data = outcome_to_json(self._outcome())
+        data["format_version"] = 99
+        with pytest.raises(ConfigurationError):
+            outcome_from_json(data)
+
+    def test_round_trip_of_real_protocol_outcome(self, crash3):
+        from repro.protocols.p0opt import p0opt
+        from repro.sim.engine import run_over_scenarios
+
+        original = run_over_scenarios(p0opt(), crash3.scenarios(), 3, 1)
+        restored = outcome_from_json(outcome_to_json(original))
+        for key in original.scenario_keys():
+            assert restored.get(key).decisions == original.get(key).decisions
+
+
+class TestExperimentResultExport:
+    def test_exports_jsonable(self):
+        result = ExperimentResult(
+            experiment_id="EX",
+            title="demo",
+            paper_claim="claim",
+            ok=True,
+            table="a b",
+            notes=["n"],
+            data={"nested": {"set": frozenset((1, 2))}, "obj": object()},
+        )
+        data = experiment_result_to_json(result)
+        json.dumps(data)  # every payload coerced to JSON types
+        assert data["experiment_id"] == "EX"
+        assert data["format_version"] == FORMAT_VERSION
+
+
+def _behavior_strategy():
+    crash = st.builds(
+        CrashBehavior,
+        st.integers(min_value=1, max_value=4),
+        st.sets(st.integers(min_value=0, max_value=3), max_size=3).map(
+            frozenset
+        ),
+    )
+    table = st.dictionaries(
+        st.integers(min_value=1, max_value=4),
+        st.sets(st.integers(min_value=0, max_value=3), min_size=1, max_size=3),
+        max_size=3,
+    )
+    omission = st.builds(OmissionBehavior, table)
+    receive = st.builds(ReceiveOmissionBehavior, table)
+    general = st.builds(GeneralOmissionBehavior, table, table)
+    return st.one_of(crash, omission, receive, general)
+
+
+@given(behavior=_behavior_strategy())
+@settings(max_examples=80, deadline=None)
+def test_property_behavior_round_trip(behavior):
+    data = behavior_to_json(behavior)
+    json.dumps(data)
+    assert behavior_from_json(data) == behavior
+
+
+@given(
+    assignments=st.dictionaries(
+        st.integers(min_value=0, max_value=3),
+        _behavior_strategy(),
+        max_size=2,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_pattern_round_trip(assignments):
+    pattern = FailurePattern(assignments)
+    assert pattern_from_json(pattern_to_json(pattern)) == pattern

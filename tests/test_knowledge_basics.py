@@ -1,0 +1,194 @@
+"""Tests for the basic knowledge operators K_i, B_i^S, E_S over exhaustive
+systems: semantic sanity, not just axiom suites."""
+
+import pytest
+
+from repro.knowledge.formulas import (
+    FALSE,
+    TRUE,
+    AllStarted,
+    And,
+    Believes,
+    Everyone,
+    Exists,
+    Iff,
+    Implies,
+    InitialValueIs,
+    IsNonfaulty,
+    Knows,
+    Not,
+    Or,
+    SetEmpty,
+)
+from repro.knowledge.nonrigid import EVERYONE, NONFAULTY, ConstantSet
+from repro.model.failures import FailurePattern
+
+
+def _failure_free_index(system, values):
+    from repro.model.config import InitialConfiguration
+
+    return system.run_index_for(
+        InitialConfiguration(values), FailurePattern(())
+    )
+
+
+class TestPropositionalLayer:
+    def test_constants(self, crash3):
+        assert TRUE.is_valid(crash3)
+        assert not FALSE.evaluate(crash3).at(0, 0)
+
+    def test_exists_matches_config(self, crash3):
+        truth = Exists(0).evaluate(crash3)
+        for run_index, run in enumerate(crash3.runs):
+            assert truth.at(run_index, 0) == run.config.exists(0)
+
+    def test_all_started(self, crash3):
+        truth = AllStarted(1).evaluate(crash3)
+        for run_index, run in enumerate(crash3.runs):
+            assert truth.at(run_index, 2) == run.config.all_equal(1)
+
+    def test_initial_value_is(self, crash3):
+        truth = InitialValueIs(0, 0).evaluate(crash3)
+        for run_index, run in enumerate(crash3.runs):
+            assert truth.at(run_index, 1) == (run.config.value_of(0) == 0)
+
+    def test_connectives(self, crash3):
+        phi = Exists(0)
+        assert Or((phi, Not(phi))).is_valid(crash3)
+        assert not And((phi, Not(phi))).evaluate(crash3).at(0, 0)
+        assert Implies(phi, phi).is_valid(crash3)
+        assert Iff(phi, Not(Not(phi))).is_valid(crash3)
+
+    def test_is_nonfaulty_atom(self, crash3):
+        truth = IsNonfaulty(0).evaluate(crash3)
+        for run_index, run in enumerate(crash3.runs):
+            assert truth.at(run_index, 3) == run.is_nonfaulty(0)
+
+
+class TestKnows:
+    def test_no_knowledge_of_others_at_time_zero(self, crash3):
+        """At time 0 a processor knows only its own value: it cannot know
+        ∃0 unless it holds 0 itself."""
+        knows = Knows(0, Exists(0)).evaluate(crash3)
+        for run_index, run in enumerate(crash3.runs):
+            expected = run.config.value_of(0) == 0
+            assert knows.at(run_index, 0) == expected
+
+    def test_failure_free_knowledge_after_one_round(self, crash3):
+        index = _failure_free_index(crash3, (1, 0, 1))
+        assert Knows(0, Exists(0)).evaluate(crash3).at(index, 1)
+        assert Knows(2, Exists(0)).evaluate(crash3).at(index, 1)
+
+    def test_knowledge_axiom_semantics(self, crash3):
+        """K_i φ ⇒ φ: spot-verified pointwise for a non-trivial formula."""
+        phi = AllStarted(1)
+        knows = Knows(1, phi).evaluate(crash3)
+        truth = phi.evaluate(crash3)
+        for run_index in range(len(crash3.runs)):
+            for time in range(4):
+                if knows.at(run_index, time):
+                    assert truth.at(run_index, time)
+
+    def test_knowledge_is_state_determined(self, crash3):
+        knows = Knows(0, Exists(0)).evaluate(crash3)
+        by_state = {}
+        for run_index, run in enumerate(crash3.runs):
+            for time in range(4):
+                view = run.view(0, time)
+                value = knows.at(run_index, time)
+                assert by_state.setdefault(view, value) == value
+
+    def test_cannot_know_all_ones_before_hearing_everyone(self, crash3):
+        """Knowing that ALL initial values are 1 requires evidence about
+        every processor, impossible at time 0 with n >= 2."""
+        knows = Knows(0, AllStarted(1)).evaluate(crash3)
+        for run_index in range(len(crash3.runs)):
+            assert not knows.at(run_index, 0)
+
+
+class TestBelieves:
+    def test_belief_weaker_than_knowledge(self, crash3):
+        """K_i φ ⇒ B_i^N φ everywhere."""
+        phi = Exists(0)
+        assert Implies(
+            Knows(0, phi), Believes(0, phi, NONFAULTY)
+        ).is_valid(crash3)
+
+    def test_belief_true_when_knows_faulty(self, omission3):
+        """B_i^N false holds exactly where i knows it is faulty."""
+        believes_false = Believes(0, FALSE, NONFAULTY).evaluate(omission3)
+        knows_faulty = Knows(0, Not(IsNonfaulty(0))).evaluate(omission3)
+        assert believes_false == knows_faulty
+
+    def test_nonfaulty_belief_implies_truth(self, crash3):
+        """For i ∈ N, B_i^N φ ⇒ φ (belief of a set member is knowledge)."""
+        phi = Exists(1)
+        assert Implies(
+            And((IsNonfaulty(1), Believes(1, phi, NONFAULTY))), phi
+        ).is_valid(crash3)
+
+    def test_belief_relative_to_constant_set_is_knowledge_guard(self, crash3):
+        """With the rigid all-processor set, B_i^S φ == K_i φ."""
+        phi = Exists(0)
+        assert (
+            Believes(2, phi, EVERYONE).evaluate(crash3)
+            == Knows(2, phi).evaluate(crash3)
+        )
+
+    def test_belief_with_empty_constant_set_trivial(self, crash3):
+        empty = ConstantSet(frozenset())
+        assert Believes(0, FALSE, empty).is_valid(crash3)
+
+
+class TestEveryone:
+    def test_everyone_in_empty_set_vacuous(self, crash3):
+        empty = ConstantSet(frozenset())
+        assert Everyone(empty, FALSE).is_valid(crash3)
+
+    def test_everyone_conjunction_semantics(self, crash3):
+        phi = Exists(1)
+        everyone = Everyone(NONFAULTY, phi).evaluate(crash3)
+        beliefs = [
+            Believes(processor, phi, NONFAULTY).evaluate(crash3)
+            for processor in range(3)
+        ]
+        members = NONFAULTY.members_matrix(crash3)
+        for run_index in range(len(crash3.runs)):
+            for time in range(4):
+                expected = all(
+                    beliefs[processor].at(run_index, time)
+                    for processor in members[run_index][time]
+                )
+                assert everyone.at(run_index, time) == expected
+
+
+class TestSetEmpty:
+    def test_nonfaulty_never_empty_with_t1(self, crash3):
+        assert Not(SetEmpty(NONFAULTY)).is_valid(crash3)
+
+    def test_constant_empty(self, crash3):
+        assert SetEmpty(ConstantSet(frozenset())).is_valid(crash3)
+
+
+class TestCacheKeys:
+    def test_distinct_formulas_distinct_keys(self):
+        assert Exists(0).cache_key() != Exists(1).cache_key()
+        assert (
+            Knows(0, Exists(0)).cache_key() != Knows(1, Exists(0)).cache_key()
+        )
+        assert (
+            Believes(0, Exists(0)).cache_key()
+            != Knows(0, Exists(0)).cache_key()
+        )
+
+    def test_structural_equality_of_keys(self):
+        assert (
+            And((Exists(0), Exists(1))).cache_key()
+            == And((Exists(0), Exists(1))).cache_key()
+        )
+
+    def test_run_level_flags(self):
+        assert Exists(0).is_run_level()
+        assert And((Exists(0), Exists(1))).is_run_level()
+        assert not Knows(0, Exists(0)).is_run_level()
+        assert not Believes(0, Exists(0)).is_run_level()

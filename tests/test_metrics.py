@@ -1,0 +1,125 @@
+"""Tests for metrics and table rendering."""
+
+from repro.core.outcomes import ProtocolOutcome, RunOutcome
+from repro.metrics.stats import (
+    decision_time_stats,
+    mean_decision_gap,
+    message_stats,
+    per_time_cumulative_share,
+)
+from repro.metrics.tables import format_float, render_table
+from repro.model.config import InitialConfiguration
+from repro.model.failures import FailurePattern
+from repro.sim.trace import Trace
+
+
+def _outcome(name, decision_rows):
+    outcome = ProtocolOutcome(name)
+    for index, decisions in enumerate(decision_rows):
+        values = [(index >> bit) & 1 for bit in range(2)]
+        outcome.add(
+            RunOutcome(
+                config=InitialConfiguration(values),
+                pattern=FailurePattern(()),
+                decisions=tuple(decisions),
+                horizon=3,
+            )
+        )
+    return outcome
+
+
+class TestDecisionTimeStats:
+    def test_basic_distribution(self):
+        outcome = _outcome("P", [[(0, 0), (0, 1)], [(1, 2), (1, 2)]])
+        stats = decision_time_stats(outcome)
+        assert stats.count == 4
+        assert stats.undecided == 0
+        assert stats.mean == 1.25
+        assert stats.minimum == 0 and stats.maximum == 2
+        assert stats.histogram_dict() == {0: 1, 1: 1, 2: 2}
+
+    def test_undecided_counted(self):
+        outcome = _outcome("P", [[None, (0, 1)]])
+        stats = decision_time_stats(outcome)
+        assert stats.undecided == 1
+        assert stats.count == 2
+
+    def test_all_undecided(self):
+        outcome = _outcome("P", [[None, None]])
+        stats = decision_time_stats(outcome)
+        assert stats.mean is None
+        assert stats.maximum is None
+
+
+class TestMeanDecisionGap:
+    def test_positive_gap(self):
+        fast = _outcome("fast", [[(0, 0), (0, 0)]])
+        slow = _outcome("slow", [[(0, 2), (0, 1)]])
+        assert mean_decision_gap(slow, fast) == 1.5
+
+    def test_undecided_samples_skipped(self):
+        fast = _outcome("fast", [[(0, 0), (0, 0)]])
+        slow = _outcome("slow", [[None, (0, 1)]])
+        assert mean_decision_gap(slow, fast) == 1.0
+
+    def test_no_shared_samples(self):
+        fast = _outcome("fast", [[None, None]])
+        slow = _outcome("slow", [[None, None]])
+        assert mean_decision_gap(slow, fast) is None
+
+
+class TestCumulativeShare:
+    def test_monotone_cdf(self):
+        outcome = _outcome("P", [[(0, 0), (0, 2)], [(1, 1), (1, 3)]])
+        shares = per_time_cumulative_share(outcome, 3)
+        assert shares == [0.25, 0.5, 0.75, 1.0]
+
+    def test_undecided_caps_below_one(self):
+        outcome = _outcome("P", [[(0, 0), None]])
+        shares = per_time_cumulative_share(outcome, 3)
+        assert shares[-1] == 0.5
+
+
+class TestMessageStats:
+    def _trace(self, sent, delivered):
+        return Trace(
+            protocol_name="P",
+            config=InitialConfiguration((0, 1)),
+            pattern=FailurePattern(()),
+            horizon=2,
+            sent_counts=sent,
+            delivered_counts=delivered,
+        )
+
+    def test_aggregation(self):
+        stats = message_stats(
+            [self._trace([4, 4], [4, 3]), self._trace([2, 0], [2, 0])]
+        )
+        assert stats.total_sent == 10
+        assert stats.total_delivered == 9
+        assert stats.mean_sent_per_run == 5.0
+        assert stats.mean_delivered_per_run == 4.5
+
+    def test_empty(self):
+        stats = message_stats([])
+        assert stats.runs == 0
+        assert stats.mean_sent_per_run == 0.0
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = render_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_none_rendered_as_dash(self):
+        table = render_table(["x"], [[None]])
+        assert "-" in table.splitlines()[2]
+
+    def test_format_float(self):
+        assert format_float(1.23456) == "1.23"
+        assert format_float(None) == "-"
+        assert format_float(7) == "7"
+        assert format_float(1.5, digits=1) == "1.5"

@@ -1,0 +1,198 @@
+"""Tests for the multivalued-agreement extension."""
+
+import pytest
+
+from repro.core.domination import compare
+from repro.core.specs import check_eba, check_validity, check_weak_agreement
+from repro.errors import ConfigurationError
+from repro.model.adversary import ExhaustiveCrashAdversary
+from repro.model.failures import CrashBehavior, FailurePattern
+from repro.multivalued.config import (
+    MultiConfiguration,
+    all_multi_configurations,
+)
+from repro.multivalued.protocols import multi_opt, multi_race
+from repro.sim.engine import execute, run_over_scenarios
+
+EMPTY = FailurePattern(())
+
+
+def _scenarios(n, t, horizon, domain_size):
+    patterns = list(ExhaustiveCrashAdversary(n, t, horizon).patterns())
+    return [
+        (config, pattern)
+        for config in all_multi_configurations(n, domain_size)
+        for pattern in patterns
+    ]
+
+
+class TestMultiConfiguration:
+    def test_basic_interface(self):
+        config = MultiConfiguration((0, 2, 1), 3)
+        assert config.n == 3
+        assert config.value_of(1) == 2
+        assert config.exists(2) and not config.exists(3 - 1 + 1)
+        assert config.minimum() == 0
+
+    def test_all_equal(self):
+        assert MultiConfiguration((2, 2), 3).all_equal(2)
+        assert not MultiConfiguration((2, 1), 3).all_equal(2)
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ConfigurationError):
+            MultiConfiguration((0, 3), 3)
+        with pytest.raises(ConfigurationError):
+            MultiConfiguration((0, -1), 3)
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(ConfigurationError):
+            MultiConfiguration((0, 0), 1)
+
+    def test_enumeration_count(self):
+        assert len(list(all_multi_configurations(3, 3))) == 27
+
+    def test_hashable_scenario_key(self):
+        a = MultiConfiguration((0, 1), 3)
+        b = MultiConfiguration((0, 1), 3)
+        assert a == b and hash(a) == hash(b)
+        assert a != MultiConfiguration((0, 1), 4)
+
+
+class TestMultiRace:
+    def test_minimum_value_holder_decides_at_zero(self):
+        trace = execute(
+            multi_race(3), MultiConfiguration((0, 2, 1), 3), EMPTY, 3, 1
+        )
+        assert trace.decisions[0] == (0, 0)
+
+    def test_no_zero_defaults_to_min_at_t_plus_1(self):
+        trace = execute(
+            multi_race(3), MultiConfiguration((2, 1, 2), 3), EMPTY, 3, 1
+        )
+        assert trace.decisions == [(1, 2), (1, 2), (1, 2)]
+
+    def test_eba_over_exhaustive_domain3(self):
+        outcome = run_over_scenarios(
+            multi_race(3), _scenarios(3, 1, 3, 3), 3, 1
+        )
+        assert check_eba(outcome).ok
+
+    def test_unanimous_validity_domain4(self):
+        outcome = run_over_scenarios(
+            multi_race(4), _scenarios(3, 1, 3, 4), 3, 1
+        )
+        assert not check_validity(outcome)
+
+
+class TestMultiOpt:
+    def test_all_values_seen_decides_early(self):
+        trace = execute(
+            multi_opt(3), MultiConfiguration((2, 1, 2), 3), EMPTY, 3, 1
+        )
+        # failure-free: everyone knows all values at time 1 -> decide min.
+        assert trace.decisions == [(1, 1), (1, 1), (1, 1)]
+
+    def test_stable_heard_set_decides_without_all_values(self):
+        # processor 0 crashes silently in round 1 holding the only 1;
+        # survivors hear {each other} twice and decide min(seen)=2 at t=2.
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        trace = execute(
+            multi_opt(3), MultiConfiguration((1, 2, 2), 3), pattern, 3, 1
+        )
+        assert trace.decisions[1] == (2, 2)
+        assert trace.decisions[2] == (2, 2)
+
+    def test_eba_over_exhaustive_domain3(self):
+        outcome = run_over_scenarios(
+            multi_opt(3), _scenarios(3, 1, 3, 3), 3, 1
+        )
+        assert check_eba(outcome).ok
+
+    def test_eba_over_exhaustive_domain4(self):
+        outcome = run_over_scenarios(
+            multi_opt(4), _scenarios(3, 1, 3, 4), 3, 1
+        )
+        assert check_eba(outcome).ok
+
+    def test_strictly_dominates_race(self):
+        scenarios = _scenarios(3, 1, 3, 3)
+        optimized = run_over_scenarios(multi_opt(3), scenarios, 3, 1)
+        race = run_over_scenarios(multi_race(3), scenarios, 3, 1)
+        assert compare(optimized, race).strict
+
+    def test_agreement_under_partial_crash_delivery(self):
+        # the crashed minimum-holder whispers its value to one survivor:
+        # the value must still win everywhere (relayed before deciding).
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset((1,)))})
+        trace = execute(
+            multi_opt(3), MultiConfiguration((1, 2, 2), 3), pattern, 3, 1
+        )
+        assert trace.decisions[1][0] == 1
+        assert trace.decisions[2][0] == 1
+
+
+class TestBinaryCollapse:
+    def test_race_equals_p0_at_domain_two(self):
+        from repro.protocols.p0 import p0
+        from repro.model.config import InitialConfiguration
+
+        scenarios = _scenarios(3, 1, 3, 2)
+        multi = run_over_scenarios(multi_race(2), scenarios, 3, 1)
+        binary = run_over_scenarios(
+            p0(),
+            [(InitialConfiguration(c.values), p) for c, p in scenarios],
+            3,
+            1,
+        )
+        binary_map = {
+            (run.config.values, run.pattern): run for run in binary
+        }
+        for run in multi:
+            twin = binary_map[(run.config.values, run.pattern)]
+            for processor in run.nonfaulty:
+                assert run.decisions[processor] == twin.decisions[processor]
+
+    def test_opt_equals_p0opt_at_domain_two(self):
+        from repro.protocols.p0opt import p0opt
+        from repro.model.config import InitialConfiguration
+
+        scenarios = _scenarios(3, 1, 3, 2)
+        multi = run_over_scenarios(multi_opt(2), scenarios, 3, 1)
+        binary = run_over_scenarios(
+            p0opt(),
+            [(InitialConfiguration(c.values), p) for c, p in scenarios],
+            3,
+            1,
+        )
+        binary_map = {
+            (run.config.values, run.pattern): run for run in binary
+        }
+        for run in multi:
+            twin = binary_map[(run.config.values, run.pattern)]
+            for processor in run.nonfaulty:
+                assert run.decisions[processor] == twin.decisions[processor]
+
+
+class TestRandomizedSweeps:
+    def test_larger_network_random_crash(self):
+        """n=5, t=2, |V|=3, sampled crash scenarios: both protocols EBA."""
+        import random
+
+        from repro.workloads.scenarios import _random_crash_pattern
+
+        rng = random.Random(9)
+        scenarios = []
+        seen = set()
+        while len(scenarios) < 150:
+            config = MultiConfiguration(
+                tuple(rng.randint(0, 2) for _ in range(5)), 3
+            )
+            pattern = _random_crash_pattern(rng, 5, 2, 4)
+            if (config, pattern) in seen:
+                continue
+            seen.add((config, pattern))
+            scenarios.append((config, pattern))
+        for protocol in (multi_race(3), multi_opt(3)):
+            outcome = run_over_scenarios(protocol, scenarios, 4, 2)
+            assert check_eba(outcome).ok, protocol.name
+            assert not check_weak_agreement(outcome)

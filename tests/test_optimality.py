@@ -1,0 +1,74 @@
+"""Tests for the Theorem 5.3 optimality characterization."""
+
+from repro.core.optimality import (
+    check_optimality,
+    proposition_4_3_conditions,
+    theorem_5_3_conditions,
+)
+from repro.protocols.chain_fip import chain_pair
+from repro.protocols.f_lambda import f_lambda_sequence
+from repro.protocols.f_star import f_star_pair
+from repro.protocols.fip import fip
+
+
+class TestOptimalProtocolsPass:
+    def test_f_lambda_2_crash_optimal(self, crash3):
+        _, _, second = f_lambda_sequence(crash3)
+        report = check_optimality(crash3, fip(second).sticky_pair(crash3))
+        assert report.optimal
+        assert report.necessary_ok
+        assert not report.violations
+
+    def test_f_star_omission_optimal(self, omission3):
+        pair = f_star_pair(omission3)
+        report = check_optimality(
+            omission3, fip(pair).sticky_pair(omission3)
+        )
+        assert report.optimal
+
+
+class TestNonOptimalProtocolsFail:
+    def test_f_lambda_1_not_optimal(self, crash3):
+        """F^{Λ,1} never decides 1 for nonfaulty processors — the converse
+        of condition (b) must fail while the necessary directions hold."""
+        _, first, _ = f_lambda_sequence(crash3)
+        report = check_optimality(crash3, fip(first).sticky_pair(crash3))
+        assert report.necessary_ok
+        assert not report.optimal
+        assert report.violations
+
+    def test_never_deciding_protocol_not_optimal(self, crash3):
+        from repro.core.decision_sets import empty_pair
+
+        report = check_optimality(crash3, empty_pair())
+        assert report.necessary_ok  # vacuously: no decisions at all
+        assert not report.optimal
+
+
+class TestConditionFactories:
+    def test_necessary_conditions_valid_for_chain(self, omission3):
+        pair = fip(chain_pair(omission3)).sticky_pair(omission3)
+        cond_a, cond_b = proposition_4_3_conditions(pair)
+        for processor in range(omission3.n):
+            assert cond_a(processor).is_valid(omission3)
+            assert cond_b(processor).is_valid(omission3)
+
+    def test_theorem_conditions_stronger_than_necessary(self, crash3):
+        """Wherever a Theorem 5.3 biconditional holds, the Prop 4.3
+        implication holds too."""
+        _, _, second = f_lambda_sequence(crash3)
+        sticky = fip(second).sticky_pair(crash3)
+        strong_a, _ = theorem_5_3_conditions(sticky)
+        weak_a, _ = proposition_4_3_conditions(sticky)
+        for processor in range(crash3.n):
+            strong = strong_a(processor).evaluate(crash3)
+            weak = weak_a(processor).evaluate(crash3)
+            for run_index in range(len(crash3.runs)):
+                for time in range(crash3.horizon + 1):
+                    if not weak.at(run_index, time):
+                        assert not strong.at(run_index, time)
+
+    def test_report_rendering(self, crash3):
+        _, _, second = f_lambda_sequence(crash3)
+        report = check_optimality(crash3, fip(second).sticky_pair(crash3))
+        assert "OPTIMAL" in str(report)

@@ -1,0 +1,165 @@
+"""Tests for protocol outcomes and the specification checkers."""
+
+import pytest
+
+from repro.core.outcomes import ProtocolOutcome, RunOutcome
+from repro.core.specs import (
+    check_agreement,
+    check_decision,
+    check_eba,
+    check_nontrivial_agreement,
+    check_sba,
+    check_simultaneity,
+    check_validity,
+    check_weak_agreement,
+    check_weak_validity,
+)
+from repro.errors import ConfigurationError, SpecificationError
+from repro.model.config import InitialConfiguration
+from repro.model.failures import CrashBehavior, FailurePattern
+
+
+def _run(values, decisions, pattern=FailurePattern(()), horizon=3):
+    return RunOutcome(
+        config=InitialConfiguration(values),
+        pattern=pattern,
+        decisions=tuple(decisions),
+        horizon=horizon,
+    )
+
+
+class TestRunOutcome:
+    def test_accessors(self):
+        run = _run((0, 1), [(0, 1), None])
+        assert run.decision_value(0) == 0
+        assert run.decision_time(0) == 1
+        assert run.decision_value(1) is None
+        assert run.n == 2
+
+    def test_nonfaulty_excludes_pattern(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        run = _run((0, 1, 1), [None, (1, 2), (1, 2)], pattern)
+        assert run.nonfaulty == frozenset((1, 2))
+        assert run.all_nonfaulty_decided()
+
+    def test_max_nonfaulty_decision_time(self):
+        run = _run((0, 1), [(0, 1), (0, 3)])
+        assert run.max_nonfaulty_decision_time() == 3
+
+    def test_max_time_none_when_undecided(self):
+        run = _run((0, 1), [(0, 1), None])
+        assert run.max_nonfaulty_decision_time() is None
+
+
+class TestProtocolOutcome:
+    def test_duplicate_scenario_rejected(self):
+        outcome = ProtocolOutcome("P")
+        run = _run((0, 1), [(0, 0), (0, 1)])
+        outcome.add(run)
+        with pytest.raises(ConfigurationError):
+            outcome.add(run)
+
+    def test_decision_times_nonfaulty_only(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [(0, 0), (0, 2)], pattern))
+        assert outcome.decision_times() == [2]
+
+    def test_undecided_count(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [None, (0, 2)]))
+        assert outcome.undecided_count() == 1
+
+    def test_get_missing_raises(self):
+        outcome = ProtocolOutcome("P")
+        with pytest.raises(ConfigurationError):
+            outcome.get((InitialConfiguration((0, 1)), FailurePattern(())))
+
+
+class TestSpecCheckers:
+    def test_decision_violation(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [None, (0, 1)]))
+        assert check_decision(outcome)
+
+    def test_decision_ok_when_faulty_undecided(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [None, (0, 1)], pattern))
+        assert not check_decision(outcome)
+
+    def test_weak_agreement_violation(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [(0, 1), (1, 1)]))
+        assert check_weak_agreement(outcome)
+
+    def test_weak_agreement_ignores_faulty(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [(0, 1), (1, 1)], pattern))
+        assert not check_weak_agreement(outcome)
+
+    def test_weak_validity_violation(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((1, 1), [(0, 1), (0, 1)]))
+        assert check_weak_validity(outcome)
+
+    def test_weak_validity_allows_undecided(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((1, 1), [None, None]))
+        assert not check_weak_validity(outcome)
+
+    def test_validity_requires_decision_under_unanimity(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((1, 1), [None, (1, 1)]))
+        assert check_validity(outcome)
+
+    def test_validity_ignores_mixed_inputs(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [None, None]))
+        assert not check_validity(outcome)
+
+    def test_simultaneity_violation(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [(0, 1), (0, 2)]))
+        assert check_simultaneity(outcome)
+
+    def test_agreement_combines(self):
+        outcome = ProtocolOutcome("P")
+        outcome.add(_run((0, 1), [None, (0, 1)]))
+        assert check_agreement(outcome)
+
+
+class TestSpecReports:
+    def _good_outcome(self):
+        outcome = ProtocolOutcome("good")
+        outcome.add(_run((0, 0), [(0, 1), (0, 1)]))
+        outcome.add(_run((1, 1), [(1, 1), (1, 1)]))
+        outcome.add(_run((0, 1), [(0, 1), (0, 1)]))
+        return outcome
+
+    def test_eba_report_pass(self):
+        report = check_eba(self._good_outcome())
+        assert report.ok
+        assert report.runs_checked == 3
+        report.raise_on_failure()  # must not raise
+
+    def test_eba_report_fail_raises(self):
+        outcome = ProtocolOutcome("bad")
+        outcome.add(_run((1, 1), [(0, 1), (1, 1)]))
+        report = check_eba(outcome)
+        assert not report.ok
+        with pytest.raises(SpecificationError):
+            report.raise_on_failure()
+
+    def test_sba_adds_simultaneity(self):
+        outcome = ProtocolOutcome("eba-only")
+        outcome.add(_run((0, 1), [(0, 1), (0, 2)]))
+        assert check_eba(outcome).ok
+        assert not check_sba(outcome).ok
+
+    def test_nontrivial_agreement_allows_undecided(self):
+        outcome = ProtocolOutcome("lazy")
+        outcome.add(_run((1, 1), [None, None]))
+        assert check_nontrivial_agreement(outcome).ok
+        assert not check_eba(outcome).ok

@@ -1,0 +1,131 @@
+"""Integration tests: the paper's crash-mode results end to end.
+
+These are the test-suite versions of experiments E1, E2, E8 and E12, run
+over exhaustive crash systems at ``n = 3`` and (for the concrete-protocol
+claims) ``n = 4``.
+"""
+
+import pytest
+
+from repro.core.domination import compare, equivalent_decisions
+from repro.core.specs import check_eba, check_sba
+from repro.model.failures import FailureMode
+from repro.protocols.f_lambda import f_lambda_2_pair, zcr_ocr_pair
+from repro.protocols.fip import fip
+from repro.protocols.flood_sba import flood_sba
+from repro.protocols.p0 import p0, p1
+from repro.protocols.p0opt import p0opt
+from repro.protocols.sba_ck import sba_common_knowledge_pair
+from repro.sim.engine import run_over_scenarios
+from repro.workloads.scenarios import exhaustive_scenarios
+
+
+@pytest.fixture(scope="module")
+def crash4_scenarios():
+    return exhaustive_scenarios(FailureMode.CRASH, 4, 1, 3)
+
+
+class TestProposition21:
+    """No optimum EBA protocol."""
+
+    def test_p0_and_p1_are_eba(self, crash4_scenarios):
+        for protocol in (p0(), p1()):
+            outcome = run_over_scenarios(protocol, crash4_scenarios, 3, 1)
+            assert check_eba(outcome).ok
+
+    def test_neither_dominates_the_other(self, crash4_scenarios):
+        p0_out = run_over_scenarios(p0(), crash4_scenarios, 3, 1)
+        p1_out = run_over_scenarios(p1(), crash4_scenarios, 3, 1)
+        assert not compare(p0_out, p1_out).dominates
+        assert not compare(p1_out, p0_out).dominates
+
+    def test_favored_value_decided_at_time_zero(self, crash4_scenarios):
+        p0_out = run_over_scenarios(p0(), crash4_scenarios, 3, 1)
+        for run in p0_out:
+            for processor in run.nonfaulty:
+                if run.config.value_of(processor) == 0:
+                    assert run.decisions[processor] == (0, 0)
+
+
+class TestSection22:
+    """P0opt strictly dominates P0 and is EBA."""
+
+    def test_p0opt_is_eba(self, crash4_scenarios):
+        outcome = run_over_scenarios(p0opt(), crash4_scenarios, 3, 1)
+        assert check_eba(outcome).ok
+
+    def test_strict_domination(self, crash4_scenarios):
+        opt = run_over_scenarios(p0opt(), crash4_scenarios, 3, 1)
+        base = run_over_scenarios(p0(), crash4_scenarios, 3, 1)
+        report = compare(opt, base)
+        assert report.strict
+
+    def test_zero_decisions_never_later_than_p0(self, crash4_scenarios):
+        """P0opt keeps P0's decide-0 rule: 0-decisions at identical times."""
+        opt = run_over_scenarios(p0opt(), crash4_scenarios, 3, 1)
+        base = run_over_scenarios(p0(), crash4_scenarios, 3, 1)
+        for key in base.scenario_keys():
+            run_base = base.get(key)
+            run_opt = opt.get(key)
+            for processor in run_base.nonfaulty:
+                record = run_base.decisions[processor]
+                if record is not None and record[0] == 0:
+                    assert run_opt.decisions[processor] == record
+
+
+class TestTheorems61And62:
+    def test_f_lambda_2_is_eba_crash(self, crash3):
+        protocol = fip(f_lambda_2_pair(crash3))
+        protocol.assert_no_nonfaulty_conflicts(crash3)
+        assert check_eba(protocol.outcome(crash3)).ok
+
+    def test_theorem_6_1_zcr_ocr_collapse(self, crash3):
+        fl2_out = fip(f_lambda_2_pair(crash3)).outcome(crash3)
+        zcr_out = fip(zcr_ocr_pair(crash3)).outcome(crash3)
+        equal, diffs = equivalent_decisions(fl2_out, zcr_out)
+        assert equal, diffs
+
+    def test_theorem_6_2_p0opt_equivalence_n3(self, crash3):
+        fl2_out = fip(f_lambda_2_pair(crash3)).outcome(crash3)
+        popt_out = run_over_scenarios(
+            p0opt(), crash3.scenarios(), crash3.horizon, crash3.t
+        )
+        equal, diffs = equivalent_decisions(fl2_out, popt_out)
+        assert equal, diffs
+
+    def test_theorem_6_2_p0opt_equivalence_n4(self, crash4):
+        fl2_out = fip(f_lambda_2_pair(crash4)).outcome(crash4)
+        popt_out = run_over_scenarios(
+            p0opt(), crash4.scenarios(), crash4.horizon, crash4.t
+        )
+        equal, diffs = equivalent_decisions(fl2_out, popt_out)
+        assert equal, diffs
+
+
+class TestEbaVsSba:
+    def test_flood_sba_is_sba(self, crash3):
+        outcome = run_over_scenarios(
+            flood_sba(), crash3.scenarios(), crash3.horizon, crash3.t
+        )
+        assert check_sba(outcome).ok
+
+    def test_common_knowledge_sba_is_sba(self, crash3):
+        protocol = fip(sba_common_knowledge_pair(crash3))
+        protocol.assert_no_nonfaulty_conflicts(crash3)
+        assert check_sba(protocol.outcome(crash3)).ok
+
+    def test_optimal_eba_strictly_dominates_optimum_sba(self, crash3):
+        eba_out = run_over_scenarios(
+            p0opt(), crash3.scenarios(), crash3.horizon, crash3.t
+        )
+        sba_out = fip(sba_common_knowledge_pair(crash3)).outcome(crash3)
+        assert compare(eba_out, sba_out).strict
+
+    def test_ck_sba_dominates_flood_sba(self, crash3):
+        """The common-knowledge rule is the optimum simultaneous protocol:
+        it never decides later than the t+1 flood."""
+        ck_out = fip(sba_common_knowledge_pair(crash3)).outcome(crash3)
+        flood_out = run_over_scenarios(
+            flood_sba(), crash3.scenarios(), crash3.horizon, crash3.t
+        )
+        assert compare(ck_out, flood_out).dominates

@@ -1,0 +1,92 @@
+"""Property-based sweeps over the extension protocols: DM90 waste SBA and
+the multivalued pair, on randomized scenario spaces beyond the exhaustive
+test sizes."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.domination import compare
+from repro.core.specs import check_eba, check_sba, check_uniform_agreement
+from repro.model.failures import FailureMode
+from repro.multivalued.config import MultiConfiguration
+from repro.multivalued.protocols import multi_opt, multi_race
+from repro.protocols.dm90 import dm90_waste
+from repro.protocols.flood_sba import flood_sba
+from repro.sim.engine import run_over_scenarios
+from repro.workloads.scenarios import _random_crash_pattern, random_scenarios
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_dm90_sba_random_n6_t2(seed):
+    """DM90Waste stays a correct SBA protocol on random n=6, t=2 crash
+    scenarios — simultaneity is the fragile property, so it gets the
+    property-test treatment."""
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 6, 2, 4, count=60, seed=seed
+    )
+    outcome = run_over_scenarios(dm90_waste(), scenarios, 4, 2)
+    assert check_sba(outcome).ok
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_dm90_never_later_than_flood(seed):
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 5, 2, 4, count=60, seed=seed
+    )
+    dm90 = run_over_scenarios(dm90_waste(), scenarios, 4, 2)
+    flood = run_over_scenarios(flood_sba(), scenarios, 4, 2)
+    assert compare(dm90, flood).dominates
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_dm90_uniform_agreement(seed):
+    """Simultaneous late decisions are uniform (the E18 claim), including
+    on random larger scenario spaces."""
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 5, 2, 4, count=50, seed=seed
+    )
+    outcome = run_over_scenarios(dm90_waste(), scenarios, 4, 2)
+    assert not check_uniform_agreement(outcome)
+
+
+def _multi_scenarios(rng, n, t, horizon, domain, count):
+    scenarios = []
+    seen = set()
+    while len(scenarios) < count:
+        config = MultiConfiguration(
+            tuple(rng.randint(0, domain - 1) for _ in range(n)), domain
+        )
+        pattern = _random_crash_pattern(rng, n, t, horizon)
+        if (config, pattern) in seen:
+            continue
+        seen.add((config, pattern))
+        scenarios.append((config, pattern))
+    return scenarios
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    domain=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=10, deadline=None)
+def test_multivalued_eba_random(seed, domain):
+    rng = random.Random(seed)
+    scenarios = _multi_scenarios(rng, 5, 2, 4, domain, 50)
+    for protocol in (multi_race(domain), multi_opt(domain)):
+        outcome = run_over_scenarios(protocol, scenarios, 4, 2)
+        assert check_eba(outcome).ok, protocol.name
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_multivalued_opt_dominates_race_random(seed):
+    rng = random.Random(seed)
+    scenarios = _multi_scenarios(rng, 4, 1, 3, 3, 40)
+    optimized = run_over_scenarios(multi_opt(3), scenarios, 3, 1)
+    race = run_over_scenarios(multi_race(3), scenarios, 3, 1)
+    assert compare(optimized, race).dominates

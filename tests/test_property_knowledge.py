@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the knowledge layer: random
+formulas over the exhaustive n=3 crash system must satisfy the logic's
+structural laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knowledge.formulas import (
+    AllStarted,
+    Always,
+    And,
+    AtAllTimes,
+    Believes,
+    Common,
+    ContinualCommon,
+    Eventually,
+    Exists,
+    Implies,
+    IsNonfaulty,
+    Knows,
+    Not,
+    Or,
+)
+from repro.knowledge.nonrigid import NONFAULTY
+from repro.model.builder import crash_system
+
+
+@pytest.fixture(scope="module")
+def system():
+    return crash_system(3, 1, 3)
+
+
+def atoms():
+    return st.sampled_from(
+        [
+            Exists(0),
+            Exists(1),
+            AllStarted(0),
+            AllStarted(1),
+            IsNonfaulty(0),
+            IsNonfaulty(1),
+            IsNonfaulty(2),
+        ]
+    )
+
+
+def formulas(max_depth=3):
+    def extend(children):
+        processor = st.integers(min_value=0, max_value=2)
+        return st.one_of(
+            st.builds(Not, children),
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(lambda i, phi: Knows(i, phi), processor, children),
+            st.builds(lambda i, phi: Believes(i, phi), processor, children),
+            st.builds(Always, children),
+            st.builds(Eventually, children),
+            st.builds(AtAllTimes, children),
+        )
+
+    return st.recursive(atoms(), extend, max_leaves=6)
+
+
+@given(phi=formulas())
+@settings(max_examples=40, deadline=None)
+def test_knowledge_axiom_random_formulas(system, phi):
+    """K_i φ ⇒ φ for arbitrary formulas (S5 'T' axiom)."""
+    for processor in range(3):
+        assert Implies(Knows(processor, phi), phi).is_valid(system)
+
+
+@given(phi=formulas())
+@settings(max_examples=30, deadline=None)
+def test_positive_introspection_random_formulas(system, phi):
+    knows = Knows(1, phi)
+    assert Implies(knows, Knows(1, knows)).is_valid(system)
+
+
+@given(phi=formulas())
+@settings(max_examples=30, deadline=None)
+def test_knowledge_state_determined(system, phi):
+    """K_i φ truth depends only on i's local state (by construction, but a
+    regression guard for the group-broadcast evaluator)."""
+    truth = Knows(0, phi).evaluate(system)
+    by_state = {}
+    for run_index, run in enumerate(system.runs):
+        for time in range(system.horizon + 1):
+            view = run.view(0, time)
+            value = truth.at(run_index, time)
+            assert by_state.setdefault(view, value) == value
+
+
+@given(phi=formulas())
+@settings(max_examples=25, deadline=None)
+def test_temporal_laws_random_formulas(system, phi):
+    assert Implies(Always(phi), phi).is_valid(system)
+    assert Implies(phi, Eventually(phi)).is_valid(system)
+    assert Implies(AtAllTimes(phi), Always(phi)).is_valid(system)
+    duality = Eventually(phi).evaluate(system) == Not(
+        Always(Not(phi))
+    ).evaluate(system)
+    assert duality
+
+
+@given(phi=formulas())
+@settings(max_examples=15, deadline=None)
+def test_continual_implies_common_random_formulas(system, phi):
+    """C□_S φ ⇒ C_S φ for arbitrary (including point-level) operands; this
+    exercises the greatest-fixed-point evaluator."""
+    assert Implies(
+        ContinualCommon(NONFAULTY, phi), Common(NONFAULTY, phi)
+    ).is_valid(system)
+
+
+@given(phi=formulas())
+@settings(max_examples=15, deadline=None)
+def test_continual_run_invariance_random_formulas(system, phi):
+    truth = ContinualCommon(NONFAULTY, phi).evaluate(system)
+    for row in truth.values:
+        assert len(set(row)) == 1
+
+
+@given(phi=formulas())
+@settings(max_examples=20, deadline=None)
+def test_belief_consistent_for_members(system, phi):
+    """(i ∈ N ∧ B_i^N φ) ⇒ φ for arbitrary formulas."""
+    for processor in range(3):
+        assert Implies(
+            And((IsNonfaulty(processor), Believes(processor, phi))), phi
+        ).is_valid(system)

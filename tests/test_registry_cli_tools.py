@@ -1,0 +1,120 @@
+"""Tests for the protocol registry and the CLI compare/diagram tools."""
+
+import pytest
+
+from repro.cli import main, parse_crash_spec, parse_omit_specs
+from repro.errors import ConfigurationError, ReproError
+from repro.protocols.registry import (
+    CONCRETE_PROTOCOLS,
+    KNOWLEDGE_PROTOCOLS,
+    is_knowledge_level,
+    outcome_for,
+    protocol_names,
+)
+
+
+class TestRegistry:
+    def test_names_cover_both_layers(self):
+        names = protocol_names()
+        assert "P0opt" in names and "F_LAMBDA2" in names
+        assert len(names) == len(CONCRETE_PROTOCOLS) + len(
+            KNOWLEDGE_PROTOCOLS
+        )
+
+    def test_layer_classification(self):
+        assert not is_knowledge_level("P0")
+        assert is_knowledge_level("F_STAR")
+        with pytest.raises(ConfigurationError):
+            is_knowledge_level("NoSuchProtocol")
+
+    def test_outcome_for_concrete(self, crash3):
+        outcome = outcome_for("P0opt", crash3)
+        assert outcome.name == "P0opt"
+        assert len(outcome) == len(crash3.runs)
+
+    def test_outcome_for_knowledge(self, crash3):
+        outcome = outcome_for("F_LAMBDA2", crash3)
+        assert outcome.name == "F_LAMBDA2"
+        assert len(outcome) == len(crash3.runs)
+
+    def test_outcomes_comparable_across_layers(self, crash3):
+        from repro.core.domination import equivalent_decisions
+
+        concrete = outcome_for("P0opt", crash3)
+        knowledge = outcome_for("F_LAMBDA2", crash3)
+        assert equivalent_decisions(knowledge, concrete)[0]  # Thm 6.2 again
+
+    def test_concrete_factories_fresh_instances(self):
+        assert CONCRETE_PROTOCOLS["P0"]() is not CONCRETE_PROTOCOLS["P0"]()
+
+
+class TestPatternMiniLanguage:
+    def test_crash_spec_silent(self):
+        processor, behavior = parse_crash_spec("0:2")
+        assert processor == 0
+        assert behavior.crash_round == 2
+        assert behavior.receivers == frozenset()
+
+    def test_crash_spec_with_receivers(self):
+        processor, behavior = parse_crash_spec("1:3:0,2")
+        assert processor == 1
+        assert behavior.receivers == frozenset((0, 2))
+
+    def test_crash_spec_rejects_malformed(self):
+        with pytest.raises(ReproError):
+            parse_crash_spec("1")
+        with pytest.raises(ReproError):
+            parse_crash_spec("1:2:3:4")
+
+    def test_omit_specs_merge_per_processor(self):
+        behaviors = parse_omit_specs(["0:1:1,2", "0:2:1"])
+        behavior = behaviors[0]
+        assert behavior.omitted(1) == frozenset((1, 2))
+        assert behavior.omitted(2) == frozenset((1,))
+
+    def test_omit_specs_rejects_malformed(self):
+        with pytest.raises(ReproError):
+            parse_omit_specs(["0:1"])
+
+
+class TestCliTools:
+    def test_protocols_command(self, capsys):
+        assert main(["protocols"]) == 0
+        output = capsys.readouterr().out
+        assert "P0opt" in output and "F_STAR" in output
+
+    def test_compare_command(self, capsys):
+        assert main(
+            ["compare", "P0opt", "P0", "--mode", "crash", "-n", "3", "-t", "1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "strictly dominates" in output
+        assert "mean t" in output
+
+    def test_diagram_concrete(self, capsys):
+        assert main(
+            ["diagram", "P0opt", "--config", "011", "--crash", "0:1:1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "p0*" in output and "D0" in output
+
+    def test_diagram_knowledge_level(self, capsys):
+        assert main(
+            ["diagram", "F_LAMBDA2", "--config", "011", "--crash", "0:1"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "F_LAMBDA2" in output and "D" in output
+
+    def test_diagram_omission(self, capsys):
+        assert main(
+            [
+                "diagram", "ChainEBA", "--mode", "omission",
+                "--config", "011", "--omit", "0:1:2",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "omit" in output
+
+    def test_diagram_config_length_checked(self):
+        with pytest.raises(ReproError):
+            main(["diagram", "P0opt", "--config", "01", "-n", "3"])

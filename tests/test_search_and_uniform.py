@@ -1,0 +1,140 @@
+"""Tests for the brute-force improvement search and uniform agreement."""
+
+import pytest
+
+from repro.core.decision_sets import empty_pair
+from repro.core.search import (
+    find_improvement,
+    improvement_report,
+    is_single_state_optimal,
+)
+from repro.core.specs import check_nontrivial_agreement, check_uniform_agreement
+from repro.core.outcomes import ProtocolOutcome, RunOutcome
+from repro.model.config import InitialConfiguration
+from repro.model.failures import CrashBehavior, FailurePattern, OmissionBehavior
+from repro.protocols.f_lambda import f_lambda_sequence
+from repro.protocols.fip import fip
+
+
+class TestImprovementSearch:
+    def test_finds_speedup_of_never_deciding_protocol(self, crash3):
+        improvement = find_improvement(crash3, empty_pair())
+        assert improvement is not None
+        assert "decides" in improvement.description
+        # the improved protocol is still a nontrivial agreement protocol
+        outcome = fip(improvement.pair).outcome(crash3)
+        assert check_nontrivial_agreement(outcome).ok
+
+    def test_finds_speedup_of_f_lambda_1(self, crash3):
+        """F^{Λ,1} is non-optimal by Theorem 5.3; the definitional search
+        agrees by exhibiting a concrete strictly-dominating protocol."""
+        _, first, _ = f_lambda_sequence(crash3)
+        improvement = find_improvement(
+            crash3, fip(first).sticky_pair(crash3)
+        )
+        assert improvement is not None
+
+    def test_no_speedup_of_f_lambda_2(self, crash3):
+        """F^{Λ,2} is optimal by Theorem 5.3; no single-state speedup
+        exists — the two optimality verdicts agree."""
+        _, _, second = f_lambda_sequence(crash3)
+        assert is_single_state_optimal(
+            crash3, fip(second).sticky_pair(crash3)
+        )
+
+    def test_no_speedup_of_f_star_omission(self, omission3):
+        from repro.protocols.f_star import f_star_pair
+
+        pair = fip(f_star_pair(omission3)).sticky_pair(omission3)
+        assert is_single_state_optimal(omission3, pair)
+
+    def test_finds_speedup_of_chain_protocol_only_if_nonoptimal(
+        self, omission3
+    ):
+        """At n=3, t=1 the chain protocol coincides with F* (E11), so the
+        search must find nothing — consistency with Theorem 5.3."""
+        from repro.protocols.chain_fip import chain_pair
+
+        pair = fip(chain_pair(omission3)).sticky_pair(omission3)
+        assert is_single_state_optimal(omission3, pair)
+
+    def test_max_candidates_caps_work(self, crash3):
+        assert (
+            find_improvement(crash3, empty_pair(), max_candidates=0) is None
+        )
+
+    def test_improvement_report_shape(self, crash3):
+        base, first, second = f_lambda_sequence(crash3)
+        report = improvement_report(
+            crash3,
+            [
+                fip(first).sticky_pair(crash3),
+                fip(second).sticky_pair(crash3),
+            ],
+        )
+        assert report[0][1] is not None  # F^{Λ,1} improvable
+        assert report[1][1] is None  # F^{Λ,2} not
+
+
+class TestUniformAgreement:
+    def _outcome(self, decisions, pattern=FailurePattern(())):
+        outcome = ProtocolOutcome("P")
+        outcome.add(
+            RunOutcome(
+                config=InitialConfiguration((0, 1, 1)),
+                pattern=pattern,
+                decisions=tuple(decisions),
+                horizon=3,
+            )
+        )
+        return outcome
+
+    def test_uniform_when_all_agree(self):
+        outcome = self._outcome([(0, 0), (0, 1), (0, 1)])
+        assert not check_uniform_agreement(outcome)
+
+    def test_faulty_disagreement_detected(self):
+        pattern = FailurePattern({0: OmissionBehavior({1: [1, 2]})})
+        outcome = self._outcome([(0, 0), (1, 2), (1, 2)], pattern)
+        assert check_uniform_agreement(outcome)
+
+    def test_post_crash_ghost_decision_ignored(self):
+        """A crash-faulty processor's decision at/after its crash round is
+        not an action and must not count."""
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        outcome = self._outcome([(0, 2), (1, 2), (1, 2)], pattern)
+        assert not check_uniform_agreement(outcome)
+
+    def test_pre_crash_decision_counts(self):
+        pattern = FailurePattern({0: CrashBehavior(1, frozenset())})
+        outcome = self._outcome([(0, 0), (1, 2), (1, 2)], pattern)
+        assert check_uniform_agreement(outcome)
+
+    def test_omission_faulty_decisions_always_count(self):
+        pattern = FailurePattern({0: OmissionBehavior({1: [1, 2]})})
+        outcome = self._outcome([(0, 3), (1, 2), (1, 2)], pattern)
+        assert check_uniform_agreement(outcome)
+
+
+class TestActedDecisions:
+    def test_filtering_matches_crash_round(self):
+        pattern = FailurePattern({0: CrashBehavior(2, frozenset())})
+        run = RunOutcome(
+            config=InitialConfiguration((0, 1)),
+            pattern=pattern,
+            decisions=((0, 1), (1, 2)),
+            horizon=3,
+        )
+        acted = run.acted_decisions()
+        assert acted[0] == (0, 1)  # decided before crash round 2
+        assert acted[1] == (1, 2)
+
+    def test_ghost_filtered(self):
+        pattern = FailurePattern({0: CrashBehavior(2, frozenset())})
+        run = RunOutcome(
+            config=InitialConfiguration((0, 1)),
+            pattern=pattern,
+            decisions=((0, 2), (1, 2)),
+            horizon=3,
+        )
+        assert run.acted_decisions()[0] is None

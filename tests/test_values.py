@@ -1,0 +1,71 @@
+"""Unit tests for :mod:`repro.core.values`."""
+
+import pytest
+
+from repro.core.values import (
+    VALUES,
+    all_same,
+    check_decision,
+    check_value,
+    other,
+)
+
+
+class TestOther:
+    def test_other_of_zero_is_one(self):
+        assert other(0) == 1
+
+    def test_other_of_one_is_zero(self):
+        assert other(1) == 0
+
+    def test_other_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            other(2)
+
+    def test_other_rejects_none(self):
+        with pytest.raises(ValueError):
+            other(None)
+
+
+class TestCheckValue:
+    def test_accepts_both_values(self):
+        for value in VALUES:
+            assert check_value(value) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_value(-1)
+
+    def test_rejects_bool_like_large(self):
+        with pytest.raises(ValueError):
+            check_value(7)
+
+
+class TestCheckDecision:
+    def test_none_is_legal_undecided(self):
+        assert check_decision(None) is None
+
+    def test_binary_decisions_legal(self):
+        assert check_decision(0) == 0
+        assert check_decision(1) == 1
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            check_decision(2)
+
+
+class TestAllSame:
+    def test_unanimous_zero(self):
+        assert all_same([0, 0, 0]) == 0
+
+    def test_unanimous_one(self):
+        assert all_same([1, 1]) == 1
+
+    def test_mixed_returns_none(self):
+        assert all_same([0, 1, 0]) is None
+
+    def test_empty_returns_none(self):
+        assert all_same([]) is None
+
+    def test_singleton(self):
+        assert all_same([1]) == 1

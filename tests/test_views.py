@@ -1,0 +1,116 @@
+"""Unit tests for view interning and full-information state semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.views import ViewTable
+
+
+@pytest.fixture
+def table():
+    return ViewTable()
+
+
+class TestLeaves:
+    def test_leaf_interning_is_stable(self, table):
+        a = table.leaf(0, 1)
+        b = table.leaf(0, 1)
+        assert a == b
+        assert len(table) == 1
+
+    def test_distinct_processors_distinct_leaves(self, table):
+        assert table.leaf(0, 1) != table.leaf(1, 1)
+
+    def test_distinct_values_distinct_leaves(self, table):
+        assert table.leaf(0, 0) != table.leaf(0, 1)
+
+    def test_leaf_metadata(self, table):
+        view = table.leaf(2, 0)
+        info = table.info(view)
+        assert info.processor == 2
+        assert info.time == 0
+        assert info.initial_value == 0
+        assert info.previous is None
+        assert info.heard_from == ()
+
+
+class TestExtension:
+    def test_extension_embeds_senders(self, table):
+        a0 = table.leaf(0, 1)
+        b0 = table.leaf(1, 0)
+        a1 = table.extend(a0, {1: b0})
+        info = table.info(a1)
+        assert info.time == 1
+        assert info.previous == a0
+        assert info.senders == frozenset((1,))
+
+    def test_extension_interned(self, table):
+        a0 = table.leaf(0, 1)
+        b0 = table.leaf(1, 0)
+        assert table.extend(a0, {1: b0}) == table.extend(a0, {1: b0})
+
+    def test_different_heard_sets_distinct(self, table):
+        a0 = table.leaf(0, 1)
+        b0 = table.leaf(1, 0)
+        assert table.extend(a0, {}) != table.extend(a0, {1: b0})
+
+    def test_rejects_time_mismatch(self, table):
+        a0 = table.leaf(0, 1)
+        b0 = table.leaf(1, 0)
+        b1 = table.extend(b0, {})
+        a1 = table.extend(a0, {})
+        with pytest.raises(ConfigurationError):
+            table.extend(a1, {1: b0})  # b0 is time 0, a1 expects time 1
+
+    def test_rejects_wrong_owner(self, table):
+        a0 = table.leaf(0, 1)
+        b0 = table.leaf(1, 0)
+        with pytest.raises(ConfigurationError):
+            table.extend(a0, {2: b0})  # view b0 belongs to 1, not 2
+
+
+class TestDerivedQueries:
+    def _two_rounds(self, table):
+        a0, b0, c0 = table.leaf(0, 0), table.leaf(1, 1), table.leaf(2, 1)
+        a1 = table.extend(a0, {1: b0, 2: c0})
+        b1 = table.extend(b0, {0: a0, 2: c0})
+        a2 = table.extend(a1, {1: b1})
+        return a0, a1, a2
+
+    def test_history_chain(self, table):
+        a0, a1, a2 = self._two_rounds(table)
+        assert table.history(a2) == [a0, a1, a2]
+
+    def test_known_values_recursive(self, table):
+        _, _, a2 = self._two_rounds(table)
+        assert table.known_values(a2) == frozenset((0, 1))
+
+    def test_known_values_isolated(self, table):
+        a0 = table.leaf(0, 1)
+        lonely = table.extend(a0, {})
+        assert table.known_values(lonely) == frozenset((1,))
+
+    def test_known_initial_values(self, table):
+        _, a1, _ = self._two_rounds(table)
+        assert table.known_initial_values(a1) == {0: 0, 1: 1, 2: 1}
+
+    def test_heard_from_at(self, table):
+        _, _, a2 = self._two_rounds(table)
+        assert table.heard_from_at(a2, 1) == frozenset((1, 2))
+        assert table.heard_from_at(a2, 2) == frozenset((1,))
+
+    def test_heard_from_at_bounds(self, table):
+        a0, _, a2 = self._two_rounds(table)
+        with pytest.raises(ConfigurationError):
+            table.heard_from_at(a2, 3)
+        with pytest.raises(ConfigurationError):
+            table.heard_from_at(a0, 1)
+
+    def test_cross_table_sharing(self, table):
+        """The same structural history interned twice yields the same id —
+        the property knowledge evaluation relies on."""
+        a0 = table.leaf(0, 1)
+        b0 = table.leaf(1, 1)
+        first = table.extend(a0, {1: b0})
+        second = table.extend(table.leaf(0, 1), {1: table.leaf(1, 1)})
+        assert first == second

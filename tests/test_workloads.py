@@ -1,0 +1,106 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.failures import FailureMode, FailurePattern
+from repro.workloads.scenarios import (
+    exhaustive_scenarios,
+    proposition_6_3_family,
+    random_scenarios,
+    worst_case_crash_chain,
+)
+
+
+class TestExhaustiveScenarios:
+    def test_cross_product_size(self):
+        scenarios = exhaustive_scenarios(FailureMode.CRASH, 3, 1, 2)
+        # 8 configs x (1 + 3 * 2 * 3) patterns
+        assert len(scenarios) == 8 * (1 + 3 * 2 * 3)
+
+    def test_all_unique(self):
+        scenarios = exhaustive_scenarios(FailureMode.CRASH, 3, 1, 2)
+        assert len(set(scenarios)) == len(scenarios)
+
+    def test_matches_system_scenarios(self, crash3):
+        scenarios = exhaustive_scenarios(FailureMode.CRASH, 3, 1, 3)
+        assert scenarios == crash3.scenarios()
+
+
+class TestRandomScenarios:
+    def test_deterministic_given_seed(self):
+        a = random_scenarios(FailureMode.CRASH, 5, 2, 3, count=30, seed=4)
+        b = random_scenarios(FailureMode.CRASH, 5, 2, 3, count=30, seed=4)
+        assert a == b
+
+    def test_count_respected(self):
+        scenarios = random_scenarios(
+            FailureMode.CRASH, 5, 2, 3, count=40, seed=0
+        )
+        assert len(scenarios) == 40
+        assert len(set(scenarios)) == 40
+
+    def test_patterns_within_bound(self):
+        for _, pattern in random_scenarios(
+            FailureMode.OMISSION, 4, 2, 3, count=25, seed=1
+        ):
+            pattern.validate(4, 2)
+
+    def test_crash_patterns_canonical(self):
+        for _, pattern in random_scenarios(
+            FailureMode.CRASH, 4, 2, 3, count=25, seed=2
+        ):
+            for processor, behavior in pattern.behaviors:
+                others = {p for p in range(4) if p != processor}
+                assert behavior.receivers != others
+
+
+class TestProposition63Family:
+    def test_target_in_family(self):
+        family, target = proposition_6_3_family(n=4, horizon=3)
+        assert target in family
+
+    def test_target_structure(self):
+        family, target = proposition_6_3_family(n=4, horizon=3)
+        config, pattern = target
+        assert config.all_equal(1)
+        assert pattern.faulty == frozenset((0,))
+        behavior = pattern.behavior_of(0)
+        for round_number in range(1, 4):
+            assert behavior.omitted(round_number) == frozenset((1, 2, 3))
+
+    def test_family_unique(self):
+        family, _ = proposition_6_3_family(n=4, horizon=3)
+        assert len(set(family)) == len(family)
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ConfigurationError):
+            proposition_6_3_family(n=3)
+
+
+class TestWorstCaseCrashChain:
+    def test_structure(self):
+        config, pattern = worst_case_crash_chain(4, 2)
+        assert config.value_of(0) == 0
+        assert config.count(0) == 1
+        assert pattern.faulty == frozenset((0, 1))
+        assert pattern.behavior_of(0).crash_round == 1
+        assert pattern.behavior_of(0).receivers == frozenset((1,))
+        assert pattern.behavior_of(1).crash_round == 2
+        assert pattern.behavior_of(1).receivers == frozenset((2,))
+
+    def test_requires_survivor(self):
+        with pytest.raises(ConfigurationError):
+            worst_case_crash_chain(3, 2)
+
+    def test_hidden_value_delays_p0(self):
+        """The whispered 0 must stay invisible to the last processor until
+        round t: executing P0 confirms the forced late decision."""
+        from repro.protocols.p0 import p0
+        from repro.sim.engine import execute
+
+        config, pattern = worst_case_crash_chain(4, 2)
+        trace = execute(p0(), config, pattern, 4, 2)
+        # processor 2 learns at round 2, relays round 3; processor 3 decides
+        # at time 3 = t + 1.
+        assert trace.decisions[3] == (0, 3)
