@@ -65,6 +65,12 @@ def test_simulator_throughput_p0opt(benchmark):
     benchmark(lambda: run_over_scenarios(p0opt(), scenarios, 3, 1))
 
 
+def test_system_cache_warm_hit(benchmark):
+    """A warm provider hit must be near-free compared to enumeration."""
+    crash_system(4, 1, 3)  # populate the provider's LRU
+    benchmark(lambda: crash_system(4, 1, 3))
+
+
 def test_formula_cache_hit_path(benchmark):
     """Re-evaluating a cached formula must be near-free."""
     system = omission_system(3, 1, 3)

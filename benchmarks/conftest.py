@@ -12,15 +12,21 @@ run spaces.  The reproduced tables are attached to the benchmark's
 
 from __future__ import annotations
 
+from repro import obs
+from repro.experiments.framework import attach_instrumentation
+
 
 def run_experiment_benchmark(benchmark, runner, **params):
     """Run one experiment under the benchmark fixture and assert
     reproduction."""
+    before = obs.snapshot()
     result = benchmark.pedantic(
         lambda: runner(**params), rounds=1, iterations=1
     )
+    attach_instrumentation(result, before)
     benchmark.extra_info["experiment"] = result.experiment_id
     benchmark.extra_info["ok"] = result.ok
     benchmark.extra_info["table"] = result.table
+    benchmark.extra_info["instrumentation"] = result.data["instrumentation"]
     assert result.ok, result.render()
     return result

@@ -8,6 +8,14 @@ Usage::
     repro-eba protocols            # show the protocol registry
     repro-eba compare P0opt P0 --mode crash -n 4 -t 1
     repro-eba diagram P0opt --config 011 --crash 0:1:1
+    repro-eba stats                # system-cache state and disk inventory
+    repro-eba run E2 --stats       # append instrumentation totals
+
+``--stats`` (available on ``run``, ``compare`` and ``diagram``) prints the
+process-wide :mod:`repro.obs` instrumentation — stage wall times, runs
+built, cache hits/misses, fixpoint iterations — after the command's normal
+output.  ``stats`` inspects the persistent caches themselves; ``stats
+--clear`` empties them.
 
 Failure patterns on the command line use a mini-language:
 
@@ -148,6 +156,49 @@ def _build_pattern(crash_specs: List[str], omit_specs: List[str]):
     return FailurePattern(behaviors)
 
 
+def _print_stats() -> None:
+    """Print the process-wide instrumentation and system-cache counters."""
+    from . import obs
+    from .model.builder import system_cache_info
+
+    print("instrumentation (this process):")
+    print(obs.format_summary())
+    info = system_cache_info()
+    print("system cache:")
+    print(
+        f"  memory: {info['size']}/{info['max_size']} entries, "
+        f"{info['hits']} hits, {info['misses']} misses, "
+        f"{info['evictions']} evictions"
+    )
+    print(
+        f"  disk:   {'enabled' if info['disk_enabled'] else 'disabled'} "
+        f"({info['cache_dir']}), "
+        f"{info['disk_hits']} hits, {info['disk_misses']} misses"
+    )
+
+
+def _cmd_stats(clear: bool) -> int:
+    from .model.builder import clear_system_cache
+    from .model.provider import get_provider
+
+    if clear:
+        stats = clear_system_cache(disk=True)
+        print(
+            f"cleared: {stats['evicted']} in-memory entries, "
+            f"{stats['disk_files_removed']} disk file(s)"
+        )
+        return 0
+    _print_stats()
+    entries = get_provider().disk_entries()
+    if entries:
+        print("disk cache inventory:")
+        for entry in entries:
+            print(f"  {entry['file']:<48} {entry['bytes']:>12} bytes")
+    else:
+        print("disk cache inventory: (empty)")
+    return 0
+
+
 def _cmd_protocols() -> int:
     from .protocols.registry import (
         CONCRETE_PROTOCOLS,
@@ -246,7 +297,7 @@ def main(argv: List[str] = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="show the experiment index")
     run_parser = subparsers.add_parser("run", help="run experiments")
-    run_parser.add_argument("ids", nargs="*", help="experiment ids (E1..E14)")
+    run_parser.add_argument("ids", nargs="*", help="experiment ids (E1..E21)")
     run_parser.add_argument(
         "--all", action="store_true", help="run every experiment"
     )
@@ -257,7 +308,18 @@ def main(argv: List[str] = None) -> int:
         "--json", default=None, metavar="PATH",
         help="also write the results as JSON to PATH",
     )
+    run_parser.add_argument(
+        "--stats", action="store_true",
+        help="print instrumentation totals after the run",
+    )
     subparsers.add_parser("protocols", help="show the protocol registry")
+    stats_parser = subparsers.add_parser(
+        "stats", help="show instrumentation and system-cache state"
+    )
+    stats_parser.add_argument(
+        "--clear", action="store_true",
+        help="clear the in-memory and on-disk system caches",
+    )
     compare_parser = subparsers.add_parser(
         "compare", help="compare protocols over an exhaustive system"
     )
@@ -266,6 +328,10 @@ def main(argv: List[str] = None) -> int:
                                 choices=["crash", "omission"])
     compare_parser.add_argument("-n", type=int, default=3)
     compare_parser.add_argument("-t", type=int, default=1)
+    compare_parser.add_argument(
+        "--stats", action="store_true",
+        help="print instrumentation totals after the comparison",
+    )
     diagram_parser = subparsers.add_parser(
         "diagram", help="draw one scenario's space-time diagram"
     )
@@ -280,19 +346,30 @@ def main(argv: List[str] = None) -> int:
                                 metavar="P:K[:R1,R2]")
     diagram_parser.add_argument("--omit", action="append", default=[],
                                 metavar="P:K:D1,D2")
+    diagram_parser.add_argument(
+        "--stats", action="store_true",
+        help="print instrumentation totals after the diagram",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "protocols":
         return _cmd_protocols()
+    if args.command == "stats":
+        return _cmd_stats(args.clear)
     if args.command == "compare":
-        return _cmd_compare(args.names, args.mode, args.n, args.t)
-    if args.command == "diagram":
-        return _cmd_diagram(
+        status = _cmd_compare(args.names, args.mode, args.n, args.t)
+    elif args.command == "diagram":
+        status = _cmd_diagram(
             args.name, args.mode, args.n, args.t, args.config,
             args.crash, args.omit,
         )
-    return _cmd_run(args.ids, args.all, args.skip, args.json)
+    else:
+        status = _cmd_run(args.ids, args.all, args.skip, args.json)
+    if getattr(args, "stats", False):
+        print()
+        _print_stats()
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,11 +1,17 @@
 """Experiment framework: uniform results for the reproduction harness.
 
 Each experiment module exposes ``run(**params) -> ExperimentResult``; the
-registry in :mod:`repro.experiments.registry` maps experiment ids (E1..E14,
+registry in :mod:`repro.experiments.registry` maps experiment ids (E1..E21,
 mirroring DESIGN.md's index) to those functions.  The benchmark suite calls
 ``run`` under ``pytest-benchmark`` and asserts ``result.ok``;
 ``EXPERIMENTS.md`` is generated from the same results, so the document and
 the benches can never drift apart.
+
+Every result carries the instrumentation accumulated while it ran
+(:mod:`repro.obs` stage timings and cache counters) under
+``data["instrumentation"]``; :func:`attach_instrumentation` is the helper
+the registry uses to stamp it, and :meth:`ExperimentResult.render` appends
+the summary to the report block.
 """
 
 from __future__ import annotations
@@ -13,13 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
+from .. import obs
+
 
 @dataclass
 class ExperimentResult:
     """Outcome of one reproduction experiment.
 
     Attributes:
-        experiment_id: Index entry (``"E1"`` ... ``"E14"``).
+        experiment_id: Index entry (``"E1"`` ... ``"E21"``).
         title: Human-readable title.
         paper_claim: What the paper asserts (proposition/theorem text, in
             brief).
@@ -27,7 +35,9 @@ class ExperimentResult:
         table: Rendered plain-text table of the measured rows.
         notes: Free-form measurement notes (parameters, regimes,
             substitutions used).
-        data: Machine-readable measurements for further analysis.
+        data: Machine-readable measurements for further analysis; the
+            registry adds an ``"instrumentation"`` entry with the stage
+            timings and cache counters observed while the experiment ran.
     """
 
     experiment_id: str
@@ -50,7 +60,28 @@ class ExperimentResult:
         if self.notes:
             lines.append("")
             lines.extend(f"note: {note}" for note in self.notes)
+        instrumentation = self.data.get("instrumentation")
+        if isinstance(instrumentation, dict) and (
+            instrumentation.get("counters") or instrumentation.get("timers")
+        ):
+            lines.append("")
+            lines.append("instrumentation:")
+            lines.append(obs.format_summary(instrumentation))
         return "\n".join(lines)
+
+
+def attach_instrumentation(
+    result: ExperimentResult, before: Dict[str, Dict[str, float]]
+) -> ExperimentResult:
+    """Stamp *result* with the instrumentation accumulated since *before*.
+
+    *before* is an :func:`repro.obs.snapshot` taken just before the
+    experiment ran; the delta (stage wall times, runs built, cache
+    hits/misses, fixpoint iterations) lands in
+    ``result.data["instrumentation"]``.
+    """
+    result.data["instrumentation"] = obs.delta_since(before)
+    return result
 
 
 ExperimentRunner = Callable[..., ExperimentResult]

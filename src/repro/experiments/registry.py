@@ -27,7 +27,8 @@ from . import (
     e20_scaling_gains,
     e21_eventual_ck,
 )
-from .framework import ExperimentResult
+from .. import obs
+from .framework import ExperimentResult, attach_instrumentation
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E1": e01_no_optimum.run,
@@ -60,7 +61,11 @@ def experiment_ids() -> List[str]:
 
 
 def run_experiment(experiment_id: str, **params) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    The returned result's ``data["instrumentation"]`` holds the stage
+    timings and cache counters accumulated while this experiment ran.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -68,7 +73,8 @@ def run_experiment(experiment_id: str, **params) -> ExperimentResult:
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(EXPERIMENTS)}"
         ) from None
-    return runner(**params)
+    before = obs.snapshot()
+    return attach_instrumentation(runner(**params), before)
 
 
 def run_all(skip: List[str] = ()) -> List[ExperimentResult]:

@@ -1,0 +1,128 @@
+"""Serialization codec for enumerated systems.
+
+Round-trips a :class:`~repro.model.system.System` through a gzip-compressed
+JSON payload so that the :class:`~repro.model.provider.SystemProvider` can
+persist enumerations across processes instead of recomputing the
+doubly-exponential run space from scratch.
+
+The payload stores the interned :class:`~repro.model.views.ViewTable` as its
+structural entries in id order plus, per run, the scenario (configuration and
+failure pattern, via the existing :mod:`repro.io.export` pattern codec), the
+view-id matrix and the delivery sets.  Decoding replays the table entries
+into a fresh table — an append-only replay that reproduces the exact id
+assignment — and reconstructs :class:`~repro.model.runs.Run` objects without
+re-executing the full-information protocol.  The rebuilt system is
+run-for-run identical to a fresh enumeration (same run order, same view ids,
+same scenario and state indexes); tests validate this directly.
+
+``CODEC_VERSION`` must be bumped whenever the payload layout *or* the
+enumeration semantics change; the provider additionally keys cache files by
+the library version, so stale caches are never read.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..model.config import InitialConfiguration
+from ..model.failures import FailureMode
+from ..model.runs import Run
+from ..model.system import System
+from ..model.views import ViewTable, merge_entries
+from .export import pattern_from_json, pattern_to_json
+
+#: Version of the system payload layout.  Bump on any change to the layout
+#: or to the enumeration semantics it captures.
+CODEC_VERSION = 1
+
+
+def system_to_payload(system: System) -> Dict[str, Any]:
+    """Serialize *system* to a JSON-able payload."""
+    entries: List[List[Any]] = []
+    for entry in system.table.export_entries():
+        if entry[0] == "leaf":
+            entries.append(["L", entry[1], entry[2]])
+        else:
+            entries.append(
+                ["N", entry[1], [[s, v] for s, v in entry[2]]]
+            )
+    runs: List[Dict[str, Any]] = []
+    for run in system.runs:
+        runs.append(
+            {
+                "config": list(run.config.values),
+                "pattern": pattern_to_json(run.pattern),
+                "views": [list(row) for row in run.views],
+                "nonfaulty": sorted(run.nonfaulty),
+                "deliveries": [
+                    [sorted(senders) for senders in per_receiver]
+                    for per_receiver in run.deliveries
+                ],
+            }
+        )
+    return {
+        "codec_version": CODEC_VERSION,
+        "n": system.n,
+        "t": system.t,
+        "horizon": system.horizon,
+        "mode": None if system.mode is None else system.mode.value,
+        "views": entries,
+        "runs": runs,
+    }
+
+
+def system_from_payload(payload: Dict[str, Any]) -> System:
+    """Inverse of :func:`system_to_payload`."""
+    version = payload.get("codec_version")
+    if version != CODEC_VERSION:
+        raise ConfigurationError(
+            f"unsupported system codec version {version!r}"
+        )
+    table = ViewTable()
+    entries = []
+    for entry in payload["views"]:
+        if entry[0] == "L":
+            entries.append(("leaf", entry[1], entry[2]))
+        elif entry[0] == "N":
+            entries.append(
+                ("node", entry[1], tuple((s, v) for s, v in entry[2]))
+            )
+        else:
+            raise ConfigurationError(f"unknown view entry kind {entry[0]!r}")
+    mapping = merge_entries(table, entries)
+    if mapping != list(range(len(mapping))):
+        raise ConfigurationError("view table replay produced shifted ids")
+    horizon = payload["horizon"]
+    runs: List[Run] = []
+    for data in payload["runs"]:
+        run = Run(
+            config=InitialConfiguration(data["config"]),
+            pattern=pattern_from_json(data["pattern"]),
+            horizon=horizon,
+            views=[tuple(row) for row in data["views"]],
+            nonfaulty=frozenset(data["nonfaulty"]),
+            deliveries=[
+                tuple(frozenset(senders) for senders in per_receiver)
+                for per_receiver in data["deliveries"]
+            ],
+        )
+        runs.append(run)
+    mode: Optional[FailureMode] = (
+        None if payload["mode"] is None else FailureMode(payload["mode"])
+    )
+    return System(payload["n"], payload["t"], horizon, runs, table, mode)
+
+
+def dump_system(system: System, path: str) -> None:
+    """Write *system* to *path* as gzip-compressed JSON."""
+    with gzip.open(path, "wt", encoding="utf-8", compresslevel=1) as handle:
+        json.dump(system_to_payload(system), handle, separators=(",", ":"))
+
+
+def load_system(path: str) -> System:
+    """Read a system written by :func:`dump_system`."""
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        return system_from_payload(json.load(handle))

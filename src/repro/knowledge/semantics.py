@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from .. import obs
 from ..model.system import Point, System, TruthAssignment
 from .nonrigid import NonrigidSet
 
@@ -120,6 +121,7 @@ def eval_common(
     """
     current = TruthAssignment.constant(system, True)
     while True:
+        obs.count("fixpoint_iterations")
         candidate = eval_everyone(system, nonrigid, phi.conjoin(current))
         if candidate == current:
             return current
@@ -178,6 +180,7 @@ def eval_continual_common(
     """
     current = TruthAssignment.constant(system, True)
     while True:
+        obs.count("fixpoint_iterations")
         candidate = eval_everyone_box(system, nonrigid, phi.conjoin(current))
         if candidate == current:
             return current
@@ -201,6 +204,7 @@ def eval_eventual_common(
     """
     current = TruthAssignment.constant(system, True)
     while True:
+        obs.count("fixpoint_iterations")
         candidate = eval_eventually(
             system, eval_everyone(system, nonrigid, phi.conjoin(current))
         )
@@ -281,7 +285,8 @@ def eval_continual_common_components(
         run_level_phi: ``run_level_phi[run_index]`` — truth of φ in the run
             (φ must be time-independent).
     """
-    components = run_reachability_components(system, nonrigid)
+    with obs.stage("reachability_components"):
+        components = run_reachability_components(system, nonrigid)
     component_ok: Dict[int, bool] = {}
     for run_index, component in enumerate(components):
         if component == -1:

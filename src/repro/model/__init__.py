@@ -23,6 +23,7 @@ from .builder import (
     default_horizon,
     omission_system,
     restricted_system,
+    system_cache_info,
     system_for,
 )
 from .config import (
@@ -42,6 +43,7 @@ from .failures import (
     ReceiveOmissionBehavior,
     make_pattern,
 )
+from .provider import PROVIDER, SystemProvider, get_provider
 from .runs import Run, build_run
 from .system import Point, System, TruthAssignment, build_system
 from .views import ViewId, ViewInfo, ViewTable
@@ -63,10 +65,12 @@ __all__ = [
     "ProcessorId",
     "Run",
     "ReceiveOmissionBehavior",
+    "PROVIDER",
     "SampledGeneralOmissionAdversary",
     "SampledOmissionAdversary",
     "SilentCrashAdversary",
     "System",
+    "SystemProvider",
     "TruthAssignment",
     "ViewId",
     "ViewInfo",
@@ -78,10 +82,12 @@ __all__ = [
     "crash_system",
     "default_horizon",
     "exhaustive_adversary",
+    "get_provider",
     "make_pattern",
     "omission_system",
     "one_dissenter",
     "restricted_system",
+    "system_cache_info",
     "system_for",
     "uniform_configuration",
 ]

@@ -1,9 +1,11 @@
 """Convenience constructors for enumerated systems.
 
 These wrap :func:`repro.model.system.build_system` with the adversaries from
-:mod:`repro.model.adversary` and provide a process-wide cache so that tests
-and experiments touching the same ``(mode, n, t, horizon)`` parameters share
-one enumeration.
+:mod:`repro.model.adversary` behind the layered
+:class:`~repro.model.provider.SystemProvider` cache, so that tests and
+experiments touching the same ``(mode, n, t, horizon)`` parameters share one
+enumeration — in-process through a bounded LRU, and across processes through
+the versioned on-disk cache under ``.repro_cache/``.
 
 Sizing guidance (see DESIGN.md):
 
@@ -17,20 +19,13 @@ Sizing guidance (see DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence
 
-from .adversary import (
-    Adversary,
-    ExhaustiveCrashAdversary,
-    ExhaustiveOmissionAdversary,
-    ExplicitAdversary,
-)
+from .adversary import ExplicitAdversary
 from .config import InitialConfiguration
 from .failures import FailureMode, FailurePattern
+from .provider import PROVIDER
 from .system import System, build_system
-
-_CacheKey = Tuple[FailureMode, int, int, int]
-_SYSTEM_CACHE: Dict[_CacheKey, System] = {}
 
 
 def default_horizon(t: int) -> int:
@@ -50,18 +45,19 @@ def crash_system(
     *,
     configs: Optional[Iterable[InitialConfiguration]] = None,
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> System:
     """The exhaustive crash-mode system for ``(n, t, horizon)``."""
     horizon = default_horizon(t) if horizon is None else horizon
-    key = (FailureMode.CRASH, n, t, horizon)
-    if use_cache and configs is None and key in _SYSTEM_CACHE:
-        return _SYSTEM_CACHE[key]
-    system = build_system(
-        ExhaustiveCrashAdversary(n, t, horizon), configs=configs
+    return PROVIDER.get(
+        FailureMode.CRASH,
+        n,
+        t,
+        horizon,
+        configs=configs,
+        use_cache=use_cache,
+        workers=workers,
     )
-    if use_cache and configs is None:
-        _SYSTEM_CACHE[key] = system
-    return system
 
 
 def omission_system(
@@ -71,6 +67,7 @@ def omission_system(
     *,
     configs: Optional[Iterable[InitialConfiguration]] = None,
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> System:
     """The exhaustive omission-mode system for ``(n, t, horizon)``.
 
@@ -78,15 +75,15 @@ def omission_system(
     small parameters only.
     """
     horizon = default_horizon(t) if horizon is None else horizon
-    key = (FailureMode.OMISSION, n, t, horizon)
-    if use_cache and configs is None and key in _SYSTEM_CACHE:
-        return _SYSTEM_CACHE[key]
-    system = build_system(
-        ExhaustiveOmissionAdversary(n, t, horizon), configs=configs
+    return PROVIDER.get(
+        FailureMode.OMISSION,
+        n,
+        t,
+        horizon,
+        configs=configs,
+        use_cache=use_cache,
+        workers=workers,
     )
-    if use_cache and configs is None:
-        _SYSTEM_CACHE[key] = system
-    return system
 
 
 def system_for(
@@ -112,7 +109,7 @@ def restricted_system(
     configs: Optional[Iterable[InitialConfiguration]] = None,
     include_failure_free: bool = True,
 ) -> System:
-    """A sub-system over an explicit pattern family.
+    """A sub-system over an explicit pattern family (never cached).
 
     Knowledge evaluated over a sub-system is an *over*-approximation (fewer
     runs means fewer indistinguishable alternatives, hence more knowledge);
@@ -131,6 +128,15 @@ def restricted_system(
     return build_system(adversary, configs=configs)
 
 
-def clear_system_cache() -> None:
-    """Drop the process-wide system cache (mainly for tests)."""
-    _SYSTEM_CACHE.clear()
+def clear_system_cache(*, disk: bool = False) -> Dict[str, int]:
+    """Drop the process-wide system cache (mainly for tests).
+
+    Returns eviction statistics — see
+    :meth:`~repro.model.provider.SystemProvider.clear`.
+    """
+    return PROVIDER.clear(disk=disk)
+
+
+def system_cache_info() -> Dict[str, object]:
+    """Hit/miss/size statistics for the process-wide system cache."""
+    return PROVIDER.cache_info()

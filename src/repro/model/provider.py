@@ -1,0 +1,279 @@
+"""SystemProvider: the layered cache pipeline for enumerated systems.
+
+Every experiment and knowledge query funnels through one enumeration per
+``(mode, n, t, horizon)`` cell.  This module layers the lookup:
+
+1. a **bounded in-memory LRU** (hits are free and share one
+   :class:`~repro.model.system.System` instance process-wide, exactly like
+   the old ``_SYSTEM_CACHE`` dict — but bounded and introspectable);
+2. a **versioned on-disk cache** under ``.repro_cache/`` (override with the
+   ``REPRO_CACHE_DIR`` env var, disable with ``REPRO_DISK_CACHE=0``),
+   round-tripped through :mod:`repro.io.system_codec` so a warm process
+   skips the doubly-exponential enumeration entirely;
+3. a fresh (possibly parallel) :func:`~repro.model.system.build_system` on
+   a full miss, after which both cache layers are populated.
+
+Cache files are keyed by ``(mode, n, t, horizon)`` *and* versioned by the
+codec version plus the library version, so a library upgrade or payload
+change can never resurrect a stale enumeration.  Corrupted or unreadable
+cache files are treated as misses: the provider rebuilds and overwrites
+them, never crashes.
+
+Only exhaustive default-config systems are cached; restricted systems and
+explicit config subsets always build fresh.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .. import obs
+from ..errors import ConfigurationError
+from .adversary import exhaustive_adversary
+from .config import InitialConfiguration
+from .failures import FailureMode
+from .system import System, build_system
+
+#: Default bound on the in-memory layer.  Systems are large; a handful of
+#: parameter cells covers every experiment in the suite.
+DEFAULT_MAX_MEMORY_ENTRIES = 16
+
+CacheKey = Tuple[str, int, int, int]
+
+
+def _default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+
+def _disk_enabled_default() -> bool:
+    return os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "false", "no")
+
+
+class SystemProvider:
+    """Bounded LRU + versioned disk cache in front of ``build_system``."""
+
+    def __init__(
+        self,
+        *,
+        max_memory_entries: int = DEFAULT_MAX_MEMORY_ENTRIES,
+        cache_dir: Optional[str] = None,
+        disk_cache: Optional[bool] = None,
+    ) -> None:
+        if max_memory_entries < 1:
+            raise ConfigurationError(
+                f"need max_memory_entries >= 1, got {max_memory_entries}"
+            )
+        self.max_memory_entries = max_memory_entries
+        self._cache_dir = cache_dir
+        self._disk_cache = disk_cache
+        self._memory: "OrderedDict[CacheKey, System]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._disk_hits = 0
+        self._disk_misses = 0
+
+    # -- configuration -----------------------------------------------------
+
+    @property
+    def cache_dir(self) -> str:
+        """Directory holding on-disk cache files (env-overridable)."""
+        return self._cache_dir or _default_cache_dir()
+
+    @property
+    def disk_enabled(self) -> bool:
+        """Whether the on-disk layer is active (env-overridable)."""
+        if self._disk_cache is not None:
+            return self._disk_cache
+        return _disk_enabled_default()
+
+    def _cache_path(self, key: CacheKey) -> str:
+        from .. import __version__
+        from ..io.system_codec import CODEC_VERSION
+
+        mode, n, t, horizon = key
+        name = (
+            f"system_{mode}_n{n}_t{t}_h{horizon}"
+            f"_c{CODEC_VERSION}_v{__version__}.json.gz"
+        )
+        return os.path.join(self.cache_dir, name)
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(
+        self,
+        mode: FailureMode,
+        n: int,
+        t: int,
+        horizon: int,
+        *,
+        configs: Optional[Iterable[InitialConfiguration]] = None,
+        use_cache: bool = True,
+        workers: Optional[int] = None,
+    ) -> System:
+        """The exhaustive system for the cell, through the cache layers.
+
+        ``configs`` subsets and ``use_cache=False`` bypass both layers and
+        build fresh.
+        """
+        if configs is not None or not use_cache:
+            return self._build(mode, n, t, horizon, configs, workers)
+        key: CacheKey = (mode.value, n, t, horizon)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self._hits += 1
+            obs.count("system_cache_hits")
+            return cached
+        self._misses += 1
+        obs.count("system_cache_misses")
+        system = self._load_from_disk(key, mode, n, t, horizon)
+        if system is None:
+            system = self._build(mode, n, t, horizon, None, workers)
+            self._store_to_disk(key, system)
+        self._remember(key, system)
+        return system
+
+    def _build(
+        self,
+        mode: FailureMode,
+        n: int,
+        t: int,
+        horizon: int,
+        configs: Optional[Iterable[InitialConfiguration]],
+        workers: Optional[int],
+    ) -> System:
+        adversary = exhaustive_adversary(mode, n, t, horizon)
+        return build_system(adversary, configs=configs, workers=workers)
+
+    def _remember(self, key: CacheKey, system: System) -> None:
+        self._memory[key] = system
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self._evictions += 1
+            obs.count("system_cache_evictions")
+
+    # -- disk layer --------------------------------------------------------
+
+    def _load_from_disk(
+        self, key: CacheKey, mode: FailureMode, n: int, t: int, horizon: int
+    ) -> Optional[System]:
+        if not self.disk_enabled:
+            return None
+        path = self._cache_path(key)
+        if not os.path.exists(path):
+            self._disk_misses += 1
+            obs.count("disk_cache_misses")
+            return None
+        try:
+            with obs.stage("disk_cache_load"):
+                from ..io.system_codec import load_system
+
+                system = load_system(path)
+            if (system.n, system.t, system.horizon) != (n, t, horizon) or (
+                system.mode is not mode
+            ):
+                raise ConfigurationError(
+                    f"cache file {path} holds a different system"
+                )
+        except Exception:
+            # Corrupted, truncated or mismatched file: treat as a miss and
+            # let the rebuild overwrite it.
+            self._disk_misses += 1
+            obs.count("disk_cache_misses")
+            return None
+        self._disk_hits += 1
+        obs.count("disk_cache_hits")
+        return system
+
+    def _store_to_disk(self, key: CacheKey, system: System) -> None:
+        if not self.disk_enabled:
+            return
+        path = self._cache_path(key)
+        try:
+            with obs.stage("disk_cache_store"):
+                os.makedirs(self.cache_dir, exist_ok=True)
+                fd, temp_path = tempfile.mkstemp(
+                    dir=self.cache_dir, suffix=".tmp"
+                )
+                os.close(fd)
+                try:
+                    from ..io.system_codec import dump_system
+
+                    dump_system(system, temp_path)
+                    os.replace(temp_path, path)
+                finally:
+                    if os.path.exists(temp_path):
+                        os.unlink(temp_path)
+        except OSError:
+            # A read-only or full filesystem must never break enumeration.
+            pass
+
+    # -- introspection -----------------------------------------------------
+
+    def cache_info(self) -> Dict[str, object]:
+        """Hit/miss/size statistics for both cache layers."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "size": len(self._memory),
+            "max_size": self.max_memory_entries,
+            "evictions": self._evictions,
+            "disk_hits": self._disk_hits,
+            "disk_misses": self._disk_misses,
+            "disk_enabled": self.disk_enabled,
+            "cache_dir": self.cache_dir,
+            "keys": list(self._memory.keys()),
+        }
+
+    def disk_entries(self) -> List[Dict[str, object]]:
+        """The on-disk cache inventory (file name and size in bytes)."""
+        entries: List[Dict[str, object]] = []
+        if not os.path.isdir(self.cache_dir):
+            return entries
+        for name in sorted(os.listdir(self.cache_dir)):
+            if not name.endswith(".json.gz"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            entries.append({"file": name, "bytes": size})
+        return entries
+
+    def clear(self, *, disk: bool = False) -> Dict[str, int]:
+        """Drop cached systems; returns eviction statistics.
+
+        Args:
+            disk: Also delete the on-disk cache files.
+
+        Returns:
+            ``{"evicted": ..., "disk_files_removed": ...}`` — how many
+            in-memory entries and disk files were dropped by this call.
+        """
+        evicted = len(self._memory)
+        self._memory.clear()
+        self._evictions += evicted
+        removed = 0
+        if disk and os.path.isdir(self.cache_dir):
+            for entry in self.disk_entries():
+                try:
+                    os.unlink(os.path.join(self.cache_dir, str(entry["file"])))
+                    removed += 1
+                except OSError:
+                    pass
+        return {"evicted": evicted, "disk_files_removed": removed}
+
+
+#: The process-wide provider used by :mod:`repro.model.builder`.
+PROVIDER = SystemProvider()
+
+
+def get_provider() -> SystemProvider:
+    """The process-wide :class:`SystemProvider`."""
+    return PROVIDER

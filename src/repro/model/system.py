@@ -15,14 +15,17 @@ the system keyed by formula cache keys (see :mod:`repro.knowledge.formulas`).
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import ConfigurationError, EvaluationError
 from .adversary import Adversary
 from .config import InitialConfiguration, all_configurations
 from .failures import FailureMode, FailurePattern, ProcessorId
 from .runs import Run, build_run
-from .views import ViewId, ViewTable
+from .views import ViewId, ViewTable, merge_entries
 
 Point = Tuple[int, int]  # (run index, time)
 ScenarioKey = Tuple[InitialConfiguration, FailurePattern]
@@ -203,8 +206,11 @@ class System:
         """Memoize a formula evaluation under *key*."""
         existing = self._formula_cache.get(key)
         if existing is not None:
+            obs.count("formula_cache_hits")
             return existing
-        result = compute()
+        obs.count("formula_cache_misses")
+        with obs.stage("formula_eval"):
+            result = compute()
         self._formula_cache[key] = result
         return result
 
@@ -225,11 +231,88 @@ class System:
         self._nonrigid_cache.clear()
 
 
+#: Minimum scenario count before the auto worker policy considers forking.
+PARALLEL_BUILD_THRESHOLD = 20000
+
+
+def _resolve_workers(workers: Optional[int], num_scenarios: int) -> int:
+    """How many processes to enumerate with (1 = serial).
+
+    Explicit *workers* wins; otherwise the ``REPRO_BUILD_WORKERS`` env var;
+    otherwise auto — parallel only when the scenario space is large enough
+    (:data:`PARALLEL_BUILD_THRESHOLD`) to amortize process startup and
+    result pickling, and the machine has more than one core.
+    """
+    if workers is None:
+        env = os.environ.get("REPRO_BUILD_WORKERS")
+        if env:
+            workers = int(env)
+    if workers is None:
+        cores = os.cpu_count() or 1
+        if cores < 2 or num_scenarios < PARALLEL_BUILD_THRESHOLD:
+            return 1
+        workers = min(cores, 8)
+    if workers < 1:
+        raise ConfigurationError(f"need workers >= 1, got {workers}")
+    return min(workers, max(1, num_scenarios))
+
+
+def _build_chunk(args) -> Tuple[list, List[Run]]:
+    """Worker entry point: build a contiguous scenario slice into a fresh
+    table and return it together with the table's exported entries."""
+    scenarios, horizon = args
+    table = ViewTable()
+    runs = [
+        build_run(config, pattern, horizon, table)
+        for config, pattern in scenarios
+    ]
+    return table.export_entries(), runs
+
+
+def _build_runs_parallel(
+    scenarios: List[Tuple[InitialConfiguration, FailurePattern]],
+    horizon: int,
+    table: ViewTable,
+    workers: int,
+) -> List[Run]:
+    """Build runs across *workers* processes with a deterministic merge.
+
+    Scenarios are split into contiguous chunks (preserving enumeration
+    order); each worker interns into its own :class:`ViewTable`, and the
+    parent replays every worker table into the shared *table* in chunk
+    order.  View ids are assigned by global first appearance — exactly the
+    serial builder's assignment — so the merged system is identical,
+    view-id for view-id, to a serial enumeration.
+    """
+    chunk_count = min(len(scenarios), workers * 4)
+    base, extra = divmod(len(scenarios), chunk_count)
+    chunks = []
+    start = 0
+    for index in range(chunk_count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(scenarios[start:start + size])
+        start += size
+    with multiprocessing.Pool(workers) as pool:
+        results = pool.map(
+            _build_chunk, [(chunk, horizon) for chunk in chunks]
+        )
+    runs: List[Run] = []
+    for entries, chunk_runs in results:
+        mapping = merge_entries(table, entries)
+        for run in chunk_runs:
+            run.views = [
+                tuple(mapping[view] for view in row) for row in run.views
+            ]
+            runs.append(run)
+    return runs
+
+
 def build_system(
     adversary: Adversary,
     *,
     configs: Optional[Iterable[InitialConfiguration]] = None,
     table: Optional[ViewTable] = None,
+    workers: Optional[int] = None,
 ) -> System:
     """Enumerate the system of full-information runs for *adversary*.
 
@@ -239,6 +322,12 @@ def build_system(
         table: View table to intern into; defaults to a fresh one.  Supplying
             a shared table lets several systems (e.g. crash and omission
             variants of the same parameters) share state ids.
+        workers: Number of processes for run construction.  ``None`` picks
+            automatically (serial below :data:`PARALLEL_BUILD_THRESHOLD`
+            scenarios, or on single-core machines; the
+            ``REPRO_BUILD_WORKERS`` env var overrides).  The parallel path
+            produces a system identical to the serial one — same run order,
+            same view ids.
 
     Returns:
         The enumerated :class:`System`.
@@ -256,9 +345,24 @@ def build_system(
                     f"configuration {config} has n={config.n}, expected {n}"
                 )
     patterns = list(adversary.patterns())
-    runs: List[Run] = []
-    for config in config_list:
-        for pattern in patterns:
-            pattern.validate(n, t)
-            runs.append(build_run(config, pattern, horizon, table))
-    return System(n, t, horizon, runs, table, adversary.mode)
+    for pattern in patterns:
+        pattern.validate(n, t)
+    scenarios = [
+        (config, pattern)
+        for config in config_list
+        for pattern in patterns
+    ]
+    workers = _resolve_workers(workers, len(scenarios))
+    views_before = len(table)
+    with obs.stage("build_system"):
+        if workers > 1:
+            runs = _build_runs_parallel(scenarios, horizon, table, workers)
+        else:
+            runs = [
+                build_run(config, pattern, horizon, table)
+                for config, pattern in scenarios
+            ]
+        system = System(n, t, horizon, runs, table, adversary.mode)
+    obs.count("runs_built", len(runs))
+    obs.count("views_interned", len(table) - views_before)
+    return system

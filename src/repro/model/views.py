@@ -147,6 +147,23 @@ class ViewTable:
         """Metadata for an interned view id."""
         return self._info[view_id]
 
+    def export_entries(self) -> List[ViewKey]:
+        """The structural keys of all views, in id order.
+
+        Because the table is append-only and every internal node references
+        only smaller ids, replaying these entries into a fresh table (see
+        :func:`merge_entries`) reproduces the exact same id assignment —
+        the property the on-disk system codec and the parallel-build merge
+        both rely on.
+        """
+        entries: List[ViewKey] = []
+        for info in self._info:
+            if info.previous is None:
+                entries.append(("leaf", info.processor, info.initial_value))
+            else:
+                entries.append(("node", info.previous, info.heard_from))
+        return entries
+
     def time_of(self, view_id: ViewId) -> int:
         return self._info[view_id].time
 
@@ -229,3 +246,36 @@ class ViewTable:
             )
         chain = self.history(view_id)
         return self._info[chain[round_number]].senders
+
+
+def merge_entries(
+    master: ViewTable, entries: List[ViewKey]
+) -> List[ViewId]:
+    """Intern exported *entries* into *master*, returning the id mapping.
+
+    ``mapping[local_id]`` is the id in *master* of the view that held
+    ``local_id`` in the exporting table.  Entries must be in the exporting
+    table's id order (as produced by :meth:`ViewTable.export_entries`), so
+    every internal node's references are already mapped when it arrives.
+
+    Interning into a fresh table assigns ids by first appearance, which is
+    exactly the serial builder's assignment order — this is what makes the
+    parallel system build and the on-disk cache bit-identical to a serial
+    enumeration.
+    """
+    mapping: List[ViewId] = []
+    for entry in entries:
+        if entry[0] == "leaf":
+            _, processor, initial_value = entry
+            mapping.append(master.leaf(processor, initial_value))
+        elif entry[0] == "node":
+            _, previous, heard_from = entry
+            mapping.append(
+                master.extend(
+                    mapping[previous],
+                    {sender: mapping[view] for sender, view in heard_from},
+                )
+            )
+        else:
+            raise ConfigurationError(f"unknown view entry kind {entry[0]!r}")
+    return mapping

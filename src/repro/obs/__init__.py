@@ -1,0 +1,160 @@
+"""Instrumentation: process-wide counters and stage timers.
+
+Every hot path of the stack reports into one lightweight, always-on
+:class:`Instrumentation` instance (:data:`OBS`):
+
+* the system builder counts runs built and views interned and times the
+  enumeration stage;
+* :meth:`repro.model.system.System.cached_evaluation` counts formula-cache
+  hits/misses and times cache-miss evaluations;
+* the fixpoint evaluators in :mod:`repro.knowledge.semantics` count
+  iterations;
+* the :class:`~repro.model.provider.SystemProvider` counts system-cache and
+  disk-cache hits/misses.
+
+The cost model is "one dict operation per event": counters are plain dict
+increments and timers wrap whole stages, never inner loops, so keeping the
+instrumentation on costs well under 5% on the micro benches (asserted in
+``benchmarks/bench_provider.py``).
+
+Consumers take a :func:`snapshot` before a workload and a
+:func:`delta_since` after it; :func:`repro.experiments.registry.run_experiment`
+does exactly that to stamp every ``ExperimentResult.data`` with its own
+stage timings, and ``repro-eba --stats`` prints the process totals.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "Instrumentation",
+    "OBS",
+    "count",
+    "stage",
+    "snapshot",
+    "delta_since",
+    "reset",
+    "format_summary",
+]
+
+
+class Instrumentation:
+    """Named counters plus named cumulative wall-time stages.
+
+    Stages are reentrancy-safe: a nested ``stage("x")`` inside an open
+    ``stage("x")`` is a no-op, so recursive evaluation (formulas evaluating
+    their operands) never double-counts wall time.
+    """
+
+    __slots__ = ("counters", "timers", "enabled", "_active")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+        self.enabled = True
+        self._active: set = set()
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Add *delta* to counter *name*."""
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0) + delta
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate the wall time of the enclosed block under *name*."""
+        if not self.enabled or name in self._active:
+            yield
+            return
+        self._active.add(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._active.discard(name)
+            self.timers[name] = (
+                self.timers.get(name, 0.0) + time.perf_counter() - start
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """A copyable view of the current totals."""
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+        }
+
+    def delta_since(
+        self, before: Dict[str, Dict[str, float]]
+    ) -> Dict[str, Dict[str, float]]:
+        """Totals accumulated since *before* (zero entries dropped)."""
+        counters_before = before.get("counters", {})
+        timers_before = before.get("timers", {})
+        counters = {
+            name: value - counters_before.get(name, 0)
+            for name, value in self.counters.items()
+            if value - counters_before.get(name, 0)
+        }
+        timers = {
+            name: round(value - timers_before.get(name, 0.0), 6)
+            for name, value in self.timers.items()
+            if value - timers_before.get(name, 0.0) > 0.0
+        }
+        return {"counters": counters, "timers": timers}
+
+    def reset(self) -> None:
+        """Zero all counters and timers (mainly for tests)."""
+        self.counters.clear()
+        self.timers.clear()
+
+
+#: The process-wide instrumentation sink.
+OBS = Instrumentation()
+
+
+def count(name: str, delta: int = 1) -> None:
+    """Add *delta* to the process-wide counter *name*."""
+    OBS.count(name, delta)
+
+
+def stage(name: str):
+    """Time the enclosed block under the process-wide stage *name*."""
+    return OBS.stage(name)
+
+
+def snapshot() -> Dict[str, Dict[str, float]]:
+    """Current process-wide totals."""
+    return OBS.snapshot()
+
+
+def delta_since(before: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+    """Process-wide totals accumulated since *before*."""
+    return OBS.delta_since(before)
+
+
+def reset() -> None:
+    """Zero the process-wide totals (mainly for tests)."""
+    OBS.reset()
+
+
+def format_summary(
+    summary: Optional[Dict[str, Dict[str, float]]] = None
+) -> str:
+    """Human-readable one-block rendering of a snapshot/delta.
+
+    With no argument, renders the current process totals.  Timers first
+    (sorted by descending wall time), then counters (alphabetically).
+    """
+    if summary is None:
+        summary = snapshot()
+    timers = summary.get("timers", {})
+    counters = summary.get("counters", {})
+    lines = []
+    for name, seconds in sorted(timers.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {name:<28} {seconds:9.3f}s")
+    for name, value in sorted(counters.items()):
+        lines.append(f"  {name:<28} {int(value):>10}")
+    if not lines:
+        return "  (no instrumentation recorded)"
+    return "\n".join(lines)

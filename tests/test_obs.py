@@ -1,0 +1,162 @@
+"""Tests for the instrumentation layer (repro.obs) and its integration
+points: System.cached_evaluation, the fixpoint evaluators, experiment
+results, and the CLI stats surface."""
+
+from repro import obs
+from repro.experiments.framework import ExperimentResult, attach_instrumentation
+from repro.knowledge.nonrigid import NONFAULTY
+from repro.knowledge.semantics import eval_common
+from repro.model.system import TruthAssignment
+
+
+class TestInstrumentation:
+    def test_counters_accumulate(self):
+        inst = obs.Instrumentation()
+        inst.count("widgets")
+        inst.count("widgets", 4)
+        assert inst.counters["widgets"] == 5
+
+    def test_stage_times_accumulate(self):
+        inst = obs.Instrumentation()
+        with inst.stage("work"):
+            pass
+        with inst.stage("work"):
+            pass
+        assert inst.timers["work"] >= 0.0
+        assert set(inst.timers) == {"work"}
+
+    def test_nested_same_stage_not_double_counted(self):
+        inst = obs.Instrumentation()
+        with inst.stage("outer"):
+            with inst.stage("outer"):
+                pass
+        # A single cumulative entry, not the sum of both frames.
+        assert len(inst.timers) == 1
+        # The inner no-op frame must not have closed the outer one early.
+        assert "outer" not in inst._active
+
+    def test_disabled_records_nothing(self):
+        inst = obs.Instrumentation()
+        inst.enabled = False
+        inst.count("widgets")
+        with inst.stage("work"):
+            pass
+        assert inst.counters == {}
+        assert inst.timers == {}
+
+    def test_delta_since_drops_zero_entries(self):
+        inst = obs.Instrumentation()
+        inst.count("before_only")
+        before = inst.snapshot()
+        inst.count("after", 3)
+        delta = inst.delta_since(before)
+        assert delta["counters"] == {"after": 3}
+
+    def test_format_summary_empty(self):
+        assert "no instrumentation" in obs.format_summary(
+            {"counters": {}, "timers": {}}
+        )
+
+    def test_format_summary_lists_timers_then_counters(self):
+        text = obs.format_summary(
+            {"counters": {"hits": 2}, "timers": {"build": 1.5}}
+        )
+        lines = text.splitlines()
+        assert "build" in lines[0]
+        assert "hits" in lines[1]
+
+
+class TestEvaluationCounters:
+    def test_formula_cache_hit_miss_counted(self, crash3):
+        crash3.clear_caches()
+        key = ("obs-test", 0)
+        compute = lambda: TruthAssignment.constant(crash3, True)
+
+        before = obs.snapshot()
+        crash3.cached_evaluation(key, compute)
+        mid = obs.delta_since(before)
+        assert mid["counters"]["formula_cache_misses"] == 1
+
+        before = obs.snapshot()
+        crash3.cached_evaluation(key, compute)
+        after = obs.delta_since(before)
+        assert after["counters"]["formula_cache_hits"] == 1
+        assert "formula_cache_misses" not in after["counters"]
+        crash3.clear_caches()
+
+    def test_fixpoint_iterations_counted(self, crash3):
+        before = obs.snapshot()
+        eval_common(crash3, NONFAULTY, TruthAssignment.constant(crash3, True))
+        delta = obs.delta_since(before)
+        assert delta["counters"]["fixpoint_iterations"] >= 1
+
+    def test_build_counts_runs_and_views(self):
+        from repro.model.adversary import ExhaustiveCrashAdversary
+        from repro.model.system import build_system
+
+        before = obs.snapshot()
+        system = build_system(ExhaustiveCrashAdversary(3, 1, 2))
+        delta = obs.delta_since(before)
+        assert delta["counters"]["runs_built"] == len(system.runs)
+        assert delta["counters"]["views_interned"] == len(system.table)
+        assert "build_system" in delta["timers"]
+
+
+class TestExperimentIntegration:
+    @staticmethod
+    def _result():
+        return ExperimentResult(
+            experiment_id="E99",
+            title="dummy",
+            paper_claim="n/a",
+            ok=True,
+            table="x",
+        )
+
+    def test_attach_instrumentation_stamps_delta(self):
+        before = obs.snapshot()
+        obs.count("system_cache_hits", 2)
+        result = attach_instrumentation(self._result(), before)
+        assert result.data["instrumentation"]["counters"][
+            "system_cache_hits"
+        ] == 2
+
+    def test_render_includes_instrumentation_block(self):
+        result = self._result()
+        result.data["instrumentation"] = {
+            "counters": {"system_cache_hits": 2},
+            "timers": {"build_system": 0.25},
+        }
+        rendered = result.render()
+        assert "instrumentation:" in rendered
+        assert "system_cache_hits" in rendered
+        assert "build_system" in rendered
+
+    def test_render_omits_empty_instrumentation(self):
+        result = self._result()
+        result.data["instrumentation"] = {"counters": {}, "timers": {}}
+        assert "instrumentation:" not in result.render()
+
+    def test_run_experiment_attaches_instrumentation(self, monkeypatch):
+        from repro.experiments import registry
+
+        def dummy_runner():
+            obs.count("system_cache_hits")
+            return self._result()
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "E99", dummy_runner)
+        result = registry.run_experiment("E99")
+        instrumentation = result.data["instrumentation"]
+        assert instrumentation["counters"]["system_cache_hits"] == 1
+
+
+class TestCliStats:
+    def test_stats_command(self, capsys, monkeypatch, tmp_path):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumentation (this process):" in out
+        assert "system cache:" in out
+        assert "disk cache inventory" in out

@@ -1,0 +1,229 @@
+"""Tests for the SystemProvider pipeline: codec round-trips, the disk and
+LRU cache layers, and the parallel enumeration path."""
+
+import gzip
+import os
+
+import pytest
+
+from repro.io.system_codec import dump_system, load_system, system_to_payload
+from repro.model.adversary import (
+    ExhaustiveCrashAdversary,
+    ExhaustiveOmissionAdversary,
+)
+from repro.model.builder import (
+    clear_system_cache,
+    crash_system,
+    system_cache_info,
+)
+from repro.model.failures import FailureMode
+from repro.model.provider import SystemProvider
+from repro.model.system import build_system
+
+
+def assert_systems_identical(actual, expected):
+    """Run-for-run identity: run order, scenario index, views, state index."""
+    assert actual.n == expected.n
+    assert actual.t == expected.t
+    assert actual.horizon == expected.horizon
+    assert actual.mode is expected.mode
+    assert len(actual.runs) == len(expected.runs)
+    assert actual.scenarios() == expected.scenarios()
+    for mine, theirs in zip(actual.runs, expected.runs):
+        assert mine.views == theirs.views
+        assert mine.nonfaulty == theirs.nonfaulty
+        assert mine.deliveries == theirs.deliveries
+    assert actual._scenario_index == expected._scenario_index
+    assert actual._state_index == expected._state_index
+
+
+class TestSystemCodec:
+    def test_crash_round_trip_equals_fresh_enumeration(self, tmp_path, crash4):
+        path = str(tmp_path / "crash4.json.gz")
+        dump_system(crash4, path)
+        assert_systems_identical(load_system(path), crash4)
+
+    def test_omission_round_trip_equals_fresh_enumeration(
+        self, tmp_path, omission3
+    ):
+        path = str(tmp_path / "omission3.json.gz")
+        dump_system(omission3, path)
+        assert_systems_identical(load_system(path), omission3)
+
+    def test_payload_is_versioned(self, crash3):
+        from repro.io.system_codec import CODEC_VERSION
+
+        payload = system_to_payload(crash3)
+        assert payload["codec_version"] == CODEC_VERSION
+
+    def test_wrong_codec_version_rejected(self, crash3):
+        from repro.errors import ConfigurationError
+        from repro.io.system_codec import system_from_payload
+
+        payload = system_to_payload(crash3)
+        payload["codec_version"] = -1
+        with pytest.raises(ConfigurationError):
+            system_from_payload(payload)
+
+
+class TestDiskCacheLayer:
+    def test_cross_provider_disk_hit(self, tmp_path):
+        first = SystemProvider(cache_dir=str(tmp_path))
+        built = first.get(FailureMode.CRASH, 3, 1, 2)
+        assert first.cache_info()["disk_misses"] == 1
+
+        second = SystemProvider(cache_dir=str(tmp_path))
+        loaded = second.get(FailureMode.CRASH, 3, 1, 2)
+        assert second.cache_info()["disk_hits"] == 1
+        assert loaded is not built
+        assert_systems_identical(loaded, built)
+
+    def test_corrupted_cache_file_recovers(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        (path,) = [
+            os.path.join(str(tmp_path), entry)
+            for entry in os.listdir(str(tmp_path))
+        ]
+
+        # Not even gzip.
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a cache file")
+        fresh = SystemProvider(cache_dir=str(tmp_path))
+        system = fresh.get(FailureMode.CRASH, 3, 1, 2)
+        assert len(system.runs) > 0
+        assert fresh.cache_info()["disk_hits"] == 0
+
+        # The rebuild overwrote the corrupt file with a valid one.
+        after = SystemProvider(cache_dir=str(tmp_path))
+        after.get(FailureMode.CRASH, 3, 1, 2)
+        assert after.cache_info()["disk_hits"] == 1
+
+    def test_valid_gzip_invalid_payload_recovers(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        (path,) = [
+            os.path.join(str(tmp_path), entry)
+            for entry in os.listdir(str(tmp_path))
+        ]
+        with gzip.open(path, "wt") as handle:
+            handle.write('{"codec_version": 999}')
+        fresh = SystemProvider(cache_dir=str(tmp_path))
+        system = fresh.get(FailureMode.CRASH, 3, 1, 2)
+        assert len(system.runs) > 0
+        assert fresh.cache_info()["disk_hits"] == 0
+
+    def test_disk_can_be_disabled(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path), disk_cache=False)
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_disk_entries_inventory(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        entries = provider.disk_entries()
+        assert len(entries) == 1
+        assert entries[0]["bytes"] > 0
+        assert "crash_n3_t1_h2" in entries[0]["file"]
+
+
+class TestMemoryCacheLayer:
+    def test_use_cache_false_builds_fresh(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        a = provider.get(FailureMode.CRASH, 3, 1, 2, use_cache=False)
+        b = provider.get(FailureMode.CRASH, 3, 1, 2, use_cache=False)
+        assert a is not b
+        info = provider.cache_info()
+        assert info["size"] == 0
+        assert info["hits"] == 0 and info["misses"] == 0
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_hits_and_misses_counted(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path), disk_cache=False)
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        info = provider.cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 1
+        assert info["size"] == 1
+        assert info["keys"] == [("crash", 3, 1, 2)]
+
+    def test_lru_bound_and_eviction_stats(self):
+        provider = SystemProvider(max_memory_entries=2, disk_cache=False)
+        provider.get(FailureMode.CRASH, 2, 1, 1)
+        provider.get(FailureMode.CRASH, 2, 1, 2)
+        provider.get(FailureMode.CRASH, 3, 1, 1)
+        info = provider.cache_info()
+        assert info["size"] == 2
+        assert info["evictions"] == 1
+        # The oldest key was the one evicted.
+        assert ("crash", 2, 1, 1) not in info["keys"]
+
+        stats = provider.clear()
+        assert stats["evicted"] == 2
+        assert provider.cache_info()["size"] == 0
+
+    def test_lru_order_refreshed_by_hits(self):
+        provider = SystemProvider(max_memory_entries=2, disk_cache=False)
+        provider.get(FailureMode.CRASH, 2, 1, 1)
+        provider.get(FailureMode.CRASH, 2, 1, 2)
+        provider.get(FailureMode.CRASH, 2, 1, 1)  # refresh
+        provider.get(FailureMode.CRASH, 3, 1, 1)  # evicts (2, 1, 2)
+        keys = provider.cache_info()["keys"]
+        assert ("crash", 2, 1, 1) in keys
+        assert ("crash", 2, 1, 2) not in keys
+
+
+class TestBuilderCacheApi:
+    def test_clear_system_cache_returns_eviction_stats(self):
+        crash_system(3, 1, 2)
+        stats = clear_system_cache()
+        assert isinstance(stats, dict)
+        assert stats["evicted"] >= 1
+        assert "disk_files_removed" in stats
+
+    def test_system_cache_info_exposes_hits_misses_size(self):
+        clear_system_cache()
+        before = system_cache_info()
+        crash_system(3, 1, 2)
+        crash_system(3, 1, 2)
+        after = system_cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"] + 1
+        assert after["size"] >= 1
+        for key in ("max_size", "evictions", "disk_enabled", "cache_dir"):
+            assert key in after
+
+
+class TestParallelEnumeration:
+    def test_parallel_crash_identical_to_serial(self):
+        serial = build_system(ExhaustiveCrashAdversary(3, 1, 2))
+        parallel = build_system(ExhaustiveCrashAdversary(3, 1, 2), workers=2)
+        assert_systems_identical(parallel, serial)
+        # Interned view ids are also identical, not just isomorphic.
+        assert serial.table.export_entries() == parallel.table.export_entries()
+
+    def test_parallel_omission_identical_to_serial(self):
+        serial = build_system(ExhaustiveOmissionAdversary(3, 1, 2))
+        parallel = build_system(
+            ExhaustiveOmissionAdversary(3, 1, 2), workers=3
+        )
+        assert_systems_identical(parallel, serial)
+        assert serial.table.export_entries() == parallel.table.export_entries()
+
+    def test_worker_env_override(self, monkeypatch):
+        from repro.model.system import _resolve_workers
+
+        monkeypatch.setenv("REPRO_BUILD_WORKERS", "3")
+        assert _resolve_workers(None, 1000) == 3
+        monkeypatch.delenv("REPRO_BUILD_WORKERS")
+        assert _resolve_workers(2, 10) == 2
+        # Auto policy stays serial below the threshold.
+        assert _resolve_workers(None, 10) == 1
+
+    def test_invalid_worker_count_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.model.system import _resolve_workers
+
+        with pytest.raises(ConfigurationError):
+            _resolve_workers(0, 100)
