@@ -11,8 +11,11 @@ checker or the simulator show up directly:
 * simulator throughput for the concrete protocols.
 """
 
+import time
+
 import pytest
 
+from repro import trace
 from repro.core.construction import two_step_optimization
 from repro.core.decision_sets import empty_pair
 from repro.knowledge.formulas import ContinualCommon, Exists
@@ -77,3 +80,35 @@ def test_formula_cache_hit_path(benchmark):
     formula = ContinualCommon(NONFAULTY, Exists(0))
     formula.evaluate(system)  # warm
     benchmark(lambda: formula.evaluate(system))
+
+
+def test_tracing_overhead_within_5_percent():
+    """Acceptance: keeping the span tracer enabled costs <=5% on
+    enumeration (the most span-dense tier-1 workload)."""
+
+    def workload():
+        return build_system(ExhaustiveCrashAdversary(4, 1, 3))
+
+    def measure(rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            workload()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    workload()  # warm imports and allocator
+    assert trace.TRACER.enabled
+    enabled_seconds = measure()
+    trace.TRACER.enabled = False
+    try:
+        disabled_seconds = measure()
+    finally:
+        trace.TRACER.enabled = True
+        trace.TRACER.clear()
+
+    assert enabled_seconds <= disabled_seconds * 1.05, (
+        f"span-tracing overhead "
+        f"{enabled_seconds / disabled_seconds - 1:.1%} exceeds 5% "
+        f"({enabled_seconds:.3f}s vs {disabled_seconds:.3f}s)"
+    )

@@ -1,0 +1,150 @@
+"""Produce one bench snapshot of the tier-1 micro benches.
+
+Standalone runner (not a pytest file): times the same hot paths as
+``bench_micro_core.py`` with a plain best-of-rounds ``perf_counter`` loop,
+then appends the snapshot to the JSONL history so
+``repro-eba bench-compare --history`` can diff consecutive CI runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py \
+        --label ci-$GITHUB_SHA --history BENCH_HISTORY.jsonl
+
+Timings use best-of-N (default 3) rounds: the minimum is the least noisy
+location statistic for CI machines with background load.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.bench.regression import (
+    BenchSnapshot,
+    DEFAULT_HISTORY,
+    append_history,
+    compare_snapshots,
+    load_history,
+)
+
+
+def _bench_enumerate_crash_n4() -> None:
+    from repro.model.adversary import ExhaustiveCrashAdversary
+    from repro.model.system import build_system
+
+    build_system(ExhaustiveCrashAdversary(4, 1, 3))
+
+
+def _bench_continual_ck_components() -> None:
+    from repro.knowledge.formulas import Exists
+    from repro.knowledge.nonrigid import NONFAULTY
+    from repro.knowledge.semantics import eval_continual_common_components
+    from repro.model.builder import crash_system
+
+    system = crash_system(4, 1, 3)
+    phi = Exists(1).evaluate(system)
+    run_level = [row[0] for row in phi.values]
+    eval_continual_common_components(system, NONFAULTY, run_level)
+
+
+def _bench_continual_ck_fixpoint() -> None:
+    from repro.knowledge.formulas import Exists
+    from repro.knowledge.nonrigid import NONFAULTY
+    from repro.knowledge.semantics import eval_continual_common
+    from repro.model.builder import crash_system
+
+    system = crash_system(3, 1, 3)
+    phi = Exists(1).evaluate(system)
+    eval_continual_common(system, NONFAULTY, phi)
+
+
+def _bench_two_step_construction() -> None:
+    from repro.core.construction import two_step_optimization
+    from repro.core.decision_sets import empty_pair
+    from repro.model.builder import crash_system
+
+    system = crash_system(3, 1, 3)
+    system.clear_caches()
+    two_step_optimization(system, empty_pair())
+
+
+def _bench_simulator_throughput() -> None:
+    from repro.model.builder import crash_system
+    from repro.protocols.p0opt import p0opt
+    from repro.sim.engine import run_over_scenarios
+
+    system = crash_system(4, 1, 3)
+    run_over_scenarios(p0opt(), system.scenarios(), 3, 1)
+
+
+#: The tier-1 micro benches tracked for regressions (mirrors
+#: ``bench_micro_core.py``).
+MICRO_BENCHES: Dict[str, Callable[[], None]] = {
+    "enumerate_crash_system_n4": _bench_enumerate_crash_n4,
+    "continual_ck_component_fast_path": _bench_continual_ck_components,
+    "continual_ck_fixpoint_reference": _bench_continual_ck_fixpoint,
+    "two_step_construction_crash_n3": _bench_two_step_construction,
+    "simulator_throughput_p0opt": _bench_simulator_throughput,
+}
+
+
+def best_of(bench: Callable[[], None], rounds: int) -> float:
+    """Best-of-*rounds* wall time, with one untimed warmup round."""
+    bench()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        bench()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def take_snapshot(label: str, rounds: int = 3) -> BenchSnapshot:
+    """Time every micro bench; return the snapshot."""
+    timings: Dict[str, float] = {}
+    for name, bench in MICRO_BENCHES.items():
+        timings[name] = best_of(bench, rounds)
+        print(f"{name:<40} {timings[name]:.6f}s", flush=True)
+    return BenchSnapshot(
+        label=label,
+        timings=timings,
+        meta={
+            "rounds": rounds,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record a micro-bench snapshot into the JSONL history"
+    )
+    parser.add_argument("--label", default="local", help="snapshot label")
+    parser.add_argument(
+        "--history", default=DEFAULT_HISTORY,
+        help=f"JSONL history path (default {DEFAULT_HISTORY})",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--no-append", action="store_true",
+        help="time only; do not write the history",
+    )
+    args = parser.parse_args(argv)
+    snapshot = take_snapshot(args.label, rounds=args.rounds)
+    previous = load_history(args.history)
+    if not args.no_append:
+        append_history(args.history, snapshot)
+        print(f"appended snapshot {args.label!r} to {args.history}")
+    if previous:
+        report = compare_snapshots(previous[-1], snapshot)
+        print()
+        print(report.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Benchmark regression tracking (snapshots, history, comparison)."""
+
+from .regression import (  # noqa: F401
+    BenchDelta,
+    BenchSnapshot,
+    RegressionReport,
+    append_history,
+    compare_snapshots,
+    load_history,
+    load_snapshot,
+    write_snapshot,
+)

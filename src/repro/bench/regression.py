@@ -1,0 +1,210 @@
+"""Benchmark snapshots and regression comparison.
+
+A *snapshot* is one timing run of the tier-1 micro benches — a label, a
+``name -> best-of-rounds seconds`` mapping, and free-form metadata.
+Snapshots append to a JSONL history file (``BENCH_HISTORY.jsonl`` at the
+repo root by convention; CI persists it across runs through the actions
+cache), and :func:`compare_snapshots` diffs two of them with a noise
+threshold so CI can fail on real slowdowns without flaking on timer
+jitter:
+
+* a bench **regresses** when it got slower by more than ``threshold``
+  (default 25%) *and* both timings sit above the ``min_seconds`` noise
+  floor — micro-timings under the floor are dominated by scheduler noise
+  and are reported but never failed on;
+* benches present on only one side are reported as added/removed, never as
+  regressions (renames must not break CI).
+
+The runnable entry point that produces snapshots lives in
+``benchmarks/regression.py``; ``repro-eba bench-compare`` drives the
+comparison from the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Slowdown fraction above which a bench counts as regressed.
+DEFAULT_THRESHOLD = 0.25
+
+#: Timings below this many seconds are treated as noise, never failed on.
+DEFAULT_MIN_SECONDS = 1e-3
+
+#: Conventional history location, relative to the working directory.
+DEFAULT_HISTORY = "BENCH_HISTORY.jsonl"
+
+
+@dataclass
+class BenchSnapshot:
+    """One timing run of the benchmark suite."""
+
+    label: str
+    timings: Dict[str, float]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "timings": {
+                name: float(seconds)
+                for name, seconds in sorted(self.timings.items())
+            },
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BenchSnapshot":
+        return cls(
+            label=str(payload.get("label", "")),
+            timings={
+                str(name): float(seconds)
+                for name, seconds in dict(payload.get("timings", {})).items()
+            },
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+@dataclass
+class BenchDelta:
+    """One bench's baseline-vs-candidate comparison."""
+
+    name: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    ratio: Optional[float]
+    regressed: bool
+    note: str = ""
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of :func:`compare_snapshots`."""
+
+    baseline_label: str
+    candidate_label: str
+    deltas: List[BenchDelta]
+    threshold: float
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        from ..metrics.tables import render_table
+
+        rows = []
+        for delta in self.deltas:
+            rows.append(
+                [
+                    delta.name,
+                    "-" if delta.baseline is None else f"{delta.baseline:.6f}",
+                    "-" if delta.candidate is None else f"{delta.candidate:.6f}",
+                    "-" if delta.ratio is None else f"{delta.ratio:.2f}x",
+                    "REGRESSED" if delta.regressed else (delta.note or "ok"),
+                ]
+            )
+        header = (
+            f"baseline: {self.baseline_label}  "
+            f"candidate: {self.candidate_label}  "
+            f"(threshold {self.threshold:.0%})"
+        )
+        table = render_table(
+            ["bench", "baseline s", "candidate s", "ratio", "status"], rows
+        )
+        verdict = (
+            "no regressions"
+            if self.ok
+            else f"{len(self.regressions)} bench(es) regressed"
+        )
+        return f"{header}\n{table}\n{verdict}"
+
+
+def compare_snapshots(
+    baseline: BenchSnapshot,
+    candidate: BenchSnapshot,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> RegressionReport:
+    """Diff two snapshots; see the module docstring for the semantics."""
+    deltas: List[BenchDelta] = []
+    names = sorted(set(baseline.timings) | set(candidate.timings))
+    for name in names:
+        before = baseline.timings.get(name)
+        after = candidate.timings.get(name)
+        if before is None:
+            deltas.append(
+                BenchDelta(name, None, after, None, False, "added")
+            )
+            continue
+        if after is None:
+            deltas.append(
+                BenchDelta(name, before, None, None, False, "removed")
+            )
+            continue
+        ratio = after / before if before > 0 else float("inf")
+        below_floor = before < min_seconds or after < min_seconds
+        regressed = ratio > 1.0 + threshold and not below_floor
+        note = ""
+        if below_floor and ratio > 1.0 + threshold:
+            note = "noise (below floor)"
+        elif ratio < 1.0 - threshold:
+            note = "improved"
+        deltas.append(
+            BenchDelta(name, before, after, ratio, regressed, note)
+        )
+    return RegressionReport(
+        baseline_label=baseline.label,
+        candidate_label=candidate.label,
+        deltas=deltas,
+        threshold=threshold,
+    )
+
+
+# -- persistence -------------------------------------------------------------
+
+def append_history(path: str, snapshot: BenchSnapshot) -> None:
+    """Append one snapshot to the JSONL history at *path*."""
+    with open(path, "a") as handle:
+        handle.write(json.dumps(snapshot.to_dict(), sort_keys=True) + "\n")
+
+
+def load_history(path: str) -> List[BenchSnapshot]:
+    """All snapshots in the JSONL history (oldest first).
+
+    Tolerates a missing file and skips malformed lines — a corrupt cache
+    entry must not break CI.
+    """
+    if not os.path.exists(path):
+        return []
+    snapshots: List[BenchSnapshot] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snapshots.append(BenchSnapshot.from_dict(json.loads(line)))
+            except (ValueError, TypeError, AttributeError):
+                continue
+    return snapshots
+
+
+def write_snapshot(path: str, snapshot: BenchSnapshot) -> None:
+    """Write one snapshot as a standalone JSON file."""
+    with open(path, "w") as handle:
+        json.dump(snapshot.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_snapshot(path: str) -> BenchSnapshot:
+    """Read a standalone snapshot JSON file."""
+    with open(path) as handle:
+        return BenchSnapshot.from_dict(json.load(handle))

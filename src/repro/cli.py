@@ -9,7 +9,21 @@ Usage::
     repro-eba compare P0opt P0 --mode crash -n 4 -t 1
     repro-eba diagram P0opt --config 011 --crash 0:1:1
     repro-eba stats                # system-cache state and disk inventory
+    repro-eba stats --json         # the same, machine-readable
     repro-eba run E2 --stats       # append instrumentation totals
+    repro-eba trace run E04 --out trace.json   # Chrome/Perfetto trace
+    repro-eba explain E4           # list explainable formulas for E4
+    repro-eba explain E4 common-exists1 --point 5:2
+    repro-eba bench-compare --history BENCH_HISTORY.jsonl
+
+Experiment ids are normalized (``E04``, ``e4`` and ``4`` all mean
+``E4``).  ``trace run`` executes experiments with the span tracer on and
+writes the finished spans as a Chrome trace-event file (loadable in
+``chrome://tracing`` or Perfetto) or as JSONL.  ``explain`` re-derives a
+knowledge verdict together with machine-checkable evidence — an
+indistinguishability chain to a counterexample point, or the Corollary 3.3
+reachability component.  ``bench-compare`` diffs micro-bench snapshots
+recorded by ``benchmarks/regression.py``.
 
 ``--stats`` (available on ``run``, ``compare`` and ``diagram``) prints the
 process-wide :mod:`repro.obs` instrumentation — stage wall times, runs
@@ -66,10 +80,25 @@ def _cmd_list() -> int:
     return 0
 
 
+def normalize_experiment_id(experiment_id: str) -> str:
+    """Canonicalize user-supplied experiment ids: E04 / e4 / 4 -> E4."""
+    text = experiment_id.strip().upper()
+    if text.startswith("E"):
+        text = text[1:]
+    if text.isdigit():
+        return f"E{int(text)}"
+    return experiment_id
+
+
 def _cmd_run(
     ids: List[str], run_all: bool, skip: List[str], json_path: str = None
 ) -> int:
-    selected = list(EXPERIMENTS) if run_all else ids
+    skip = [normalize_experiment_id(eid) for eid in skip]
+    selected = (
+        list(EXPERIMENTS)
+        if run_all
+        else [normalize_experiment_id(eid) for eid in ids]
+    )
     selected = [eid for eid in selected if eid not in skip]
     if not selected:
         print("nothing to run; try `repro-eba list`", file=sys.stderr)
@@ -177,7 +206,7 @@ def _print_stats() -> None:
     )
 
 
-def _cmd_stats(clear: bool) -> int:
+def _cmd_stats(clear: bool, as_json: bool = False) -> int:
     from .model.builder import clear_system_cache
     from .model.provider import get_provider
 
@@ -188,6 +217,19 @@ def _cmd_stats(clear: bool) -> int:
             f"{stats['disk_files_removed']} disk file(s)"
         )
         return 0
+    if as_json:
+        import json as json_module
+
+        from . import obs
+        from .model.builder import system_cache_info
+
+        payload = {
+            "instrumentation": obs.snapshot(),
+            "system_cache": system_cache_info(),
+            "disk_entries": get_provider().disk_entries(),
+        }
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
     _print_stats()
     entries = get_provider().disk_entries()
     if entries:
@@ -197,6 +239,122 @@ def _cmd_stats(clear: bool) -> int:
     else:
         print("disk cache inventory: (empty)")
     return 0
+
+
+def _cmd_trace(ids: List[str], out_path: str, fmt: str) -> int:
+    """Run experiments under the span tracer; export the finished spans."""
+    from . import trace as spantrace
+    from .trace import write_chrome_trace, write_jsonl
+
+    ids = [normalize_experiment_id(eid) for eid in ids]
+    mark = spantrace.watermark()
+    failures = 0
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+        if not result.ok:
+            failures += 1
+    spans = spantrace.collect(mark)
+    if fmt == "jsonl":
+        count = write_jsonl(spans, out_path)
+    else:
+        count = write_chrome_trace(spans, out_path)
+    print(f"wrote {count} span(s) to {out_path} ({fmt})")
+    return 1 if failures else 0
+
+
+def _parse_point(spec: str):
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise ReproError(f"bad --point spec {spec!r}; expected RUN:TIME")
+    return (int(parts[0]), int(parts[1]))
+
+
+def _cmd_explain(
+    experiment_id: str, formula_key: str, point_spec: str, n: int, t: int
+) -> int:
+    """Explain a catalog formula's verdict, with a machine re-check."""
+    from .knowledge.explain import (
+        EXPLAIN_CATALOG,
+        catalog_system,
+        default_point,
+        explain,
+        render_explanation,
+    )
+
+    experiment_id = normalize_experiment_id(experiment_id)
+    entries = EXPLAIN_CATALOG.get(experiment_id)
+    if not entries:
+        print(
+            f"no explainable formulas registered for {experiment_id}; "
+            f"available: {', '.join(EXPLAIN_CATALOG)}",
+            file=sys.stderr,
+        )
+        return 2
+    if formula_key is None:
+        for key, entry in entries.items():
+            print(f"{key:<28} {entry.description}")
+        return 0
+    entry = entries.get(formula_key)
+    if entry is None:
+        print(
+            f"unknown formula {formula_key!r} for {experiment_id}; "
+            f"available: {', '.join(entries)}",
+            file=sys.stderr,
+        )
+        return 2
+    system = catalog_system(entry, n, t)
+    formula = entry.build(system)
+    point = (
+        _parse_point(point_spec)
+        if point_spec is not None
+        else default_point(system, formula)
+    )
+    explanation = explain(system, formula, point)
+    print(render_explanation(explanation))
+    problems = explanation.check(system)
+    if problems:
+        print("machine check FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("machine check: OK")
+    return 0
+
+
+def _cmd_bench_compare(
+    paths: List[str], history: str, threshold: float
+) -> int:
+    """Diff two bench snapshots (files, or the history's last two)."""
+    from .bench.regression import (
+        compare_snapshots,
+        load_history,
+        load_snapshot,
+    )
+
+    if history is not None:
+        snapshots = load_history(history)
+        if len(snapshots) < 2:
+            print(
+                f"history {history} holds {len(snapshots)} snapshot(s); "
+                "need 2 to compare — nothing to do"
+            )
+            return 0
+        baseline, candidate = snapshots[-2], snapshots[-1]
+    elif len(paths) == 2:
+        baseline = load_snapshot(paths[0])
+        candidate = load_snapshot(paths[1])
+    else:
+        print(
+            "give two snapshot files, or --history FILE for its last "
+            "two entries",
+            file=sys.stderr,
+        )
+        return 2
+    report = compare_snapshots(baseline, candidate, threshold=threshold)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_protocols() -> int:
@@ -320,6 +478,56 @@ def main(argv: List[str] = None) -> int:
         "--clear", action="store_true",
         help="clear the in-memory and on-disk system caches",
     )
+    stats_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the stats as JSON (obs.snapshot() shape)",
+    )
+    trace_parser = subparsers.add_parser(
+        "trace", help="run experiments and export a span trace"
+    )
+    trace_parser.add_argument(
+        "action", choices=["run"], help="only 'run' is defined"
+    )
+    trace_parser.add_argument(
+        "trace_ids", nargs="+", metavar="ID", help="experiment ids"
+    )
+    trace_parser.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="output file (default trace.json)",
+    )
+    trace_parser.add_argument(
+        "--format", default="chrome", choices=["chrome", "jsonl"],
+        help="chrome trace-event JSON (Perfetto-loadable) or raw JSONL",
+    )
+    explain_parser = subparsers.add_parser(
+        "explain", help="explain a knowledge verdict with checkable evidence"
+    )
+    explain_parser.add_argument("experiment", help="experiment id, e.g. E4")
+    explain_parser.add_argument(
+        "formula", nargs="?", default=None,
+        help="catalog formula key (omit to list them)",
+    )
+    explain_parser.add_argument(
+        "--point", default=None, metavar="RUN:TIME",
+        help="point to explain (default: first failing point)",
+    )
+    explain_parser.add_argument("-n", type=int, default=3)
+    explain_parser.add_argument("-t", type=int, default=1)
+    bench_parser = subparsers.add_parser(
+        "bench-compare", help="diff micro-bench snapshots for regressions"
+    )
+    bench_parser.add_argument(
+        "snapshots", nargs="*", metavar="SNAPSHOT",
+        help="two snapshot JSON files (or use --history)",
+    )
+    bench_parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="JSONL history; compares its last two entries",
+    )
+    bench_parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="slowdown fraction that counts as a regression (default 0.25)",
+    )
     compare_parser = subparsers.add_parser(
         "compare", help="compare protocols over an exhaustive system"
     )
@@ -356,7 +564,17 @@ def main(argv: List[str] = None) -> int:
     if args.command == "protocols":
         return _cmd_protocols()
     if args.command == "stats":
-        return _cmd_stats(args.clear)
+        return _cmd_stats(args.clear, args.json)
+    if args.command == "trace":
+        return _cmd_trace(args.trace_ids, args.out, args.format)
+    if args.command == "explain":
+        return _cmd_explain(
+            args.experiment, args.formula, args.point, args.n, args.t
+        )
+    if args.command == "bench-compare":
+        return _cmd_bench_compare(
+            args.snapshots, args.history, args.threshold
+        )
     if args.command == "compare":
         status = _cmd_compare(args.names, args.mode, args.n, args.t)
     elif args.command == "diagram":

@@ -22,6 +22,7 @@ from ..knowledge.axioms import (
     check_induction_rule,
     check_run_invariance,
 )
+from ..knowledge.explain import explain, render_witness_table
 from ..knowledge.formulas import (
     AllStarted,
     Believes,
@@ -40,6 +41,7 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
     rows = []
     all_ok = True
     strict_witness_found = False
+    witness_explanation = None
     for mode_name, system in (
         ("crash", crash_system(n, t, horizon)),
         ("omission", omission_system(n, t, horizon)),
@@ -66,11 +68,23 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
         # Strictness witness: C_N ∃1 without C□_N ∃1 somewhere.
         common = Common(NONFAULTY, Exists(1)).evaluate(system)
         continual = fast
-        witness = any(
-            common.at(run_index, time) and not continual.at(run_index, time)
-            for run_index in range(len(system.runs))
-            for time in range(system.horizon + 1)
+        witness_point = next(
+            (
+                (run_index, time)
+                for run_index in range(len(system.runs))
+                for time in range(system.horizon + 1)
+                if common.at(run_index, time)
+                and not continual.at(run_index, time)
+            ),
+            None,
         )
+        witness = witness_point is not None
+        if witness and witness_explanation is None:
+            explanation = explain(
+                system, ContinualCommon(NONFAULTY, Exists(1)), witness_point
+            )
+            if not explanation.check(system):
+                witness_explanation = (mode_name, explanation)
         strict_witness_found = strict_witness_found or witness
         rows.append(
             [mode_name, len(system.runs),
@@ -81,6 +95,17 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
     table = render_table(
         ["mode", "runs", "Lemma 3.4 axioms", "C without C□ witness"], rows
     )
+    data = {"strict_witness": strict_witness_found}
+    if witness_explanation is not None:
+        witness_mode, explanation = witness_explanation
+        point = explanation.point
+        table += (
+            f"\n\nstrictness witness ({witness_mode} mode): C_N ∃1 holds "
+            f"but C□_N ∃1 fails at point ({point[0]},{point[1]}); the "
+            "S-□-reachability chain below reaches a run violating ∃1:\n"
+            + render_witness_table(explanation)
+        )
+        data["witness"] = explanation.to_dict()
     return ExperimentResult(
         experiment_id="E4",
         title="Continual common knowledge: Lemma 3.4 and strictness",
@@ -96,5 +121,5 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
             "fast reachability-component evaluator cross-checked against "
             "the greatest-fixed-point definition",
         ],
-        data={"strict_witness": strict_witness_found},
+        data=data,
     )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from ..core.domination import compare
 from ..core.specs import check_nontrivial_agreement
+from ..knowledge.explain import explain, render_witness_table
 from ..knowledge.formulas import (
     Believes,
     Common,
@@ -46,6 +47,7 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
     rows = []
     ok = True
     strict_somewhere = False
+    weaker_explanation = None
     for mode_name, system, optimal_pair_factory in (
         ("crash", crash_system(n, t, horizon), f_lambda_2_pair),
         ("omission", omission_system(n, t, horizon), f_star_pair),
@@ -61,11 +63,23 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
 
         common = Common(NONFAULTY, Exists(1)).evaluate(system)
         eventual = ec_one.evaluate(system)
-        strictly_weaker = any(
-            eventual.at(run_index, time) and not common.at(run_index, time)
-            for run_index in range(len(system.runs))
-            for time in range(system.horizon + 1)
+        weaker_point = next(
+            (
+                (run_index, time)
+                for run_index in range(len(system.runs))
+                for time in range(system.horizon + 1)
+                if eventual.at(run_index, time)
+                and not common.at(run_index, time)
+            ),
+            None,
         )
+        strictly_weaker = weaker_point is not None
+        if strictly_weaker and weaker_explanation is None:
+            explanation = explain(
+                system, Common(NONFAULTY, Exists(1)), weaker_point
+            )
+            if not explanation.check(system):
+                weaker_explanation = (mode_name, explanation)
 
         # The §3.2 consistency failure: some point where one processor
         # believes C◇∃0 and another believes C◇∃1.
@@ -126,6 +140,18 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
          "optimal dominates F₀", "strictly"],
         rows,
     )
+    data = {}
+    if weaker_explanation is not None:
+        weaker_mode, explanation = weaker_explanation
+        point = explanation.point
+        table += (
+            f"\n\nstrictly-weaker witness ({weaker_mode} mode): C◇_N ∃1 "
+            f"holds but C_N ∃1 fails at point ({point[0]},{point[1]}), "
+            f"eliminated at fixpoint iteration {explanation.eliminated_at}; "
+            "the indistinguishability chain reaches a ¬∃1 point:\n"
+            + render_witness_table(explanation)
+        )
+        data["witness"] = explanation.to_dict()
     return ExperimentResult(
         experiment_id="E21",
         title="Eventual common knowledge is the wrong tool (Section 3.2)",
@@ -142,5 +168,5 @@ def run(n: int = 3, t: int = 1, horizon: int = None) -> ExperimentResult:
             "the consistency-failure witness is what rules out symmetric "
             "decide-on-C◇ rules (they would disagree at that point)",
         ],
-        data={},
+        data=data,
     )

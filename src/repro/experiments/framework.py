@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
-from .. import obs
+from .. import obs, trace
 
 
 @dataclass
@@ -81,6 +81,18 @@ def attach_instrumentation(
     ``result.data["instrumentation"]``.
     """
     result.data["instrumentation"] = obs.delta_since(before)
+    return result
+
+
+def attach_trace(result: ExperimentResult, mark: int) -> ExperimentResult:
+    """Stamp *result* with the span tree recorded since watermark *mark*.
+
+    *mark* is a :func:`repro.trace.watermark` taken just before the
+    experiment ran; every span finished since — system builds, fixpoint
+    evaluations, simulator executions, and the experiment span itself —
+    lands as a nested tree in ``result.data["trace"]``.
+    """
+    result.data["trace"] = trace.span_tree(trace.collect(mark))
     return result
 
 

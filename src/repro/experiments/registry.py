@@ -27,8 +27,8 @@ from . import (
     e20_scaling_gains,
     e21_eventual_ck,
 )
-from .. import obs
-from .framework import ExperimentResult, attach_instrumentation
+from .. import obs, trace
+from .framework import ExperimentResult, attach_instrumentation, attach_trace
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E1": e01_no_optimum.run,
@@ -64,7 +64,9 @@ def run_experiment(experiment_id: str, **params) -> ExperimentResult:
     """Run one experiment by id.
 
     The returned result's ``data["instrumentation"]`` holds the stage
-    timings and cache counters accumulated while this experiment ran.
+    timings and cache counters accumulated while this experiment ran, and
+    ``data["trace"]`` the nested span tree (experiment span at the root,
+    builder / fixpoint / simulator spans below it).
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -74,7 +76,11 @@ def run_experiment(experiment_id: str, **params) -> ExperimentResult:
             f"known: {', '.join(EXPERIMENTS)}"
         ) from None
     before = obs.snapshot()
-    return attach_instrumentation(runner(**params), before)
+    mark = trace.watermark()
+    with trace.span(f"experiment.{experiment_id}", experiment=experiment_id):
+        result = runner(**params)
+    attach_instrumentation(result, before)
+    return attach_trace(result, mark)
 
 
 def run_all(skip: List[str] = ()) -> List[ExperimentResult]:

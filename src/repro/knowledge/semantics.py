@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from .. import obs
+from .. import obs, trace
 from ..model.system import Point, System, TruthAssignment
 from .nonrigid import NonrigidSet
 
@@ -41,7 +41,6 @@ def eval_knows(
     it.
     """
     result = TruthAssignment.constant(system, False)
-    table = system.table
     seen: Dict[int, bool] = {}
     for run_index, run in enumerate(system.runs):
         for time in range(system.horizon + 1):
@@ -54,9 +53,6 @@ def eval_knows(
                 )
                 seen[view] = value
             result.values[run_index][time] = value
-    # Silence the unused-variable lint for `table`; kept for symmetry with
-    # eval_believes which needs it.
-    del table
     return result
 
 
@@ -119,13 +115,17 @@ def eval_common(
     shrinks the true set until stable, so termination is guaranteed on a
     finite system.
     """
-    current = TruthAssignment.constant(system, True)
-    while True:
-        obs.count("fixpoint_iterations")
-        candidate = eval_everyone(system, nonrigid, phi.conjoin(current))
-        if candidate == current:
-            return current
-        current = candidate
+    with trace.span("fixpoint.common") as fixpoint_span:
+        iterations = 0
+        current = TruthAssignment.constant(system, True)
+        while True:
+            obs.count("fixpoint_iterations")
+            iterations += 1
+            candidate = eval_everyone(system, nonrigid, phi.conjoin(current))
+            if candidate == current:
+                fixpoint_span.set("iterations", iterations)
+                return current
+            current = candidate
 
 
 def eval_always(system: System, phi: TruthAssignment) -> TruthAssignment:
@@ -178,13 +178,19 @@ def eval_continual_common(
     the component algorithm :func:`eval_continual_common_components` is
     equivalent (Corollary 3.3) and much faster.  Tests cross-check the two.
     """
-    current = TruthAssignment.constant(system, True)
-    while True:
-        obs.count("fixpoint_iterations")
-        candidate = eval_everyone_box(system, nonrigid, phi.conjoin(current))
-        if candidate == current:
-            return current
-        current = candidate
+    with trace.span("fixpoint.continual_common") as fixpoint_span:
+        iterations = 0
+        current = TruthAssignment.constant(system, True)
+        while True:
+            obs.count("fixpoint_iterations")
+            iterations += 1
+            candidate = eval_everyone_box(
+                system, nonrigid, phi.conjoin(current)
+            )
+            if candidate == current:
+                fixpoint_span.set("iterations", iterations)
+                return current
+            current = candidate
 
 
 def eval_eventual_common(
@@ -202,15 +208,19 @@ def eval_eventual_common(
     Satisfies ``◇ C_S φ ⇒ C◇_S φ`` (if φ ever becomes common knowledge it
     is eventual common knowledge) — checked in tests.
     """
-    current = TruthAssignment.constant(system, True)
-    while True:
-        obs.count("fixpoint_iterations")
-        candidate = eval_eventually(
-            system, eval_everyone(system, nonrigid, phi.conjoin(current))
-        )
-        if candidate == current:
-            return current
-        current = candidate
+    with trace.span("fixpoint.eventual_common") as fixpoint_span:
+        iterations = 0
+        current = TruthAssignment.constant(system, True)
+        while True:
+            obs.count("fixpoint_iterations")
+            iterations += 1
+            candidate = eval_eventually(
+                system, eval_everyone(system, nonrigid, phi.conjoin(current))
+            )
+            if candidate == current:
+                fixpoint_span.set("iterations", iterations)
+                return current
+            current = candidate
 
 
 class _UnionFind:
@@ -285,7 +295,9 @@ def eval_continual_common_components(
         run_level_phi: ``run_level_phi[run_index]`` — truth of φ in the run
             (φ must be time-independent).
     """
-    with obs.stage("reachability_components"):
+    with obs.stage("reachability_components"), trace.span(
+        "reachability_components", runs=len(system.runs)
+    ):
         components = run_reachability_components(system, nonrigid)
     component_ok: Dict[int, bool] = {}
     for run_index, component in enumerate(components):

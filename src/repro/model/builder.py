@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence
 
+from .. import trace
 from .adversary import ExplicitAdversary
 from .config import InitialConfiguration
 from .failures import FailureMode, FailurePattern
@@ -125,7 +126,11 @@ def restricted_system(
         mode=mode,
         include_failure_free=include_failure_free,
     )
-    return build_system(adversary, configs=configs)
+    with trace.span(
+        "restricted_system", mode=mode.value, n=n, t=t, horizon=horizon,
+        patterns=len(patterns),
+    ):
+        return build_system(adversary, configs=configs)
 
 
 def clear_system_cache(*, disk: bool = False) -> Dict[str, int]:

@@ -30,7 +30,7 @@ import tempfile
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .. import obs
+from .. import obs, trace
 from ..errors import ConfigurationError
 from .adversary import exhaustive_adversary
 from .config import InitialConfiguration
@@ -130,10 +130,16 @@ class SystemProvider:
             return cached
         self._misses += 1
         obs.count("system_cache_misses")
-        system = self._load_from_disk(key, mode, n, t, horizon)
-        if system is None:
-            system = self._build(mode, n, t, horizon, None, workers)
-            self._store_to_disk(key, system)
+        with trace.span(
+            "provider.get", mode=mode.value, n=n, t=t, horizon=horizon
+        ) as lookup_span:
+            system = self._load_from_disk(key, mode, n, t, horizon)
+            if system is None:
+                lookup_span.set("source", "build")
+                system = self._build(mode, n, t, horizon, None, workers)
+                self._store_to_disk(key, system)
+            else:
+                lookup_span.set("source", "disk")
         self._remember(key, system)
         return system
 

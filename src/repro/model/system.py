@@ -19,7 +19,7 @@ import multiprocessing
 import os
 from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .. import obs
+from .. import obs, trace
 from ..errors import ConfigurationError, EvaluationError
 from .adversary import Adversary
 from .config import InitialConfiguration, all_configurations
@@ -209,7 +209,9 @@ class System:
             obs.count("formula_cache_hits")
             return existing
         obs.count("formula_cache_misses")
-        with obs.stage("formula_eval"):
+        with obs.stage("formula_eval"), trace.span(
+            "formula_eval", key=_short_key(key)
+        ):
             result = compute()
         self._formula_cache[key] = result
         return result
@@ -229,6 +231,12 @@ class System:
         """Drop all memoized evaluations (mainly for tests)."""
         self._formula_cache.clear()
         self._nonrigid_cache.clear()
+
+
+def _short_key(key: object, limit: int = 96) -> str:
+    """A bounded textual form of a structural cache key for span labels."""
+    text = repr(key)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
 #: Minimum scenario count before the auto worker policy considers forking.
@@ -257,16 +265,34 @@ def _resolve_workers(workers: Optional[int], num_scenarios: int) -> int:
     return min(workers, max(1, num_scenarios))
 
 
-def _build_chunk(args) -> Tuple[list, List[Run]]:
+def _build_chunk(args):
     """Worker entry point: build a contiguous scenario slice into a fresh
-    table and return it together with the table's exported entries."""
+    table and return it with the table's exported entries, the worker's
+    instrumentation delta and its trace spans.
+
+    Counters (``runs_built``) are accumulated *in the worker* and shipped
+    back as an :func:`repro.obs.delta_since` delta — the parent folds them
+    into its own :class:`~repro.obs.Instrumentation` so parallel and serial
+    builds report identical totals.  (``views_interned`` is deliberately
+    *not* counted here: worker tables are private and re-interned by the
+    parent, which counts the merged total.)  Spans are exported relative to
+    the chunk span's start so the parent can graft them into its timeline.
+    """
     scenarios, horizon = args
-    table = ViewTable()
-    runs = [
-        build_run(config, pattern, horizon, table)
-        for config, pattern in scenarios
-    ]
-    return table.export_entries(), runs
+    obs_before = obs.snapshot()
+    mark = trace.TRACER.watermark()
+    with trace.TRACER.span("build_chunk", scenarios=len(scenarios)) as chunk_span:
+        table = ViewTable()
+        runs = [
+            build_run(config, pattern, horizon, table)
+            for config, pattern in scenarios
+        ]
+        obs.count("runs_built", len(runs))
+    spans = trace.export_spans(trace.TRACER.collect(mark))
+    base = chunk_span.start if spans else 0.0
+    for exported in spans:
+        exported["start"] = float(exported["start"]) - base
+    return table.export_entries(), runs, obs.delta_since(obs_before), spans
 
 
 def _build_runs_parallel(
@@ -292,18 +318,27 @@ def _build_runs_parallel(
         size = base + (1 if index < extra else 0)
         chunks.append(scenarios[start:start + size])
         start += size
-    with multiprocessing.Pool(workers) as pool:
-        results = pool.map(
-            _build_chunk, [(chunk, horizon) for chunk in chunks]
-        )
-    runs: List[Run] = []
-    for entries, chunk_runs in results:
-        mapping = merge_entries(table, entries)
-        for run in chunk_runs:
-            run.views = [
-                tuple(mapping[view] for view in row) for row in run.views
-            ]
-            runs.append(run)
+    with trace.span(
+        "parallel_build", workers=workers, chunks=chunk_count
+    ) as build_span:
+        with multiprocessing.Pool(workers) as pool:
+            results = pool.map(
+                _build_chunk, [(chunk, horizon) for chunk in chunks]
+            )
+        parent_id = trace.TRACER.current_span_id()
+        offset = getattr(build_span, "start", 0.0)
+        runs: List[Run] = []
+        for entries, chunk_runs, worker_delta, worker_spans in results:
+            obs.merge_delta(worker_delta)
+            trace.TRACER.graft(
+                worker_spans, parent_id=parent_id, offset=offset
+            )
+            mapping = merge_entries(table, entries)
+            for run in chunk_runs:
+                run.views = [
+                    tuple(mapping[view] for view in row) for row in run.views
+                ]
+                runs.append(run)
     return runs
 
 
@@ -354,15 +389,28 @@ def build_system(
     ]
     workers = _resolve_workers(workers, len(scenarios))
     views_before = len(table)
-    with obs.stage("build_system"):
+    with obs.stage("build_system"), trace.span(
+        "build_system",
+        mode=None if adversary.mode is None else adversary.mode.value,
+        n=n,
+        t=t,
+        horizon=horizon,
+        scenarios=len(scenarios),
+        workers=workers,
+    ) as build_span:
         if workers > 1:
+            # Workers count runs_built themselves (folded back by
+            # _build_runs_parallel), so the parent must not recount.
             runs = _build_runs_parallel(scenarios, horizon, table, workers)
         else:
-            runs = [
-                build_run(config, pattern, horizon, table)
-                for config, pattern in scenarios
-            ]
-        system = System(n, t, horizon, runs, table, adversary.mode)
-    obs.count("runs_built", len(runs))
+            with trace.span("enumerate_runs", scenarios=len(scenarios)):
+                runs = [
+                    build_run(config, pattern, horizon, table)
+                    for config, pattern in scenarios
+                ]
+            obs.count("runs_built", len(runs))
+        with trace.span("index_system", runs=len(runs)):
+            system = System(n, t, horizon, runs, table, adversary.mode)
+        build_span.set("views_interned", len(table) - views_before)
     obs.count("views_interned", len(table) - views_before)
     return system

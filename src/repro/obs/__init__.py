@@ -36,6 +36,7 @@ __all__ = [
     "stage",
     "snapshot",
     "delta_since",
+    "merge_delta",
     "reset",
     "format_summary",
 ]
@@ -103,6 +104,21 @@ class Instrumentation:
         }
         return {"counters": counters, "timers": timers}
 
+    def merge_delta(self, delta: Dict[str, Dict[str, float]]) -> None:
+        """Fold a snapshot/delta from another process into this instance.
+
+        Used by the parallel system builder: each worker returns the
+        :func:`delta_since` it accumulated while building its chunk, and the
+        parent folds those into its own totals so parallel and serial builds
+        report identical counters.
+        """
+        if not self.enabled:
+            return
+        for name, value in delta.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+        for name, value in delta.get("timers", {}).items():
+            self.timers[name] = self.timers.get(name, 0.0) + float(value)
+
     def reset(self) -> None:
         """Zero all counters and timers (mainly for tests)."""
         self.counters.clear()
@@ -131,6 +147,11 @@ def snapshot() -> Dict[str, Dict[str, float]]:
 def delta_since(before: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
     """Process-wide totals accumulated since *before*."""
     return OBS.delta_since(before)
+
+
+def merge_delta(delta: Dict[str, Dict[str, float]]) -> None:
+    """Fold a worker-process delta into the process-wide totals."""
+    OBS.merge_delta(delta)
 
 
 def reset() -> None:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .. import trace as spantrace
 from ..core.outcomes import DecisionRecord, ProtocolOutcome
 from ..errors import ConfigurationError
 from ..model.config import InitialConfiguration
@@ -47,7 +48,24 @@ def execute(
     if horizon < 1:
         raise ConfigurationError(f"need horizon >= 1, got {horizon}")
     pattern.validate(n, t)
+    with spantrace.span(
+        "sim.execute", protocol=protocol.name, n=n, rounds=horizon
+    ) as execute_span:
+        trace = _execute_rounds(protocol, config, pattern, horizon, n, t)
+        execute_span.set("sent", trace.total_sent())
+        execute_span.set("delivered", trace.total_delivered())
+    return trace
 
+
+def _execute_rounds(
+    protocol: ConcreteProtocol,
+    config: InitialConfiguration,
+    pattern: FailurePattern,
+    horizon: int,
+    n: int,
+    t: int,
+) -> Trace:
+    """The round loop of :func:`execute` (split out for span bookkeeping)."""
     states = [
         protocol.initial_state(processor, n, t, config.value_of(processor))
         for processor in range(n)
@@ -126,8 +144,16 @@ def run_over_scenarios(
     output.
     """
     outcome = ProtocolOutcome(protocol.name)
-    for config, pattern in scenarios:
-        outcome.add(execute(protocol, config, pattern, horizon, t).to_outcome())
+    with spantrace.span(
+        "sim.run_over_scenarios", protocol=protocol.name, rounds=horizon
+    ) as batch_span:
+        count = 0
+        for config, pattern in scenarios:
+            outcome.add(
+                execute(protocol, config, pattern, horizon, t).to_outcome()
+            )
+            count += 1
+        batch_span.set("scenarios", count)
     return outcome
 
 

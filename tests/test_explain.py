@@ -1,0 +1,295 @@
+"""Tests for :mod:`repro.knowledge.explain` — explanation soundness.
+
+The acceptance bar: for every catalog formula of E4/E5/E21, the explanation
+must be *machine-checkable* — re-evaluating the formula (and its operand at
+the witness point) reproduces the recorded verdict, every
+indistinguishability step is a genuinely shared view, and component
+evidence really covers the point's reachability component.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.knowledge.explain import (
+    EXPLAIN_CATALOG,
+    catalog_system,
+    default_point,
+    explain,
+    fixpoint_eliminations,
+    render_explanation,
+    render_witness_table,
+)
+from repro.knowledge.formulas import (
+    And,
+    Believes,
+    Common,
+    ContinualCommon,
+    EventualCommon,
+    Everyone,
+    Exists,
+    Knows,
+    Not,
+)
+from repro.knowledge.nonrigid import NONFAULTY
+
+
+def _points_with_verdict(system, formula, verdict, limit=3):
+    truth = formula.evaluate(system)
+    found = []
+    for run_index in range(len(system.runs)):
+        for time in range(system.horizon + 1):
+            if truth.at(run_index, time) == verdict:
+                found.append((run_index, time))
+                if len(found) == limit:
+                    return found
+    return found
+
+
+_CATALOG_CASES = [
+    (experiment_id, key)
+    for experiment_id, entries in sorted(EXPLAIN_CATALOG.items())
+    for key in sorted(entries)
+]
+
+
+class TestCatalogMachineCheck:
+    """Every E4/E5/E21 catalog formula: explanations verify at failing
+    AND succeeding points."""
+
+    @pytest.mark.parametrize("experiment_id,key", _CATALOG_CASES)
+    def test_explanations_are_sound(self, experiment_id, key):
+        entry = EXPLAIN_CATALOG[experiment_id][key]
+        system = catalog_system(entry)
+        formula = entry.build(system)
+        points = _points_with_verdict(system, formula, False, limit=2)
+        points += _points_with_verdict(system, formula, True, limit=2)
+        assert points, "formula has no points at all"
+        for point in points:
+            explanation = explain(system, formula, point)
+            problems = explanation.check(system)
+            assert not problems, (
+                f"{experiment_id}/{key} at {point}: {problems}"
+            )
+
+    @pytest.mark.parametrize("experiment_id,key", _CATALOG_CASES)
+    def test_failure_witness_reproduces_verdict(self, experiment_id, key):
+        """Re-evaluating the operand at the witness reproduces the
+        failure for every catalog formula that fails somewhere."""
+        entry = EXPLAIN_CATALOG[experiment_id][key]
+        system = catalog_system(entry)
+        formula = entry.build(system)
+        failing = _points_with_verdict(system, formula, False, limit=1)
+        if not failing:
+            pytest.skip("formula valid everywhere on this system")
+        explanation = explain(system, formula, failing[0])
+        assert not explanation.verdict
+        assert explanation.witness is not None
+        operand = getattr(formula, "operand", None)
+        assert operand is not None
+        assert not operand.holds_at(system, *explanation.witness)
+
+    @pytest.mark.parametrize("experiment_id,key", _CATALOG_CASES)
+    def test_to_dict_is_json_serializable(self, experiment_id, key):
+        entry = EXPLAIN_CATALOG[experiment_id][key]
+        system = catalog_system(entry)
+        formula = entry.build(system)
+        explanation = explain(
+            system, formula, default_point(system, formula)
+        )
+        json.dumps(explanation.to_dict())
+
+
+class TestChainSoundness:
+    def test_knows_failure_chain_shares_the_view(self, crash3):
+        formula = Knows(0, Exists(1))
+        point = _points_with_verdict(crash3, formula, False, limit=1)[0]
+        explanation = explain(crash3, formula, point)
+        (step,) = explanation.chain
+        assert step.processor == 0
+        view_at_point = crash3.runs[point[0]].view(0, point[1])
+        view_at_witness = crash3.runs[step.to_point[0]].view(
+            0, step.to_point[1]
+        )
+        assert view_at_point == view_at_witness == step.view
+
+    def test_fixpoint_chain_levels_strictly_decrease(self, crash3):
+        formula = Common(NONFAULTY, Exists(1))
+        point = _points_with_verdict(crash3, formula, False, limit=1)[0]
+        explanation = explain(crash3, formula, point)
+        _, eliminated, _ = fixpoint_eliminations(
+            crash3, NONFAULTY, formula.operand, "common"
+        )
+        levels = [
+            eliminated[step.from_point[0]][step.from_point[1]]
+            for step in explanation.chain
+        ]
+        assert all(
+            earlier > later
+            for earlier, later in zip(levels, levels[1:])
+        )
+
+    def test_eliminations_agree_with_semantics(self, crash3):
+        for variant, formula in (
+            ("common", Common(NONFAULTY, Exists(1))),
+            ("continual",
+             ContinualCommon(NONFAULTY, Exists(1), force_fixpoint=True)),
+            ("eventual", EventualCommon(NONFAULTY, Exists(1))),
+        ):
+            final, eliminated, iterations = fixpoint_eliminations(
+                crash3, NONFAULTY, formula.operand, variant
+            )
+            assert final == formula.evaluate(crash3)
+            assert iterations >= 1
+            for run_index in range(len(crash3.runs)):
+                for time in range(crash3.horizon + 1):
+                    level = eliminated[run_index][time]
+                    surviving = final.at(run_index, time)
+                    assert (level is None) == surviving
+                    if level is not None:
+                        assert 1 <= level <= iterations
+
+    def test_unknown_variant_rejected(self, crash3):
+        with pytest.raises(EvaluationError):
+            fixpoint_eliminations(crash3, NONFAULTY, Exists(1), "bogus")
+
+    def test_component_evidence_covers_reachable_runs(self, crash3):
+        from repro.knowledge.semantics import run_reachability_components
+
+        formula = ContinualCommon(NONFAULTY, Exists(1))
+        truth = formula.evaluate(crash3)
+        components = run_reachability_components(crash3, NONFAULTY)
+        for verdict in (True, False):
+            for point in _points_with_verdict(
+                crash3, formula, verdict, limit=1
+            ):
+                explanation = explain(crash3, formula, point)
+                if components[point[0]] == -1:
+                    assert explanation.component_runs is None
+                    continue
+                assert explanation.component_runs is not None
+                assert point[0] in explanation.component_runs
+                assert set(explanation.component_runs) == {
+                    run_index
+                    for run_index, rep in enumerate(components)
+                    if rep == components[point[0]]
+                }
+        assert truth is not None  # keep the evaluation alive for clarity
+
+    def test_tampered_witness_detected(self, crash3):
+        formula = Knows(0, Exists(1))
+        point = _points_with_verdict(crash3, formula, False, limit=1)[0]
+        explanation = explain(crash3, formula, point)
+        # Redirect the witness to a point where the operand holds.
+        good = _points_with_verdict(crash3, Exists(1), True, limit=1)[0]
+        explanation.witness = good
+        explanation.chain[-1].to_point = good
+        problems = explanation.check(crash3)
+        assert problems, "tampered explanation passed the machine check"
+
+    def test_tampered_chain_view_detected(self, crash3):
+        formula = Common(NONFAULTY, Exists(1))
+        point = _points_with_verdict(crash3, formula, False, limit=1)[0]
+        explanation = explain(crash3, formula, point)
+        explanation.chain[0].view = explanation.chain[0].view + 1
+        assert explanation.check(crash3)
+
+
+class TestOperatorCoverage:
+    def test_believes_vacuous_success_noted(self, crash3):
+        # B_0^N of anything is vacuous only if 0 is nowhere nonfaulty at
+        # same-state points; over crash3 processor 0 is nonfaulty in the
+        # failure-free run, so use a success point instead.
+        formula = Believes(0, Exists(1))
+        point = _points_with_verdict(crash3, formula, True, limit=1)[0]
+        explanation = explain(crash3, formula, point)
+        assert explanation.verdict
+        assert not explanation.chain
+        assert not explanation.check(crash3)
+
+    def test_everyone_failure_names_a_member(self, crash3):
+        formula = Everyone(NONFAULTY, Exists(1))
+        point = _points_with_verdict(crash3, formula, False, limit=1)[0]
+        explanation = explain(crash3, formula, point)
+        (step,) = explanation.chain
+        members = NONFAULTY.members_matrix(crash3)
+        assert step.processor in members[point[0]][point[1]]
+        assert not explanation.check(crash3)
+
+    def test_generic_fallback_for_connectives(self, crash3):
+        formula = And((Exists(1), Not(Exists(0))))
+        explanation = explain(crash3, formula, (0, 0))
+        assert explanation.kind == "generic"
+        assert not explanation.check(crash3)
+
+    def test_out_of_range_point_rejected(self, crash3):
+        with pytest.raises(EvaluationError):
+            explain(crash3, Exists(1), (len(crash3.runs), 0))
+
+
+class TestRendering:
+    def test_render_explanation_mentions_witness(self, crash3):
+        formula = Common(NONFAULTY, Exists(1))
+        point = _points_with_verdict(crash3, formula, False, limit=1)[0]
+        explanation = explain(crash3, formula, point)
+        text = render_explanation(explanation)
+        assert "FAILS" in text
+        assert "counterexample point" in text
+        assert render_witness_table(explanation) in text
+
+    def test_explain_cli_lists_and_checks(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "E4"]) == 0
+        listing = capsys.readouterr().out
+        assert "common-exists1" in listing
+        assert main(["explain", "E04", "common-exists1"]) == 0
+        output = capsys.readouterr().out
+        assert "machine check: OK" in output
+
+    def test_explain_cli_unknown_formula(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "E4", "nope"]) == 2
+
+    def test_explain_cli_explicit_point(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["explain", "E4", "everyone-exists1", "--point", "0:0"]
+        ) == 0
+        assert "machine check: OK" in capsys.readouterr().out
+
+
+class TestExperimentWitnessPayloads:
+    def test_e4_strictness_witness_payload(self):
+        from repro.experiments.e04_continual_ck import run
+
+        result = run()
+        assert result.ok
+        witness = result.data.get("witness")
+        assert witness is not None
+        assert witness["verdict"] is False
+        assert "strictness witness" in result.table
+        json.dumps(witness)
+
+    def test_e21_weaker_witness_payload(self):
+        from repro.experiments.e21_eventual_ck import run
+
+        result = run()
+        assert result.ok
+        witness = result.data.get("witness")
+        assert witness is not None
+        assert witness["eliminated_at"] >= 1
+        assert "strictly-weaker witness" in result.table
+
+    def test_e5_decision_certificate_payload(self):
+        from repro.experiments.e05_knowledge_conditions import run
+
+        result = run()
+        assert result.ok
+        certificate = result.data.get("certificate")
+        assert certificate is not None
+        assert certificate["verdict"] is True
+        assert "decision certificate" in result.table

@@ -102,6 +102,46 @@ class TestEvaluationCounters:
         assert "build_system" in delta["timers"]
 
 
+class TestMergeDelta:
+    def test_merge_folds_counters_and_timers(self):
+        inst = obs.Instrumentation()
+        inst.count("runs_built", 2)
+        inst.merge_delta(
+            {"counters": {"runs_built": 3, "chunks": 1},
+             "timers": {"build_chunk": 0.5}}
+        )
+        inst.merge_delta({"timers": {"build_chunk": 0.25}})
+        assert inst.counters == {"runs_built": 5, "chunks": 1}
+        assert inst.timers["build_chunk"] == 0.75
+
+    def test_merge_disabled_is_noop(self):
+        inst = obs.Instrumentation()
+        inst.enabled = False
+        inst.merge_delta({"counters": {"runs_built": 3}})
+        assert inst.counters == {}
+
+    def test_parallel_build_counts_match_serial(self):
+        """Worker deltas folded into the parent: parallel and serial
+        builds report identical run/view counters."""
+        from repro.model.adversary import ExhaustiveCrashAdversary
+        from repro.model.system import build_system
+
+        before = obs.snapshot()
+        serial = build_system(ExhaustiveCrashAdversary(3, 1, 2))
+        serial_delta = obs.delta_since(before)
+
+        before = obs.snapshot()
+        parallel = build_system(
+            ExhaustiveCrashAdversary(3, 1, 2), workers=2
+        )
+        parallel_delta = obs.delta_since(before)
+
+        assert len(parallel.runs) == len(serial.runs)
+        for delta in (serial_delta, parallel_delta):
+            assert delta["counters"]["runs_built"] == len(serial.runs)
+            assert delta["counters"]["views_interned"] == len(serial.table)
+
+
 class TestExperimentIntegration:
     @staticmethod
     def _result():

@@ -118,3 +118,20 @@ class TestCliTools:
     def test_diagram_config_length_checked(self):
         with pytest.raises(ReproError):
             main(["diagram", "P0opt", "--config", "01", "-n", "3"])
+
+    def test_stats_json_round_trips(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        from repro import obs
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        obs.count("system_cache_hits")  # ensure a non-empty payload
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "instrumentation", "system_cache", "disk_entries"
+        }
+        instrumentation = payload["instrumentation"]
+        assert set(instrumentation) == {"counters", "timers"}
+        assert instrumentation["counters"]["system_cache_hits"] >= 1
+        assert isinstance(payload["disk_entries"], list)

@@ -1,0 +1,126 @@
+"""Edge-case tests for :mod:`repro.sim.trace` — the execution Trace record.
+
+Covers the observability corners the integration tests skip over:
+undecided processors, message accounting under crashes, the zero-round
+degenerate trace, and the decision-only ``RunOutcome`` projection.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.config import InitialConfiguration
+from repro.model.failures import CrashBehavior, FailurePattern
+from repro.protocols.p0 import p0
+from repro.sim.engine import execute
+from repro.sim.trace import Trace
+
+
+def _crash_pattern(processor, crash_round, receivers=()):
+    return FailurePattern(
+        {processor: CrashBehavior(crash_round, frozenset(receivers))}
+    )
+
+
+class TestMessageAccounting:
+    def test_failure_free_run_delivers_everything(self):
+        trace = execute(
+            p0(), InitialConfiguration([0, 1, 1]), FailurePattern({}), 2, 1
+        )
+        assert trace.sent_counts == trace.delivered_counts
+        assert trace.total_sent() == trace.total_delivered() > 0
+        assert len(trace.sent_counts) == trace.horizon == 2
+
+    def test_crash_drops_messages(self):
+        config = InitialConfiguration([0, 1, 1])
+        clean = execute(p0(), config, FailurePattern({}), 2, 1)
+        crashed = execute(
+            p0(), config, _crash_pattern(2, crash_round=2), 2, 1
+        )
+        # Processor 2's round-2 messages are dropped: fewer delivered than
+        # the failure-free run, and strictly fewer than sent that round.
+        assert crashed.total_delivered() < clean.total_delivered()
+        assert crashed.delivered_counts[1] < crashed.sent_counts[1]
+
+    def test_partial_crash_round_delivers_to_named_receivers(self):
+        config = InitialConfiguration([0, 1, 1])
+        partial = execute(
+            p0(), config, _crash_pattern(2, 2, receivers={0}), 2, 1
+        )
+        silent = execute(p0(), config, _crash_pattern(2, 2), 2, 1)
+        assert partial.delivered_counts[1] == silent.delivered_counts[1] + 1
+
+
+class TestStatesAndDecisions:
+    def test_states_cover_every_time(self):
+        trace = execute(
+            p0(), InitialConfiguration([1, 1, 1]), FailurePattern({}), 3, 1
+        )
+        assert len(trace.states) == trace.horizon + 1
+        for time in range(trace.horizon + 1):
+            for processor in range(trace.n):
+                assert (
+                    trace.state_of(processor, time)
+                    == trace.states[time][processor]
+                )
+
+    def test_decisions_record_first_decision_time(self):
+        trace = execute(
+            p0(), InitialConfiguration([0, 0, 0]), FailurePattern({}), 2, 1
+        )
+        assert len(trace.decisions) == trace.n
+        for decision in trace.decisions:
+            if decision is not None:
+                value, time = decision
+                assert value in (0, 1)
+                assert 0 <= time <= trace.horizon
+
+    def test_undecided_processors_stay_none(self):
+        # A horizon-1 p0 run can leave processors undecided; an empty
+        # hand-built trace certainly does.
+        trace = Trace(
+            protocol_name="stub",
+            config=InitialConfiguration([0, 1]),
+            pattern=FailurePattern({}),
+            horizon=1,
+            decisions=[None, (1, 0)],
+        )
+        outcome = trace.to_outcome()
+        assert outcome.decisions == (None, (1, 0))
+
+    def test_zero_horizon_trace_is_constructible_but_not_executable(self):
+        # `execute` requires at least one round ...
+        with pytest.raises(ConfigurationError):
+            execute(
+                p0(), InitialConfiguration([0, 1]), FailurePattern({}), 0, 1
+            )
+        # ... but the dataclass itself models the time-0-only record.
+        trace = Trace(
+            protocol_name="stub",
+            config=InitialConfiguration([0, 1]),
+            pattern=FailurePattern({}),
+            horizon=0,
+            states=[("a", "b")],
+        )
+        assert trace.total_sent() == trace.total_delivered() == 0
+        assert trace.state_of(1, 0) == "b"
+
+
+class TestOutcomeProjection:
+    def test_to_outcome_round_trips_scenario_identity(self):
+        config = InitialConfiguration([0, 1, 1])
+        pattern = _crash_pattern(1, 2)
+        trace = execute(p0(), config, pattern, 2, 1)
+        outcome = trace.to_outcome()
+        assert outcome.config == config
+        assert outcome.pattern == pattern
+        assert outcome.horizon == trace.horizon
+        assert outcome.decisions == tuple(trace.decisions)
+
+    def test_n_property_matches_config(self):
+        trace = Trace(
+            protocol_name="stub",
+            config=InitialConfiguration([0, 1, 1, 0]),
+            pattern=FailurePattern({}),
+            horizon=1,
+        )
+        assert trace.n == 4

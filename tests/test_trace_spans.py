@@ -1,0 +1,259 @@
+"""Tests for :mod:`repro.trace` — span recording, export, and the
+threading of spans through the builder, provider, fixpoints and registry."""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.trace import (
+    Tracer,
+    chrome_trace_events,
+    export_spans,
+    span_tree,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestTracerCore:
+    def test_spans_nest_through_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration is not None
+        assert outer.duration >= inner.duration
+
+    def test_attributes_at_open_and_at_close(self):
+        tracer = Tracer()
+        with tracer.span("stage", n=3) as record:
+            record.set("iterations", 7)
+        (finished,) = tracer.collect()
+        assert finished.attributes == {"n": 3, "iterations": 7}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        with tracer.span("invisible") as record:
+            record.set("key", "value")  # the null span absorbs this
+        assert tracer.collect() == []
+        assert tracer.watermark() == 0
+
+    def test_ring_buffer_keeps_most_recent(self):
+        tracer = Tracer(capacity=8)
+        for index in range(20):
+            with tracer.span(f"s{index}"):
+                pass
+        kept = tracer.collect()
+        assert len(kept) <= 8
+        assert kept[-1].name == "s19"
+
+    def test_watermark_and_collect_window(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        mark = tracer.watermark()
+        with tracer.span("after"):
+            pass
+        names = [s.name for s in tracer.collect(mark)]
+        assert names == ["after"]
+
+    def test_current_span_id_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("open") as record:
+            assert tracer.current_span_id() == record.span_id
+        assert tracer.current_span_id() is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestGraft:
+    def _worker_spans(self):
+        worker = Tracer()
+        with worker.span("chunk") as chunk:
+            with worker.span("unit"):
+                pass
+        spans = export_spans(worker.collect())
+        base = chunk.start
+        for exported in spans:
+            exported["start"] = float(exported["start"]) - base
+        return spans
+
+    def test_graft_reparents_and_remaps_ids(self):
+        parent = Tracer()
+        with parent.span("parallel_build") as build:
+            adopted = parent.graft(
+                self._worker_spans(),
+                parent_id=build.span_id,
+                offset=build.start,
+            )
+        assert adopted == 2
+        by_name = {s.name: s for s in parent.collect()}
+        chunk, unit = by_name["chunk"], by_name["unit"]
+        assert chunk.parent_id == by_name["parallel_build"].span_id
+        assert unit.parent_id == chunk.span_id
+        assert chunk.span_id != 0  # remapped into the parent's sequence
+
+    def test_graft_applies_time_offset(self):
+        parent = Tracer()
+        spans = [
+            {"span_id": 0, "parent_id": None, "name": "w",
+             "start": 0.25, "duration": 0.1, "attributes": {}},
+        ]
+        parent.graft(spans, parent_id=None, offset=2.0)
+        (adopted,) = parent.collect()
+        assert adopted.start == pytest.approx(2.25)
+
+    def test_graft_disabled_is_noop(self):
+        parent = Tracer()
+        parent.enabled = False
+        assert parent.graft(self._worker_spans()) == 0
+        assert parent.collect() == []
+
+
+class TestExport:
+    def _sample(self):
+        tracer = Tracer()
+        with tracer.span("root", mode="crash"):
+            with tracer.span("child"):
+                pass
+        return tracer.collect()
+
+    def test_span_tree_nests_children(self):
+        (root,) = span_tree(self._sample())
+        assert root["name"] == "root"
+        assert [c["name"] for c in root["children"]] == ["child"]
+
+    def test_span_tree_orphans_become_roots(self):
+        spans = self._sample()
+        children_only = [s for s in spans if s.parent_id is not None]
+        roots = span_tree(children_only)
+        assert [r["name"] for r in roots] == ["child"]
+
+    def test_chrome_events_shape(self):
+        events = chrome_trace_events(self._sample())
+        assert [e["name"] for e in events] == ["root", "child"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        assert events[0]["args"]["mode"] == "crash"
+
+    def test_write_chrome_trace_loads_as_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(self._sample(), path)
+        payload = json.loads(open(path).read())
+        assert count == 2
+        assert len(payload["traceEvents"]) == 2
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        count = write_jsonl(self._sample(), path)
+        lines = [json.loads(line) for line in open(path)]
+        assert count == len(lines) == 2
+        assert {line["name"] for line in lines} == {"root", "child"}
+
+
+class TestPipelineIntegration:
+    def test_build_system_emits_span_hierarchy(self):
+        from repro.model.adversary import ExhaustiveCrashAdversary
+        from repro.model.system import build_system
+
+        mark = trace.TRACER.watermark()
+        build_system(ExhaustiveCrashAdversary(3, 1, 2))
+        names = {s.name for s in trace.TRACER.collect(mark)}
+        assert {"build_system", "enumerate_runs", "index_system"} <= names
+
+    def test_parallel_build_grafts_worker_spans(self):
+        from repro.model.adversary import ExhaustiveCrashAdversary
+        from repro.model.system import build_system
+
+        mark = trace.TRACER.watermark()
+        build_system(ExhaustiveCrashAdversary(3, 1, 2), workers=2)
+        spans = trace.TRACER.collect(mark)
+        by_name = {}
+        for record in spans:
+            by_name.setdefault(record.name, []).append(record)
+        assert "parallel_build" in by_name
+        chunks = by_name.get("build_chunk", [])
+        assert chunks, "worker spans were not grafted back"
+        parallel_id = by_name["parallel_build"][0].span_id
+        assert all(chunk.parent_id == parallel_id for chunk in chunks)
+
+    def test_fixpoint_span_reports_iterations(self, crash3):
+        from repro.knowledge.formulas import Common, Exists
+        from repro.knowledge.nonrigid import NONFAULTY
+
+        crash3.clear_caches()
+        mark = trace.TRACER.watermark()
+        Common(NONFAULTY, Exists(1)).evaluate(crash3)
+        spans = [
+            s for s in trace.TRACER.collect(mark)
+            if s.name == "fixpoint.common"
+        ]
+        assert spans and spans[0].attributes["iterations"] >= 1
+
+    def test_run_experiment_attaches_span_tree(self):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("E3")
+        tree = result.data["trace"]
+        assert isinstance(tree, list) and tree
+        root = tree[-1]
+        assert root["name"] == "experiment.E3"
+        assert root["children"], "experiment span has no nested spans"
+        json.dumps(tree)  # must be JSON-serializable as-is
+
+    def test_simulator_spans_capture_message_totals(self):
+        from repro.model.config import InitialConfiguration
+        from repro.model.failures import FailurePattern
+        from repro.protocols.p0 import p0
+        from repro.sim.engine import execute
+
+        mark = trace.TRACER.watermark()
+        execute(
+            p0(), InitialConfiguration([0, 1, 1]), FailurePattern({}), 2, 1
+        )
+        (record,) = [
+            s for s in trace.TRACER.collect(mark) if s.name == "sim.execute"
+        ]
+        assert record.attributes["sent"] == record.attributes["delivered"]
+        assert record.attributes["sent"] > 0
+
+
+class TestTraceCli:
+    def test_trace_run_writes_chrome_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "trace.json")
+        assert main(["trace", "run", "E03", "--out", out]) == 0
+        payload = json.loads(open(out).read())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert any(n == "experiment.E3" for n in names)
+
+    def test_trace_run_jsonl_format(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "spans.jsonl")
+        assert main(
+            ["trace", "run", "E3", "--out", out, "--format", "jsonl"]
+        ) == 0
+        lines = [json.loads(line) for line in open(out)]
+        assert any(line["name"] == "experiment.E3" for line in lines)
+
+
+class TestExperimentIdNormalization:
+    def test_normalize_variants(self):
+        from repro.cli import normalize_experiment_id
+
+        assert normalize_experiment_id("E04") == "E4"
+        assert normalize_experiment_id("e21") == "E21"
+        assert normalize_experiment_id("7") == "E7"
+        assert normalize_experiment_id("E10") == "E10"
+        assert normalize_experiment_id("bogus") == "bogus"
