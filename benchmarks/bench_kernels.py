@@ -1,0 +1,107 @@
+"""Micro-benchmarks for the bitset evaluation kernel.
+
+These pin each kernel explicitly (ignoring ``REPRO_EVAL_KERNEL``) and time
+the operations the tentpole optimization packs into integer arithmetic:
+boolean algebra over assignments, the knowledge/everyone sweeps, and the
+common-knowledge greatest fixpoint.  The same workloads feed the
+bench-regression job through ``benchmarks/regression.py``, so a kernel
+slowdown fails CI via ``repro-eba bench-compare``.
+"""
+
+from repro.knowledge.formulas import Exists
+from repro.knowledge.nonrigid import NONFAULTY
+from repro.knowledge.semantics import (
+    eval_common,
+    eval_everyone,
+    eval_knows,
+)
+from repro.model import kernels
+from repro.model.builder import crash_system
+from repro.model.system import TruthAssignment
+
+
+def _fresh_operand(system):
+    system.clear_caches()
+    return Exists(1).evaluate(system)
+
+
+def test_kernel_bitset_algebra_ops(benchmark):
+    """1k conjoin/disjoin/negate/count rounds on the n=4 crash system."""
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel(kernels.BITSET):
+        phi = _fresh_operand(system)
+        psi = phi.negate()
+
+        def algebra():
+            acc = phi
+            for _ in range(1000):
+                acc = acc.conjoin(psi).disjoin(phi).negate()
+            return acc.count_true()
+
+        benchmark(algebra)
+
+
+def test_kernel_bitset_knows_sweep(benchmark):
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel(kernels.BITSET):
+        phi = _fresh_operand(system)
+        benchmark(lambda: eval_knows(system, 0, phi))
+
+
+def test_kernel_bitset_everyone_sweep(benchmark):
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel(kernels.BITSET):
+        phi = _fresh_operand(system)
+        benchmark(lambda: eval_everyone(system, NONFAULTY, phi))
+
+
+def test_kernel_bitset_common_fixpoint(benchmark):
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel(kernels.BITSET):
+        phi = _fresh_operand(system)
+        benchmark(lambda: eval_common(system, NONFAULTY, phi))
+
+
+def test_kernel_reference_common_fixpoint(benchmark):
+    """The reference kernel on the same fixpoint, for the A/B ratio."""
+    system = crash_system(3, 1, 3)
+    with kernels.use_kernel(kernels.REFERENCE):
+        phi = _fresh_operand(system)
+        benchmark(lambda: eval_common(system, NONFAULTY, phi))
+
+
+def test_kernel_speedup_on_common_fixpoint():
+    """Acceptance guard: the bitset fixpoint beats the reference kernel by
+    >=3x on the n=4 crash system (best of 3 rounds each)."""
+    import time
+
+    system = crash_system(4, 1, 3)
+
+    def best_of(kernel_name, rounds=3):
+        with kernels.use_kernel(kernel_name):
+            phi = _fresh_operand(system)
+            eval_common(system, NONFAULTY, phi)  # warm
+            best = float("inf")
+            for _ in range(rounds):
+                start = time.perf_counter()
+                eval_common(system, NONFAULTY, phi)
+                best = min(best, time.perf_counter() - start)
+        return best
+
+    reference = best_of(kernels.REFERENCE)
+    bitset = best_of(kernels.BITSET)
+    assert bitset * 3 <= reference, (
+        f"bitset common-knowledge fixpoint only "
+        f"{reference / bitset:.1f}x faster ({bitset:.4f}s vs "
+        f"{reference:.4f}s)"
+    )
+
+
+def test_kernel_bitset_pack_unpack_round_trip(benchmark):
+    """from_rows -> to_rows round-trip cost on the n=4 crash system."""
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel(kernels.BITSET):
+        rows = _fresh_operand(system).to_rows()
+        benchmark(
+            lambda: TruthAssignment.from_rows(system, rows).to_rows()
+        )

@@ -46,8 +46,9 @@ def _bench_continual_ck_components() -> None:
 
     system = crash_system(4, 1, 3)
     phi = Exists(1).evaluate(system)
-    run_level = [row[0] for row in phi.values]
-    eval_continual_common_components(system, NONFAULTY, run_level)
+    # Drop the component memo so the union-find scan itself is timed.
+    system._components_cache.clear()
+    eval_continual_common_components(system, NONFAULTY, phi.run_levels())
 
 
 def _bench_continual_ck_fixpoint() -> None:
@@ -80,14 +81,51 @@ def _bench_simulator_throughput() -> None:
     run_over_scenarios(p0opt(), system.scenarios(), 3, 1)
 
 
+def _kernel_fixpoint_bench(kernel_name: str) -> None:
+    from repro.knowledge.formulas import Exists
+    from repro.knowledge.nonrigid import NONFAULTY
+    from repro.knowledge.semantics import eval_common
+    from repro.model import kernels
+    from repro.model.builder import crash_system
+
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel(kernel_name):
+        system.clear_caches()
+        eval_common(system, NONFAULTY, Exists(1).evaluate(system))
+
+
+def _bench_kernel_bitset_fixpoint() -> None:
+    _kernel_fixpoint_bench("bitset")
+
+
+def _bench_kernel_reference_fixpoint() -> None:
+    _kernel_fixpoint_bench("reference")
+
+
+def _bench_kernel_bitset_everyone() -> None:
+    from repro.knowledge.formulas import Exists
+    from repro.knowledge.nonrigid import NONFAULTY
+    from repro.knowledge.semantics import eval_everyone
+    from repro.model import kernels
+    from repro.model.builder import crash_system
+
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel("bitset"):
+        system.clear_caches()
+        eval_everyone(system, NONFAULTY, Exists(1).evaluate(system))
+
+
 #: The tier-1 micro benches tracked for regressions (mirrors
-#: ``bench_micro_core.py``).
+#: ``bench_micro_core.py`` and ``bench_kernels.py``).
 MICRO_BENCHES: Dict[str, Callable[[], None]] = {
     "enumerate_crash_system_n4": _bench_enumerate_crash_n4,
     "continual_ck_component_fast_path": _bench_continual_ck_components,
     "continual_ck_fixpoint_reference": _bench_continual_ck_fixpoint,
     "two_step_construction_crash_n3": _bench_two_step_construction,
     "simulator_throughput_p0opt": _bench_simulator_throughput,
+    "kernel_bitset_common_fixpoint": _bench_kernel_bitset_fixpoint,
+    "kernel_reference_common_fixpoint": _bench_kernel_reference_fixpoint,
+    "kernel_bitset_everyone_sweep": _bench_kernel_bitset_everyone,
 }
 
 
@@ -108,6 +146,8 @@ def take_snapshot(label: str, rounds: int = 3) -> BenchSnapshot:
     for name, bench in MICRO_BENCHES.items():
         timings[name] = best_of(bench, rounds)
         print(f"{name:<40} {timings[name]:.6f}s", flush=True)
+    from repro.model.kernels import active_kernel
+
     return BenchSnapshot(
         label=label,
         timings=timings,
@@ -115,6 +155,7 @@ def take_snapshot(label: str, rounds: int = 3) -> BenchSnapshot:
             "rounds": rounds,
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "kernel": active_kernel(),
         },
     )
 

@@ -189,6 +189,7 @@ def _print_stats() -> None:
     """Print the process-wide instrumentation and system-cache counters."""
     from . import obs
     from .model.builder import system_cache_info
+    from .model.kernels import active_kernel
 
     print("instrumentation (this process):")
     print(obs.format_summary())
@@ -202,8 +203,11 @@ def _print_stats() -> None:
     print(
         f"  disk:   {'enabled' if info['disk_enabled'] else 'disabled'} "
         f"({info['cache_dir']}), "
-        f"{info['disk_hits']} hits, {info['disk_misses']} misses"
+        f"{info['disk_hits']} hits, {info['disk_misses']} misses, "
+        f"{info['disk_prunes']} stale file(s) pruned, "
+        f"{info['disk_stale']} stale on disk"
     )
+    print(f"  kernel: {active_kernel()}")
 
 
 def _cmd_stats(clear: bool, as_json: bool = False) -> int:
@@ -223,10 +227,13 @@ def _cmd_stats(clear: bool, as_json: bool = False) -> int:
         from . import obs
         from .model.builder import system_cache_info
 
+        from .model.kernels import active_kernel
+
         payload = {
             "instrumentation": obs.snapshot(),
             "system_cache": system_cache_info(),
             "disk_entries": get_provider().disk_entries(),
+            "kernel": active_kernel(),
         }
         print(json_module.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -235,7 +242,10 @@ def _cmd_stats(clear: bool, as_json: bool = False) -> int:
     if entries:
         print("disk cache inventory:")
         for entry in entries:
-            print(f"  {entry['file']:<48} {entry['bytes']:>12} bytes")
+            marker = "  (stale)" if entry.get("stale") else ""
+            print(
+                f"  {entry['file']:<48} {entry['bytes']:>12} bytes{marker}"
+            )
     else:
         print("disk cache inventory: (empty)")
     return 0

@@ -102,14 +102,15 @@ def _compute_exists0star(system: System) -> TruthAssignment:
         ]
         for observer in range(system.n)
     ]
-    result = TruthAssignment.constant(system, False)
+    rows: List[List[bool]] = []
     for run_index in range(len(system.runs)):
         first = earliest_chain_time(system, run_index, suspects)
-        if first is None:
-            continue
-        for time in range(first, system.horizon + 1):
-            result.values[run_index][time] = True
-    return result
+        row = [False] * (system.horizon + 1)
+        if first is not None:
+            for time in range(first, system.horizon + 1):
+                row[time] = True
+        rows.append(row)
+    return TruthAssignment.from_rows(system, rows)
 
 
 def exists_zero_star() -> Formula:
@@ -131,9 +132,13 @@ def eventually_exists_zero_star() -> Formula:
     """
     def compute(system: System) -> TruthAssignment:
         base = _compute_exists0star(system)
-        return TruthAssignment.from_predicate(
+        horizon = system.horizon
+        return TruthAssignment.from_run_levels(
             system,
-            lambda run_index, _: base.at(run_index, system.horizon),
+            [
+                base.at(run_index, horizon)
+                for run_index in range(len(system.runs))
+            ],
         )
 
     return Predicate(("eventually",) + _EXISTS0STAR_KEY, compute, run_level=True)

@@ -35,6 +35,7 @@ from weakref import WeakKeyDictionary
 
 from .. import trace
 from ..errors import EvaluationError
+from ..model import kernels
 from ..model.system import Point, System, TruthAssignment
 from . import semantics
 from .formulas import (
@@ -227,7 +228,12 @@ def fixpoint_eliminations(
     if variant not in _VARIANTS:
         raise EvaluationError(f"unknown fixpoint variant {variant!r}")
     cache = _ELIMINATION_CACHE.setdefault(system, {})
-    key = (variant, nonrigid.cache_key(), operand.cache_key())
+    key = (
+        kernels.active_kernel(),
+        variant,
+        nonrigid.cache_key(),
+        operand.cache_key(),
+    )
     hit = cache.get(key)
     if hit is not None:
         return hit
@@ -245,9 +251,12 @@ def fixpoint_eliminations(
         while True:
             iterations += 1
             candidate = step(current)
+            # Row views work for both kernels (bitset materializes masks).
+            current_rows = current.to_rows()
+            candidate_rows = candidate.to_rows()
             for run_index in range(len(system.runs)):
-                current_row = current.values[run_index]
-                candidate_row = candidate.values[run_index]
+                current_row = current_rows[run_index]
+                candidate_row = candidate_rows[run_index]
                 eliminated_row = eliminated[run_index]
                 for time in range(horizon + 1):
                     if (

@@ -126,8 +126,8 @@ class Exists(Formula):
         return ("exists", self.value)
 
     def _evaluate(self, system: System) -> TruthAssignment:
-        return TruthAssignment.from_predicate(
-            system, lambda run_index, _: system.runs[run_index].exists(self.value)
+        return TruthAssignment.from_run_levels(
+            system, [run.exists(self.value) for run in system.runs]
         )
 
     def is_run_level(self) -> bool:
@@ -147,11 +147,9 @@ class AllStarted(Formula):
         return ("all-started", self.value)
 
     def _evaluate(self, system: System) -> TruthAssignment:
-        return TruthAssignment.from_predicate(
+        return TruthAssignment.from_run_levels(
             system,
-            lambda run_index, _: system.runs[run_index].config.all_equal(
-                self.value
-            ),
+            [run.config.all_equal(self.value) for run in system.runs],
         )
 
     def is_run_level(self) -> bool:
@@ -168,11 +166,9 @@ class IsNonfaulty(Formula):
         return ("is-nonfaulty", self.processor)
 
     def _evaluate(self, system: System) -> TruthAssignment:
-        return TruthAssignment.from_predicate(
+        return TruthAssignment.from_run_levels(
             system,
-            lambda run_index, _: system.runs[run_index].is_nonfaulty(
-                self.processor
-            ),
+            [run.is_nonfaulty(self.processor) for run in system.runs],
         )
 
     def is_run_level(self) -> bool:
@@ -190,12 +186,12 @@ class InitialValueIs(Formula):
         return ("initial-value", self.processor, self.value)
 
     def _evaluate(self, system: System) -> TruthAssignment:
-        return TruthAssignment.from_predicate(
+        return TruthAssignment.from_run_levels(
             system,
-            lambda run_index, _: system.runs[run_index].config.value_of(
-                self.processor
-            )
-            == self.value,
+            [
+                run.config.value_of(self.processor) == self.value
+                for run in system.runs
+            ],
         )
 
     def is_run_level(self) -> bool:
@@ -221,13 +217,7 @@ class Decided(Formula):
 
     def _evaluate(self, system: System) -> TruthAssignment:
         states = self.pair.zeros if self.value == 0 else self.pair.ones
-        return TruthAssignment.from_predicate(
-            system,
-            lambda run_index, time: system.runs[run_index].view(
-                self.processor, time
-            )
-            in states,
-        )
+        return TruthAssignment.from_states(system, self.processor, states)
 
 
 class SetEmpty(Formula):
@@ -563,9 +553,8 @@ class ContinualCommon(Formula):
     def _evaluate(self, system: System) -> TruthAssignment:
         phi = self.operand.evaluate(system)
         if self.operand.is_run_level() and not self.force_fixpoint:
-            run_level = [row[0] for row in phi.values]
             return semantics.eval_continual_common_components(
-                system, self.nonrigid, run_level
+                system, self.nonrigid, phi.run_levels()
             )
         return semantics.eval_continual_common(system, self.nonrigid, phi)
 

@@ -126,19 +126,27 @@ class NonfaultyAndDeciding(NonrigidSet):
         return ("nonrigid", "N-and", self.pair.token, self.which)
 
     def _compute_members(self, system: System) -> List[List[FrozenSet[int]]]:
+        # Scatter via the same-state index: each occurring view in ``A``
+        # deposits its (nonfaulty) owner at the view's occurrence points —
+        # work proportional to occurrences of deciding states, not to
+        # points × processors.
         states = self._states
-        matrix: List[List[FrozenSet[int]]] = []
-        for run in system.runs:
-            row: List[FrozenSet[int]] = []
-            for time in range(system.horizon + 1):
-                row.append(
-                    frozenset(
-                        processor
-                        for processor in run.nonfaulty
-                        if run.view(processor, time) in states
-                    )
-                )
-            matrix.append(row)
+        table = system.table
+        width = system.horizon + 1
+        empty: FrozenSet[int] = frozenset()
+        matrix: List[List[FrozenSet[int]]] = [
+            [empty] * width for _ in system.runs
+        ]
+        runs = system.runs
+        for view, points in system._state_index.items():
+            if view not in states:
+                continue
+            owner = table.info(view).processor
+            addition = frozenset((owner,))
+            for run_index, time in points:
+                if owner in runs[run_index].nonfaulty:
+                    row = matrix[run_index]
+                    row[time] = row[time] | addition
         return matrix
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

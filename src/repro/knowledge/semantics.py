@@ -17,6 +17,24 @@ over enumerated systems:
 All functions take and return :class:`~repro.model.system.TruthAssignment`
 matrices; formula-level caching lives in :mod:`repro.knowledge.formulas`.
 
+Every evaluator is implemented twice (see :mod:`repro.model.kernels`):
+
+* the **bitset kernel** operates on packed point bitmasks.  ``K_i φ``
+  becomes one subset test per distinct local state against the
+  :class:`~repro.model.system.BitsetIndex` group masks; temporal operators
+  sweep time columns; the fixpoints run a *changed-frontier* iteration
+  that only re-examines local states whose relevant points were eliminated
+  in the previous round (greatest-fixed-point iterates shrink
+  monotonically, so belief verdicts flip true→false at most once);
+* the **reference kernel** is the original list-of-lists evaluator,
+  retained as an executable specification — differential tests assert the
+  two produce identical assignments on every formula in the explain
+  catalogs.
+
+Dispatch is by representation: operands built under the bitset kernel are
+:class:`~repro.model.system.BitsetAssignment` instances and take the fast
+paths; reference assignments take the original ones.
+
 Finite-horizon caveat: temporal operators treat the horizon as the end of
 time.  For the run-level and monotone facts used throughout the paper this
 is exact provided the horizon exceeds all decision times (see DESIGN.md).
@@ -24,12 +42,176 @@ is exact provided the horizon exceeds all decision times (see DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from .. import obs, trace
-from ..model.system import Point, System, TruthAssignment
+from ..model.system import (
+    BitsetAssignment,
+    BitsetIndex,
+    Point,
+    System,
+    TruthAssignment,
+)
 from .nonrigid import NonrigidSet
 
+
+# -- bitset kernel helpers ----------------------------------------------------
+
+def _member_masks(
+    system: System, index: BitsetIndex, nonrigid: NonrigidSet
+) -> List[int]:
+    """Per-processor bitmask of points where the processor is in ``S``.
+
+    Memoized on the system's :class:`BitsetIndex` by the nonrigid set's
+    cache key.
+    """
+    key = nonrigid.cache_key()
+    masks = index.member_masks.get(key)
+    if masks is None:
+        members = nonrigid.members_matrix(system)
+        masks = [0] * system.n
+        width = index.width
+        for run_index, row in enumerate(members):
+            base = run_index * width
+            for time, cell in enumerate(row):
+                if cell:
+                    bit = 1 << (base + time)
+                    for processor in cell:
+                        masks[processor] |= bit
+        index.member_masks[key] = masks
+    return masks
+
+
+def _believes_mask(
+    index: BitsetIndex, processor: int, pmask: int, phi_mask: int
+) -> int:
+    """``B_i^S φ`` as a mask: per distinct state of *processor*, true iff
+    φ holds at every same-state point where the processor is an S-member
+    (vacuously true when there is none)."""
+    not_phi = ~phi_mask
+    result = 0
+    for gmask in index.groups[processor]:
+        if not (gmask & pmask) & not_phi:
+            result |= gmask
+    return result
+
+
+def _everyone_mask(
+    system: System,
+    index: BitsetIndex,
+    member_masks: List[int],
+    phi_mask: int,
+) -> int:
+    """``E_S φ`` as a mask (vacuously true where ``S`` is empty)."""
+    bad = 0
+    for processor in range(system.n):
+        pmask = member_masks[processor]
+        if pmask:
+            belief = _believes_mask(index, processor, pmask, phi_mask)
+            bad |= pmask & ~belief
+    return index.full & ~bad
+
+
+def _always_mask(index: BitsetIndex, mask: int) -> int:
+    """``□`` column sweep: suffix-AND within each run's bit block."""
+    width = index.width
+    column = index.col0 << (width - 1)
+    previous = mask & column
+    result = previous
+    for _ in range(width - 1):
+        column >>= 1
+        previous = mask & column & (previous >> 1)
+        result |= previous
+    return result
+
+
+def _eventually_mask(index: BitsetIndex, mask: int) -> int:
+    """``◇`` column sweep: suffix-OR within each run's bit block."""
+    width = index.width
+    column = index.col0 << (width - 1)
+    previous = mask & column
+    result = previous
+    for _ in range(width - 1):
+        column >>= 1
+        previous = column & (mask | (previous >> 1))
+        result |= previous
+    return result
+
+
+def _at_all_times_mask(index: BitsetIndex, mask: int) -> int:
+    """``⊡``: fold all time columns of a run onto its col0 bit, then
+    broadcast the per-run verdict back across the run's window."""
+    folded = mask
+    for shift in range(1, index.width):
+        folded &= mask >> shift
+    return index.spread_run_levels(folded & index.col0)
+
+
+def _bitset_fixpoint(
+    system: System,
+    nonrigid: NonrigidSet,
+    phi: BitsetAssignment,
+    post: Callable[[int], int],
+) -> Tuple[int, int]:
+    """Greatest fixed point of ``X ↔ post(E_S(φ ∧ X))`` on masks.
+
+    Returns ``(final mask, iterations)``.  Runs the standard downward
+    iteration from all-true, but with a changed-frontier inner loop: the
+    iterates shrink monotonically, so a local state's belief verdict can
+    only flip true→false, and only when the eliminated frontier (``delta``)
+    intersects the state's relevant points.  States are dropped from the
+    alive list the moment they fail, so late iterations touch only the
+    shrinking frontier instead of rescanning every state.
+    """
+    index = system.bitset_index()
+    member_masks = _member_masks(system, index, nonrigid)
+    full = index.full
+    phi_mask = phi.mask
+    processors = [p for p in range(system.n) if member_masks[p]]
+    # Seed with operand = φ ∧ all-true = φ: belief verdict per alive state.
+    alive: Dict[int, List[int]] = {}
+    bad = 0
+    operand = phi_mask
+    not_operand = ~operand
+    for processor in processors:
+        pmask = member_masks[processor]
+        keep: List[int] = []
+        for gmask in index.groups[processor]:
+            if (gmask & pmask) & not_operand:
+                bad |= pmask & gmask
+            else:
+                keep.append(gmask)
+        alive[processor] = keep
+    current = full
+    iterations = 0
+    while True:
+        obs.count("fixpoint_iterations")
+        iterations += 1
+        candidate = post(full & ~bad)
+        if candidate == current:
+            return current, iterations
+        new_operand = phi_mask & candidate
+        delta = operand & ~new_operand
+        if delta:
+            for processor in processors:
+                pmask = member_masks[processor]
+                touched = delta & pmask
+                if not touched:
+                    continue
+                keep = []
+                for gmask in alive[processor]:
+                    if gmask & touched:
+                        # A previously-satisfying point was eliminated:
+                        # the subset test now fails by construction.
+                        bad |= pmask & gmask
+                    else:
+                        keep.append(gmask)
+                alive[processor] = keep
+        operand = new_operand
+        current = candidate
+
+
+# -- state operators ----------------------------------------------------------
 
 def eval_knows(
     system: System, processor: int, phi: TruthAssignment
@@ -40,6 +222,14 @@ def eval_knows(
     distinct local state of *processor* and broadcast to all points sharing
     it.
     """
+    if isinstance(phi, BitsetAssignment):
+        index = system.bitset_index()
+        phi_mask = phi.mask
+        result = 0
+        for gmask in index.groups[processor]:
+            if phi_mask & gmask == gmask:
+                result |= gmask
+        return phi._replace(result)
     result = TruthAssignment.constant(system, False)
     seen: Dict[int, bool] = {}
     for run_index, run in enumerate(system.runs):
@@ -69,6 +259,12 @@ def eval_believes(
     matching the paper's observation that ``B_i^S`` is a *belief*: it does
     not imply φ when ``i ∉ S``.
     """
+    if isinstance(phi, BitsetAssignment):
+        index = system.bitset_index()
+        pmask = _member_masks(system, index, nonrigid)[processor]
+        return phi._replace(
+            _believes_mask(index, processor, pmask, phi.mask)
+        )
     members = nonrigid.members_matrix(system)
     result = TruthAssignment.constant(system, False)
     seen: Dict[int, bool] = {}
@@ -91,6 +287,12 @@ def eval_everyone(
     system: System, nonrigid: NonrigidSet, phi: TruthAssignment
 ) -> TruthAssignment:
     """``E_S φ = ∧_{i ∈ S} B_i^S φ`` (vacuously true when ``S`` is empty)."""
+    if isinstance(phi, BitsetAssignment):
+        index = system.bitset_index()
+        member_masks = _member_masks(system, index, nonrigid)
+        return phi._replace(
+            _everyone_mask(system, index, member_masks, phi.mask)
+        )
     members = nonrigid.members_matrix(system)
     beliefs = [
         eval_believes(system, nonrigid, processor, phi)
@@ -116,6 +318,12 @@ def eval_common(
     finite system.
     """
     with trace.span("fixpoint.common") as fixpoint_span:
+        if isinstance(phi, BitsetAssignment):
+            mask, iterations = _bitset_fixpoint(
+                system, nonrigid, phi, lambda m: m
+            )
+            fixpoint_span.set("iterations", iterations)
+            return phi._replace(mask)
         iterations = 0
         current = TruthAssignment.constant(system, True)
         while True:
@@ -130,6 +338,8 @@ def eval_common(
 
 def eval_always(system: System, phi: TruthAssignment) -> TruthAssignment:
     """``□ φ``: φ holds now and at all later times of the run."""
+    if isinstance(phi, BitsetAssignment):
+        return phi._replace(_always_mask(system.bitset_index(), phi.mask))
     result = TruthAssignment.constant(system, False)
     for run_index in range(len(system.runs)):
         holds = True
@@ -142,6 +352,10 @@ def eval_always(system: System, phi: TruthAssignment) -> TruthAssignment:
 
 def eval_eventually(system: System, phi: TruthAssignment) -> TruthAssignment:
     """``◇ φ``: φ holds now or at some later time of the run."""
+    if isinstance(phi, BitsetAssignment):
+        return phi._replace(
+            _eventually_mask(system.bitset_index(), phi.mask)
+        )
     result = TruthAssignment.constant(system, False)
     for run_index in range(len(system.runs)):
         holds = False
@@ -154,6 +368,10 @@ def eval_eventually(system: System, phi: TruthAssignment) -> TruthAssignment:
 def eval_at_all_times(system: System, phi: TruthAssignment) -> TruthAssignment:
     """The paper's ``⊡ φ``: φ holds at *every* time of the run (past,
     present and future) — a run-level property."""
+    if isinstance(phi, BitsetAssignment):
+        return phi._replace(
+            _at_all_times_mask(system.bitset_index(), phi.mask)
+        )
     result = TruthAssignment.constant(system, False)
     for run_index in range(len(system.runs)):
         holds = all(phi.at(run_index, time) for time in range(system.horizon + 1))
@@ -179,6 +397,16 @@ def eval_continual_common(
     equivalent (Corollary 3.3) and much faster.  Tests cross-check the two.
     """
     with trace.span("fixpoint.continual_common") as fixpoint_span:
+        if isinstance(phi, BitsetAssignment):
+            index = system.bitset_index()
+            mask, iterations = _bitset_fixpoint(
+                system,
+                nonrigid,
+                phi,
+                lambda m: _at_all_times_mask(index, m),
+            )
+            fixpoint_span.set("iterations", iterations)
+            return phi._replace(mask)
         iterations = 0
         current = TruthAssignment.constant(system, True)
         while True:
@@ -209,6 +437,16 @@ def eval_eventual_common(
     is eventual common knowledge) — checked in tests.
     """
     with trace.span("fixpoint.eventual_common") as fixpoint_span:
+        if isinstance(phi, BitsetAssignment):
+            index = system.bitset_index()
+            mask, iterations = _bitset_fixpoint(
+                system,
+                nonrigid,
+                phi,
+                lambda m: _eventually_mask(index, m),
+            )
+            fixpoint_span.set("iterations", iterations)
+            return phi._replace(mask)
         iterations = 0
         current = TruthAssignment.constant(system, True)
         while True:
@@ -259,19 +497,34 @@ def run_reachability_components(
     component representative; runs with **no** ``S`` occurrence at any point
     get the sentinel ``-1`` (no point is reachable from them, so any
     ``C□_S φ`` holds there vacuously).
+
+    The scan walks the system's same-state index (one occurrence list per
+    distinct view) rather than re-deriving each point's view, linking every
+    run in a view's occurrence list — restricted to points where the view's
+    owner is an ``S``-member — to the first such run.
+
+    Labellings are memoized on the system per nonrigid set (the explanation
+    machinery asks for the same components once per explained point); treat
+    the returned list as read-only.
     """
+    return system.cached_components(
+        nonrigid.cache_key(), lambda: _compute_components(system, nonrigid)
+    )
+
+
+def _compute_components(system: System, nonrigid: NonrigidSet) -> List[int]:
     members = nonrigid.members_matrix(system)
     uf = _UnionFind(len(system.runs))
     has_occurrence = [False] * len(system.runs)
-    first_run_for_view: Dict[int, int] = {}
-    for run_index, run in enumerate(system.runs):
-        for time in range(system.horizon + 1):
-            for processor in members[run_index][time]:
+    table = system.table
+    for view, points in system._state_index.items():
+        owner = table.info(view).processor
+        anchor = -1
+        for run_index, time in points:
+            if owner in members[run_index][time]:
                 has_occurrence[run_index] = True
-                view = run.view(processor, time)
-                anchor = first_run_for_view.get(view)
-                if anchor is None:
-                    first_run_for_view[view] = run_index
+                if anchor < 0:
+                    anchor = run_index
                 else:
                     uf.union(anchor, run_index)
     return [
@@ -306,9 +559,10 @@ def eval_continual_common_components(
         component_ok[component] = component_ok.get(component, True) and (
             run_level_phi[run_index]
         )
-    result = TruthAssignment.constant(system, False)
-    for run_index, component in enumerate(components):
-        value = True if component == -1 else component_ok[component]
-        for time in range(system.horizon + 1):
-            result.values[run_index][time] = value
-    return result
+    return TruthAssignment.from_run_levels(
+        system,
+        [
+            True if component == -1 else component_ok[component]
+            for component in components
+        ],
+    )

@@ -43,13 +43,23 @@ from .failures import (
     ReceiveOmissionBehavior,
     make_pattern,
 )
+from .kernels import KERNEL_ENV, KERNELS, active_kernel, use_kernel
 from .provider import PROVIDER, SystemProvider, get_provider
 from .runs import Run, build_run
-from .system import Point, System, TruthAssignment, build_system
+from .system import (
+    BitsetAssignment,
+    BitsetIndex,
+    Point,
+    System,
+    TruthAssignment,
+    build_system,
+)
 from .views import ViewId, ViewInfo, ViewTable
 
 __all__ = [
     "Adversary",
+    "BitsetAssignment",
+    "BitsetIndex",
     "CrashBehavior",
     "ExhaustiveCrashAdversary",
     "ExhaustiveOmissionAdversary",
@@ -75,6 +85,10 @@ __all__ = [
     "ViewId",
     "ViewInfo",
     "ViewTable",
+    "KERNEL_ENV",
+    "KERNELS",
+    "active_kernel",
+    "use_kernel",
     "all_configurations",
     "build_run",
     "build_system",

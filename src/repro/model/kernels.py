@@ -1,0 +1,89 @@
+"""Evaluation-kernel selection for the knowledge machinery.
+
+The formula evaluator has two interchangeable inner representations for
+:class:`~repro.model.system.TruthAssignment`:
+
+* ``bitset`` (the default) — every assignment is one arbitrary-precision
+  integer with a bit per point of the system; boolean algebra, knowledge
+  tests and fixpoints become word-wide integer operations;
+* ``reference`` — the original list-of-lists-of-``bool`` evaluator, kept as
+  the executable specification the bitset kernel is differentially tested
+  against.
+
+The active kernel is chosen by the ``REPRO_EVAL_KERNEL`` environment
+variable (normalized: surrounding whitespace and case are ignored; empty
+means default) or, with precedence, by the :func:`use_kernel` context
+manager, which tests use to pin a kernel without touching the process
+environment.  Evaluation caches are keyed by the active kernel, so
+switching mid-process can never serve an assignment of the wrong
+representation.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, List
+
+from ..errors import ConfigurationError
+
+#: Environment variable selecting the evaluation kernel.
+KERNEL_ENV = "REPRO_EVAL_KERNEL"
+
+BITSET = "bitset"
+REFERENCE = "reference"
+
+#: All recognized kernel names.
+KERNELS = (BITSET, REFERENCE)
+
+DEFAULT_KERNEL = BITSET
+
+#: Largest system (in points, ``runs * (horizon + 1)``) evaluated with
+#: packed-integer masks.  Beyond this, every mask op and group test costs
+#: O(mask length) in CPython's arbitrary-precision arithmetic, so the
+#: bitset kernel degrades quadratically with system size while the
+#: list-based reference layout stays linear — on the 385k-run Proposition
+#: 6.3 cell the bitset evaluator is ~3x *slower*.  Systems above the limit
+#: therefore fall back to the reference representation even when the
+#: bitset kernel is selected (see ``System.bitset_active``).  The limit
+#: sits well above every fixpoint-heavy workload (crash ``n=4`` is ~5k
+#: points) and well below the huge enumerations (~1.2M points).
+BITSET_POINT_LIMIT = 1 << 18
+
+_override_stack: List[str] = []
+
+
+def _check_kernel(name: str, origin: str) -> str:
+    if name not in KERNELS:
+        raise ConfigurationError(
+            f"{origin} must be one of {', '.join(KERNELS)}; got {name!r}"
+        )
+    return name
+
+
+def active_kernel() -> str:
+    """The kernel name every new evaluation uses.
+
+    Precedence: innermost :func:`use_kernel` override, then the
+    ``REPRO_EVAL_KERNEL`` environment variable, then :data:`DEFAULT_KERNEL`.
+    """
+    if _override_stack:
+        return _override_stack[-1]
+    raw = os.environ.get(KERNEL_ENV)
+    if raw is None:
+        return DEFAULT_KERNEL
+    text = raw.strip().lower()
+    if not text:
+        return DEFAULT_KERNEL
+    return _check_kernel(text, f"{KERNEL_ENV}={raw!r}")
+
+
+@contextmanager
+def use_kernel(name: str) -> Iterator[str]:
+    """Pin the evaluation kernel within a ``with`` block (reentrant)."""
+    name = _check_kernel(name.strip().lower(), "use_kernel() argument")
+    _override_stack.append(name)
+    try:
+        yield name
+    finally:
+        _override_stack.pop()

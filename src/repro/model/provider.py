@@ -48,8 +48,13 @@ def _default_cache_dir() -> str:
     return os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
 
 
+#: Env values (normalized) that switch the disk layer off.
+_DISK_CACHE_FALSY = frozenset({"0", "false", "no", "off"})
+
+
 def _disk_enabled_default() -> bool:
-    return os.environ.get("REPRO_DISK_CACHE", "1") not in ("0", "false", "no")
+    raw = os.environ.get("REPRO_DISK_CACHE", "1").strip().lower()
+    return raw not in _DISK_CACHE_FALSY
 
 
 class SystemProvider:
@@ -75,6 +80,7 @@ class SystemProvider:
         self._evictions = 0
         self._disk_hits = 0
         self._disk_misses = 0
+        self._disk_prunes = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -91,15 +97,20 @@ class SystemProvider:
         return _disk_enabled_default()
 
     def _cache_path(self, key: CacheKey) -> str:
+        name = self._cell_prefix(key) + self._current_suffix()
+        return os.path.join(self.cache_dir, name)
+
+    @staticmethod
+    def _cell_prefix(key: CacheKey) -> str:
+        """Version-free filename prefix shared by all files of a cell."""
+        mode, n, t, horizon = key
+        return f"system_{mode}_n{n}_t{t}_h{horizon}_"
+
+    def _current_suffix(self) -> str:
         from .. import __version__
         from ..io.system_codec import CODEC_VERSION
 
-        mode, n, t, horizon = key
-        name = (
-            f"system_{mode}_n{n}_t{t}_h{horizon}"
-            f"_c{CODEC_VERSION}_v{__version__}.json.gz"
-        )
-        return os.path.join(self.cache_dir, name)
+        return f"c{CODEC_VERSION}_v{__version__}.json.gz"
 
     # -- lookup ------------------------------------------------------------
 
@@ -215,9 +226,36 @@ class SystemProvider:
                 finally:
                     if os.path.exists(temp_path):
                         os.unlink(temp_path)
+            self._prune_stale(key, keep=os.path.basename(path))
         except OSError:
             # A read-only or full filesystem must never break enumeration.
             pass
+
+    def _prune_stale(self, key: CacheKey, *, keep: str) -> None:
+        """Delete superseded cache files of the same parameter cell.
+
+        Version-stamped filenames mean a codec or library bump leaves the
+        previous stamp's file behind forever; after a successful store the
+        newly written file is authoritative, so any sibling with the same
+        ``(mode, n, t, horizon)`` prefix but a different version suffix is
+        garbage and is removed here.
+        """
+        prefix = self._cell_prefix(key)
+        try:
+            names = os.listdir(self.cache_dir)
+        except OSError:
+            return
+        for name in names:
+            if name == keep:
+                continue
+            if not name.startswith(prefix) or not name.endswith(".json.gz"):
+                continue
+            try:
+                os.unlink(os.path.join(self.cache_dir, name))
+            except OSError:
+                continue
+            self._disk_prunes += 1
+            obs.count("disk_cache_prunes")
 
     # -- introspection -----------------------------------------------------
 
@@ -231,16 +269,27 @@ class SystemProvider:
             "evictions": self._evictions,
             "disk_hits": self._disk_hits,
             "disk_misses": self._disk_misses,
+            "disk_prunes": self._disk_prunes,
+            "disk_stale": sum(
+                1 for entry in self.disk_entries() if entry["stale"]
+            ),
             "disk_enabled": self.disk_enabled,
             "cache_dir": self.cache_dir,
             "keys": list(self._memory.keys()),
         }
 
     def disk_entries(self) -> List[Dict[str, object]]:
-        """The on-disk cache inventory (file name and size in bytes)."""
+        """The on-disk cache inventory.
+
+        Each entry carries the file name, its size in bytes, and a
+        ``stale`` flag — true when the file's version suffix differs from
+        the current codec/library stamp (it will never be read again, only
+        pruned on the next store into its cell).
+        """
         entries: List[Dict[str, object]] = []
         if not os.path.isdir(self.cache_dir):
             return entries
+        suffix = self._current_suffix()
         for name in sorted(os.listdir(self.cache_dir)):
             if not name.endswith(".json.gz"):
                 continue
@@ -249,7 +298,14 @@ class SystemProvider:
                 size = os.path.getsize(path)
             except OSError:
                 continue
-            entries.append({"file": name, "bytes": size})
+            entries.append(
+                {
+                    "file": name,
+                    "bytes": size,
+                    "stale": name.startswith("system_")
+                    and not name.endswith(suffix),
+                }
+            )
         return entries
 
     def clear(self, *, disk: bool = False) -> Dict[str, int]:

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Container, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs, trace
 from ..errors import ConfigurationError, EvaluationError
+from . import kernels
 from .adversary import Adversary
 from .config import InitialConfiguration, all_configurations
 from .failures import FailureMode, FailurePattern, ProcessorId
@@ -31,12 +32,33 @@ Point = Tuple[int, int]  # (run index, time)
 ScenarioKey = Tuple[InitialConfiguration, FailurePattern]
 
 
+def _pack_rows(rows: Sequence[Sequence[bool]], width: int) -> int:
+    """Pack per-run boolean rows into one point-indexed bitmask."""
+    mask = 0
+    base = 0
+    for row in rows:
+        bits = 0
+        for time, value in enumerate(row):
+            if value:
+                bits |= 1 << time
+        mask |= bits << base
+        base += width
+    return mask
+
+
 class TruthAssignment:
     """A boolean valuation over every point of a system.
 
-    Stored as one list of booleans per run (indexed by time ``0..horizon``).
-    Instances are treated as immutable by the evaluator; helpers that derive
-    new assignments always allocate.
+    This class doubles as the **reference kernel**: values live in one list
+    of booleans per run (indexed by time ``0..horizon``).  The default
+    **bitset kernel** stores the same valuation packed into a single
+    integer (:class:`BitsetAssignment`); the class factories ``constant`` /
+    ``from_predicate`` / ``from_rows`` / ``from_run_levels`` build whichever
+    representation :func:`repro.model.kernels.active_kernel` selects, so
+    evaluator code is written against this shared interface.
+
+    Instances are treated as immutable by the evaluator; helpers that
+    derive new assignments always allocate.
     """
 
     __slots__ = ("values",)
@@ -44,23 +66,86 @@ class TruthAssignment:
     def __init__(self, values: List[List[bool]]) -> None:
         self.values = values
 
-    @classmethod
-    def constant(cls, system: "System", value: bool) -> "TruthAssignment":
-        return cls(
+    # -- kernel-dispatching factories --------------------------------------
+
+    @staticmethod
+    def constant(system: "System", value: bool) -> "TruthAssignment":
+        if system.bitset_active():
+            return BitsetAssignment.constant(system, value)
+        return TruthAssignment(
             [[value] * (system.horizon + 1) for _ in range(len(system.runs))]
         )
 
-    @classmethod
+    @staticmethod
     def from_predicate(
-        cls, system: "System", predicate: Callable[[int, int], bool]
+        system: "System", predicate: Callable[[int, int], bool]
     ) -> "TruthAssignment":
         """Build from a ``(run_index, time) -> bool`` predicate."""
-        return cls(
+        rows = [
             [
-                [predicate(run_index, time) for time in range(system.horizon + 1)]
-                for run_index in range(len(system.runs))
+                bool(predicate(run_index, time))
+                for time in range(system.horizon + 1)
             ]
+            for run_index in range(len(system.runs))
+        ]
+        return TruthAssignment.from_rows(system, rows)
+
+    @staticmethod
+    def from_states(
+        system: "System", processor: int, states: Container[ViewId]
+    ) -> "TruthAssignment":
+        """Truth at ``(r, m)`` iff the processor's local state there ∈ *states*.
+
+        Under the bitset kernel this is a union of precomputed same-state
+        occurrence masks — no per-point predicate calls.
+        """
+        if system.bitset_active():
+            index = system.bitset_index()
+            owners = index.view_owner
+            mask = 0
+            for view, gmask in index.view_masks.items():
+                if owners[view] == processor and view in states:
+                    mask |= gmask
+            return BitsetAssignment(mask, index.num_runs, index.width)
+        return TruthAssignment.from_predicate(
+            system,
+            lambda run_index, time: system.runs[run_index].view(
+                processor, time
+            )
+            in states,
         )
+
+    @staticmethod
+    def from_rows(
+        system: "System", rows: List[List[bool]]
+    ) -> "TruthAssignment":
+        """Build from explicit per-run boolean rows."""
+        if system.bitset_active():
+            return BitsetAssignment(
+                _pack_rows(rows, system.horizon + 1),
+                len(system.runs),
+                system.horizon + 1,
+            )
+        return TruthAssignment(rows)
+
+    @staticmethod
+    def from_run_levels(
+        system: "System", run_levels: Sequence[bool]
+    ) -> "TruthAssignment":
+        """Build a run-level assignment (same truth at every time of a run)."""
+        width = system.horizon + 1
+        if system.bitset_active():
+            block = (1 << width) - 1
+            mask = 0
+            for run_index, value in enumerate(run_levels):
+                if value:
+                    mask |= block << (run_index * width)
+            return BitsetAssignment(mask, len(system.runs), width)
+        return TruthAssignment(
+            [[bool(value)] * width for value in run_levels]
+        )
+
+    # -- point access ------------------------------------------------------
 
     def at(self, run_index: int, time: int) -> bool:
         return self.values[run_index][time]
@@ -68,7 +153,18 @@ class TruthAssignment:
     def count_true(self) -> int:
         return sum(sum(1 for v in row if v) for row in self.values)
 
+    def to_rows(self) -> List[List[bool]]:
+        """Per-run boolean rows (treat as read-only for the reference
+        kernel, which returns its backing storage)."""
+        return self.values
+
+    def run_levels(self) -> List[bool]:
+        """Time-0 truth per run (exact for run-level assignments)."""
+        return [bool(row[0]) for row in self.values]
+
     def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitsetAssignment):
+            return other == self
         if not isinstance(other, TruthAssignment):
             return NotImplemented
         return self.values == other.values
@@ -85,7 +181,7 @@ class TruthAssignment:
         return TruthAssignment(
             [
                 [a and b for a, b in zip(row_a, row_b)]
-                for row_a, row_b in zip(self.values, other.values)
+                for row_a, row_b in zip(self.values, other.to_rows())
             ]
         )
 
@@ -93,7 +189,7 @@ class TruthAssignment:
         return TruthAssignment(
             [
                 [a or b for a, b in zip(row_a, row_b)]
-                for row_a, row_b in zip(self.values, other.values)
+                for row_a, row_b in zip(self.values, other.to_rows())
             ]
         )
 
@@ -101,7 +197,7 @@ class TruthAssignment:
         return TruthAssignment(
             [
                 [(not a) or b for a, b in zip(row_a, row_b)]
-                for row_a, row_b in zip(self.values, other.values)
+                for row_a, row_b in zip(self.values, other.to_rows())
             ]
         )
 
@@ -109,6 +205,184 @@ class TruthAssignment:
         """True when the assignment holds at *every* point (the paper's
         ``R |= φ``)."""
         return all(all(row) for row in self.values)
+
+
+class BitsetAssignment(TruthAssignment):
+    """Bitset-kernel truth assignment: one integer, one bit per point.
+
+    The point ``(run_index, time)`` maps to bit ``run_index * width +
+    time`` where ``width = horizon + 1``, so each run occupies one
+    contiguous ``width``-bit block.  Boolean algebra is word-wide integer
+    arithmetic on arbitrary-precision ints — a ``conjoin`` over a
+    1360-run system is a single C-level ``&`` instead of ~5400 list
+    operations.  The knowledge evaluators in
+    :mod:`repro.knowledge.semantics` recognize this representation and
+    switch to group AND-reductions over the
+    :class:`BitsetIndex` of the system.
+    """
+
+    __slots__ = ("mask", "num_runs", "width", "full")
+
+    def __init__(self, mask: int, num_runs: int, width: int) -> None:
+        self.mask = mask
+        self.num_runs = num_runs
+        self.width = width
+        self.full = (1 << (num_runs * width)) - 1
+
+    # -- factories ---------------------------------------------------------
+
+    @staticmethod
+    def constant(system: "System", value: bool) -> "BitsetAssignment":
+        width = system.horizon + 1
+        num_runs = len(system.runs)
+        mask = (1 << (num_runs * width)) - 1 if value else 0
+        return BitsetAssignment(mask, num_runs, width)
+
+    def _replace(self, mask: int) -> "BitsetAssignment":
+        """Same shape, different mask (already truncated to ``full``)."""
+        clone = BitsetAssignment.__new__(BitsetAssignment)
+        clone.mask = mask
+        clone.num_runs = self.num_runs
+        clone.width = self.width
+        clone.full = self.full
+        return clone
+
+    # -- point access ------------------------------------------------------
+
+    @property
+    def values(self) -> List[List[bool]]:
+        """Materialized per-run rows (compat with row-oriented readers)."""
+        return self.to_rows()
+
+    def at(self, run_index: int, time: int) -> bool:
+        return bool((self.mask >> (run_index * self.width + time)) & 1)
+
+    def count_true(self) -> int:
+        return self.mask.bit_count()
+
+    def to_rows(self) -> List[List[bool]]:
+        mask, width = self.mask, self.width
+        block = (1 << width) - 1
+        rows = []
+        for run_index in range(self.num_runs):
+            bits = (mask >> (run_index * width)) & block
+            rows.append([bool((bits >> time) & 1) for time in range(width)])
+        return rows
+
+    def run_levels(self) -> List[bool]:
+        mask, width = self.mask, self.width
+        return [
+            bool((mask >> (run_index * width)) & 1)
+            for run_index in range(self.num_runs)
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitsetAssignment):
+            return (
+                self.mask == other.mask
+                and self.num_runs == other.num_runs
+                and self.width == other.width
+            )
+        if isinstance(other, TruthAssignment):
+            return self.to_rows() == other.values
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not hashed in practice
+        return hash((self.mask, self.num_runs, self.width))
+
+    # -- pointwise algebra -------------------------------------------------
+
+    def _mask_of(self, other: "TruthAssignment") -> int:
+        if isinstance(other, BitsetAssignment):
+            return other.mask
+        return _pack_rows(other.values, self.width)
+
+    def negate(self) -> "BitsetAssignment":
+        return self._replace(self.full & ~self.mask)
+
+    def conjoin(self, other: "TruthAssignment") -> "BitsetAssignment":
+        return self._replace(self.mask & self._mask_of(other))
+
+    def disjoin(self, other: "TruthAssignment") -> "BitsetAssignment":
+        return self._replace(self.mask | self._mask_of(other))
+
+    def implies(self, other: "TruthAssignment") -> "BitsetAssignment":
+        return self._replace(
+            (self.full & ~self.mask) | self._mask_of(other)
+        )
+
+    def is_valid(self) -> bool:
+        return self.mask == self.full
+
+
+class BitsetIndex:
+    """Dense same-state group index powering the bitset kernel.
+
+    Precomputed once per system (lazily, on the first bitset evaluation):
+
+    * ``groups[p]`` — for each distinct local state of processor ``p``, the
+      bitmask of the points sharing that state.  ``K_p φ`` is then one
+      subset test (``phi & group == group``) per distinct state, broadcast
+      by OR-ing the group mask into the result;
+    * ``col0`` — the time-0 column (one bit per run), from which any time
+      column is a shift; the temporal operators sweep columns instead of
+      points;
+    * ``member_masks`` — per nonrigid-set cache key, the per-processor
+      bitmask of points where the processor is a member (computed on demand
+      by :mod:`repro.knowledge.semantics` and memoized here);
+    * ``view_owner`` — owning processor per occurring view id, shared by
+      the Corollary 3.3 reachability scan.
+    """
+
+    __slots__ = (
+        "num_runs",
+        "width",
+        "full",
+        "col0",
+        "run_block",
+        "groups",
+        "view_masks",
+        "view_owner",
+        "member_masks",
+    )
+
+    def __init__(self, system: "System") -> None:
+        width = system.horizon + 1
+        num_runs = len(system.runs)
+        self.num_runs = num_runs
+        self.width = width
+        self.full = (1 << (num_runs * width)) - 1
+        col0 = 0
+        for run_index in range(num_runs):
+            col0 |= 1 << (run_index * width)
+        self.col0 = col0
+        self.run_block = (1 << width) - 1
+        self.groups: List[List[int]] = [[] for _ in range(system.n)]
+        self.view_masks: Dict[ViewId, int] = {}
+        self.view_owner: Dict[ViewId, int] = {}
+        table = system.table
+        for view, points in system._state_index.items():
+            gmask = 0
+            for run_index, time in points:
+                gmask |= 1 << (run_index * width + time)
+            owner = table.info(view).processor
+            self.view_masks[view] = gmask
+            self.view_owner[view] = owner
+            self.groups[owner].append(gmask)
+        self.member_masks: Dict[object, List[int]] = {}
+
+    def position(self, run_index: int, time: int) -> int:
+        """Bit position of the point ``(run_index, time)``."""
+        return run_index * self.width + time
+
+    def spread_run_levels(self, run_bits: int) -> int:
+        """Broadcast a col0-aligned per-run bit to the run's full window.
+
+        ``run_bits`` has at most one bit per ``width``-block (positions
+        ``run_index * width``); multiplying by the all-ones block replicates
+        each into ``width`` consecutive bits with no carry overlap.
+        """
+        return run_bits * self.run_block
 
 
 class System:
@@ -160,6 +434,8 @@ class System:
                     )
         self._formula_cache: Dict[object, TruthAssignment] = {}
         self._nonrigid_cache: Dict[object, List[List[FrozenSet[int]]]] = {}
+        self._components_cache: Dict[object, List[int]] = {}
+        self._bitset_index: Optional[BitsetIndex] = None
 
     # -- structure ---------------------------------------------------------
 
@@ -198,12 +474,44 @@ class System:
         """All view ids that occur at some point of the system."""
         return iter(self._state_index)
 
+    def bitset_active(self) -> bool:
+        """Whether evaluations on this system use the bitset representation.
+
+        True when the bitset kernel is selected *and* the system is small
+        enough for packed-integer masks to win.  Beyond
+        :data:`~repro.model.kernels.BITSET_POINT_LIMIT` points every mask
+        operation costs O(mask length), so the factories fall back to the
+        reference representation, whose per-point lists stay linear at any
+        size.  The evaluators dispatch on the assignment type, so the
+        fallback is transparent to everything downstream.
+        """
+        return (
+            kernels.active_kernel() == kernels.BITSET
+            and self.num_points() <= kernels.BITSET_POINT_LIMIT
+        )
+
+    def bitset_index(self) -> BitsetIndex:
+        """The dense same-state group index (built lazily, then shared)."""
+        index = self._bitset_index
+        if index is None:
+            with obs.stage("bitset_index"), trace.span(
+                "bitset_index", runs=len(self.runs)
+            ):
+                index = BitsetIndex(self)
+            self._bitset_index = index
+        return index
+
     # -- caches ------------------------------------------------------------
 
     def cached_evaluation(
         self, key: object, compute: Callable[[], TruthAssignment]
     ) -> TruthAssignment:
-        """Memoize a formula evaluation under *key*."""
+        """Memoize a formula evaluation under *key*.
+
+        Keys are qualified by the active evaluation kernel so reference and
+        bitset assignments never alias each other in the cache.
+        """
+        key = (kernels.active_kernel(), key)
         existing = self._formula_cache.get(key)
         if existing is not None:
             obs.count("formula_cache_hits")
@@ -227,10 +535,29 @@ class System:
         self._nonrigid_cache[key] = result
         return result
 
+    def cached_components(
+        self, key: object, compute: Callable[[], List[int]]
+    ) -> List[int]:
+        """Memoize a run-component labelling under *key*.
+
+        Component labellings depend only on the system and a nonrigid set,
+        never on the evaluation kernel.  Callers must treat the returned
+        list as read-only.
+        """
+        existing = self._components_cache.get(key)
+        if existing is not None:
+            obs.count("components_cache_hits")
+            return existing
+        obs.count("components_cache_misses")
+        result = compute()
+        self._components_cache[key] = result
+        return result
+
     def clear_caches(self) -> None:
         """Drop all memoized evaluations (mainly for tests)."""
         self._formula_cache.clear()
         self._nonrigid_cache.clear()
+        self._components_cache.clear()
 
 
 def _short_key(key: object, limit: int = 96) -> str:
@@ -250,11 +577,26 @@ def _resolve_workers(workers: Optional[int], num_scenarios: int) -> int:
     otherwise auto — parallel only when the scenario space is large enough
     (:data:`PARALLEL_BUILD_THRESHOLD`) to amortize process startup and
     result pickling, and the machine has more than one core.
+
+    An unset or blank ``REPRO_BUILD_WORKERS`` means auto; anything else
+    must parse as an integer >= 1 or the variable is reported via
+    :class:`ConfigurationError` (never a bare ``ValueError``).
     """
     if workers is None:
         env = os.environ.get("REPRO_BUILD_WORKERS")
-        if env:
-            workers = int(env)
+        if env is not None and env.strip():
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"REPRO_BUILD_WORKERS must be an integer >= 1, "
+                    f"got {env!r}"
+                ) from None
+            if workers < 1:
+                raise ConfigurationError(
+                    f"REPRO_BUILD_WORKERS must be an integer >= 1, "
+                    f"got {env!r}"
+                )
     if workers is None:
         cores = os.cpu_count() or 1
         if cores < 2 or num_scenarios < PARALLEL_BUILD_THRESHOLD:

@@ -26,7 +26,7 @@ from ..core.decision_sets import DecisionPair, close_under_recall
 from ..core.outcomes import DecisionRecord, ProtocolOutcome, RunOutcome
 from ..errors import EvaluationError, ProtocolViolationError
 from ..knowledge.formulas import Formula
-from ..model.system import System
+from ..model.system import BitsetAssignment, System
 from ..model.views import ViewId
 
 
@@ -53,26 +53,90 @@ class FullInformationProtocol:
 
     def __init__(self, pair: DecisionPair) -> None:
         self.pair = pair
+        self._first_times: Dict[
+            System, List[List[Tuple[Optional[int], Optional[int]]]]
+        ] = {}
 
     @property
     def name(self) -> str:
         return self.pair.name
 
+    def _firing_table(
+        self, system: System
+    ) -> List[List[Tuple[Optional[int], Optional[int]]]]:
+        """First zero-/one-firing time per ``(run, processor)``.
+
+        Scanned once per system and memoized on the protocol instance —
+        ``outcome``, ``sticky_pair`` and ``conflicts`` all read the same
+        table.  Under the bitset kernel the scan is a union of same-state
+        occurrence masks followed by one lowest-set-bit extraction per run
+        block, instead of per-point set-membership tests.
+        """
+        table = self._first_times.get(system)
+        if table is not None:
+            return table
+        num_runs = len(system.runs)
+        n = system.n
+        table = [
+            [(None, None)] * n for _ in range(num_runs)
+        ]  # type: List[List[Tuple[Optional[int], Optional[int]]]]
+        if system.bitset_active():
+            index = system.bitset_index()
+            owners = index.view_owner
+            width = index.width
+            run_block = index.run_block
+            zeros = self.pair.zeros
+            ones = self.pair.ones
+            zero_masks = [0] * n
+            one_masks = [0] * n
+            for view, gmask in index.view_masks.items():
+                owner = owners[view]
+                if view in zeros:
+                    zero_masks[owner] |= gmask
+                if view in ones:
+                    one_masks[owner] |= gmask
+            for processor in range(n):
+                zeros_left = zero_masks[processor]
+                ones_left = one_masks[processor]
+                for run_index in range(num_runs):
+                    if not zeros_left and not ones_left:
+                        break
+                    zero_bits = zeros_left & run_block
+                    one_bits = ones_left & run_block
+                    zeros_left >>= width
+                    ones_left >>= width
+                    if zero_bits or one_bits:
+                        table[run_index][processor] = (
+                            (zero_bits & -zero_bits).bit_length() - 1
+                            if zero_bits
+                            else None,
+                            (one_bits & -one_bits).bit_length() - 1
+                            if one_bits
+                            else None,
+                        )
+        else:
+            for run_index, run in enumerate(system.runs):
+                row = table[run_index]
+                for processor in range(n):
+                    zero_time: Optional[int] = None
+                    one_time: Optional[int] = None
+                    for time in range(system.horizon + 1):
+                        view = run.view(processor, time)
+                        if self.pair.decides_zero(view):
+                            zero_time = time
+                        if self.pair.decides_one(view):
+                            one_time = time
+                        if zero_time is not None or one_time is not None:
+                            break
+                    row[processor] = (zero_time, one_time)
+        self._first_times[system] = table
+        return table
+
     def decision_for(
         self, system: System, run_index: int, processor: int
     ) -> DecisionRecord:
         """``(value, time)`` of the processor's decision in a run, if any."""
-        run = system.runs[run_index]
-        zero_time: Optional[int] = None
-        one_time: Optional[int] = None
-        for time in range(system.horizon + 1):
-            view = run.view(processor, time)
-            if zero_time is None and self.pair.decides_zero(view):
-                zero_time = time
-            if one_time is None and self.pair.decides_one(view):
-                one_time = time
-            if zero_time is not None or one_time is not None:
-                break
+        zero_time, one_time = self._firing_table(system)[run_index][processor]
         if zero_time is None and one_time is None:
             return None
         if zero_time is not None and one_time is not None:
@@ -106,18 +170,11 @@ class FullInformationProtocol:
         """Points ``(run_index, processor, time)`` where both decision rules
         first fired simultaneously (tie-broken to 0)."""
         found: List[Tuple[int, int, int]] = []
-        for run_index, run in enumerate(system.runs):
+        table = self._firing_table(system)
+        for run_index in range(len(system.runs)):
+            row = table[run_index]
             for processor in range(system.n):
-                zero_time: Optional[int] = None
-                one_time: Optional[int] = None
-                for time in range(system.horizon + 1):
-                    view = run.view(processor, time)
-                    if zero_time is None and self.pair.decides_zero(view):
-                        zero_time = time
-                    if one_time is None and self.pair.decides_one(view):
-                        one_time = time
-                    if zero_time is not None or one_time is not None:
-                        break
+                zero_time, one_time = row[processor]
                 if (
                     zero_time is not None
                     and one_time is not None
@@ -198,6 +255,27 @@ def pair_from_formulas(
     ):
         for processor in range(system.n):
             truth = factory(processor).evaluate(system)
+            if isinstance(truth, BitsetAssignment) and require_state_determined:
+                # One subset test per distinct local state: the state's
+                # occurrence mask is entirely inside the truth mask (holds
+                # everywhere), disjoint from it (holds nowhere), or split —
+                # which is exactly a state-determinism violation.
+                index = system.bitset_index()
+                mask = truth.mask
+                owners = index.view_owner
+                for view, gmask in index.view_masks.items():
+                    if owners[view] != processor:
+                        continue
+                    overlap = mask & gmask
+                    if overlap == gmask:
+                        sink.append(view)
+                    elif overlap:
+                        raise EvaluationError(
+                            f"{name}: {which}-formula for processor "
+                            f"{processor} is not state-determined "
+                            f"(state {view} evaluates both ways)"
+                        )
+                continue
             by_state: Dict[ViewId, bool] = {}
             for run_index, run in enumerate(system.runs):
                 for time in range(system.horizon + 1):

@@ -1,0 +1,260 @@
+"""Differential tests for the bitset evaluation kernel.
+
+The bitset kernel packs every :class:`TruthAssignment` into one integer and
+is the default; the list-of-lists reference kernel is the executable
+specification.  These tests pin each kernel in turn and assert the two
+produce identical valuations — over the boolean/temporal algebra, over
+randomized formula trees on both failure modes, and over every formula in
+the E4/E5/E21 explain catalogs.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.knowledge import (
+    NONFAULTY,
+    AllStarted,
+    Always,
+    And,
+    Believes,
+    Common,
+    ContinualCommon,
+    Everyone,
+    EventualCommon,
+    Eventually,
+    Exists,
+    Implies,
+    InitialValueIs,
+    IsNonfaulty,
+    Knows,
+    Not,
+    Or,
+)
+from repro.knowledge.explain import EXPLAIN_CATALOG, catalog_system
+from repro.model import kernels
+from repro.model.system import BitsetAssignment, TruthAssignment
+
+
+def _rows(system, rng):
+    width = system.horizon + 1
+    return [
+        [rng.random() < 0.5 for _ in range(width)]
+        for _ in range(len(system.runs))
+    ]
+
+
+class TestKernelSelection:
+    def test_default_is_bitset(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert kernels.active_kernel() == kernels.BITSET
+
+    def test_env_selects_reference(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "reference")
+        assert kernels.active_kernel() == kernels.REFERENCE
+
+    @pytest.mark.parametrize("raw", [" BITSET ", "Bitset", "bitset\t"])
+    def test_env_is_normalized(self, monkeypatch, raw):
+        monkeypatch.setenv(kernels.KERNEL_ENV, raw)
+        assert kernels.active_kernel() == kernels.BITSET
+
+    @pytest.mark.parametrize("raw", ["", "   "])
+    def test_blank_env_means_default(self, monkeypatch, raw):
+        monkeypatch.setenv(kernels.KERNEL_ENV, raw)
+        assert kernels.active_kernel() == kernels.DEFAULT_KERNEL
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "numpy")
+        with pytest.raises(ConfigurationError) as excinfo:
+            kernels.active_kernel()
+        message = str(excinfo.value)
+        assert kernels.KERNEL_ENV in message
+        assert "numpy" in message
+
+    def test_use_kernel_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "reference")
+        with kernels.use_kernel("bitset"):
+            assert kernels.active_kernel() == kernels.BITSET
+        assert kernels.active_kernel() == kernels.REFERENCE
+
+    def test_use_kernel_nests(self):
+        with kernels.use_kernel("reference"):
+            with kernels.use_kernel("bitset"):
+                assert kernels.active_kernel() == kernels.BITSET
+            assert kernels.active_kernel() == kernels.REFERENCE
+
+    def test_use_kernel_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            with kernels.use_kernel("simd"):
+                pass  # pragma: no cover
+
+    def test_factories_build_the_selected_representation(self, crash3):
+        with kernels.use_kernel("bitset"):
+            assert isinstance(
+                TruthAssignment.constant(crash3, True), BitsetAssignment
+            )
+        with kernels.use_kernel("reference"):
+            built = TruthAssignment.constant(crash3, True)
+            assert type(built) is TruthAssignment
+
+
+class TestLargeSystemFallback:
+    """Above BITSET_POINT_LIMIT the bitset kernel falls back to reference.
+
+    Packed-integer ops cost O(mask length) per operation, so on huge
+    systems (the 385k-run Proposition 6.3 cell) the bitset layout loses to
+    the linear list layout; the factories detect this per system.
+    """
+
+    def test_oversized_system_uses_reference_layout(self, crash3, monkeypatch):
+        monkeypatch.setattr(kernels, "BITSET_POINT_LIMIT", 0)
+        crash3.clear_caches()
+        with kernels.use_kernel("bitset"):
+            assert not crash3.bitset_active()
+            built = TruthAssignment.constant(crash3, True)
+            assert type(built) is TruthAssignment
+            evaluated = Knows(0, Exists(1)).evaluate(crash3)
+            assert not isinstance(evaluated, BitsetAssignment)
+        crash3.clear_caches()
+
+    def test_fallback_verdicts_match_bitset(self, crash3, monkeypatch):
+        formula = Believes(1, Common(NONFAULTY, Exists(1)), NONFAULTY)
+        with kernels.use_kernel("bitset"):
+            crash3.clear_caches()
+            packed = formula.evaluate(crash3)
+            assert isinstance(packed, BitsetAssignment)
+            monkeypatch.setattr(kernels, "BITSET_POINT_LIMIT", 0)
+            crash3.clear_caches()
+            fallback = formula.evaluate(crash3)
+            assert not isinstance(fallback, BitsetAssignment)
+        assert fallback.to_rows() == packed.to_rows()
+        crash3.clear_caches()
+
+    def test_small_systems_stay_packed(self, crash3):
+        with kernels.use_kernel("bitset"):
+            assert crash3.bitset_active()
+
+
+class TestBitsetAlgebra:
+    """The packed operations agree with plain row-wise boolean algebra."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_binary_and_unary_ops_match(self, crash3, seed):
+        rng = random.Random(seed)
+        rows_a = _rows(crash3, rng)
+        rows_b = _rows(crash3, rng)
+        with kernels.use_kernel("reference"):
+            ref_a = TruthAssignment.from_rows(crash3, rows_a)
+            ref_b = TruthAssignment.from_rows(crash3, rows_b)
+        with kernels.use_kernel("bitset"):
+            bit_a = TruthAssignment.from_rows(crash3, rows_a)
+            bit_b = TruthAssignment.from_rows(crash3, rows_b)
+        assert bit_a.conjoin(bit_b).to_rows() == ref_a.conjoin(ref_b).to_rows()
+        assert bit_a.disjoin(bit_b).to_rows() == ref_a.disjoin(ref_b).to_rows()
+        assert bit_a.implies(bit_b).to_rows() == ref_a.implies(ref_b).to_rows()
+        assert bit_a.negate().to_rows() == ref_a.negate().to_rows()
+        assert bit_a.count_true() == ref_a.count_true()
+        assert bit_a.is_valid() == ref_a.is_valid()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_point_access_and_equality(self, crash3, seed):
+        rng = random.Random(100 + seed)
+        rows = _rows(crash3, rng)
+        with kernels.use_kernel("reference"):
+            reference = TruthAssignment.from_rows(crash3, rows)
+        with kernels.use_kernel("bitset"):
+            bitset = TruthAssignment.from_rows(crash3, rows)
+        for run_index in range(0, len(crash3.runs), 17):
+            for time in range(crash3.horizon + 1):
+                assert bitset.at(run_index, time) == reference.at(
+                    run_index, time
+                )
+        # Equality crosses representations, both ways.
+        assert bitset == reference
+        assert reference == bitset
+        assert bitset.to_rows() == rows
+
+    def test_mixed_representation_operands(self, crash3):
+        rng = random.Random(7)
+        rows_a = _rows(crash3, rng)
+        rows_b = _rows(crash3, rng)
+        with kernels.use_kernel("reference"):
+            reference = TruthAssignment.from_rows(crash3, rows_a)
+        with kernels.use_kernel("bitset"):
+            bitset = TruthAssignment.from_rows(crash3, rows_b)
+            expected = TruthAssignment.from_rows(crash3, rows_a)
+        assert bitset.conjoin(reference).to_rows() == bitset.conjoin(
+            expected
+        ).to_rows()
+
+
+def _random_formula(rng, n, depth=2):
+    """A random knowledge/temporal formula tree over small atoms."""
+    atoms = [
+        lambda: Exists(rng.choice((0, 1))),
+        lambda: InitialValueIs(rng.randrange(n), rng.choice((0, 1))),
+        lambda: IsNonfaulty(rng.randrange(n)),
+        lambda: AllStarted(rng.choice((0, 1))),
+    ]
+    if depth == 0:
+        return rng.choice(atoms)()
+    sub = _random_formula(rng, n, depth - 1)
+    combinators = [
+        lambda: Not(sub),
+        lambda: And([sub, _random_formula(rng, n, depth - 1)]),
+        lambda: Or([sub, _random_formula(rng, n, depth - 1)]),
+        lambda: Implies(sub, _random_formula(rng, n, depth - 1)),
+        lambda: Knows(rng.randrange(n), sub),
+        lambda: Believes(rng.randrange(n), sub, NONFAULTY),
+        lambda: Everyone(NONFAULTY, sub),
+        lambda: Always(sub),
+        lambda: Eventually(sub),
+        lambda: Common(NONFAULTY, sub),
+        lambda: ContinualCommon(NONFAULTY, sub, force_fixpoint=True),
+        lambda: EventualCommon(NONFAULTY, sub),
+    ]
+    return rng.choice(combinators)()
+
+
+def _differential(system, formula):
+    with kernels.use_kernel("reference"):
+        reference = formula.evaluate(system)
+    with kernels.use_kernel("bitset"):
+        bitset = formula.evaluate(system)
+    assert isinstance(bitset, BitsetAssignment)
+    assert not isinstance(reference, BitsetAssignment)
+    assert bitset.to_rows() == reference.to_rows()
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_crash_mode(self, crash3, seed):
+        rng = random.Random(seed)
+        _differential(crash3, _random_formula(rng, crash3.n))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_omission_mode(self, omission3, seed):
+        rng = random.Random(1000 + seed)
+        _differential(omission3, _random_formula(rng, omission3.n))
+
+
+class TestExplainCatalogDifferential:
+    """Every formula the explain CLI exposes, identical under both kernels."""
+
+    @pytest.mark.parametrize(
+        "experiment_id,key",
+        [
+            (experiment_id, key)
+            for experiment_id, entries in sorted(EXPLAIN_CATALOG.items())
+            for key in sorted(entries)
+        ],
+    )
+    def test_catalog_formula_matches(self, experiment_id, key):
+        entry = EXPLAIN_CATALOG[experiment_id][key]
+        system = catalog_system(entry)
+        with kernels.use_kernel("reference"):
+            reference = entry.build(system).evaluate(system)
+        with kernels.use_kernel("bitset"):
+            bitset = entry.build(system).evaluate(system)
+        assert bitset.to_rows() == reference.to_rows()

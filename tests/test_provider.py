@@ -227,3 +227,94 @@ class TestParallelEnumeration:
 
         with pytest.raises(ConfigurationError):
             _resolve_workers(0, 100)
+
+    @pytest.mark.parametrize("value", ["auto", "4x", "two", "1.5", "[]"])
+    def test_malformed_worker_env_raises_configuration_error(
+        self, monkeypatch, value
+    ):
+        from repro.errors import ConfigurationError
+        from repro.model.system import _resolve_workers
+
+        monkeypatch.setenv("REPRO_BUILD_WORKERS", value)
+        with pytest.raises(ConfigurationError) as excinfo:
+            _resolve_workers(None, 1000)
+        message = str(excinfo.value)
+        assert "REPRO_BUILD_WORKERS" in message
+        assert repr(value) in message
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_nonpositive_worker_env_raises_configuration_error(
+        self, monkeypatch, value
+    ):
+        from repro.errors import ConfigurationError
+        from repro.model.system import _resolve_workers
+
+        monkeypatch.setenv("REPRO_BUILD_WORKERS", value)
+        with pytest.raises(ConfigurationError) as excinfo:
+            _resolve_workers(None, 1000)
+        assert "REPRO_BUILD_WORKERS" in str(excinfo.value)
+
+    def test_blank_worker_env_means_auto(self, monkeypatch):
+        from repro.model.system import _resolve_workers
+
+        monkeypatch.setenv("REPRO_BUILD_WORKERS", "   ")
+        assert _resolve_workers(None, 10) == 1
+
+
+class TestDiskCacheEnvNormalization:
+    @pytest.mark.parametrize("value", ["False", "NO", " 0 ", "OFF", "no "])
+    def test_falsy_values_disable_disk(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_DISK_CACHE", value)
+        assert SystemProvider().disk_enabled is False
+
+    @pytest.mark.parametrize("value", ["1", "true", " YES ", ""])
+    def test_other_values_keep_disk_enabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_DISK_CACHE", value)
+        assert SystemProvider().disk_enabled is True
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISK_CACHE", "0")
+        assert SystemProvider(disk_cache=True).disk_enabled is True
+
+
+class TestStaleCacheFilePruning:
+    @staticmethod
+    def _stale_sibling(tmp_path):
+        """A plausible cache file of the same cell with an old version stamp."""
+        name = "system_crash_n3_t1_h2_c0_v0.9.9.json.gz"
+        path = os.path.join(str(tmp_path), name)
+        with gzip.open(path, "wt") as handle:
+            handle.write("{}")
+        return name
+
+    def test_store_prunes_stale_siblings(self, tmp_path):
+        stale = self._stale_sibling(tmp_path)
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        names = os.listdir(str(tmp_path))
+        assert stale not in names
+        assert len(names) == 1
+        assert provider.cache_info()["disk_prunes"] == 1
+
+    def test_prune_spares_other_cells(self, tmp_path):
+        other = "system_crash_n3_t1_h3_c0_v0.9.9.json.gz"
+        with gzip.open(os.path.join(str(tmp_path), other), "wt") as handle:
+            handle.write("{}")
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        assert other in os.listdir(str(tmp_path))
+        assert provider.cache_info()["disk_prunes"] == 0
+
+    def test_disk_entries_flag_stale_files(self, tmp_path):
+        stale = self._stale_sibling(tmp_path)
+        provider = SystemProvider(cache_dir=str(tmp_path), disk_cache=False)
+        entries = provider.disk_entries()
+        assert [entry["file"] for entry in entries] == [stale]
+        assert entries[0]["stale"] is True
+        assert provider.cache_info()["disk_stale"] == 1
+
+    def test_current_file_not_flagged_stale(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        (entry,) = provider.disk_entries()
+        assert entry["stale"] is False
