@@ -15,9 +15,18 @@ Usage::
     repro-eba explain E4           # list explainable formulas for E4
     repro-eba explain E4 common-exists1 --point 5:2
     repro-eba bench-compare --history BENCH_HISTORY.jsonl
+    repro-eba batch run E9 --workers 4 --resume   # sharded execution
+    repro-eba batch status         # checkpointed batches on disk
 
 Experiment ids are normalized (``E04``, ``e4`` and ``4`` all mean
-``E4``).  ``trace run`` executes experiments with the span tracer on and
+``E4``).  ``batch run`` executes an experiment through the sharded,
+checkpointed :mod:`repro.exec` engine (resume an interrupted batch with
+``--resume``; tune with ``--workers/--shard-size/--timeout/--retries`` or
+the matching ``REPRO_EXEC_*`` env vars); ``batch status`` lists the
+checkpoint directories under ``.repro_cache/exec/``.  A SIGINT anywhere in
+the CLI flushes partial instrumentation to stderr and exits with status
+130 (and ``REPRO_INTERRUPT_TRACE=PATH`` additionally dumps buffered spans
+as JSONL).  ``trace run`` executes experiments with the span tracer on and
 writes the finished spans as a Chrome trace-event file (loadable in
 ``chrome://tracing`` or Perfetto) or as JSONL.  ``explain`` re-derives a
 knowledge verdict together with machine-checkable evidence — an
@@ -454,7 +463,129 @@ def _cmd_diagram(
     return 0
 
 
+def _parse_batch_params(specs: List[str]) -> Dict[str, int]:
+    """Parse repeated ``--param key=value`` overrides (integer values)."""
+    params: Dict[str, int] = {}
+    for spec in specs:
+        key, sep, value = spec.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ReproError(
+                f"--param {spec!r} must look like key=value"
+            )
+        try:
+            params[key] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"--param {spec!r} has a non-integer value {value!r}"
+            ) from None
+    return params
+
+
+def _cmd_batch(args) -> int:
+    from .exec.checkpoint import list_batches
+    from .exec.plan import plan_for, run_batch
+
+    if args.batch_action == "status":
+        entries = list_batches()
+        if not entries:
+            print("no checkpointed batches")
+            return 0
+        from .metrics.tables import render_table
+
+        print(
+            render_table(
+                ["batch", "experiment", "kernel", "shards", "bytes"],
+                [
+                    [entry["batch"], entry["experiment"], entry["kernel"],
+                     entry["shards"], entry["bytes"]]
+                    for entry in entries
+                ],
+            )
+        )
+        return 0
+
+    if not args.batch_ids:
+        print("nothing to run; try `repro-eba batch run E9`", file=sys.stderr)
+        return 2
+    params = _parse_batch_params(args.param)
+    failures = 0
+    for experiment_id in args.batch_ids:
+        experiment_id = normalize_experiment_id(experiment_id)
+        plan = plan_for(experiment_id, **params)
+        start = time.perf_counter()
+        try:
+            result = run_batch(
+                plan,
+                workers=args.workers,
+                resume=args.resume,
+                shard_size=args.shard_size,
+                timeout=args.timeout,
+                retries=args.retries,
+            )
+        except KeyboardInterrupt:
+            print(
+                f"\nbatch interrupted; completed shards are checkpointed — "
+                f"resume with: repro-eba batch run {experiment_id} --resume",
+                file=sys.stderr,
+            )
+            raise
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        batch = result.data.get("batch", {})
+        print(
+            f"(batch {batch.get('key', '?')}: {batch.get('shards', '?')} "
+            f"shards, {batch.get('resumed', 0)} resumed, "
+            f"{batch.get('workers', '?')} workers, took {elapsed:.1f}s)"
+        )
+        print()
+        if not result.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def main(argv: List[str] = None) -> int:
+    """Top-level entry point with interrupt hardening.
+
+    A ``KeyboardInterrupt`` anywhere below is caught here: partial
+    instrumentation is flushed to stderr (and buffered spans to
+    ``REPRO_INTERRUPT_TRACE`` if set) before exiting with the
+    conventional SIGINT status 130.
+    """
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        return _handle_interrupt()
+
+
+def _handle_interrupt() -> int:
+    import os
+
+    from . import obs, trace
+
+    print("\ninterrupted (SIGINT)", file=sys.stderr)
+    summary = obs.format_summary()
+    if summary:
+        print("partial instrumentation:", file=sys.stderr)
+        print(summary, file=sys.stderr)
+    spans = trace.collect()
+    out = os.environ.get("REPRO_INTERRUPT_TRACE")
+    if out and spans:
+        try:
+            trace.write_jsonl(spans, out)
+            print(f"flushed {len(spans)} span(s) to {out}", file=sys.stderr)
+        except OSError as error:
+            print(f"could not flush spans to {out}: {error}", file=sys.stderr)
+    elif spans:
+        print(
+            f"{len(spans)} span(s) buffered; set REPRO_INTERRUPT_TRACE=PATH "
+            "to dump them on interrupt",
+            file=sys.stderr,
+        )
+    return 130
+
+
+def _dispatch(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-eba",
         description=(
@@ -568,6 +699,46 @@ def main(argv: List[str] = None) -> int:
         "--stats", action="store_true",
         help="print instrumentation totals after the diagram",
     )
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="sharded, checkpointed experiment execution (repro.exec)",
+    )
+    batch_parser.add_argument(
+        "batch_action", choices=["run", "status"],
+        help="run a batch, or list checkpointed batches",
+    )
+    batch_parser.add_argument(
+        "batch_ids", nargs="*", metavar="ID",
+        help="experiment ids with batch plans (E9, E14, E20)",
+    )
+    batch_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes (default: REPRO_EXEC_WORKERS or min(4, cores))",
+    )
+    batch_parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse checkpointed shards from a previous interrupted batch",
+    )
+    batch_parser.add_argument(
+        "--shard-size", type=int, default=None, metavar="N",
+        help="override the per-stage shard chunk size",
+    )
+    batch_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard timeout (default: REPRO_EXEC_TIMEOUT or 600)",
+    )
+    batch_parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry budget per shard (default: REPRO_EXEC_RETRIES or 2)",
+    )
+    batch_parser.add_argument(
+        "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="integer plan parameter override (repeatable), e.g. -t 2",
+    )
+    batch_parser.add_argument(
+        "--stats", action="store_true",
+        help="print instrumentation totals after the batch",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -585,7 +756,9 @@ def main(argv: List[str] = None) -> int:
         return _cmd_bench_compare(
             args.snapshots, args.history, args.threshold
         )
-    if args.command == "compare":
+    if args.command == "batch":
+        status = _cmd_batch(args)
+    elif args.command == "compare":
         status = _cmd_compare(args.names, args.mode, args.n, args.t)
     elif args.command == "diagram":
         status = _cmd_diagram(

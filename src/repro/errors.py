@@ -43,6 +43,15 @@ class EvaluationError(ReproError):
     """A knowledge formula could not be evaluated over the given system."""
 
 
+class ShardExecutionError(ReproError):
+    """A batch shard could not be completed by the execution engine.
+
+    Raised by :class:`~repro.exec.pool.ShardPool` when a shard keeps
+    failing (worker death, timeout, payload-checksum mismatch or a task
+    exception) after its retry budget is exhausted.
+    """
+
+
 class UnsupportedModeError(ReproError):
     """An operation was requested for a failure mode it does not support.
 

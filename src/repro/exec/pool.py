@@ -1,0 +1,462 @@
+"""Supervised process pool executing shards with retry and health checks.
+
+The supervisor forks one process per worker slot (fork, so workers inherit
+the stage's prepared shared state copy-on-write) and assigns each worker
+exactly one shard at a time over a dedicated queue — the supervisor
+therefore always knows which shard a dead or stuck worker was holding.
+Workers persist across a batch's stages (recycled only when the worker
+context changes generation), so the shared pages are faulted in once per
+worker rather than once per stage.
+Health is tracked three ways:
+
+* **liveness** — ``Process.is_alive()``; a worker that died mid-shard
+  (e.g. SIGKILL) is detected, its shard is rescheduled, and a replacement
+  worker is forked;
+* **heartbeats** — each worker runs a daemon thread posting a beat every
+  ``heartbeat`` seconds; a worker that is alive but silent past the stale
+  threshold (frozen/stopped) is killed and replaced;
+* **per-shard timeout** — a shard running past ``timeout`` seconds is
+  presumed hung, its worker is killed, and the shard is retried.
+
+Failed attempts (death, timeout, checksum mismatch, task exception) are
+retried up to ``retries`` times with exponential backoff
+(``backoff * 2**attempt``, non-blocking — other shards keep dispatching
+while a retry waits).  Exhausting retries raises
+:class:`~repro.errors.ShardExecutionError`.
+
+Every completed shard ships its payload (canonical JSON bytes plus a
+SHA-256 the supervisor re-verifies), its :mod:`repro.obs` counter delta and
+its :mod:`repro.trace` spans; the supervisor folds deltas into the parent
+instrumentation and grafts spans under the stage span, so a sharded batch
+reports the same counters and a coherent timeline, exactly like the
+parallel system builder.
+
+Pool sizing and limits resolve from ``REPRO_EXEC_WORKERS``,
+``REPRO_EXEC_TIMEOUT``, ``REPRO_EXEC_RETRIES`` and ``REPRO_EXEC_BACKOFF``
+when not passed explicitly; malformed values raise
+:class:`~repro.errors.ConfigurationError` naming the variable and value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .. import obs, trace
+from ..errors import ConfigurationError, ShardExecutionError
+from . import faults as fault_mod
+from .shard import Shard, context_epoch, run_task
+
+WORKERS_ENV = "REPRO_EXEC_WORKERS"
+TIMEOUT_ENV = "REPRO_EXEC_TIMEOUT"
+RETRIES_ENV = "REPRO_EXEC_RETRIES"
+BACKOFF_ENV = "REPRO_EXEC_BACKOFF"
+
+DEFAULT_TIMEOUT = 600.0
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF = 0.5
+DEFAULT_HEARTBEAT = 0.5
+
+#: A worker whose last heartbeat is older than this many heartbeat
+#: intervals (and at least this many seconds) is presumed frozen.  Generous
+#: on purpose: a GIL-bound compute burst must not read as death.
+STALE_BEATS = 20
+STALE_FLOOR_SECONDS = 10.0
+
+
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer >= {minimum}, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise ConfigurationError(
+            f"{name} must be an integer >= {minimum}, got {raw!r}"
+        )
+    return value
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number > 0, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be a number > 0, got {raw!r}")
+    return value
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_EXEC_WORKERS``, else
+    ``min(4, cores)``."""
+    if workers is None:
+        workers = _env_int(WORKERS_ENV, min(4, os.cpu_count() or 1))
+    if workers < 1:
+        raise ConfigurationError(f"need workers >= 1, got {workers}")
+    return workers
+
+
+def resolve_timeout(timeout: Optional[float] = None) -> float:
+    return timeout if timeout is not None else _env_float(TIMEOUT_ENV, DEFAULT_TIMEOUT)
+
+
+def resolve_retries(retries: Optional[int] = None) -> int:
+    return (
+        retries
+        if retries is not None
+        else _env_int(RETRIES_ENV, DEFAULT_RETRIES, minimum=0)
+    )
+
+
+def resolve_backoff(backoff: Optional[float] = None) -> float:
+    return backoff if backoff is not None else _env_float(BACKOFF_ENV, DEFAULT_BACKOFF)
+
+
+def _worker_main(work_queue, result_queue, heartbeat: float) -> None:
+    """Worker loop: execute assigned shards until told to stop.
+
+    Each result carries canonical payload bytes, their SHA-256 (computed
+    *before* any ``corrupt`` fault fires, so corruption is detectable), the
+    worker's obs delta for the shard and its exported trace spans (starts
+    relative to the shard span, for grafting).
+    """
+    pid = os.getpid()
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat):
+            try:
+                result_queue.put(("hb", pid, time.time()))
+            except Exception:
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+    fault_plan = fault_mod.active_faults()
+    while True:
+        item = work_queue.get()
+        if item is None:
+            stop.set()
+            return
+        shard_id, task_name, params, attempt = item
+        result_queue.put(("started", pid, shard_id, attempt))
+        try:
+            action = fault_mod.fault_for(fault_plan, shard_id, attempt)
+            if action is not None and action.mode == "kill":
+                os.kill(pid, signal.SIGKILL)
+            if action is not None and action.mode == "hang":
+                time.sleep(fault_mod.HANG_SECONDS)
+            obs_before = obs.snapshot()
+            mark = trace.TRACER.watermark()
+            started = time.perf_counter()
+            with trace.TRACER.span(
+                "exec.shard", shard=shard_id, task=task_name, attempt=attempt
+            ) as shard_span:
+                payload = run_task(task_name, params)
+            elapsed = time.perf_counter() - started
+            spans = trace.export_spans(trace.TRACER.collect(mark))
+            base = shard_span.start if spans else 0.0
+            for exported in spans:
+                exported["start"] = float(exported["start"]) - base
+            blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+            digest = hashlib.sha256(blob).hexdigest()
+            if action is not None and action.mode == "corrupt":
+                blob = b'{"corrupted": ' + blob + b"}"
+            result_queue.put(
+                (
+                    "done",
+                    pid,
+                    shard_id,
+                    attempt,
+                    blob,
+                    digest,
+                    obs.delta_since(obs_before),
+                    spans,
+                    elapsed,
+                )
+            )
+        except KeyboardInterrupt:
+            stop.set()
+            return
+        except BaseException as exc:
+            result_queue.put(
+                ("error", pid, shard_id, attempt, f"{type(exc).__name__}: {exc}")
+            )
+
+
+class _Worker:
+    """A forked worker process and its dedicated assignment queue."""
+
+    def __init__(self, ctx, result_queue, heartbeat: float) -> None:
+        self.queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(self.queue, result_queue, heartbeat),
+            daemon=True,
+        )
+        self.process.start()
+        self.pid: int = self.process.pid or 0
+        self.last_beat = time.time()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+
+
+class ShardPool:
+    """Run lists of shards to completion under supervision.
+
+    Workers are forked lazily on the first :meth:`run` and **persist
+    across calls**: a batch plan's stages reuse the same worker processes,
+    so the copy-on-write pages of the shared system are faulted in once
+    per worker, not once per stage.  Workers are recycled automatically
+    when the worker context changes generation (a stage's ``prepare``
+    published new state after they forked), and torn down by
+    :meth:`close` — the batch runner closes the pool when the batch ends.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
+        heartbeat: float = DEFAULT_HEARTBEAT,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.timeout = resolve_timeout(timeout)
+        self.retries = resolve_retries(retries)
+        self.backoff = resolve_backoff(backoff)
+        self.heartbeat = heartbeat
+        self.stale_after = max(STALE_BEATS * heartbeat, STALE_FLOOR_SECONDS)
+        self._ctx = None
+        self._result_queue = None
+        self._workers: Dict[int, _Worker] = {}
+        self._idle: Deque[int] = deque()
+        self._epoch = context_epoch()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down all workers and release the result queue."""
+        for worker in list(self._workers.values()):
+            try:
+                worker.queue.put(None)
+            except Exception:
+                pass
+        deadline = time.time() + 2.0
+        for worker in list(self._workers.values()):
+            worker.process.join(timeout=max(0.0, deadline - time.time()))
+            worker.kill()
+        self._workers.clear()
+        self._idle.clear()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
+            self._result_queue = None
+        self._ctx = None
+
+    def _ensure_ready(self, pool_size: int) -> None:
+        """Recycle stale workers, prune dead ones, top up to *pool_size*."""
+        epoch = context_epoch()
+        if self._workers and epoch != self._epoch:
+            self.close()
+        self._epoch = epoch
+        if self._ctx is None:
+            try:
+                self._ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                self._ctx = multiprocessing.get_context()
+            self._result_queue = self._ctx.Queue()
+        for pid in list(self._idle):
+            worker = self._workers.get(pid)
+            if worker is None or not worker.alive():
+                self._idle.remove(pid)
+                self._workers.pop(pid, None)
+        while len(self._workers) < pool_size:
+            self._spawn()
+
+    def _spawn(self) -> None:
+        worker = _Worker(self._ctx, self._result_queue, self.heartbeat)
+        self._workers[worker.pid] = worker
+        self._idle.append(worker.pid)
+
+    def run(
+        self,
+        shards: List[Shard],
+        *,
+        on_complete: Optional[Callable[[Shard, Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Execute *shards*, returning ``{shard_id: payload}``.
+
+        *on_complete* fires in the supervisor as each shard's payload is
+        verified — the batch runner uses it to checkpoint durably before
+        the stage is allowed to finish.
+        """
+        if not shards:
+            return {}
+        by_id = {shard.shard_id: shard for shard in shards}
+        if len(by_id) != len(shards):
+            raise ShardExecutionError("duplicate shard ids in batch stage")
+        pool_size = min(self.workers, len(shards))
+        self._ensure_ready(pool_size)
+        workers = self._workers
+        idle = self._idle
+        result_queue = self._result_queue
+        # (shard, attempt, not_before): retries wait out their backoff here
+        # without blocking dispatch of other shards.
+        pending: Deque[Tuple[Shard, int, float]] = deque(
+            (shard, 0, 0.0) for shard in shards
+        )
+        inflight: Dict[int, Tuple[Shard, int, float]] = {}
+        done: Dict[str, Dict[str, Any]] = {}
+
+        def spawn() -> None:
+            self._spawn()
+
+        def retire(pid: int, *, respawn: bool) -> None:
+            worker = workers.pop(pid, None)
+            if worker is not None:
+                worker.kill()
+            if pid in idle:
+                idle.remove(pid)
+            if respawn and len(workers) < pool_size:
+                spawn()
+                obs.count("exec_worker_restarts")
+
+        def reschedule(shard: Shard, attempt: int, why: str) -> None:
+            if attempt + 1 > self.retries:
+                raise ShardExecutionError(
+                    f"shard {shard.shard_id!r} failed after "
+                    f"{attempt + 1} attempt(s): {why}"
+                )
+            obs.count("exec_shard_retries")
+            delay = self.backoff * (2 ** attempt)
+            pending.append((shard, attempt + 1, time.time() + delay))
+
+        pool_span = trace.TRACER.span(
+            "exec.pool", shards=len(shards), workers=pool_size
+        )
+        span_obj = pool_span.__enter__()
+        parent_span = trace.TRACER.current_span_id()
+        graft_offset = getattr(span_obj, "start", 0.0)
+        try:
+            while len(done) < len(by_id):
+                now = time.time()
+                # Dispatch ready pending shards to idle workers.
+                if idle and pending:
+                    deferred: List[Tuple[Shard, int, float]] = []
+                    while idle and pending:
+                        shard, attempt, not_before = pending.popleft()
+                        if not_before > now:
+                            deferred.append((shard, attempt, not_before))
+                            continue
+                        pid = idle.popleft()
+                        inflight[pid] = (shard, attempt, now)
+                        workers[pid].queue.put(
+                            (shard.shard_id, shard.task, shard.params, attempt)
+                        )
+                    pending.extendleft(reversed(deferred))
+                # Collect one message (or time out and run health checks).
+                try:
+                    message = result_queue.get(timeout=min(self.heartbeat, 0.25))
+                except Exception:
+                    message = None
+                if message is not None:
+                    kind = message[0]
+                    pid = message[1]
+                    worker = workers.get(pid)
+                    if kind == "hb":
+                        if worker is not None:
+                            worker.last_beat = message[2]
+                    elif kind == "started":
+                        if pid in inflight:
+                            shard, attempt, _ = inflight[pid]
+                            inflight[pid] = (shard, attempt, time.time())
+                    elif kind == "done" and worker is not None and pid in inflight:
+                        shard, attempt, _ = inflight.pop(pid)
+                        _, _, shard_id, _, blob, digest, delta, spans, elapsed = (
+                            message
+                        )
+                        worker.last_beat = time.time()
+                        if hashlib.sha256(blob).hexdigest() != digest:
+                            retire(pid, respawn=True)
+                            reschedule(
+                                shard, attempt, "payload checksum mismatch"
+                            )
+                            continue
+                        payload = json.loads(blob.decode("utf-8"))
+                        obs.merge_delta(delta)
+                        trace.TRACER.graft(
+                            spans, parent_id=parent_span, offset=graft_offset
+                        )
+                        if shard_id not in done:
+                            done[shard_id] = payload
+                            obs.count("exec_shards_completed")
+                            if on_complete is not None:
+                                on_complete(shard, payload)
+                        idle.append(pid)
+                    elif kind == "error" and pid in inflight:
+                        shard, attempt, _ = inflight.pop(pid)
+                        idle.append(pid)
+                        reschedule(shard, attempt, message[4])
+                # Health checks on inflight workers.
+                now = time.time()
+                for pid in list(inflight):
+                    worker = workers.get(pid)
+                    shard, attempt, started = inflight[pid]
+                    if worker is None or not worker.alive():
+                        inflight.pop(pid)
+                        retire(pid, respawn=True)
+                        reschedule(shard, attempt, "worker died mid-shard")
+                    elif now - started > self.timeout:
+                        inflight.pop(pid)
+                        obs.count("exec_shard_timeouts")
+                        retire(pid, respawn=True)
+                        reschedule(
+                            shard,
+                            attempt,
+                            f"shard exceeded timeout ({self.timeout:g}s)",
+                        )
+                    elif now - worker.last_beat > self.stale_after:
+                        inflight.pop(pid)
+                        retire(pid, respawn=True)
+                        reschedule(shard, attempt, "worker heartbeat went stale")
+                # Replace idle workers that died outside a shard.
+                for pid in list(idle):
+                    worker = workers.get(pid)
+                    if worker is None or not worker.alive():
+                        retire(pid, respawn=bool(pending))
+        except BaseException:
+            # a failed stage may leave workers mid-shard; don't let their
+            # late results bleed into a subsequent run
+            self.close()
+            raise
+        finally:
+            pool_span.__exit__(None, None, None)
+        return done

@@ -1,0 +1,714 @@
+"""Shard task implementations and plan factories for the wired experiments.
+
+E9 (Proposition 6.3, the ~385k-run omission cell) is decomposed into the
+stage chain
+
+``build`` → ``eval-base`` → ``eval-first`` → ``eval-cbox1`` →
+``eval-second`` → ``eval-sticky`` → ``eval-cbox2`` → ``eval-probes`` →
+``assemble``
+
+which mirrors the monolithic evaluation exactly:
+
+* **believes shards** compute per-view verdicts of ``B_i^N(φ)`` for a
+  *run-level* operand φ (every operand the F^Λ construction uses is one):
+  the verdict at a view is the AND of φ over the view's occurrence points
+  whose owner is nonfaulty, vacuously true with none — precisely the
+  reference ``eval_believes`` semantics, and kernel-independent.  Sharded
+  by contiguous chunks of the owner's sorted view list;
+* **components shards** run the Corollary 3.3 reachability-component scan
+  for one nonrigid set ``N∧Z``; run-level ``C□`` values follow by AND-ing
+  φ over each component (isolated runs are vacuously true);
+* **trigger shards** scan contiguous run ranges for first firing times of
+  a pair (the ``sticky_pair`` semantics, with the same simultaneous-firing
+  tie-break as ``FullInformationProtocol.decision_for``);
+* **probe shards** read belief verdicts at chosen points of the witness
+  run.
+
+Run-level truth assignments travel between stages as hex-encoded bit
+masks (bit ``i`` = run ``i``), so shard parameters stay JSON-serializable
+and checkpoint digests bind each shard to its exact operand.
+
+E14 and E20 shard per sweep cell; their tasks call the same per-cell
+helpers the monolithic experiments use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.decision_sets import DecisionPair, close_under_recall
+from .plan import BatchPlan, Stage, register_plan
+from .shard import (
+    Shard,
+    chunk_ranges,
+    register_task,
+    set_worker_context,
+    worker_context,
+)
+
+#: Default chunk sizes for view-sharded and run-sharded tasks.
+DEFAULT_VIEW_CHUNK = 4096
+DEFAULT_RUN_CHUNK = 131072
+
+
+# -- run-level bit masks ---------------------------------------------------
+
+
+def pack_run_levels(values: Iterable[bool]) -> int:
+    """Pack per-run booleans into an int (bit ``i`` = run ``i``).
+
+    Accumulates little-endian bytes and converts once — bit-by-bit
+    ``mask |= 1 << i`` would be quadratic in the run count (385k-bit masks
+    on the E9 cell).
+    """
+    data = bytearray()
+    byte = 0
+    shift = 0
+    for value in values:
+        if value:
+            byte |= 1 << shift
+        shift += 1
+        if shift == 8:
+            data.append(byte)
+            byte = 0
+            shift = 0
+    if shift:
+        data.append(byte)
+    return int.from_bytes(bytes(data), "little")
+
+
+def mask_bytes(mask: int, count: int) -> bytes:
+    """Little-endian bytes of a run-level mask, for O(1) per-bit reads."""
+    return mask.to_bytes((count + 7) // 8 or 1, "little")
+
+
+def mask_bit(data: bytes, index: int) -> int:
+    """Bit *index* of a mask serialized by :func:`mask_bytes`."""
+    return (data[index >> 3] >> (index & 7)) & 1
+
+
+def cbox_bits(components: List[int], phi: int) -> int:
+    """Run-level ``C□`` truth from component labels and run-level φ bits.
+
+    A run's value is the AND of φ over its reachability component; label
+    ``-1`` (no nonfaulty member occurrence anywhere in the run) is
+    vacuously true — the same contract as
+    :func:`repro.knowledge.semantics.eval_continual_common_components`.
+    """
+    phi_bytes = mask_bytes(phi, len(components))
+    component_ok: Dict[int, bool] = {}
+    for run_index, label in enumerate(components):
+        if label != -1:
+            component_ok[label] = bool(
+                component_ok.get(label, True)
+                and mask_bit(phi_bytes, run_index)
+            )
+    return pack_run_levels(
+        label == -1 or component_ok[label] for label in components
+    )
+
+
+# -- shared worker-side lookups -------------------------------------------
+
+_PROC_VIEWS: Dict[Tuple[int, int], List[int]] = {}
+
+
+def _proc_views(system, processor: int) -> List[int]:
+    """Sorted occurring views owned by *processor* (memoized per system)."""
+    key = (id(system), processor)
+    cached = _PROC_VIEWS.get(key)
+    if cached is None:
+        table = system.table
+        cached = sorted(
+            view
+            for view in system._state_index
+            if table.info(view).processor == processor
+        )
+        _PROC_VIEWS[key] = cached
+    return cached
+
+
+def _believes_view_verdict(
+    system, view: int, processor: int, operand_bytes: bytes
+) -> bool:
+    """``B_processor^N(operand)`` at a local state, for run-level operand."""
+    runs = system.runs
+    for run_index, _time in system._state_index[view]:
+        if processor in runs[run_index].nonfaulty and not mask_bit(
+            operand_bytes, run_index
+        ):
+            return False
+    return True
+
+
+# -- E9 tasks --------------------------------------------------------------
+
+
+@register_task("system.ensure")
+def _task_system_ensure(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Build stage: make sure the cell's enumeration is on disk.
+
+    If a current-version cache file already exists the shard is a no-op;
+    otherwise the worker enumerates (possibly in parallel) and the provider
+    persists it, so the supervisor's evaluate-stage ``prepare`` gets a fast
+    disk hit.  With the disk layer off there is nothing a worker could hand
+    back cheaply, so the supervisor builds in-process instead.
+    """
+    from ..model.failures import FailureMode
+    from ..model.provider import get_provider
+
+    mode = FailureMode(params["mode"])
+    n, t, horizon = params["n"], params["t"], params["horizon"]
+    provider = get_provider()
+    if provider.has_current_cell(mode, n, t, horizon):
+        return {"built": False, "cached": True}
+    if not provider.disk_enabled:
+        return {"built": False, "cached": False}
+    system = provider.get(mode, n, t, horizon)
+    return {
+        "built": True,
+        "cached": False,
+        "runs": len(system.runs),
+        "views": len(system.table),
+    }
+
+
+@register_task("e9.believes")
+def _task_believes(params: Dict[str, Any]) -> Dict[str, Any]:
+    system = worker_context("system")
+    processor = params["processor"]
+    operand_bytes = mask_bytes(
+        int(params["operand"], 16), len(system.runs)
+    )
+    start, stop = params["chunk"]
+    views = _proc_views(system, processor)[start:stop]
+    true_views = [
+        view
+        for view in views
+        if _believes_view_verdict(system, view, processor, operand_bytes)
+    ]
+    return {"true_views": true_views}
+
+
+@register_task("e9.components")
+def _task_components(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Reachability components of ``N∧Z`` for ``Z = set(params["states"])``.
+
+    Same union-find contract as the monolithic
+    ``semantics._compute_components`` for a ``NonfaultyAndDeciding`` set:
+    processor ``i`` is a member at ``(run, time)`` iff its view there is in
+    ``Z`` and ``i`` is nonfaulty in the run.  Labels are union-find roots —
+    their values may differ from the monolithic scan's, but the partition
+    (all that ``cbox_bits`` consumes) is identical.
+    """
+    system = worker_context("system")
+    states = set(params["states"])
+    runs = system.runs
+    table = system.table
+    num_runs = len(runs)
+    parent = list(range(num_runs))
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    has_occurrence = [False] * num_runs
+    for view in states:
+        points = system._state_index.get(view)
+        if not points:
+            continue
+        owner = table.info(view).processor
+        anchor = -1
+        for run_index, _time in points:
+            if owner not in runs[run_index].nonfaulty:
+                continue
+            has_occurrence[run_index] = True
+            if anchor < 0:
+                anchor = run_index
+            else:
+                root_a, root_b = find(anchor), find(run_index)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+    components = [
+        find(run_index) if has_occurrence[run_index] else -1
+        for run_index in range(num_runs)
+    ]
+    return {"components": components}
+
+
+@register_task("e9.triggers")
+def _task_triggers(params: Dict[str, Any]) -> Dict[str, Any]:
+    """First-firing trigger views of a pair over a contiguous run range."""
+    system = worker_context("system")
+    zeros = set(params["zeros"])
+    ones = set(params["ones"])
+    start, stop = params["runs"]
+    horizon = system.horizon
+    n = system.n
+    zero_triggers = set()
+    one_triggers = set()
+    for run_index in range(start, stop):
+        run = system.runs[run_index]
+        for processor in range(n):
+            zero_time: Optional[int] = None
+            one_time: Optional[int] = None
+            for time in range(horizon + 1):
+                view = run.view(processor, time)
+                if view in zeros:
+                    zero_time = time
+                if view in ones:
+                    one_time = time
+                if zero_time is not None or one_time is not None:
+                    break
+            if zero_time is None and one_time is None:
+                continue
+            if zero_time is not None and (
+                one_time is None or zero_time <= one_time
+            ):
+                zero_triggers.add(run.view(processor, zero_time))
+            else:
+                one_triggers.add(run.view(processor, one_time))
+    return {
+        "zero_triggers": sorted(zero_triggers),
+        "one_triggers": sorted(one_triggers),
+    }
+
+
+@register_task("e9.probe")
+def _task_probe(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Belief verdicts ``B_p^N(operand)`` at explicit ``(run, time)`` points."""
+    system = worker_context("system")
+    processor = params["processor"]
+    operand_bytes = mask_bytes(
+        int(params["operand"], 16), len(system.runs)
+    )
+    values = []
+    for run_index, time in params["points"]:
+        view = system.runs[run_index].view(processor, time)
+        values.append(
+            _believes_view_verdict(system, view, processor, operand_bytes)
+        )
+    return {"values": values}
+
+
+# -- E9 plan ---------------------------------------------------------------
+
+
+def _shard_id_order(results: Dict[str, Dict[str, Any]]) -> List[str]:
+    return sorted(results)
+
+
+@register_plan("E9")
+def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
+    from ..experiments import e09_omission_nontermination as e09
+
+    params = {"n": n, "t": t, "horizon": horizon}
+
+    def prepare_system(context: Dict[str, Any]) -> None:
+        from ..model.builder import omission_system
+
+        system = omission_system(n, t, horizon)
+        context["system"] = system
+        set_worker_context(system=system)
+        context["exists0"] = pack_run_levels(
+            run.exists(0) for run in system.runs
+        )
+        context["exists1"] = pack_run_levels(
+            run.exists(1) for run in system.runs
+        )
+        context["full_mask"] = (1 << len(system.runs)) - 1
+        context["all_states"] = list(system.occurring_views())
+
+    def make_build(context: Dict[str, Any]) -> List[Shard]:
+        return [
+            Shard(
+                shard_id="build/system",
+                task="system.ensure",
+                params={"mode": "omission", **params},
+                stage="build",
+            )
+        ]
+
+    def reduce_build(results, context) -> None:
+        context["build_info"] = results["build/system"]
+
+    def components_stage(
+        name: str, states_key: str, phi_key: str, out_key: str
+    ) -> Stage:
+        """One reachability-component scan (a single, heavy shard)."""
+
+        def make(context: Dict[str, Any]) -> List[Shard]:
+            return [
+                Shard(
+                    shard_id=f"{name}/components",
+                    task="e9.components",
+                    params={"states": context[states_key]},
+                    stage=name,
+                )
+            ]
+
+        def reduce(results, context) -> None:
+            components = results[f"{name}/components"]["components"]
+            context[out_key] = cbox_bits(components, context[phi_key])
+
+        return Stage(name=name, make_shards=make, reduce=reduce)
+
+    def believes_stage(
+        name: str, ops_key: str, pair_key: str, pair_name: str
+    ) -> Stage:
+        """Fan out ``B_i^N`` view verdicts, close under recall, emit a pair."""
+
+        def make(context: Dict[str, Any]) -> List[Shard]:
+            system = context["system"]
+            size = context.get("shard_size") or DEFAULT_VIEW_CHUNK
+            ops = context[ops_key]
+            shards = []
+            for processor in range(system.n):
+                views = _proc_views(system, processor)
+                for which in ("zero", "one"):
+                    for index, (start, stop) in enumerate(
+                        chunk_ranges(len(views), size)
+                    ):
+                        shards.append(
+                            Shard(
+                                shard_id=f"{name}/p{processor}-{which}/{index}",
+                                task="e9.believes",
+                                params={
+                                    "processor": processor,
+                                    "which": which,
+                                    "operand": format(ops[which], "x"),
+                                    "chunk": [start, stop],
+                                },
+                                stage=name,
+                            )
+                        )
+            return shards
+
+        def reduce(results, context) -> None:
+            system = context["system"]
+            zero_states: List[int] = []
+            one_states: List[int] = []
+            for shard_id in _shard_id_order(results):
+                sink = zero_states if "-zero/" in shard_id else one_states
+                sink.extend(results[shard_id]["true_views"])
+            context[pair_key] = DecisionPair(
+                close_under_recall(
+                    zero_states, context["all_states"], system.table
+                ),
+                close_under_recall(
+                    one_states, context["all_states"], system.table
+                ),
+                name=pair_name,
+            )
+
+        return Stage(name=name, make_shards=make, reduce=reduce)
+
+    def reduce_base(results, context) -> None:
+        # C□_{N∧∅}∃0 over the empty decision set: prime-step base case.
+        components = results["eval-base/components"]["components"]
+        cbox_base = cbox_bits(components, context["exists0"])
+        full = context["full_mask"]
+        context["first_ops"] = {
+            "zero": context["exists0"] & cbox_base,
+            "one": context["exists1"] & (full & ~cbox_base),
+        }
+
+    def prepare_cbox1(context: Dict[str, Any]) -> None:
+        context["first_zeros"] = sorted(context["first_pair"].zeros)
+
+    def reduce_cbox1(results, context) -> None:
+        components = results["eval-cbox1/components"]["components"]
+        cbox1 = cbox_bits(components, context["exists1"])
+        full = context["full_mask"]
+        context["cbox1"] = cbox1
+        context["second_ops"] = {
+            "zero": context["exists0"] & (full & ~cbox1),
+            "one": context["exists1"] & cbox1,
+        }
+
+    def make_sticky(context: Dict[str, Any]) -> List[Shard]:
+        system = context["system"]
+        first = context["first_pair"]
+        size = context.get("shard_size") or DEFAULT_RUN_CHUNK
+        if size < 1024:
+            size = max(size * 64, 1024)  # run chunks are cheaper than views
+        zeros = sorted(first.zeros)
+        ones = sorted(first.ones)
+        return [
+            Shard(
+                shard_id=f"eval-sticky/runs/{index}",
+                task="e9.triggers",
+                params={
+                    "zeros": zeros,
+                    "ones": ones,
+                    "runs": [start, stop],
+                },
+                stage="eval-sticky",
+            )
+            for index, (start, stop) in enumerate(
+                chunk_ranges(len(system.runs), size)
+            )
+        ]
+
+    def reduce_sticky(results, context) -> None:
+        system = context["system"]
+        zero_triggers: List[int] = []
+        one_triggers: List[int] = []
+        for shard_id in _shard_id_order(results):
+            zero_triggers.extend(results[shard_id]["zero_triggers"])
+            one_triggers.extend(results[shard_id]["one_triggers"])
+        context["sticky_first"] = DecisionPair(
+            close_under_recall(
+                zero_triggers, context["all_states"], system.table
+            ),
+            close_under_recall(
+                one_triggers, context["all_states"], system.table
+            ),
+            name=context["first_pair"].name,
+        )
+
+    def prepare_cbox2(context: Dict[str, Any]) -> None:
+        context["sticky_zeros"] = sorted(context["sticky_first"].zeros)
+
+    def make_probes(context: Dict[str, Any]) -> List[Shard]:
+        system = context["system"]
+        target = e09.witness_target(n, horizon)
+        target_index = system.run_index_for(*target)
+        context["target_index"] = target_index
+        nonfaulty = sorted(system.runs[target_index].nonfaulty)
+        context["target_nonfaulty"] = nonfaulty
+        operand = format(context["cbox2"], "x")
+        return [
+            Shard(
+                shard_id=f"eval-probes/p{processor}",
+                task="e9.probe",
+                params={
+                    "processor": processor,
+                    "operand": operand,
+                    "points": [
+                        [target_index, time] for time in range(horizon + 1)
+                    ],
+                },
+                stage="eval-probes",
+            )
+            for processor in nonfaulty
+        ]
+
+    def reduce_probes(results, context) -> None:
+        context["belief_never"] = all(
+            not value
+            for shard_id in _shard_id_order(results)
+            for value in results[shard_id]["values"]
+        )
+
+    def reduce_assemble(results, context) -> None:
+        system = context["system"]
+        second = context["second_pair"]
+        target_index = context["target_index"]
+        run = system.runs[target_index]
+        nobody_decides = all(
+            _decision_in_run(system, second, target_index, processor) is None
+            for processor in run.nonfaulty
+        )
+        cbox2 = context["cbox2"]
+        perturbed_rows: List[List[Any]] = []
+        for label, config, pattern in e09.perturbed_cases(n, horizon):
+            run_index = system.run_index_for(config, pattern)
+            perturbed_rows.append(
+                [label, bool((cbox2 >> run_index) & 1)]
+            )
+        context["nobody_decides"] = nobody_decides
+        context["perturbed_rows"] = perturbed_rows
+
+    def finalize(context: Dict[str, Any]):
+        return e09.build_result(
+            context["system"],
+            n,
+            t,
+            horizon,
+            nobody_decides=context["nobody_decides"],
+            belief_never=context["belief_never"],
+            perturbed_rows=context["perturbed_rows"],
+        )
+
+    stages = [
+        Stage("build", make_build, reduce_build),
+        components_stage("eval-base", "empty_states", "exists0", "cbox_base"),
+        believes_stage("eval-first", "first_ops", "first_pair", "F^{Λ,1}"),
+        components_stage("eval-cbox1", "first_zeros", "exists1", "cbox1"),
+        believes_stage("eval-second", "second_ops", "second_pair", "F^{Λ,2}"),
+        Stage("eval-sticky", make_sticky, reduce_sticky),
+        components_stage("eval-cbox2", "sticky_zeros", "exists1", "cbox2"),
+        Stage("eval-probes", make_probes, reduce_probes),
+        Stage("assemble", lambda context: [], reduce_assemble),
+    ]
+    # eval-base needs no member states; eval-cbox1/2 compute theirs in a
+    # prepare hook from the preceding stage's pair.  The base stage's
+    # reduce also derives the first-pair operands (it sees exists0/1).
+    stages[1].prepare = lambda context: _prepare_base(context, prepare_system)
+    stages[1].reduce = reduce_base
+    stages[3].prepare = prepare_cbox1
+    stages[3].reduce = reduce_cbox1
+    stages[6].prepare = prepare_cbox2
+
+    return BatchPlan(
+        experiment_id="E9",
+        params=params,
+        stages=stages,
+        finalize=finalize,
+    )
+
+
+def _prepare_base(context: Dict[str, Any], prepare_system) -> None:
+    prepare_system(context)
+    context["empty_states"] = []
+
+
+def _decision_in_run(
+    system, pair: DecisionPair, run_index: int, processor: int
+) -> Optional[Tuple[int, int]]:
+    """First decision of *processor* in one run — the reference firing
+    scan of ``FullInformationProtocol``, including its 0-favouring
+    tie-break for simultaneous first firings."""
+    run = system.runs[run_index]
+    zero_time: Optional[int] = None
+    one_time: Optional[int] = None
+    for time in range(system.horizon + 1):
+        view = run.view(processor, time)
+        if pair.decides_zero(view):
+            zero_time = time
+        if pair.decides_one(view):
+            one_time = time
+        if zero_time is not None or one_time is not None:
+            break
+    if zero_time is None and one_time is None:
+        return None
+    if zero_time is not None and (one_time is None or zero_time <= one_time):
+        return (0, zero_time)
+    return (1, one_time)  # type: ignore[return-value]
+
+
+# -- E14: scaling ablation -------------------------------------------------
+
+
+@register_task("e14.cell")
+def _task_e14_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..experiments.e14_scaling import cell_row
+    from ..model.failures import FailureMode
+
+    row = cell_row(
+        FailureMode(params["mode"]),
+        params["n"],
+        params["t"],
+        params["horizon"],
+    )
+    return {"row": row}
+
+
+@register_task("e14.messages")
+def _task_e14_messages(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..experiments.e14_scaling import message_rows
+
+    return {"rows": message_rows()}
+
+
+@register_plan("E14")
+def e14_plan(cells=None) -> BatchPlan:
+    from ..experiments.e14_scaling import DEFAULT_CELLS, build_result
+
+    normalized = [
+        [getattr(mode, "value", mode), n, t, horizon]
+        for mode, n, t, horizon in (cells or DEFAULT_CELLS)
+    ]
+    params = {"cells": normalized}
+
+    def make_evaluate(context: Dict[str, Any]) -> List[Shard]:
+        shards = [
+            Shard(
+                shard_id=f"evaluate/cell-{index}",
+                task="e14.cell",
+                params={
+                    "mode": mode,
+                    "n": n,
+                    "t": t,
+                    "horizon": horizon,
+                },
+                stage="evaluate",
+            )
+            for index, (mode, n, t, horizon) in enumerate(normalized)
+        ]
+        shards.append(
+            Shard(
+                shard_id="evaluate/messages",
+                task="e14.messages",
+                params={},
+                stage="evaluate",
+            )
+        )
+        return shards
+
+    def reduce_evaluate(results, context) -> None:
+        context["rows"] = [
+            results[f"evaluate/cell-{index}"]["row"]
+            for index in range(len(normalized))
+        ]
+        context["message_rows"] = results["evaluate/messages"]["rows"]
+
+    def finalize(context: Dict[str, Any]):
+        return build_result(context["rows"], context["message_rows"])
+
+    return BatchPlan(
+        experiment_id="E14",
+        params=params,
+        stages=[Stage("evaluate", make_evaluate, reduce_evaluate)],
+        finalize=finalize,
+    )
+
+
+# -- E20: scaling sweep ----------------------------------------------------
+
+
+@register_task("e20.cell")
+def _task_e20_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    from ..experiments.e20_scaling_gains import cell_result
+
+    return cell_result(
+        params["n"], params["t"], params["samples"], params["seed"]
+    )
+
+
+@register_plan("E20")
+def e20_plan(cells=None, samples: int = 300, seed: int = 21) -> BatchPlan:
+    from ..experiments.e20_scaling_gains import DEFAULT_CELLS, build_result
+
+    normalized = [[n, t] for n, t in (cells or DEFAULT_CELLS)]
+    params = {"cells": normalized, "samples": samples, "seed": seed}
+
+    def make_evaluate(context: Dict[str, Any]) -> List[Shard]:
+        return [
+            Shard(
+                shard_id=f"evaluate/cell-{index}-n{n}t{t}",
+                task="e20.cell",
+                params={"n": n, "t": t, "samples": samples, "seed": seed},
+                stage="evaluate",
+            )
+            for index, (n, t) in enumerate(normalized)
+        ]
+
+    def reduce_evaluate(results, context) -> None:
+        context["cell_results"] = [
+            results[f"evaluate/cell-{index}-n{n}t{t}"]
+            for index, (n, t) in enumerate(normalized)
+        ]
+
+    def finalize(context: Dict[str, Any]):
+        return build_result(context["cell_results"], samples, seed)
+
+    return BatchPlan(
+        experiment_id="E20",
+        params=params,
+        stages=[Stage("evaluate", make_evaluate, reduce_evaluate)],
+        finalize=finalize,
+    )

@@ -19,46 +19,51 @@ horizon = 2`` (≈385k runs — the knowledge tests are exact).  Measured:
 Beyond the horizon the paper's induction (Lemma A.9) extends the witness
 family round by round; the finite prefix here machine-checks every step the
 horizon can express.
+
+The witness-scenario enumeration and the verdict-table assembly are
+factored into :func:`witness_target`, :func:`perturbed_cases` and
+:func:`build_result` so the sharded execution engine
+(:mod:`repro.exec.tasks`) measures exactly the same scenarios and renders
+exactly the same result as this monolithic path — that shared code is what
+the sharded-vs-monolithic parity tests lean on.
 """
 
 from __future__ import annotations
 
-from ..core.specs import check_eba
+from typing import List, Tuple
+
 from ..knowledge.formulas import Believes, ContinualCommon, Exists
 from ..knowledge.nonrigid import nonfaulty_and_zeros
 from ..metrics.tables import render_table
 from ..model.builder import omission_system
-from ..model.config import uniform_configuration
+from ..model.config import InitialConfiguration, uniform_configuration
 from ..model.failures import FailurePattern, OmissionBehavior
+from ..model.system import System
 from ..protocols.f_lambda import f_lambda_sequence
 from ..protocols.fip import fip
 from .framework import ExperimentResult
 
 
-def run(n: int = 4, t: int = 2, horizon: int = 2) -> ExperimentResult:
-    system = omission_system(n, t, horizon)
-    base, first, second = f_lambda_sequence(system)
-    protocol = fip(second)
-    outcome = protocol.outcome(system)
-
+def witness_target(
+    n: int, horizon: int
+) -> Tuple[InitialConfiguration, FailurePattern]:
+    """The witness scenario ``r``: all values 1, processor 0 silent."""
     others = [p for p in range(n) if p != 0]
-    silent = OmissionBehavior(
-        {r: others for r in range(1, horizon + 1)}
-    )
-    target = (uniform_configuration(n, 1), FailurePattern({0: silent}))
-    target_run = outcome.get(target)
-    nobody_decides = all(
-        target_run.decisions[processor] is None
-        for processor in target_run.nonfaulty
-    )
+    silent = OmissionBehavior({r: others for r in range(1, horizon + 1)})
+    return uniform_configuration(n, 1), FailurePattern({0: silent})
 
-    # Mechanism: C□_{N∧Z^{Λ,1}} ∃1 fails at every perturbed run r'_m.
-    sticky_first = fip(first).sticky_pair(system)
-    cbox = ContinualCommon(nonfaulty_and_zeros(sticky_first), Exists(1))
-    cbox_truth = cbox.evaluate(system)
-    perturbed_all_false = True
-    perturbed_rows = []
+
+def perturbed_cases(
+    n: int, horizon: int
+) -> List[Tuple[str, InitialConfiguration, FailurePattern]]:
+    """The perturbed scenarios ``r'_m``, in the verdict table's row order.
+
+    ``r'_m -> pj``: processor 0 starts with 0 and delivers exactly one
+    message, to ``j`` in round ``m``; everything else matches ``r``.
+    """
+    others = [p for p in range(n) if p != 0]
     zero_config = uniform_configuration(n, 1).values
+    cases: List[Tuple[str, InitialConfiguration, FailurePattern]] = []
     for m in range(1, horizon + 1):
         for j in others:
             behavior = OmissionBehavior(
@@ -69,24 +74,32 @@ def run(n: int = 4, t: int = 2, horizon: int = 2) -> ExperimentResult:
             )
             config_values = list(zero_config)
             config_values[0] = 0
-            from ..model.config import InitialConfiguration
-
-            config = InitialConfiguration(config_values)
-            run_index = system.run_index_for(
-                config, FailurePattern({0: behavior})
+            cases.append(
+                (
+                    f"r'_{m} -> p{j}",
+                    InitialConfiguration(config_values),
+                    FailurePattern({0: behavior}),
+                )
             )
-            holds = cbox_truth.at(run_index, 0)
-            perturbed_rows.append([f"r'_{m} -> p{j}", holds])
-            perturbed_all_false = perturbed_all_false and not holds
+    return cases
 
-    # Belief probe: B_i^N C□ ∃1 never true for nonfaulty i in the target.
-    target_index = system.run_index_for(*target)
-    belief_never = all(
-        not Believes(processor, cbox).evaluate(system).at(target_index, time)
-        for processor in target_run.nonfaulty
-        for time in range(horizon + 1)
-    )
 
+def build_result(
+    system: System,
+    n: int,
+    t: int,
+    horizon: int,
+    *,
+    nobody_decides: bool,
+    belief_never: bool,
+    perturbed_rows: List[List[object]],
+) -> ExperimentResult:
+    """Assemble the E9 verdict table from measured truth values.
+
+    Shared by the monolithic :func:`run` and the sharded plan's assemble
+    stage, so both paths emit byte-identical tables, notes and data.
+    """
+    perturbed_all_false = all(not row[1] for row in perturbed_rows)
     rows = [
         ["no nonfaulty decision in witness run r", nobody_decides],
         ["B_i^N C□∃1 never holds in r", belief_never],
@@ -114,4 +127,46 @@ def run(n: int = 4, t: int = 2, horizon: int = 2) -> ExperimentResult:
             "runs": len(system.runs),
             "perturbed_checked": len(perturbed_rows),
         },
+    )
+
+
+def run(n: int = 4, t: int = 2, horizon: int = 2) -> ExperimentResult:
+    system = omission_system(n, t, horizon)
+    base, first, second = f_lambda_sequence(system)
+    protocol = fip(second)
+    outcome = protocol.outcome(system)
+
+    target = witness_target(n, horizon)
+    target_run = outcome.get(target)
+    nobody_decides = all(
+        target_run.decisions[processor] is None
+        for processor in target_run.nonfaulty
+    )
+
+    # Mechanism: C□_{N∧Z^{Λ,1}} ∃1 fails at every perturbed run r'_m.
+    sticky_first = fip(first).sticky_pair(system)
+    cbox = ContinualCommon(nonfaulty_and_zeros(sticky_first), Exists(1))
+    cbox_truth = cbox.evaluate(system)
+    perturbed_rows: List[List[object]] = []
+    for label, config, pattern in perturbed_cases(n, horizon):
+        run_index = system.run_index_for(config, pattern)
+        holds = cbox_truth.at(run_index, 0)
+        perturbed_rows.append([label, holds])
+
+    # Belief probe: B_i^N C□ ∃1 never true for nonfaulty i in the target.
+    target_index = system.run_index_for(*target)
+    belief_never = all(
+        not Believes(processor, cbox).evaluate(system).at(target_index, time)
+        for processor in target_run.nonfaulty
+        for time in range(horizon + 1)
+    )
+
+    return build_result(
+        system,
+        n,
+        t,
+        horizon,
+        nobody_decides=nobody_decides,
+        belief_never=belief_never,
+        perturbed_rows=perturbed_rows,
     )

@@ -36,41 +36,47 @@ DEFAULT_CELLS = (
 )
 
 
-def run(cells=DEFAULT_CELLS) -> ExperimentResult:
-    rows = []
-    for mode, n, t, horizon in cells:
-        start = time.perf_counter()
-        system = build_system(exhaustive_adversary(mode, n, t, horizon))
-        enumerate_seconds = time.perf_counter() - start
-        start = time.perf_counter()
-        ContinualCommon(NONFAULTY, Exists(1)).evaluate(system)
-        cbox_seconds = time.perf_counter() - start
-        rows.append(
-            [str(mode), n, t, horizon, len(system.runs), len(system.table),
-             format_float(enumerate_seconds, 3),
-             format_float(cbox_seconds, 3)]
-        )
-    table = render_table(
-        ["mode", "n", "t", "h", "runs", "views", "enumerate s", "C□ eval s"],
-        rows,
-    )
+def cell_row(mode: FailureMode, n: int, t: int, horizon: int) -> list:
+    """One measured row of the scaling table (shared with the sharded
+    execution path, which runs each cell as its own shard)."""
+    start = time.perf_counter()
+    system = build_system(exhaustive_adversary(mode, n, t, horizon))
+    enumerate_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    ContinualCommon(NONFAULTY, Exists(1)).evaluate(system)
+    cbox_seconds = time.perf_counter() - start
+    return [str(mode), n, t, horizon, len(system.runs), len(system.table),
+            format_float(enumerate_seconds, 3),
+            format_float(cbox_seconds, 3)]
 
-    # Message complexity of the concrete protocols on one shared cell.
+
+def message_rows() -> list:
+    """Message complexity of the concrete protocols on one shared cell."""
     mode, n, t, horizon = FailureMode.CRASH, 4, 1, 3
     system = build_system(exhaustive_adversary(mode, n, t, horizon))
     scenarios = system.scenarios()
-    message_rows = []
+    result = []
     for protocol in (p0(), p0opt(), chain_eba()):
         stats = message_stats(
             traces_over_scenarios(protocol, scenarios, horizon, t)
         )
-        message_rows.append(
+        result.append(
             [stats.protocol_name, format_float(stats.mean_sent_per_run),
              format_float(stats.mean_delivered_per_run)]
         )
+    return result
+
+
+def build_result(rows: list, msg_rows: list) -> ExperimentResult:
+    """Assemble the E14 result from measured rows (shared with the sharded
+    execution path's assemble stage)."""
+    table = render_table(
+        ["mode", "n", "t", "h", "runs", "views", "enumerate s", "C□ eval s"],
+        rows,
+    )
     message_table = render_table(
         ["protocol", "mean msgs sent/run", "mean delivered/run"],
-        message_rows,
+        msg_rows,
     )
     return ExperimentResult(
         experiment_id="E14",
@@ -87,3 +93,8 @@ def run(cells=DEFAULT_CELLS) -> ExperimentResult:
         ],
         data={},
     )
+
+
+def run(cells=DEFAULT_CELLS) -> ExperimentResult:
+    rows = [cell_row(mode, n, t, horizon) for mode, n, t, horizon in cells]
+    return build_result(rows, message_rows())

@@ -38,63 +38,79 @@ DEFAULT_CELLS: Tuple[Tuple[int, int], ...] = (
 )
 
 
-def run(
-    cells: Tuple[Tuple[int, int], ...] = DEFAULT_CELLS,
-    samples: int = 300,
-    seed: int = 21,
+def cell_result(n: int, t: int, samples: int, seed: int) -> Dict[str, object]:
+    """Measure one ``(n, t)`` cell: its table rows, per-cell assertion
+    verdict and EBA-vs-SBA mean gap.
+
+    Fully deterministic for fixed inputs (seeded scenarios, no wall-clock
+    columns) — the sharded execution path runs each cell as its own shard
+    and reassembles results that are byte-identical to :func:`run`'s.
+    """
+    horizon = t + 2
+    scenarios = random_scenarios(
+        FailureMode.CRASH, n, t, horizon, count=samples, seed=seed
+    )
+    # Stratify: unanimous-1 configurations are where P0opt's early
+    # 1-decisions show, but a uniform random draw finds one with
+    # probability 2^-n — vanishing exactly at the sizes this sweep
+    # targets.  Add them deterministically (failure-free and one
+    # silent crash per round).
+    from ..model.config import uniform_configuration
+    from ..model.failures import CrashBehavior, FailurePattern
+
+    all_ones = uniform_configuration(n, 1)
+    extra = [(all_ones, FailurePattern(()))]
+    extra.extend(
+        (all_ones, FailurePattern({0: CrashBehavior(k, frozenset())}))
+        for k in range(1, horizon + 1)
+    )
+    scenarios += [
+        scenario for scenario in extra if scenario not in set(scenarios)
+    ]
+    outcomes = {
+        protocol.name: run_over_scenarios(protocol, scenarios, horizon, t)
+        for protocol in (p0(), p0opt(), dm90_waste(), flood_sba())
+    }
+    cell_ok = (
+        check_eba(outcomes["P0opt"]).ok
+        and check_eba(outcomes["P0"]).ok
+        and check_sba(outcomes["DM90Waste"]).ok
+        and check_sba(outcomes["FloodSBA"]).ok
+        and compare(outcomes["P0opt"], outcomes["P0"]).strict
+    )
+    rows: List[List[object]] = []
+    means = {}
+    for name, outcome in outcomes.items():
+        stats = decision_time_stats(outcome)
+        shares = per_time_cumulative_share(outcome, 1)
+        means[name] = stats.mean
+        rows.append(
+            [f"n={n} t={t}", name, format_float(stats.mean),
+             format_float(shares[0]), format_float(shares[1]),
+             stats.maximum]
+        )
+    cell_ok = cell_ok and means["P0opt"] <= means["P0"]
+    cell_ok = cell_ok and means["P0opt"] < means["DM90Waste"]
+    return {
+        "rows": rows,
+        "ok": cell_ok,
+        "t": t,
+        "gap": means["DM90Waste"] - means["P0opt"],
+    }
+
+
+def build_result(
+    cell_results: List[Dict[str, object]], samples: int, seed: int
 ) -> ExperimentResult:
+    """Assemble the E20 result from per-cell measurements (shared with the
+    sharded execution path's assemble stage)."""
     rows: List[List[object]] = []
     ok = True
     gap_by_t: Dict[int, List[float]] = {}
-    for n, t in cells:
-        horizon = t + 2
-        scenarios = random_scenarios(
-            FailureMode.CRASH, n, t, horizon, count=samples, seed=seed
-        )
-        # Stratify: unanimous-1 configurations are where P0opt's early
-        # 1-decisions show, but a uniform random draw finds one with
-        # probability 2^-n — vanishing exactly at the sizes this sweep
-        # targets.  Add them deterministically (failure-free and one
-        # silent crash per round).
-        from ..model.config import uniform_configuration
-        from ..model.failures import CrashBehavior, FailurePattern
-
-        all_ones = uniform_configuration(n, 1)
-        extra = [(all_ones, FailurePattern(()))]
-        extra.extend(
-            (all_ones, FailurePattern({0: CrashBehavior(k, frozenset())}))
-            for k in range(1, horizon + 1)
-        )
-        scenarios += [
-            scenario for scenario in extra if scenario not in set(scenarios)
-        ]
-        outcomes = {
-            protocol.name: run_over_scenarios(protocol, scenarios, horizon, t)
-            for protocol in (p0(), p0opt(), dm90_waste(), flood_sba())
-        }
-        cell_ok = (
-            check_eba(outcomes["P0opt"]).ok
-            and check_eba(outcomes["P0"]).ok
-            and check_sba(outcomes["DM90Waste"]).ok
-            and check_sba(outcomes["FloodSBA"]).ok
-            and compare(outcomes["P0opt"], outcomes["P0"]).strict
-        )
-        means = {}
-        for name, outcome in outcomes.items():
-            stats = decision_time_stats(outcome)
-            shares = per_time_cumulative_share(outcome, 1)
-            means[name] = stats.mean
-            rows.append(
-                [f"n={n} t={t}", name, format_float(stats.mean),
-                 format_float(shares[0]), format_float(shares[1]),
-                 stats.maximum]
-            )
-        cell_ok = cell_ok and means["P0opt"] <= means["P0"]
-        cell_ok = cell_ok and means["P0opt"] < means["DM90Waste"]
-        gap_by_t.setdefault(t, []).append(
-            means["DM90Waste"] - means["P0opt"]
-        )
-        ok = ok and cell_ok
+    for cell in cell_results:
+        rows.extend(cell["rows"])  # type: ignore[arg-type]
+        ok = ok and bool(cell["ok"])
+        gap_by_t.setdefault(int(cell["t"]), []).append(float(cell["gap"]))  # type: ignore[arg-type]
 
     mean_gap = {
         t: sum(gaps) / len(gaps) for t, gaps in gap_by_t.items()
@@ -131,4 +147,14 @@ def run(
             ),
         ],
         data={"mean_gap_by_t": mean_gap},
+    )
+
+
+def run(
+    cells: Tuple[Tuple[int, int], ...] = DEFAULT_CELLS,
+    samples: int = 300,
+    seed: int = 21,
+) -> ExperimentResult:
+    return build_result(
+        [cell_result(n, t, samples, seed) for n, t in cells], samples, seed
     )

@@ -10,7 +10,12 @@ Every hot path of the stack reports into one lightweight, always-on
 * the fixpoint evaluators in :mod:`repro.knowledge.semantics` count
   iterations;
 * the :class:`~repro.model.provider.SystemProvider` counts system-cache and
-  disk-cache hits/misses.
+  disk-cache hits/misses (including pickle-sidecar hits);
+* the sharded batch engine in :mod:`repro.exec` counts shard lifecycle
+  events (``exec_shards_completed``, ``exec_shard_retries``,
+  ``exec_shards_resumed``, ``exec_shard_timeouts``,
+  ``exec_worker_restarts``) and folds each worker's delta back into the
+  supervisor via :func:`merge_delta`.
 
 The cost model is "one dict operation per event": counters are plain dict
 increments and timers wrap whole stages, never inner loops, so keeping the

@@ -24,7 +24,10 @@ Design constraints, in priority order:
    into their own tracer and export their spans relative to the chunk
    start; the parent grafts them under its own build span
    (:meth:`Tracer.graft`), so the per-worker timeline survives the
-   process boundary instead of being silently dropped.
+   process boundary instead of being silently dropped.  The sharded batch
+   engine in :mod:`repro.exec` reuses the same mechanism for its
+   ``exec.shard`` spans, grafted under the supervisor's ``exec.pool``
+   span.
 
 Export formats:
 

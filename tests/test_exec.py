@@ -1,0 +1,519 @@
+"""Tests for the sharded, checkpointed, fault-tolerant execution engine.
+
+Covers the engine mechanics (chunking, fault-spec parsing, env validation,
+checkpoint integrity), the supervised pool's crash/hang/corruption recovery
+via the deterministic ``REPRO_EXEC_FAULTS`` harness, SIGKILL-and-resume of a
+whole batch, and the verdict-parity guarantee: E9/E14/E20 run through the
+sharded path produce the same results as the monolithic path, under both
+evaluation kernels for E9.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ShardExecutionError
+from repro.exec import (
+    CheckpointStore,
+    FAULTS_ENV,
+    FaultAction,
+    Shard,
+    ShardPool,
+    chunk_ranges,
+    list_batches,
+    parse_faults,
+    plan_for,
+    register_task,
+    run_batch,
+)
+from repro.exec.plan import BatchPlan, Stage
+from repro.exec.pool import (
+    BACKOFF_ENV,
+    RETRIES_ENV,
+    TIMEOUT_ENV,
+    WORKERS_ENV,
+    resolve_backoff,
+    resolve_retries,
+    resolve_timeout,
+    resolve_workers,
+)
+from repro.exec.shard import clear_worker_context, params_digest
+from repro.experiments.framework import ExperimentResult
+from repro.model.kernels import use_kernel
+
+#: data keys that legitimately differ between monolithic and sharded runs.
+NONPARITY_KEYS = {"instrumentation", "trace", "batch", "kernel"}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_exec_env(monkeypatch):
+    """Keep fault specs and pool tuning from leaking between tests."""
+    for name in (FAULTS_ENV, WORKERS_ENV, TIMEOUT_ENV, RETRIES_ENV, BACKOFF_ENV):
+        monkeypatch.delenv(name, raising=False)
+    yield
+    clear_worker_context()
+
+
+@register_task("test.echo")
+def _echo_task(params):
+    marker_dir = params.get("marker_dir")
+    if marker_dir:
+        name = f"shard{params['index']}_{os.getpid()}_{time.time_ns()}"
+        with open(os.path.join(marker_dir, name), "w", encoding="utf-8"):
+            pass
+    time.sleep(params.get("sleep", 0.0))
+    return {"value": params["index"] * 10}
+
+
+def _toy_plan(count=3, sleeps=None, marker_dir=None):
+    """A single-stage plan over ``test.echo`` shards ``work/0..count-1``."""
+    sleeps = list(sleeps if sleeps is not None else [0.0] * count)
+
+    def make(context):
+        shards = []
+        for index in range(count):
+            params = {"index": index, "sleep": sleeps[index]}
+            if marker_dir:
+                params["marker_dir"] = marker_dir
+            shards.append(
+                Shard(
+                    shard_id=f"work/{index}",
+                    task="test.echo",
+                    params=params,
+                    stage="work",
+                )
+            )
+        return shards
+
+    def reduce(results, context):
+        context["values"] = [
+            results[f"work/{index}"]["value"] for index in range(count)
+        ]
+
+    def finalize(context):
+        return ExperimentResult(
+            experiment_id="EX",
+            title="toy batch",
+            paper_claim="(engine test)",
+            ok=True,
+            table="toy",
+            data={"values": context["values"]},
+        )
+
+    return BatchPlan(
+        experiment_id="EX",
+        params={"count": count, "sleeps": sleeps},
+        stages=[Stage("work", make, reduce)],
+        finalize=finalize,
+    )
+
+
+def _counters(result):
+    return result.data["instrumentation"]["counters"]
+
+
+def assert_results_match(mono, sharded):
+    """The sharded path's verdict-parity guarantee."""
+    assert sharded.experiment_id == mono.experiment_id
+    assert sharded.title == mono.title
+    assert sharded.ok == mono.ok
+    assert sharded.table == mono.table
+    assert sharded.notes == mono.notes
+    mono_data = {k: v for k, v in mono.data.items() if k not in NONPARITY_KEYS}
+    sharded_data = {
+        k: v for k, v in sharded.data.items() if k not in NONPARITY_KEYS
+    }
+    assert sharded_data == mono_data
+
+
+class TestChunking:
+    def test_chunk_ranges_cover_exactly(self):
+        assert chunk_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert chunk_ranges(8, 4) == [(0, 4), (4, 8)]
+        assert chunk_ranges(3, 100) == [(0, 3)]
+        assert chunk_ranges(0, 5) == []
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            chunk_ranges(10, 0)
+
+
+class TestFaultSpec:
+    def test_parse_full_spec(self):
+        plan = parse_faults("kill:work/0@1, hang:a/b ,corrupt:c")
+        assert plan["work/0"] == FaultAction("kill", "work/0", 1)
+        assert plan["a/b"] == FaultAction("hang", "a/b", 0)
+        assert plan["c"] == FaultAction("corrupt", "c", 0)
+        assert parse_faults("") == {}
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["explode:work/0", "kill", "kill:", "kill:s@x", "kill:s@-1", "kill:@2"],
+    )
+    def test_malformed_spec_names_variable(self, spec):
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_faults(spec)
+        assert FAULTS_ENV in str(excinfo.value)
+
+
+class TestEnvConfig:
+    @pytest.mark.parametrize(
+        "name, resolver, bad",
+        [
+            (WORKERS_ENV, resolve_workers, "zero"),
+            (WORKERS_ENV, resolve_workers, "0"),
+            (TIMEOUT_ENV, resolve_timeout, "soon"),
+            (TIMEOUT_ENV, resolve_timeout, "0"),
+            (RETRIES_ENV, resolve_retries, "-1"),
+            (RETRIES_ENV, resolve_retries, "many"),
+            (BACKOFF_ENV, resolve_backoff, "fast"),
+        ],
+    )
+    def test_malformed_value_names_variable_and_value(
+        self, monkeypatch, name, resolver, bad
+    ):
+        monkeypatch.setenv(name, bad)
+        with pytest.raises(ConfigurationError) as excinfo:
+            resolver()
+        message = str(excinfo.value)
+        assert name in message
+        assert repr(bad) in message
+
+    def test_blank_value_means_default(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "   ")
+        assert resolve_workers() >= 1
+        monkeypatch.setenv(RETRIES_ENV, "")
+        assert resolve_retries() == 2
+
+    def test_explicit_values_win(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers() == 7
+        assert resolve_workers(2) == 2
+        monkeypatch.setenv(TIMEOUT_ENV, "12.5")
+        assert resolve_timeout() == 12.5
+
+
+class TestCheckpointStore:
+    def test_roundtrip_and_validation(self, tmp_path):
+        store = CheckpointStore("batchA", root=str(tmp_path))
+        digest = params_digest({"x": 1})
+        store.store("s/1", digest, {"value": 7})
+        assert store.load("s/1", digest) == {"value": 7}
+        # wrong shard, drifted inputs: both are misses, not errors
+        assert store.load("s/2", digest) is None
+        assert store.load("s/1", params_digest({"x": 2})) is None
+        assert store.completed_ids() == ["s__1"]
+
+    def test_corrupt_checkpoint_degrades_to_miss(self, tmp_path):
+        store = CheckpointStore("batchB", root=str(tmp_path))
+        digest = params_digest({"x": 1})
+        store.store("s/1", digest, {"value": 7})
+        path = store.shard_path("s/1")
+        blob = open(path, "r", encoding="utf-8").read()
+        # truncated file
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(blob[: len(blob) // 2])
+        assert store.load("s/1", digest) is None
+        # syntactically valid but tampered payload: checksum rejects it
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(blob.replace('"value": 7', '"value": 8'))
+        assert store.load("s/1", digest) is None
+
+    def test_manifest_matching(self, tmp_path):
+        store = CheckpointStore("batchC", root=str(tmp_path))
+        meta = {"experiment": "E9", "kernel": "bitset", "params_digest": "abc"}
+        assert not store.manifest_matches(meta)
+        store.write_manifest(meta)
+        assert store.manifest_matches(meta)
+        assert not store.manifest_matches({**meta, "kernel": "reference"})
+        assert not store.manifest_matches({**meta, "params_digest": "xyz"})
+
+    def test_clear_and_list_batches(self, tmp_path):
+        root = str(tmp_path)
+        store = CheckpointStore("batchD", root=root)
+        store.write_manifest({"experiment": "EX", "kernel": "bitset"})
+        store.store("s/1", "d", {"v": 1})
+        entries = list_batches(root)
+        assert [e["batch"] for e in entries] == ["batchD"]
+        assert entries[0]["experiment"] == "EX"
+        assert entries[0]["shards"] == 1
+        assert entries[0]["bytes"] > 0
+        store.clear()
+        assert store.completed_ids() == []
+        assert store.load_manifest() is None
+
+
+class TestShardPool:
+    def test_runs_shards_to_completion(self, tmp_path):
+        plan = _toy_plan(count=5)
+        with ShardPool(2, backoff=0.01) as pool:
+            results = pool.run(plan.stages[0].make_shards(plan.context))
+        assert results["work/3"] == {"value": 30}
+        assert len(results) == 5
+
+    def test_workers_persist_across_runs(self):
+        plan = _toy_plan(count=3)
+        shards = plan.stages[0].make_shards(plan.context)
+        with ShardPool(2, backoff=0.01) as pool:
+            pool.run(shards)
+            first_pids = set(pool._workers)
+            pool.run(shards)
+            assert set(pool._workers) == first_pids
+
+    def test_empty_stage_is_a_noop(self):
+        assert ShardPool(2).run([]) == {}
+
+    def test_duplicate_shard_ids_rejected(self):
+        shard = Shard(shard_id="dup", task="test.echo", params={"index": 0})
+        with ShardPool(1) as pool:
+            with pytest.raises(ShardExecutionError):
+                pool.run([shard, shard])
+
+    def test_task_exception_exhausts_retries(self, tmp_path):
+        shard = Shard(shard_id="boom", task="no.such.task", params={})
+        with ShardPool(1, retries=1, backoff=0.01) as pool:
+            with pytest.raises(ShardExecutionError) as excinfo:
+                pool.run([shard])
+        assert "boom" in str(excinfo.value)
+
+
+class TestFaultInjection:
+    """The acceptance drills: a worker killed mid-shard and a hung shard
+    hitting its timeout are both retried and the batch completes."""
+
+    def test_worker_killed_mid_shard_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "kill:work/1@0")
+        result = run_batch(
+            _toy_plan(count=3),
+            workers=2,
+            backoff=0.01,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        assert result.data["values"] == [0, 10, 20]
+        counters = _counters(result)
+        assert counters.get("exec_worker_restarts", 0) >= 1
+        assert counters.get("exec_shard_retries", 0) >= 1
+        assert counters["exec_shards_completed"] == 3
+
+    def test_hung_shard_hits_timeout_and_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "hang:work/0@0")
+        result = run_batch(
+            _toy_plan(count=2),
+            workers=2,
+            timeout=1.5,
+            backoff=0.01,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        assert result.data["values"] == [0, 10]
+        counters = _counters(result)
+        assert counters.get("exec_shard_timeouts", 0) >= 1
+        assert counters.get("exec_shard_retries", 0) >= 1
+
+    def test_corrupted_payload_fails_checksum_and_is_retried(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "corrupt:work/2@0")
+        result = run_batch(
+            _toy_plan(count=3),
+            workers=2,
+            backoff=0.01,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        assert result.data["values"] == [0, 10, 20]
+        assert _counters(result).get("exec_shard_retries", 0) >= 1
+
+    def test_exhausted_retries_raise(self, tmp_path, monkeypatch):
+        # attempt-pinned faults fire once, so exhaust by allowing no retries
+        monkeypatch.setenv(FAULTS_ENV, "kill:work/0@0")
+        with pytest.raises(ShardExecutionError):
+            run_batch(
+                _toy_plan(count=1),
+                workers=1,
+                retries=0,
+                backoff=0.01,
+                checkpoint_root=str(tmp_path / "exec"),
+            )
+
+
+class TestResume:
+    def test_sigkilled_batch_resumes_from_durable_shards(self, tmp_path):
+        """SIGKILL the whole batch mid-run; ``--resume`` re-executes only
+        the shards that never reached a durable checkpoint."""
+        marker_dir = str(tmp_path / "markers")
+        os.makedirs(marker_dir)
+        root = str(tmp_path / "exec")
+        count = 4
+        sleeps = [0.0, 0.4, 0.4, 0.4]
+
+        def victim():
+            os.setsid()  # own process group, so killpg reaps the workers too
+            run_batch(
+                _toy_plan(count=count, sleeps=sleeps, marker_dir=marker_dir),
+                workers=1,
+                checkpoint_root=root,
+            )
+
+        plan = _toy_plan(count=count, sleeps=sleeps, marker_dir=marker_dir)
+        store = CheckpointStore(plan.batch_key(), root=root)
+        ctx = multiprocessing.get_context("fork")
+        process = ctx.Process(target=victim)
+        process.start()
+        deadline = time.time() + 30.0
+        while not store.completed_ids():
+            assert time.time() < deadline, "no checkpoint appeared in 30s"
+            assert process.is_alive(), "batch finished before it was killed"
+            time.sleep(0.01)
+        os.killpg(process.pid, signal.SIGKILL)
+        process.join(timeout=10.0)
+        durable = len(store.completed_ids())
+        assert 1 <= durable < count
+
+        result = run_batch(plan, workers=1, resume=True, checkpoint_root=root)
+        assert result.data["values"] == [0, 10, 20, 30]
+        assert result.data["batch"]["resumed"] == durable
+        counters = _counters(result)
+        assert counters["exec_shards_resumed"] == durable
+        assert counters["exec_shards_completed"] == count - durable
+        # shard 0 was durable before the kill: it must not have re-executed
+        markers = os.listdir(marker_dir)
+        assert sum(1 for name in markers if name.startswith("shard0_")) == 1
+
+    def test_resume_with_drifted_params_starts_fresh(self, tmp_path):
+        root = str(tmp_path / "exec")
+        run_batch(_toy_plan(count=2), workers=1, checkpoint_root=root)
+        drifted = _toy_plan(count=2, sleeps=[0.01, 0.01])
+        result = run_batch(drifted, workers=1, resume=True, checkpoint_root=root)
+        assert result.data["batch"]["resumed"] == 0
+
+    def test_resume_replays_everything_when_complete(self, tmp_path):
+        root = str(tmp_path / "exec")
+        plan = _toy_plan(count=3)
+        first = run_batch(plan, workers=2, checkpoint_root=root)
+        again = run_batch(
+            _toy_plan(count=3), workers=2, resume=True, checkpoint_root=root
+        )
+        assert again.data["values"] == first.data["values"]
+        assert again.data["batch"]["resumed"] == 3
+        assert _counters(again).get("exec_shards_completed", 0) == 0
+
+
+class TestVerdictParity:
+    """Sharded and monolithic paths must agree byte-for-byte on verdicts."""
+
+    @pytest.mark.parametrize("kernel", ["bitset", "reference"])
+    def test_e9_parity_both_kernels(self, kernel, tmp_path, monkeypatch):
+        from repro.experiments.e09_omission_nontermination import run as e9_run
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with use_kernel(kernel):
+            mono = e9_run(3, 1, 2)
+            sharded = run_batch(
+                plan_for("E9", n=3, t=1, horizon=2),
+                workers=2,
+                shard_size=64,
+                checkpoint_root=str(tmp_path / "exec"),
+            )
+        assert_results_match(mono, sharded)
+        assert sharded.data["kernel"] == kernel
+
+    def test_e20_parity_exact(self, tmp_path):
+        from repro.experiments.e20_scaling_gains import run as e20_run
+
+        cells = ((3, 1), (4, 1))
+        mono = e20_run(cells=cells, samples=40, seed=5)
+        sharded = run_batch(
+            plan_for("E20", cells=cells, samples=40, seed=5),
+            workers=2,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        assert_results_match(mono, sharded)
+
+    def test_e14_parity_modulo_timings(self, tmp_path):
+        from repro.experiments.e14_scaling import run as e14_run
+        from repro.model.failures import FailureMode
+
+        cells = ((FailureMode.CRASH, 3, 1, 2),)
+        mono = e14_run(cells=cells)
+        sharded = run_batch(
+            plan_for("E14", cells=cells),
+            workers=2,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        assert sharded.ok == mono.ok
+        assert sharded.notes == mono.notes
+
+        def structural(table):
+            scaling, _, messages = table.partition("\n\n")
+            # columns 6-7 of the scaling table are wall-clock measurements
+            rows = [line.split()[:6] for line in scaling.splitlines()]
+            return rows, messages
+
+        assert structural(sharded.table) == structural(mono.table)
+
+    def test_unknown_experiment_lists_wired_plans(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            plan_for("E7")
+        message = str(excinfo.value)
+        assert "E7" in message
+        for wired in ("E9", "E14", "E20"):
+            assert wired in message
+
+
+class TestCli:
+    def test_batch_run_and_status(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        status = cli.main(
+            ["batch", "run", "E20", "--param", "samples=20",
+             "--param", "seed=3", "--workers", "1"]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "E20" in out
+        assert "(batch E20_" in out
+
+        assert cli.main(["batch", "status"]) == 0
+        out = capsys.readouterr().out
+        assert "E20" in out
+
+    def test_batch_run_without_ids_is_usage_error(self, capsys):
+        from repro import cli
+
+        assert cli.main(["batch", "run"]) == 2
+        assert "nothing to run" in capsys.readouterr().err
+
+    def test_interrupt_exits_130_and_flushes(self, monkeypatch, capsys):
+        from repro import cli
+
+        def boom(argv=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch", boom)
+        assert cli.main(["stats"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted (SIGINT)" in err
+
+    def test_interrupt_writes_trace_file_when_asked(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import cli, trace
+
+        out_path = str(tmp_path / "interrupt_trace.jsonl")
+        monkeypatch.setenv("REPRO_INTERRUPT_TRACE", out_path)
+
+        def boom(argv=None):
+            with trace.span("doomed.work"):
+                pass
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch", boom)
+        assert cli.main(["stats"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted (SIGINT)" in err
+        assert os.path.exists(out_path)

@@ -81,20 +81,23 @@ class TestDiskCacheLayer:
     def test_corrupted_cache_file_recovers(self, tmp_path):
         provider = SystemProvider(cache_dir=str(tmp_path))
         provider.get(FailureMode.CRASH, 3, 1, 2)
-        (path,) = [
+        # a cell is two files now: the JSON payload + the pickle sidecar
+        paths = [
             os.path.join(str(tmp_path), entry)
             for entry in os.listdir(str(tmp_path))
         ]
+        assert len(paths) == 2
 
-        # Not even gzip.
-        with open(path, "wb") as handle:
-            handle.write(b"this is not a cache file")
+        # Not even gzip / not even pickle.
+        for path in paths:
+            with open(path, "wb") as handle:
+                handle.write(b"this is not a cache file")
         fresh = SystemProvider(cache_dir=str(tmp_path))
         system = fresh.get(FailureMode.CRASH, 3, 1, 2)
         assert len(system.runs) > 0
         assert fresh.cache_info()["disk_hits"] == 0
 
-        # The rebuild overwrote the corrupt file with a valid one.
+        # The rebuild overwrote the corrupt files with valid ones.
         after = SystemProvider(cache_dir=str(tmp_path))
         after.get(FailureMode.CRASH, 3, 1, 2)
         assert after.cache_info()["disk_hits"] == 1
@@ -105,13 +108,60 @@ class TestDiskCacheLayer:
         (path,) = [
             os.path.join(str(tmp_path), entry)
             for entry in os.listdir(str(tmp_path))
+            if entry.endswith(".json.gz")
         ]
+        (sidecar,) = [
+            os.path.join(str(tmp_path), entry)
+            for entry in os.listdir(str(tmp_path))
+            if entry.endswith(".pickle")
+        ]
+        os.unlink(sidecar)
         with gzip.open(path, "wt") as handle:
             handle.write('{"codec_version": 999}')
         fresh = SystemProvider(cache_dir=str(tmp_path))
         system = fresh.get(FailureMode.CRASH, 3, 1, 2)
         assert len(system.runs) > 0
         assert fresh.cache_info()["disk_hits"] == 0
+
+    def test_pickle_sidecar_serves_hits_without_json(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        built = provider.get(FailureMode.CRASH, 3, 1, 2)
+        (path,) = [
+            os.path.join(str(tmp_path), entry)
+            for entry in os.listdir(str(tmp_path))
+            if entry.endswith(".json.gz")
+        ]
+        os.unlink(path)
+        fresh = SystemProvider(cache_dir=str(tmp_path))
+        loaded = fresh.get(FailureMode.CRASH, 3, 1, 2)
+        assert fresh.cache_info()["disk_hits"] == 1
+        assert_systems_identical(loaded, built)
+        # the JSON hit path backfills the sidecar; the sidecar hit path
+        # backfills nothing, so the JSON file stays gone
+        assert not os.path.exists(path)
+
+    def test_corrupt_pickle_sidecar_falls_back_to_json(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        built = provider.get(FailureMode.CRASH, 3, 1, 2)
+        (sidecar,) = [
+            os.path.join(str(tmp_path), entry)
+            for entry in os.listdir(str(tmp_path))
+            if entry.endswith(".pickle")
+        ]
+        with open(sidecar, "wb") as handle:
+            handle.write(b"not a pickle")
+        fresh = SystemProvider(cache_dir=str(tmp_path))
+        loaded = fresh.get(FailureMode.CRASH, 3, 1, 2)
+        assert fresh.cache_info()["disk_hits"] == 1
+        assert_systems_identical(loaded, built)
+
+    def test_pickle_sidecar_can_be_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PICKLE_CACHE", "0")
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        entries = os.listdir(str(tmp_path))
+        assert len(entries) == 1
+        assert entries[0].endswith(".json.gz")
 
     def test_disk_can_be_disabled(self, tmp_path):
         provider = SystemProvider(cache_dir=str(tmp_path), disk_cache=False)
@@ -122,9 +172,11 @@ class TestDiskCacheLayer:
         provider = SystemProvider(cache_dir=str(tmp_path))
         provider.get(FailureMode.CRASH, 3, 1, 2)
         entries = provider.disk_entries()
-        assert len(entries) == 1
-        assert entries[0]["bytes"] > 0
-        assert "crash_n3_t1_h2" in entries[0]["file"]
+        # one JSON payload + one pickle sidecar per cached cell
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry["bytes"] > 0
+            assert "crash_n3_t1_h2" in entry["file"]
 
 
 class TestMemoryCacheLayer:
@@ -293,7 +345,8 @@ class TestStaleCacheFilePruning:
         provider.get(FailureMode.CRASH, 3, 1, 2)
         names = os.listdir(str(tmp_path))
         assert stale not in names
-        assert len(names) == 1
+        # the current cell's JSON payload + pickle sidecar remain
+        assert len(names) == 2
         assert provider.cache_info()["disk_prunes"] == 1
 
     def test_prune_spares_other_cells(self, tmp_path):
@@ -316,5 +369,6 @@ class TestStaleCacheFilePruning:
     def test_current_file_not_flagged_stale(self, tmp_path):
         provider = SystemProvider(cache_dir=str(tmp_path))
         provider.get(FailureMode.CRASH, 3, 1, 2)
-        (entry,) = provider.disk_entries()
-        assert entry["stale"] is False
+        entries = provider.disk_entries()
+        assert len(entries) == 2
+        assert all(entry["stale"] is False for entry in entries)
