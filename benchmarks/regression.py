@@ -98,8 +98,51 @@ def _bench_kernel_bitset_fixpoint() -> None:
     _kernel_fixpoint_bench("bitset")
 
 
+def _bench_kernel_chunked_fixpoint() -> None:
+    _kernel_fixpoint_bench("chunked")
+
+
 def _bench_kernel_reference_fixpoint() -> None:
     _kernel_fixpoint_bench("reference")
+
+
+_CHUNKED_1M_PAIR = []
+
+
+def _bench_kernel_chunked_algebra_1m() -> None:
+    """Limb-array boolean algebra at the 1M-point synthetic scale.
+
+    The operand construction is cached across rounds so the timing is the
+    algebra loop itself (mirroring ``bench_chunked.py``, where operands
+    are built outside the benchmarked callable).
+    """
+    import random
+
+    from repro.model.chunked import ChunkedAssignment
+
+    if not _CHUNKED_1M_PAIR:
+        num_runs, width = 1 << 18, 4
+
+        class Shape:
+            runs = range(num_runs)
+            horizon = width - 1
+
+        def rows(seed):
+            rng = random.Random(seed)
+            return [
+                [rng.random() < 0.5 for _ in range(width)]
+                for _ in range(num_runs)
+            ]
+
+        _CHUNKED_1M_PAIR.extend(
+            ChunkedAssignment.from_rows(Shape(), rows(seed))
+            for seed in (1, 2)
+        )
+    phi, psi = _CHUNKED_1M_PAIR
+    acc = phi
+    for _ in range(50):
+        acc = acc.conjoin(psi).disjoin(phi).negate()
+    acc.count_true()
 
 
 def _bench_kernel_bitset_everyone() -> None:
@@ -116,7 +159,8 @@ def _bench_kernel_bitset_everyone() -> None:
 
 
 #: The tier-1 micro benches tracked for regressions (mirrors
-#: ``bench_micro_core.py`` and ``bench_kernels.py``).
+#: ``bench_micro_core.py``, ``bench_kernels.py`` and
+#: ``bench_chunked.py``).
 MICRO_BENCHES: Dict[str, Callable[[], None]] = {
     "enumerate_crash_system_n4": _bench_enumerate_crash_n4,
     "continual_ck_component_fast_path": _bench_continual_ck_components,
@@ -124,8 +168,10 @@ MICRO_BENCHES: Dict[str, Callable[[], None]] = {
     "two_step_construction_crash_n3": _bench_two_step_construction,
     "simulator_throughput_p0opt": _bench_simulator_throughput,
     "kernel_bitset_common_fixpoint": _bench_kernel_bitset_fixpoint,
+    "kernel_chunked_common_fixpoint": _bench_kernel_chunked_fixpoint,
     "kernel_reference_common_fixpoint": _bench_kernel_reference_fixpoint,
     "kernel_bitset_everyone_sweep": _bench_kernel_bitset_everyone,
+    "kernel_chunked_algebra_1m": _bench_kernel_chunked_algebra_1m,
 }
 
 

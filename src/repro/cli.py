@@ -198,7 +198,7 @@ def _print_stats() -> None:
     """Print the process-wide instrumentation and system-cache counters."""
     from . import obs
     from .model.builder import system_cache_info
-    from .model.kernels import active_kernel
+    from .model.kernels import active_kernel, kernel_selections
 
     print("instrumentation (this process):")
     print(obs.format_summary())
@@ -216,7 +216,20 @@ def _print_stats() -> None:
         f"{info['disk_prunes']} stale file(s) pruned, "
         f"{info['disk_stale']} stale on disk"
     )
-    print(f"  kernel: {active_kernel()}")
+    print(f"  kernel: {active_kernel()} (selected)")
+    selections = kernel_selections()
+    if selections:
+        print("kernel resolutions (per system, this process):")
+        for entry in selections:
+            marker = (
+                f"  [upgraded from {entry['requested']}]"
+                if entry["upgraded"]
+                else ""
+            )
+            print(
+                f"  {entry['system']:<40} {entry['points']:>9} points"
+                f" -> {entry['selected']}{marker}"
+            )
 
 
 def _cmd_stats(clear: bool, as_json: bool = False) -> int:
@@ -236,13 +249,14 @@ def _cmd_stats(clear: bool, as_json: bool = False) -> int:
         from . import obs
         from .model.builder import system_cache_info
 
-        from .model.kernels import active_kernel
+        from .model.kernels import active_kernel, kernel_selections
 
         payload = {
             "instrumentation": obs.snapshot(),
             "system_cache": system_cache_info(),
             "disk_entries": get_provider().disk_entries(),
             "kernel": active_kernel(),
+            "kernel_selections": kernel_selections(),
         }
         print(json_module.dumps(payload, indent=2, sort_keys=True))
         return 0

@@ -89,9 +89,11 @@ class BatchPlan:
     def batch_key(self) -> str:
         """Checkpoint-directory key: experiment + inputs + kernel.
 
-        The evaluation kernel is part of the key because shard payloads of
-        different kernels, while verdict-identical, are not interchangeable
-        as *resume* state for a batch claiming a specific kernel.
+        The selected evaluation kernel (three-valued:
+        ``bitset`` / ``chunked`` / ``reference``) is part of the key
+        because shard payloads of different kernels, while
+        verdict-identical, are not interchangeable as *resume* state for
+        a batch claiming a specific kernel.
         """
         from ..model.kernels import active_kernel
 

@@ -229,7 +229,10 @@ def fixpoint_eliminations(
         raise EvaluationError(f"unknown fixpoint variant {variant!r}")
     cache = _ELIMINATION_CACHE.setdefault(system, {})
     key = (
-        kernels.active_kernel(),
+        # The kernel the system *resolves* to (three-valued), so the
+        # automatic bitset→chunked upgrade on huge systems gets its own
+        # cache rows.
+        system.effective_kernel(),
         variant,
         nonrigid.cache_key(),
         operand.cache_key(),

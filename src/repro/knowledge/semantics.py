@@ -17,7 +17,7 @@ over enumerated systems:
 All functions take and return :class:`~repro.model.system.TruthAssignment`
 matrices; formula-level caching lives in :mod:`repro.knowledge.formulas`.
 
-Every evaluator is implemented twice (see :mod:`repro.model.kernels`):
+Every evaluator is implemented three times (see :mod:`repro.model.kernels`):
 
 * the **bitset kernel** operates on packed point bitmasks.  ``K_i φ``
   becomes one subset test per distinct local state against the
@@ -26,14 +26,20 @@ Every evaluator is implemented twice (see :mod:`repro.model.kernels`):
   that only re-examines local states whose relevant points were eliminated
   in the previous round (greatest-fixed-point iterates shrink
   monotonically, so belief verdicts flip true→false at most once);
+* the **chunked kernel** runs the same algorithms over 64-bit limb
+  arrays via the :class:`~repro.model.chunked.ChunkedIndex`: group tests
+  touch only the limbs a state's points occupy, and the fixpoints drive
+  the changed-frontier iteration with a *dirty-limb* set, so huge
+  systems (beyond ``BITSET_POINT_LIMIT``) stay on a packed fast path;
 * the **reference kernel** is the original list-of-lists evaluator,
-  retained as an executable specification — differential tests assert the
-  two produce identical assignments on every formula in the explain
+  retained as an executable specification — differential tests assert all
+  kernels produce identical assignments on every formula in the explain
   catalogs.
 
 Dispatch is by representation: operands built under the bitset kernel are
-:class:`~repro.model.system.BitsetAssignment` instances and take the fast
-paths; reference assignments take the original ones.
+:class:`~repro.model.system.BitsetAssignment` instances, chunked operands
+are :class:`~repro.model.chunked.ChunkedAssignment` instances, and both
+take their fast paths; reference assignments take the original ones.
 
 Finite-horizon caveat: temporal operators treat the horizon as the end of
 time.  For the run-level and monotone facts used throughout the paper this
@@ -45,6 +51,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Tuple
 
 from .. import obs, trace
+from ..model.chunked import ChunkedAssignment, ChunkedIndex
 from ..model.system import (
     BitsetAssignment,
     BitsetIndex,
@@ -53,6 +60,20 @@ from ..model.system import (
     TruthAssignment,
 )
 from .nonrigid import NonrigidSet
+
+
+def _reference_rows(system: System, value: bool) -> List[List[bool]]:
+    """Mutable all-*value* rows for the reference evaluators.
+
+    The reference branches build their results by mutating rows in place,
+    so they must not go through the kernel-dispatching
+    ``TruthAssignment.constant`` factory: under a packed kernel that
+    returns an assignment whose ``.values`` is a materialized throwaway
+    copy, and the mutations would be lost.
+    """
+    return [
+        [value] * (system.horizon + 1) for _ in range(len(system.runs))
+    ]
 
 
 # -- bitset kernel helpers ----------------------------------------------------
@@ -78,6 +99,24 @@ def _member_masks(
                     bit = 1 << (base + time)
                     for processor in cell:
                         masks[processor] |= bit
+        index.member_masks[key] = masks
+    return masks
+
+
+# -- chunked kernel helpers ---------------------------------------------------
+
+def _member_limbs(
+    system: System, index: ChunkedIndex, nonrigid: NonrigidSet
+) -> List[object]:
+    """Per-processor limb buffer of points where the processor is in ``S``.
+
+    Memoized on the system's :class:`ChunkedIndex` by the nonrigid set's
+    cache key (the chunked twin of :func:`_member_masks`).
+    """
+    key = nonrigid.cache_key()
+    masks = index.member_masks.get(key)
+    if masks is None:
+        masks = index.pack_member_masks(nonrigid.members_matrix(system))
         index.member_masks[key] = masks
     return masks
 
@@ -230,7 +269,10 @@ def eval_knows(
             if phi_mask & gmask == gmask:
                 result |= gmask
         return phi._replace(result)
-    result = TruthAssignment.constant(system, False)
+    if isinstance(phi, ChunkedAssignment):
+        cindex = system.chunked_index()
+        return phi._replace(cindex.knows_limbs(processor, phi.limbs))
+    rows = _reference_rows(system, False)
     seen: Dict[int, bool] = {}
     for run_index, run in enumerate(system.runs):
         for time in range(system.horizon + 1):
@@ -242,8 +284,8 @@ def eval_knows(
                     for other_run, other_time in system.same_state_points(view)
                 )
                 seen[view] = value
-            result.values[run_index][time] = value
-    return result
+            rows[run_index][time] = value
+    return TruthAssignment(rows)
 
 
 def eval_believes(
@@ -265,8 +307,14 @@ def eval_believes(
         return phi._replace(
             _believes_mask(index, processor, pmask, phi.mask)
         )
+    if isinstance(phi, ChunkedAssignment):
+        cindex = system.chunked_index()
+        pmask = _member_limbs(system, cindex, nonrigid)[processor]
+        return phi._replace(
+            cindex.believes_limbs(processor, pmask, phi.limbs)
+        )
     members = nonrigid.members_matrix(system)
-    result = TruthAssignment.constant(system, False)
+    rows = _reference_rows(system, False)
     seen: Dict[int, bool] = {}
     for run_index, run in enumerate(system.runs):
         for time in range(system.horizon + 1):
@@ -279,8 +327,8 @@ def eval_believes(
                     if processor in members[other_run][other_time]
                 )
                 seen[view] = value
-            result.values[run_index][time] = value
-    return result
+            rows[run_index][time] = value
+    return TruthAssignment(rows)
 
 
 def eval_everyone(
@@ -293,19 +341,25 @@ def eval_everyone(
         return phi._replace(
             _everyone_mask(system, index, member_masks, phi.mask)
         )
+    if isinstance(phi, ChunkedAssignment):
+        cindex = system.chunked_index()
+        member_limbs = _member_limbs(system, cindex, nonrigid)
+        return phi._replace(
+            cindex.everyone_limbs(member_limbs, phi.limbs)
+        )
     members = nonrigid.members_matrix(system)
     beliefs = [
         eval_believes(system, nonrigid, processor, phi)
         for processor in range(system.n)
     ]
-    result = TruthAssignment.constant(system, True)
+    rows = _reference_rows(system, True)
     for run_index in range(len(system.runs)):
         for time in range(system.horizon + 1):
             for processor in members[run_index][time]:
                 if not beliefs[processor].at(run_index, time):
-                    result.values[run_index][time] = False
+                    rows[run_index][time] = False
                     break
-    return result
+    return TruthAssignment(rows)
 
 
 def eval_common(
@@ -324,8 +378,17 @@ def eval_common(
             )
             fixpoint_span.set("iterations", iterations)
             return phi._replace(mask)
+        if isinstance(phi, ChunkedAssignment):
+            cindex = system.chunked_index()
+            limbs, iterations = cindex.fixpoint(
+                _member_limbs(system, cindex, nonrigid),
+                phi.limbs,
+                lambda m: m,
+            )
+            fixpoint_span.set("iterations", iterations)
+            return phi._replace(limbs)
         iterations = 0
-        current = TruthAssignment.constant(system, True)
+        current = TruthAssignment(_reference_rows(system, True))
         while True:
             obs.count("fixpoint_iterations")
             iterations += 1
@@ -340,14 +403,18 @@ def eval_always(system: System, phi: TruthAssignment) -> TruthAssignment:
     """``□ φ``: φ holds now and at all later times of the run."""
     if isinstance(phi, BitsetAssignment):
         return phi._replace(_always_mask(system.bitset_index(), phi.mask))
-    result = TruthAssignment.constant(system, False)
+    if isinstance(phi, ChunkedAssignment):
+        return phi._replace(
+            system.chunked_index().always_limbs(phi.limbs)
+        )
+    rows = _reference_rows(system, False)
     for run_index in range(len(system.runs)):
         holds = True
         for time in range(system.horizon, -1, -1):
             holds = holds and phi.at(run_index, time)
-            result.values[run_index][time] = holds
+            rows[run_index][time] = holds
         # `holds` intentionally carried across the descending sweep.
-    return result
+    return TruthAssignment(rows)
 
 
 def eval_eventually(system: System, phi: TruthAssignment) -> TruthAssignment:
@@ -356,13 +423,17 @@ def eval_eventually(system: System, phi: TruthAssignment) -> TruthAssignment:
         return phi._replace(
             _eventually_mask(system.bitset_index(), phi.mask)
         )
-    result = TruthAssignment.constant(system, False)
+    if isinstance(phi, ChunkedAssignment):
+        return phi._replace(
+            system.chunked_index().eventually_limbs(phi.limbs)
+        )
+    rows = _reference_rows(system, False)
     for run_index in range(len(system.runs)):
         holds = False
         for time in range(system.horizon, -1, -1):
             holds = holds or phi.at(run_index, time)
-            result.values[run_index][time] = holds
-    return result
+            rows[run_index][time] = holds
+    return TruthAssignment(rows)
 
 
 def eval_at_all_times(system: System, phi: TruthAssignment) -> TruthAssignment:
@@ -372,12 +443,16 @@ def eval_at_all_times(system: System, phi: TruthAssignment) -> TruthAssignment:
         return phi._replace(
             _at_all_times_mask(system.bitset_index(), phi.mask)
         )
-    result = TruthAssignment.constant(system, False)
+    if isinstance(phi, ChunkedAssignment):
+        return phi._replace(
+            system.chunked_index().at_all_times_limbs(phi.limbs)
+        )
+    rows = _reference_rows(system, False)
     for run_index in range(len(system.runs)):
         holds = all(phi.at(run_index, time) for time in range(system.horizon + 1))
         for time in range(system.horizon + 1):
-            result.values[run_index][time] = holds
-    return result
+            rows[run_index][time] = holds
+    return TruthAssignment(rows)
 
 
 def eval_everyone_box(
@@ -407,8 +482,17 @@ def eval_continual_common(
             )
             fixpoint_span.set("iterations", iterations)
             return phi._replace(mask)
+        if isinstance(phi, ChunkedAssignment):
+            cindex = system.chunked_index()
+            limbs, iterations = cindex.fixpoint(
+                _member_limbs(system, cindex, nonrigid),
+                phi.limbs,
+                cindex.at_all_times_limbs,
+            )
+            fixpoint_span.set("iterations", iterations)
+            return phi._replace(limbs)
         iterations = 0
-        current = TruthAssignment.constant(system, True)
+        current = TruthAssignment(_reference_rows(system, True))
         while True:
             obs.count("fixpoint_iterations")
             iterations += 1
@@ -447,8 +531,17 @@ def eval_eventual_common(
             )
             fixpoint_span.set("iterations", iterations)
             return phi._replace(mask)
+        if isinstance(phi, ChunkedAssignment):
+            cindex = system.chunked_index()
+            limbs, iterations = cindex.fixpoint(
+                _member_limbs(system, cindex, nonrigid),
+                phi.limbs,
+                cindex.eventually_limbs,
+            )
+            fixpoint_span.set("iterations", iterations)
+            return phi._replace(limbs)
         iterations = 0
-        current = TruthAssignment.constant(system, True)
+        current = TruthAssignment(_reference_rows(system, True))
         while True:
             obs.count("fixpoint_iterations")
             iterations += 1

@@ -43,7 +43,17 @@ from .failures import (
     ReceiveOmissionBehavior,
     make_pattern,
 )
-from .kernels import KERNEL_ENV, KERNELS, active_kernel, use_kernel
+from .chunked import ChunkedAssignment, ChunkedIndex
+from .kernels import (
+    BITSET,
+    CHUNKED,
+    KERNEL_ENV,
+    KERNELS,
+    REFERENCE,
+    active_kernel,
+    kernel_selections,
+    use_kernel,
+)
 from .provider import PROVIDER, SystemProvider, get_provider
 from .runs import Run, build_run
 from .system import (
@@ -58,8 +68,12 @@ from .views import ViewId, ViewInfo, ViewTable
 
 __all__ = [
     "Adversary",
+    "BITSET",
     "BitsetAssignment",
     "BitsetIndex",
+    "CHUNKED",
+    "ChunkedAssignment",
+    "ChunkedIndex",
     "CrashBehavior",
     "ExhaustiveCrashAdversary",
     "ExhaustiveOmissionAdversary",
@@ -87,7 +101,9 @@ __all__ = [
     "ViewTable",
     "KERNEL_ENV",
     "KERNELS",
+    "REFERENCE",
     "active_kernel",
+    "kernel_selections",
     "use_kernel",
     "all_configurations",
     "build_run",

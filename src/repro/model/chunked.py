@@ -1,0 +1,979 @@
+"""Chunked (limb-array) evaluation kernel.
+
+The third :class:`~repro.model.system.TruthAssignment` representation:
+the point layout of the bitset kernel (point ``(run, time)`` is bit
+``run * width + time``), split into fixed-width 64-bit limbs instead of
+one arbitrary-precision integer.  Boolean algebra is then O(limbs
+touched) — elementwise word operations over a flat buffer — instead of
+O(total mask length) big-int arithmetic, and the knowledge sweeps become
+*sparse* per-state-group scans: each distinct local state touches only
+the limbs its occurrence points live in, so K/B/E stay one subset test
+per state group at any system size.  This is what makes the huge
+omission enumerations (~1.2M points, Proposition 6.3) run on a packed
+fast path at all — the single-integer bitset kernel degrades
+quadratically there and the reference layout is pure-Python per point.
+
+Two interchangeable limb backends:
+
+* **numpy** (auto-detected at import; requires ``numpy >= 2.0`` for
+  ``np.bitwise_count``) — limbs are one ``uint64`` ndarray; group sweeps
+  are vectorized gather / segmented-reduce (``np.bitwise_or.reduceat``)
+  / scatter (``np.bitwise_or.at``) passes over a flattened
+  ``(limb index, limb value)`` entry table;
+* **pure Python** — limbs are a plain list of ints; same algorithms,
+  scalar loops.  Selected when numpy is unavailable or when the
+  ``REPRO_CHUNKED_BACKEND`` environment variable is set to ``python``
+  (tests use :func:`force_python_backend`).
+
+The fixpoint evaluators (``C`` / ``C□`` / ``C◇``) run the same
+downward iteration as the bitset kernel but carry a **dirty-limb
+frontier** between iterations: the limbs the eliminated set (``delta``)
+actually touches select candidate state groups through a lazily built
+limb→groups map, so late iterations re-examine only groups whose points
+changed instead of rescanning every state (the numpy backend switches to
+one vectorized full-table pass when the frontier is wide, which is the
+same work at lower constant factor).
+
+Import order: this module imports :mod:`repro.model.system` (for the
+:class:`TruthAssignment` base class); ``system`` only imports *this*
+module lazily inside its kernel-dispatching factories, so there is no
+cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Container, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .. import obs, trace
+from .system import System, TruthAssignment
+from .views import ViewId
+
+LIMB_BITS = 64
+LIMB_MASK = (1 << LIMB_BITS) - 1
+
+#: Environment variable forcing the limb backend (``python`` / ``py`` /
+#: ``list`` pins the pure-Python backend; anything else means auto).
+BACKEND_ENV = "REPRO_CHUNKED_BACKEND"
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _numpy  # type: ignore
+    if not hasattr(_numpy, "bitwise_count"):  # numpy < 2.0
+        _numpy = None  # type: ignore[assignment]
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _numpy = None  # type: ignore[assignment]
+
+
+def _backend_from_env():
+    raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if raw in ("py", "python", "list"):
+        return None
+    return _numpy
+
+
+#: The backend new limb buffers are built with (toggled by
+#: :func:`force_python_backend`); per-buffer operations dispatch on the
+#: buffer's own type, so existing values stay coherent across a toggle.
+_active_numpy = _backend_from_env()
+
+
+def backend_name() -> str:
+    """``"numpy"`` or ``"python"`` — the backend new buffers use."""
+    return "numpy" if _active_numpy is not None else "python"
+
+
+@contextmanager
+def force_python_backend() -> Iterator[None]:
+    """Build chunked values with the pure-Python limb backend (tests).
+
+    Only affects buffers created inside the block; indexes built before
+    entering keep their backend, so tests should build fresh systems
+    inside the block when they need end-to-end pure-Python coverage.
+    """
+    global _active_numpy
+    saved = _active_numpy
+    _active_numpy = None
+    try:
+        yield
+    finally:
+        _active_numpy = saved
+
+
+# -- limb-buffer primitives ---------------------------------------------------
+#
+# Buffers are either a plain list of ints (pure-Python backend) or one
+# uint64 ndarray (numpy backend).  Every helper dispatches on the
+# *buffer's* type so values from both backends behave, whichever backend
+# is currently active.
+
+def _is_py(limbs) -> bool:
+    return isinstance(limbs, list)
+
+
+def _nlimbs(num_bits: int) -> int:
+    return max(1, (num_bits + LIMB_BITS - 1) // LIMB_BITS)
+
+
+def _tail_mask(num_bits: int) -> int:
+    rem = num_bits % LIMB_BITS
+    return LIMB_MASK if rem == 0 else (1 << rem) - 1
+
+
+def _freeze(limbs: List[int]):
+    """Adopt a built-as-list buffer into the active backend."""
+    if _active_numpy is not None:
+        return _active_numpy.array(limbs, dtype=_active_numpy.uint64)
+    return limbs
+
+
+def _coerce(limbs, to_python: bool):
+    """Convert a buffer to the requested backend (no-op when it matches)."""
+    if to_python:
+        return limbs if _is_py(limbs) else [int(x) for x in limbs]
+    if _is_py(limbs):
+        return _numpy.array(limbs, dtype=_numpy.uint64)
+    return limbs
+
+
+def _and(a, b):
+    if _is_py(a):
+        return [x & y for x, y in zip(a, b)]
+    return a & b
+
+
+def _or(a, b):
+    if _is_py(a):
+        return [x | y for x, y in zip(a, b)]
+    return a | b
+
+
+def _andnot(a, b):
+    """``a & ~b`` limbwise (stays within the tail because ``a`` does)."""
+    if _is_py(a):
+        return [x & ~y for x, y in zip(a, b)]
+    return a & ~b
+
+
+def _not(a, tail: int):
+    """Complement within the valid bit range (tail limb masked)."""
+    if _is_py(a):
+        out = [~x & LIMB_MASK for x in a]
+        out[-1] &= tail
+        return out
+    out = ~a
+    out[-1] &= tail
+    return out
+
+
+def _eq(a, b) -> bool:
+    if _is_py(a):
+        return a == b
+    return bool((a == b).all())
+
+
+def _any(a) -> bool:
+    if _is_py(a):
+        return any(a)
+    return bool(a.any())
+
+
+def _popcount(a) -> int:
+    if _is_py(a):
+        return sum(x.bit_count() for x in a)
+    return int(_numpy.bitwise_count(a).sum(dtype=_numpy.int64))
+
+
+def _shift_down(a, k: int):
+    """Limb buffer logically shifted toward bit 0 by *k* bits."""
+    n = len(a)
+    q, r = divmod(k, LIMB_BITS)
+    if _is_py(a):
+        out = [0] * n
+        if q < n:
+            if r == 0:
+                out[: n - q] = a[q:]
+            else:
+                inv = LIMB_BITS - r
+                for i in range(n - q):
+                    lo = a[i + q] >> r
+                    hi = (a[i + q + 1] << inv) & LIMB_MASK if i + q + 1 < n else 0
+                    out[i] = lo | hi
+        return out
+    np = _numpy
+    out = np.zeros(n, np.uint64)
+    if q < n:
+        if r == 0:
+            out[: n - q] = a[q:]
+        else:
+            out[: n - q] = a[q:] >> np.uint64(r)
+            if q + 1 < n:
+                out[: n - q - 1] |= a[q + 1 :] << np.uint64(LIMB_BITS - r)
+    return out
+
+
+def _shift_up(a, k: int, tail: int):
+    """Limb buffer shifted away from bit 0 by *k* bits, tail-masked."""
+    n = len(a)
+    q, r = divmod(k, LIMB_BITS)
+    if _is_py(a):
+        out = [0] * n
+        if q < n:
+            if r == 0:
+                out[q:] = a[: n - q]
+            else:
+                inv = LIMB_BITS - r
+                for i in range(q, n):
+                    lo = (a[i - q] << r) & LIMB_MASK
+                    hi = a[i - q - 1] >> inv if i - q - 1 >= 0 else 0
+                    out[i] = lo | hi
+        out[-1] &= tail
+        return out
+    np = _numpy
+    out = np.zeros(n, np.uint64)
+    if q < n:
+        if r == 0:
+            out[q:] = a[: n - q]
+        else:
+            out[q:] = a[: n - q] << np.uint64(r)
+            if q + 1 < n:
+                out[q + 1 :] |= a[: n - q - 1] >> np.uint64(LIMB_BITS - r)
+    out[-1] &= tail
+    return out
+
+
+def _or_window(limbs: List[int], pos: int, bits: int) -> None:
+    """OR an arbitrary-width bit window into a list buffer at *pos*."""
+    i, off = divmod(pos, LIMB_BITS)
+    bits <<= off
+    while bits:
+        limbs[i] |= bits & LIMB_MASK
+        bits >>= LIMB_BITS
+        i += 1
+
+
+def _window_int(limbs, pos: int, width: int) -> int:
+    """Extract a *width*-bit window starting at bit *pos* as an int."""
+    i, off = divmod(pos, LIMB_BITS)
+    acc = int(limbs[i]) >> off
+    got = LIMB_BITS - off
+    while got < width and i + 1 < len(limbs):
+        i += 1
+        acc |= int(limbs[i]) << got
+        got += LIMB_BITS
+    return acc & ((1 << width) - 1)
+
+
+def _extract_windows(limbs, num_runs: int, width: int):
+    """Vectorized per-run windows (numpy buffers, ``width <= 64``)."""
+    np = _numpy
+    pos = np.arange(num_runs, dtype=np.int64) * width
+    idx = pos >> 6
+    off = (pos & 63).astype(np.uint64)
+    ext = np.zeros(len(limbs) + 1, np.uint64)
+    ext[:-1] = limbs
+    lo = ext[idx] >> off
+    inv = (np.uint64(LIMB_BITS) - off) & np.uint64(63)
+    hi = np.where(off == np.uint64(0), np.uint64(0), ext[idx + 1] << inv)
+    win = lo | hi
+    if width < LIMB_BITS:
+        win &= np.uint64((1 << width) - 1)
+    return win
+
+
+def _pack_rows_to_limbs(
+    rows: Sequence[Sequence[bool]], width: int, num_runs: int
+) -> List[int]:
+    """Pack per-run boolean rows into a list limb buffer."""
+    limbs = [0] * _nlimbs(num_runs * width)
+    pos = 0
+    for row in rows:
+        bits = 0
+        for time, value in enumerate(row):
+            if value:
+                bits |= 1 << time
+        if bits:
+            _or_window(limbs, pos, bits)
+        pos += width
+    return limbs
+
+
+class ChunkedAssignment(TruthAssignment):
+    """Chunked-kernel truth assignment: one bit per point, 64-bit limbs.
+
+    Same point layout as :class:`~repro.model.system.BitsetAssignment`
+    (``(run, time)`` → bit ``run * width + time``), stored as a flat limb
+    buffer.  Boolean algebra is elementwise over the limbs; the knowledge
+    evaluators in :mod:`repro.knowledge.semantics` recognize this
+    representation and dispatch to the :class:`ChunkedIndex` of the
+    system.  Bits above ``num_runs * width`` are invariantly zero.
+    """
+
+    __slots__ = ("limbs", "num_runs", "width", "num_bits")
+
+    def __init__(self, limbs, num_runs: int, width: int) -> None:
+        self.limbs = limbs
+        self.num_runs = num_runs
+        self.width = width
+        self.num_bits = num_runs * width
+
+    # -- factories ---------------------------------------------------------
+
+    @staticmethod
+    def constant(system: "System", value: bool) -> "ChunkedAssignment":
+        width = system.horizon + 1
+        num_runs = len(system.runs)
+        num_bits = num_runs * width
+        if value:
+            limbs = [LIMB_MASK] * _nlimbs(num_bits)
+            limbs[-1] = _tail_mask(num_bits)
+        else:
+            limbs = [0] * _nlimbs(num_bits)
+        return ChunkedAssignment(_freeze(limbs), num_runs, width)
+
+    @staticmethod
+    def from_rows(
+        system: "System", rows: Sequence[Sequence[bool]]
+    ) -> "ChunkedAssignment":
+        width = system.horizon + 1
+        num_runs = len(system.runs)
+        return ChunkedAssignment(
+            _freeze(_pack_rows_to_limbs(rows, width, num_runs)),
+            num_runs,
+            width,
+        )
+
+    @staticmethod
+    def from_run_levels(
+        system: "System", run_levels: Sequence[bool]
+    ) -> "ChunkedAssignment":
+        width = system.horizon + 1
+        num_runs = len(system.runs)
+        block = (1 << width) - 1
+        limbs = [0] * _nlimbs(num_runs * width)
+        for run_index, value in enumerate(run_levels):
+            if value:
+                _or_window(limbs, run_index * width, block)
+        return ChunkedAssignment(_freeze(limbs), num_runs, width)
+
+    def _replace(self, limbs) -> "ChunkedAssignment":
+        """Same shape, different limb buffer."""
+        clone = ChunkedAssignment.__new__(ChunkedAssignment)
+        clone.limbs = limbs
+        clone.num_runs = self.num_runs
+        clone.width = self.width
+        clone.num_bits = self.num_bits
+        return clone
+
+    # -- point access ------------------------------------------------------
+
+    @property
+    def values(self) -> List[List[bool]]:
+        """Materialized per-run rows (compat with row-oriented readers)."""
+        return self.to_rows()
+
+    def at(self, run_index: int, time: int) -> bool:
+        pos = run_index * self.width + time
+        return bool((int(self.limbs[pos >> 6]) >> (pos & 63)) & 1)
+
+    def count_true(self) -> int:
+        return _popcount(self.limbs)
+
+    def to_rows(self) -> List[List[bool]]:
+        width = self.width
+        rows = []
+        for run_index in range(self.num_runs):
+            bits = _window_int(self.limbs, run_index * width, width)
+            rows.append([bool((bits >> time) & 1) for time in range(width)])
+        return rows
+
+    def run_levels(self) -> List[bool]:
+        limbs = self.limbs
+        if not _is_py(limbs) and self.width <= LIMB_BITS:
+            win = _extract_windows(limbs, self.num_runs, self.width)
+            return ((win & _numpy.uint64(1)) != 0).tolist()
+        width = self.width
+        return [
+            bool((int(limbs[pos >> 6]) >> (pos & 63)) & 1)
+            for pos in range(0, self.num_bits, width)
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ChunkedAssignment):
+            if self.num_runs != other.num_runs or self.width != other.width:
+                return False
+            mine = self.limbs
+            return _eq(mine, _coerce(other.limbs, to_python=_is_py(mine)))
+        if isinstance(other, TruthAssignment):
+            return self.to_rows() == other.to_rows()
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not hashed in practice
+        return hash((tuple(int(x) for x in self.limbs), self.num_runs, self.width))
+
+    # -- pointwise algebra -------------------------------------------------
+
+    def _limbs_of(self, other: "TruthAssignment"):
+        if isinstance(other, ChunkedAssignment):
+            limbs = other.limbs
+        else:
+            limbs = _pack_rows_to_limbs(
+                other.to_rows(), self.width, self.num_runs
+            )
+        return _coerce(limbs, to_python=_is_py(self.limbs))
+
+    def negate(self) -> "ChunkedAssignment":
+        return self._replace(_not(self.limbs, _tail_mask(self.num_bits)))
+
+    def conjoin(self, other: "TruthAssignment") -> "ChunkedAssignment":
+        return self._replace(_and(self.limbs, self._limbs_of(other)))
+
+    def disjoin(self, other: "TruthAssignment") -> "ChunkedAssignment":
+        return self._replace(_or(self.limbs, self._limbs_of(other)))
+
+    def implies(self, other: "TruthAssignment") -> "ChunkedAssignment":
+        tail = _tail_mask(self.num_bits)
+        return self._replace(
+            _or(_not(self.limbs, tail), self._limbs_of(other))
+        )
+
+    def is_valid(self) -> bool:
+        return _popcount(self.limbs) == self.num_bits
+
+
+class ChunkedIndex:
+    """Limb-sliced same-state group index powering the chunked kernel.
+
+    The geometric part (``col0``, limb shape) is built eagerly — it is
+    all the temporal sweeps need; the group tables are built lazily on
+    the first knowledge sweep (:meth:`_ensure_groups`), one python pass
+    over the system's state index:
+
+    * per processor, a flattened sparse entry table: ``_idx[p][k]`` is a
+      limb index and ``_val[p][k]`` the limb's bits belonging to one
+      state group; ``_starts[p]`` delimits the groups.  ``K_p φ`` is then
+      one *sparse* subset test per group — only the limbs the group's
+      points occupy are touched, and the numpy backend runs all groups
+      of a processor in one gather/segmented-reduce/scatter pass;
+    * ``group_views[p]`` / ``view_owner`` — the view behind each group,
+      for decision-state extraction;
+    * ``member_masks`` — per nonrigid-set cache key, the per-processor
+      limb buffer of points where the processor is a member (memoized
+      here by :mod:`repro.knowledge.semantics`);
+    * a lazily built limb→groups map per processor, the *dirty-chunk
+      frontier* index of :meth:`fixpoint`.
+    """
+
+    __slots__ = (
+        "system",
+        "num_runs",
+        "width",
+        "num_bits",
+        "nlimbs",
+        "tail",
+        "run_block",
+        "col0",
+        "view_owner",
+        "view_slot",
+        "group_views",
+        "member_masks",
+        "_groups_built",
+        "_idx",
+        "_val",
+        "_starts",
+        "_rstarts",
+        "_sizes",
+        "_limb_groups_cache",
+    )
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        width = system.horizon + 1
+        num_runs = len(system.runs)
+        self.num_runs = num_runs
+        self.width = width
+        self.num_bits = num_runs * width
+        self.nlimbs = _nlimbs(self.num_bits)
+        self.tail = _tail_mask(self.num_bits)
+        self.run_block = (1 << width) - 1
+        col0 = [0] * self.nlimbs
+        for run_index in range(num_runs):
+            pos = run_index * width
+            col0[pos >> 6] |= 1 << (pos & 63)
+        self.col0 = _freeze(col0)
+        self.view_owner: Dict[ViewId, int] = {}
+        self.view_slot: Dict[ViewId, Tuple[int, int]] = {}
+        self.group_views: List[List[ViewId]] = [[] for _ in range(system.n)]
+        self.member_masks: Dict[object, List[object]] = {}
+        self._groups_built = False
+        n = system.n
+        self._idx: List[object] = [None] * n
+        self._val: List[object] = [None] * n
+        self._starts: List[List[int]] = [[] for _ in range(n)]
+        self._rstarts: List[object] = [None] * n
+        self._sizes: List[object] = [None] * n
+        self._limb_groups_cache: List[Optional[Dict[int, List[int]]]] = (
+            [None] * n
+        )
+
+    # -- shape helpers -----------------------------------------------------
+
+    @property
+    def _py(self) -> bool:
+        return _is_py(self.col0)
+
+    def _zeros(self):
+        if self._py:
+            return [0] * self.nlimbs
+        return _numpy.zeros(self.nlimbs, _numpy.uint64)
+
+    def _ones(self):
+        limbs = [LIMB_MASK] * self.nlimbs
+        limbs[-1] = self.tail
+        if self._py:
+            return limbs
+        return _numpy.array(limbs, dtype=_numpy.uint64)
+
+    def _adopt(self, limbs):
+        """Coerce a limb buffer to this index's backend."""
+        return _coerce(limbs, to_python=self._py)
+
+    def wrap(self, limbs) -> ChunkedAssignment:
+        """A :class:`ChunkedAssignment` of this system around *limbs*."""
+        return ChunkedAssignment(limbs, self.num_runs, self.width)
+
+    # -- group tables ------------------------------------------------------
+
+    def _ensure_groups(self) -> None:
+        if self._groups_built:
+            return
+        system = self.system
+        with obs.stage("chunked_index"), trace.span(
+            "chunked_index_groups", runs=self.num_runs
+        ):
+            width = self.width
+            n = system.n
+            idx_acc: List[List[int]] = [[] for _ in range(n)]
+            val_acc: List[List[int]] = [[] for _ in range(n)]
+            starts: List[List[int]] = [[0] for _ in range(n)]
+            table = system.table
+            for view, points in system._state_index.items():
+                owner = table.info(view).processor
+                acc: Dict[int, int] = {}
+                for run_index, time in points:
+                    pos = run_index * width + time
+                    limb = pos >> 6
+                    acc[limb] = acc.get(limb, 0) | (1 << (pos & 63))
+                slot = len(self.group_views[owner])
+                self.view_owner[view] = owner
+                self.view_slot[view] = (owner, slot)
+                self.group_views[owner].append(view)
+                target_idx = idx_acc[owner]
+                target_val = val_acc[owner]
+                for limb in sorted(acc):
+                    target_idx.append(limb)
+                    target_val.append(acc[limb])
+                starts[owner].append(len(target_idx))
+            for p in range(n):
+                self._starts[p] = starts[p]
+                if self._py:
+                    self._idx[p] = idx_acc[p]
+                    self._val[p] = val_acc[p]
+                else:
+                    np = _numpy
+                    self._idx[p] = np.array(idx_acc[p], dtype=np.int64)
+                    self._val[p] = np.array(val_acc[p], dtype=np.uint64)
+                    self._rstarts[p] = np.array(
+                        starts[p][:-1], dtype=np.int64
+                    )
+                    self._sizes[p] = np.diff(
+                        np.array(starts[p], dtype=np.int64)
+                    )
+        self._groups_built = True
+
+    def _limb_groups(self, processor: int) -> Dict[int, List[int]]:
+        """Lazily built limb→group-ids map (the frontier index)."""
+        mapping = self._limb_groups_cache[processor]
+        if mapping is None:
+            self._ensure_groups()
+            mapping = {}
+            idx = self._idx[processor]
+            starts = self._starts[processor]
+            for g in range(len(starts) - 1):
+                for k in range(starts[g], starts[g + 1]):
+                    mapping.setdefault(int(idx[k]), []).append(g)
+            self._limb_groups_cache[processor] = mapping
+        return mapping
+
+    # -- knowledge sweeps --------------------------------------------------
+
+    def knows_limbs(self, processor: int, phi):
+        """``K_i φ``: one sparse subset test per distinct state group."""
+        self._ensure_groups()
+        phi = self._adopt(phi)
+        out = self._zeros()
+        if self._py:
+            idx = self._idx[processor]
+            val = self._val[processor]
+            starts = self._starts[processor]
+            for g in range(len(starts) - 1):
+                s, e = starts[g], starts[g + 1]
+                ok = True
+                for k in range(s, e):
+                    if val[k] & ~phi[idx[k]]:
+                        ok = False
+                        break
+                if ok:
+                    for k in range(s, e):
+                        out[idx[k]] |= val[k]
+            return out
+        np = _numpy
+        idx = self._idx[processor]
+        if idx.size == 0:
+            return out
+        val = self._val[processor]
+        bad = (val & ~phi[idx]) != 0
+        grp_bad = np.bitwise_or.reduceat(bad, self._rstarts[processor])
+        if not grp_bad.all():
+            sel = np.repeat(~grp_bad, self._sizes[processor])
+            np.bitwise_or.at(out, idx[sel], val[sel])
+        return out
+
+    def believes_limbs(self, processor: int, pmask, phi):
+        """``B_i^S φ``: subset test restricted to S-member points."""
+        self._ensure_groups()
+        phi = self._adopt(phi)
+        pmask = self._adopt(pmask)
+        out = self._zeros()
+        if self._py:
+            idx = self._idx[processor]
+            val = self._val[processor]
+            starts = self._starts[processor]
+            for g in range(len(starts) - 1):
+                s, e = starts[g], starts[g + 1]
+                ok = True
+                for k in range(s, e):
+                    if (val[k] & pmask[idx[k]]) & ~phi[idx[k]]:
+                        ok = False
+                        break
+                if ok:
+                    for k in range(s, e):
+                        out[idx[k]] |= val[k]
+            return out
+        np = _numpy
+        idx = self._idx[processor]
+        if idx.size == 0:
+            return out
+        val = self._val[processor]
+        gathered = phi[idx]
+        bad = ((val & pmask[idx]) & ~gathered) != 0
+        grp_bad = np.bitwise_or.reduceat(bad, self._rstarts[processor])
+        if not grp_bad.all():
+            sel = np.repeat(~grp_bad, self._sizes[processor])
+            np.bitwise_or.at(out, idx[sel], val[sel])
+        return out
+
+    def everyone_limbs(self, member_masks, phi):
+        """``E_S φ`` (vacuously true where ``S`` is empty)."""
+        bad_total = self._zeros()
+        for processor in range(self.system.n):
+            pmask = member_masks[processor]
+            if not _any(pmask):
+                continue
+            belief = self.believes_limbs(processor, pmask, phi)
+            bad_total = _or(
+                bad_total, _and(pmask, _not(belief, self.tail))
+            )
+        return _not(bad_total, self.tail)
+
+    # -- temporal sweeps ---------------------------------------------------
+
+    def always_limbs(self, m):
+        """``□`` column sweep: suffix-AND within each run's bit window."""
+        column = _shift_up(self.col0, self.width - 1, self.tail)
+        previous = _and(m, column)
+        result = previous
+        for _ in range(self.width - 1):
+            column = _shift_down(column, 1)
+            previous = _and(_and(m, column), _shift_down(previous, 1))
+            result = _or(result, previous)
+        return result
+
+    def eventually_limbs(self, m):
+        """``◇`` column sweep: suffix-OR within each run's bit window."""
+        column = _shift_up(self.col0, self.width - 1, self.tail)
+        previous = _and(m, column)
+        result = previous
+        for _ in range(self.width - 1):
+            column = _shift_down(column, 1)
+            previous = _and(column, _or(m, _shift_down(previous, 1)))
+            result = _or(result, previous)
+        return result
+
+    def at_all_times_limbs(self, m):
+        """``⊡``: fold all time columns onto col0, then broadcast."""
+        folded = m
+        for shift in range(1, self.width):
+            folded = _and(folded, _shift_down(m, shift))
+        return self.spread_run_levels(_and(folded, self.col0))
+
+    def spread_run_levels(self, run_bits):
+        """Broadcast a col0-aligned per-run bit across the run's window."""
+        out = run_bits
+        for shift in range(1, self.width):
+            out = _or(out, _shift_up(run_bits, shift, self.tail))
+        return out
+
+    # -- decision-state extraction -----------------------------------------
+
+    def states_mask(self, processor: int, states: Container[ViewId]):
+        """Union of the occurrence masks of *processor*'s states ∈ *states*."""
+        self._ensure_groups()
+        out = self._zeros()
+        views = self.group_views[processor]
+        gids = [g for g, view in enumerate(views) if view in states]
+        if not gids:
+            return out
+        starts = self._starts[processor]
+        if self._py:
+            idx = self._idx[processor]
+            val = self._val[processor]
+            for g in gids:
+                for k in range(starts[g], starts[g + 1]):
+                    out[idx[k]] |= val[k]
+            return out
+        np = _numpy
+        ok = np.zeros(len(views), dtype=bool)
+        ok[gids] = True
+        sel = np.repeat(ok, self._sizes[processor])
+        idx = self._idx[processor]
+        np.bitwise_or.at(out, idx[sel], self._val[processor][sel])
+        return out
+
+    def state_verdicts(
+        self, processor: int, truth
+    ) -> Tuple[List[ViewId], List[int], List[int]]:
+        """Classify each state group of *processor* against *truth*.
+
+        Returns ``(views, full_ids, mixed_ids)``: the processor's views in
+        group order, the group ids entirely inside *truth*, and the group
+        ids that overlap it only partially (a state-determinism
+        violation for decision formulas).
+        """
+        self._ensure_groups()
+        truth = self._adopt(truth)
+        views = self.group_views[processor]
+        starts = self._starts[processor]
+        if self._py:
+            idx = self._idx[processor]
+            val = self._val[processor]
+            full_ids: List[int] = []
+            mixed_ids: List[int] = []
+            for g in range(len(starts) - 1):
+                some = False
+                notall = False
+                for k in range(starts[g], starts[g + 1]):
+                    overlap = val[k] & truth[idx[k]]
+                    if overlap:
+                        some = True
+                    if overlap != val[k]:
+                        notall = True
+                    if some and notall:
+                        break
+                if not notall:
+                    full_ids.append(g)
+                elif some:
+                    mixed_ids.append(g)
+            return views, full_ids, mixed_ids
+        np = _numpy
+        idx = self._idx[processor]
+        if idx.size == 0:
+            return views, [], []
+        val = self._val[processor]
+        gathered = truth[idx]
+        some = (val & gathered) != 0
+        notall = (val & ~gathered) != 0
+        rstarts = self._rstarts[processor]
+        any_some = np.bitwise_or.reduceat(some, rstarts)
+        any_notall = np.bitwise_or.reduceat(notall, rstarts)
+        full_ids = np.flatnonzero(~any_notall).tolist()
+        mixed_ids = np.flatnonzero(any_some & any_notall).tolist()
+        return views, full_ids, mixed_ids
+
+    def first_times(self, limbs) -> List[Optional[int]]:
+        """Per run, the earliest set bit in the run's window (or None)."""
+        width = self.width
+        if not _is_py(limbs) and width <= LIMB_BITS:
+            np = _numpy
+            win = _extract_windows(limbs, self.num_runs, width)
+            times = np.full(self.num_runs, -1, np.int64)
+            for t in range(width - 1, -1, -1):
+                hit = (win >> np.uint64(t)) & np.uint64(1)
+                times = np.where(hit == np.uint64(1), t, times)
+            return [None if t < 0 else t for t in times.tolist()]
+        out: List[Optional[int]] = []
+        for run_index in range(self.num_runs):
+            bits = _window_int(limbs, run_index * width, width)
+            out.append(
+                None if not bits else (bits & -bits).bit_length() - 1
+            )
+        return out
+
+    # -- member masks ------------------------------------------------------
+
+    def pack_member_masks(self, members) -> List[object]:
+        """Per-processor limb buffer of points where the processor ∈ S."""
+        width = self.width
+        masks = [[0] * self.nlimbs for _ in range(self.system.n)]
+        for run_index, row in enumerate(members):
+            base = run_index * width
+            for time, cell in enumerate(row):
+                if cell:
+                    pos = base + time
+                    limb = pos >> 6
+                    bit = 1 << (pos & 63)
+                    for processor in cell:
+                        masks[processor][limb] |= bit
+        if self._py:
+            return masks
+        np = _numpy
+        return [np.array(buf, dtype=np.uint64) for buf in masks]
+
+    # -- fixpoints ---------------------------------------------------------
+
+    def fixpoint(
+        self, member_masks, phi, post: Callable[[object], object]
+    ) -> Tuple[object, int]:
+        """Greatest fixed point of ``X ↔ post(E_S(φ ∧ X))`` on limbs.
+
+        Returns ``(final limbs, iterations)``.  Downward iteration from
+        all-true with the bitset kernel's alive-group bookkeeping, driven
+        by a **dirty-limb frontier**: each round, only the limbs of the
+        freshly eliminated set (``delta``) select candidate groups via
+        the limb→groups map, so late iterations re-test just the groups
+        whose points changed.  The numpy backend switches to a single
+        vectorized full-table pass when the frontier is wide (same
+        verdicts, lower constant factor than visiting groups one by one).
+        """
+        self._ensure_groups()
+        tail = self.tail
+        phi = self._adopt(phi)
+        member_masks = [self._adopt(m) for m in member_masks]
+        processors = [
+            p for p in range(self.system.n) if _any(member_masks[p])
+        ]
+        bad = self._zeros()
+        alive: Dict[int, object] = {}
+        for p in processors:
+            alive[p] = self._seed_alive(p, member_masks[p], phi, bad)
+        current = self._ones()
+        operand = phi
+        iterations = 0
+        while True:
+            obs.count("fixpoint_iterations")
+            iterations += 1
+            candidate = post(_not(bad, tail))
+            if _eq(candidate, current):
+                return current, iterations
+            new_operand = _and(phi, candidate)
+            delta = _andnot(operand, new_operand)
+            if _any(delta):
+                dirty = self._dirty_limbs(delta)
+                for p in processors:
+                    self._kill_groups(
+                        p, alive[p], member_masks[p], delta, dirty, bad
+                    )
+            operand = new_operand
+            current = candidate
+
+    def _dirty_limbs(self, delta) -> List[int]:
+        if _is_py(delta):
+            return [i for i, limb in enumerate(delta) if limb]
+        return _numpy.flatnonzero(delta).tolist()
+
+    def _seed_alive(self, processor: int, pmask, phi, bad):
+        """Initial alive flags (operand = φ); dead groups feed *bad*."""
+        idx = self._idx[processor]
+        val = self._val[processor]
+        starts = self._starts[processor]
+        if self._py:
+            flags = []
+            for g in range(len(starts) - 1):
+                s, e = starts[g], starts[g + 1]
+                ok = True
+                for k in range(s, e):
+                    if (val[k] & pmask[idx[k]]) & ~phi[idx[k]]:
+                        ok = False
+                        break
+                flags.append(ok)
+                if not ok:
+                    for k in range(s, e):
+                        bad[idx[k]] |= val[k] & pmask[idx[k]]
+            return flags
+        np = _numpy
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        rel = val & pmask[idx]
+        badent = (rel & ~phi[idx]) != 0
+        grp_bad = np.bitwise_or.reduceat(badent, self._rstarts[processor])
+        if grp_bad.any():
+            sel = np.repeat(grp_bad, self._sizes[processor])
+            np.bitwise_or.at(bad, idx[sel], rel[sel])
+        return ~grp_bad
+
+    #: Frontier width (in limbs) beyond which the numpy backend prefers
+    #: one vectorized full-table pass over per-group sparse tests.
+    _SPARSE_FRONTIER_LIMBS = 48
+
+    def _kill_groups(
+        self, processor: int, alive, pmask, delta, dirty: List[int], bad
+    ) -> None:
+        """Retire alive groups whose S-member points intersect *delta*."""
+        idx = self._idx[processor]
+        val = self._val[processor]
+        starts = self._starts[processor]
+        if self._py:
+            mapping = self._limb_groups(processor)
+            candidates: set = set()
+            for limb in dirty:
+                candidates.update(mapping.get(limb, ()))
+            for g in sorted(candidates):
+                if not alive[g]:
+                    continue
+                s, e = starts[g], starts[g + 1]
+                hit = False
+                for k in range(s, e):
+                    if val[k] & delta[idx[k]] & pmask[idx[k]]:
+                        hit = True
+                        break
+                if hit:
+                    alive[g] = False
+                    for k in range(s, e):
+                        bad[idx[k]] |= val[k] & pmask[idx[k]]
+            return
+        np = _numpy
+        if idx.size == 0:
+            return
+        if len(dirty) <= self._SPARSE_FRONTIER_LIMBS:
+            mapping = self._limb_groups(processor)
+            candidates: set = set()
+            for limb in dirty:
+                candidates.update(mapping.get(limb, ()))
+            for g in sorted(candidates):
+                if not alive[g]:
+                    continue
+                s, e = starts[g], starts[g + 1]
+                span = idx[s:e]
+                if bool(np.any(val[s:e] & delta[span] & pmask[span])):
+                    alive[g] = False
+                    np.bitwise_or.at(
+                        bad, span, val[s:e] & pmask[span]
+                    )
+            return
+        touch = (val & delta[idx] & pmask[idx]) != 0
+        grp_hit = np.bitwise_or.reduceat(touch, self._rstarts[processor])
+        newly = alive & grp_hit
+        if newly.any():
+            alive &= ~grp_hit
+            sel = np.repeat(newly, self._sizes[processor])
+            np.bitwise_or.at(bad, idx[sel], (val & pmask[idx])[sel])

@@ -32,6 +32,14 @@ Point = Tuple[int, int]  # (run index, time)
 ScenarioKey = Tuple[InitialConfiguration, FailurePattern]
 
 
+def _chunked():
+    """The chunked-kernel module, imported lazily to avoid a cycle
+    (:mod:`repro.model.chunked` subclasses :class:`TruthAssignment`)."""
+    from . import chunked
+
+    return chunked
+
+
 def _pack_rows(rows: Sequence[Sequence[bool]], width: int) -> int:
     """Pack per-run boolean rows into one point-indexed bitmask."""
     mask = 0
@@ -52,9 +60,11 @@ class TruthAssignment:
     This class doubles as the **reference kernel**: values live in one list
     of booleans per run (indexed by time ``0..horizon``).  The default
     **bitset kernel** stores the same valuation packed into a single
-    integer (:class:`BitsetAssignment`); the class factories ``constant`` /
-    ``from_predicate`` / ``from_rows`` / ``from_run_levels`` build whichever
-    representation :func:`repro.model.kernels.active_kernel` selects, so
+    integer (:class:`BitsetAssignment`); the **chunked kernel** stores it
+    as a 64-bit limb array (:class:`repro.model.chunked.ChunkedAssignment`),
+    which is what huge systems resolve to.  The class factories
+    ``constant`` / ``from_predicate`` / ``from_rows`` / ``from_run_levels``
+    build whichever representation ``System.effective_kernel`` selects, so
     evaluator code is written against this shared interface.
 
     Instances are treated as immutable by the evaluator; helpers that
@@ -70,8 +80,11 @@ class TruthAssignment:
 
     @staticmethod
     def constant(system: "System", value: bool) -> "TruthAssignment":
-        if system.bitset_active():
+        kernel = system.effective_kernel()
+        if kernel == kernels.BITSET:
             return BitsetAssignment.constant(system, value)
+        if kernel == kernels.CHUNKED:
+            return _chunked().ChunkedAssignment.constant(system, value)
         return TruthAssignment(
             [[value] * (system.horizon + 1) for _ in range(len(system.runs))]
         )
@@ -96,10 +109,11 @@ class TruthAssignment:
     ) -> "TruthAssignment":
         """Truth at ``(r, m)`` iff the processor's local state there ∈ *states*.
 
-        Under the bitset kernel this is a union of precomputed same-state
+        Under the packed kernels this is a union of precomputed same-state
         occurrence masks — no per-point predicate calls.
         """
-        if system.bitset_active():
+        kernel = system.effective_kernel()
+        if kernel == kernels.BITSET:
             index = system.bitset_index()
             owners = index.view_owner
             mask = 0
@@ -107,6 +121,9 @@ class TruthAssignment:
                 if owners[view] == processor and view in states:
                     mask |= gmask
             return BitsetAssignment(mask, index.num_runs, index.width)
+        if kernel == kernels.CHUNKED:
+            cindex = system.chunked_index()
+            return cindex.wrap(cindex.states_mask(processor, states))
         return TruthAssignment.from_predicate(
             system,
             lambda run_index, time: system.runs[run_index].view(
@@ -120,12 +137,15 @@ class TruthAssignment:
         system: "System", rows: List[List[bool]]
     ) -> "TruthAssignment":
         """Build from explicit per-run boolean rows."""
-        if system.bitset_active():
+        kernel = system.effective_kernel()
+        if kernel == kernels.BITSET:
             return BitsetAssignment(
                 _pack_rows(rows, system.horizon + 1),
                 len(system.runs),
                 system.horizon + 1,
             )
+        if kernel == kernels.CHUNKED:
+            return _chunked().ChunkedAssignment.from_rows(system, rows)
         return TruthAssignment(rows)
 
     @staticmethod
@@ -134,13 +154,18 @@ class TruthAssignment:
     ) -> "TruthAssignment":
         """Build a run-level assignment (same truth at every time of a run)."""
         width = system.horizon + 1
-        if system.bitset_active():
+        kernel = system.effective_kernel()
+        if kernel == kernels.BITSET:
             block = (1 << width) - 1
             mask = 0
             for run_index, value in enumerate(run_levels):
                 if value:
                     mask |= block << (run_index * width)
             return BitsetAssignment(mask, len(system.runs), width)
+        if kernel == kernels.CHUNKED:
+            return _chunked().ChunkedAssignment.from_run_levels(
+                system, run_levels
+            )
         return TruthAssignment(
             [[bool(value)] * width for value in run_levels]
         )
@@ -436,6 +461,16 @@ class System:
         self._nonrigid_cache: Dict[object, List[List[FrozenSet[int]]]] = {}
         self._components_cache: Dict[object, List[int]] = {}
         self._bitset_index: Optional[BitsetIndex] = None
+        self._chunked_index: Optional[object] = None
+        self._noted_kernels: set = set()
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        # Provider pickle sidecars written before the chunked kernel lack
+        # the newer lazy attributes; backfill so cached systems keep
+        # working across versions.
+        self.__dict__.setdefault("_chunked_index", None)
+        self.__dict__.setdefault("_noted_kernels", set())
 
     # -- structure ---------------------------------------------------------
 
@@ -474,20 +509,42 @@ class System:
         """All view ids that occur at some point of the system."""
         return iter(self._state_index)
 
-    def bitset_active(self) -> bool:
-        """Whether evaluations on this system use the bitset representation.
+    def effective_kernel(self) -> str:
+        """The kernel evaluations on this system actually use.
 
-        True when the bitset kernel is selected *and* the system is small
-        enough for packed-integer masks to win.  Beyond
-        :data:`~repro.model.kernels.BITSET_POINT_LIMIT` points every mask
-        operation costs O(mask length), so the factories fall back to the
-        reference representation, whose per-point lists stay linear at any
-        size.  The evaluators dispatch on the assignment type, so the
-        fallback is transparent to everything downstream.
+        Resolves :func:`repro.model.kernels.active_kernel` against the
+        system's size: beyond
+        :data:`~repro.model.kernels.BITSET_POINT_LIMIT` points every
+        single-integer mask operation costs O(mask length), so a
+        ``bitset`` selection is *upgraded* to the ``chunked`` limb-array
+        kernel, which keeps packed semantics with O(limbs touched)
+        algebra.  (This replaces the old silent fall back to the
+        reference layout.)  Explicit ``chunked`` and ``reference``
+        selections are honoured at any size.  Every distinct resolution
+        is reported once per system through
+        :func:`repro.model.kernels.note_selection` — visible as
+        ``kernel_selected_*`` counters and in ``repro-eba stats``.
         """
+        requested = kernels.active_kernel()
+        selected = requested
+        if (
+            requested == kernels.BITSET
+            and self.num_points() > kernels.BITSET_POINT_LIMIT
+        ):
+            selected = kernels.CHUNKED
+        if (requested, selected) not in self._noted_kernels:
+            self._noted_kernels.add((requested, selected))
+            kernels.note_selection(
+                self.describe(), self.num_points(), requested, selected
+            )
+        return selected
+
+    def describe(self) -> str:
+        """Compact one-line descriptor (used by the kernel-selection log)."""
+        mode = self.mode.value if self.mode is not None else "none"
         return (
-            kernels.active_kernel() == kernels.BITSET
-            and self.num_points() <= kernels.BITSET_POINT_LIMIT
+            f"{mode} n={self.n} t={self.t} h={self.horizon} "
+            f"runs={len(self.runs)}"
         )
 
     def bitset_index(self) -> BitsetIndex:
@@ -501,6 +558,21 @@ class System:
             self._bitset_index = index
         return index
 
+    def chunked_index(self):
+        """The limb-sliced group index (built lazily, then shared).
+
+        The constructor only lays out the limb geometry; the group
+        tables are built on the first knowledge sweep (see
+        :class:`repro.model.chunked.ChunkedIndex`), so temporal-only
+        workloads never pay for them.
+        """
+        index = self._chunked_index
+        if index is None:
+            with trace.span("chunked_index", runs=len(self.runs)):
+                index = _chunked().ChunkedIndex(self)
+            self._chunked_index = index
+        return index
+
     # -- caches ------------------------------------------------------------
 
     def cached_evaluation(
@@ -508,10 +580,13 @@ class System:
     ) -> TruthAssignment:
         """Memoize a formula evaluation under *key*.
 
-        Keys are qualified by the active evaluation kernel so reference and
-        bitset assignments never alias each other in the cache.
+        Keys are qualified by the kernel this system *resolves* to
+        (:meth:`effective_kernel`, three-valued), so assignments of
+        different representations never alias each other in the cache —
+        including across the automatic bitset→chunked upgrade boundary
+        and mid-process :func:`~repro.model.kernels.use_kernel` switches.
         """
-        key = (kernels.active_kernel(), key)
+        key = (self.effective_kernel(), key)
         existing = self._formula_cache.get(key)
         if existing is not None:
             obs.count("formula_cache_hits")
@@ -554,10 +629,14 @@ class System:
         return result
 
     def clear_caches(self) -> None:
-        """Drop all memoized evaluations (mainly for tests)."""
+        """Drop all memoized evaluations and lazy indexes (mainly for
+        tests — e.g. to rebuild the chunked index under a different limb
+        backend)."""
         self._formula_cache.clear()
         self._nonrigid_cache.clear()
         self._components_cache.clear()
+        self._bitset_index = None
+        self._chunked_index = None
 
 
 def _short_key(key: object, limit: int = 96) -> str:

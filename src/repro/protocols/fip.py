@@ -26,6 +26,8 @@ from ..core.decision_sets import DecisionPair, close_under_recall
 from ..core.outcomes import DecisionRecord, ProtocolOutcome, RunOutcome
 from ..errors import EvaluationError, ProtocolViolationError
 from ..knowledge.formulas import Formula
+from ..model import kernels
+from ..model.chunked import ChunkedAssignment
 from ..model.system import BitsetAssignment, System
 from ..model.views import ViewId
 
@@ -68,9 +70,10 @@ class FullInformationProtocol:
 
         Scanned once per system and memoized on the protocol instance —
         ``outcome``, ``sticky_pair`` and ``conflicts`` all read the same
-        table.  Under the bitset kernel the scan is a union of same-state
+        table.  Under the packed kernels the scan is a union of same-state
         occurrence masks followed by one lowest-set-bit extraction per run
-        block, instead of per-point set-membership tests.
+        window, instead of per-point set-membership tests (vectorized
+        window extraction under the chunked kernel).
         """
         table = self._first_times.get(system)
         if table is not None:
@@ -80,7 +83,24 @@ class FullInformationProtocol:
         table = [
             [(None, None)] * n for _ in range(num_runs)
         ]  # type: List[List[Tuple[Optional[int], Optional[int]]]]
-        if system.bitset_active():
+        kernel = system.effective_kernel()
+        if kernel == kernels.CHUNKED:
+            index = system.chunked_index()
+            zeros = self.pair.zeros
+            ones = self.pair.ones
+            for processor in range(n):
+                zero_times = index.first_times(
+                    index.states_mask(processor, zeros)
+                )
+                one_times = index.first_times(
+                    index.states_mask(processor, ones)
+                )
+                for run_index in range(num_runs):
+                    zero_time = zero_times[run_index]
+                    one_time = one_times[run_index]
+                    if zero_time is not None or one_time is not None:
+                        table[run_index][processor] = (zero_time, one_time)
+        elif kernel == kernels.BITSET:
             index = system.bitset_index()
             owners = index.view_owner
             width = index.width
@@ -255,6 +275,22 @@ def pair_from_formulas(
     ):
         for processor in range(system.n):
             truth = factory(processor).evaluate(system)
+            if isinstance(truth, ChunkedAssignment) and require_state_determined:
+                # Same subset test as the bitset branch, one sparse
+                # popcount-free pass per state group over the limb-sliced
+                # entry table (vectorized under the numpy backend).
+                index = system.chunked_index()
+                views, full_ids, mixed_ids = index.state_verdicts(
+                    processor, truth.limbs
+                )
+                if mixed_ids:
+                    raise EvaluationError(
+                        f"{name}: {which}-formula for processor "
+                        f"{processor} is not state-determined "
+                        f"(state {views[mixed_ids[0]]} evaluates both ways)"
+                    )
+                sink.extend(views[g] for g in full_ids)
+                continue
             if isinstance(truth, BitsetAssignment) and require_state_determined:
                 # One subset test per distinct local state: the state's
                 # occurrence mask is entirely inside the truth mask (holds

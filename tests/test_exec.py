@@ -4,8 +4,8 @@ Covers the engine mechanics (chunking, fault-spec parsing, env validation,
 checkpoint integrity), the supervised pool's crash/hang/corruption recovery
 via the deterministic ``REPRO_EXEC_FAULTS`` harness, SIGKILL-and-resume of a
 whole batch, and the verdict-parity guarantee: E9/E14/E20 run through the
-sharded path produce the same results as the monolithic path, under both
-evaluation kernels for E9.
+sharded path produce the same results as the monolithic path, under all
+three evaluation kernels for E9.
 """
 
 from __future__ import annotations
@@ -405,8 +405,8 @@ class TestResume:
 class TestVerdictParity:
     """Sharded and monolithic paths must agree byte-for-byte on verdicts."""
 
-    @pytest.mark.parametrize("kernel", ["bitset", "reference"])
-    def test_e9_parity_both_kernels(self, kernel, tmp_path, monkeypatch):
+    @pytest.mark.parametrize("kernel", ["bitset", "chunked", "reference"])
+    def test_e9_parity_all_kernels(self, kernel, tmp_path, monkeypatch):
         from repro.experiments.e09_omission_nontermination import run as e9_run
 
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))

@@ -129,10 +129,12 @@ class TestCliTools:
         assert main(["stats", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {
-            "instrumentation", "system_cache", "disk_entries", "kernel"
+            "instrumentation", "system_cache", "disk_entries", "kernel",
+            "kernel_selections",
         }
         instrumentation = payload["instrumentation"]
         assert set(instrumentation) == {"counters", "timers"}
         assert instrumentation["counters"]["system_cache_hits"] >= 1
         assert isinstance(payload["disk_entries"], list)
-        assert payload["kernel"] in ("bitset", "reference")
+        assert payload["kernel"] in ("bitset", "chunked", "reference")
+        assert isinstance(payload["kernel_selections"], list)
