@@ -24,12 +24,16 @@ from repro.model.builder import crash_system
 from repro.model.chunked import ChunkedAssignment, force_python_backend
 from repro.model.system import BitsetAssignment, TruthAssignment
 
-#: Synthetic assignment shapes: (num_runs, width) — 16k, 131k and ~1M
-#: points, i.e. below, at and well past BITSET_POINT_LIMIT.
+#: Synthetic assignment shapes: (num_runs, width) — 16k, 131k, ~1M and
+#: ~10M points, i.e. below, at, past and far past BITSET_POINT_LIMIT.
+#: The 10M cell is the ROADMAP item-3 scale the 2-D limb-matrix mode
+#: targets; its operands are drawn directly as 64-bit limbs because
+#: per-row Python construction dominates there.
 SYNTHETIC_SHAPES = {
     "16k": (1 << 12, 4),
     "131k": (1 << 15, 4),
     "1m": (1 << 18, 4),
+    "10m": (1 << 21, 5),
 }
 
 
@@ -67,6 +71,33 @@ def _synthetic_pair(shape_key, builder):
     return phi, psi
 
 
+def _chunked_operand(shape_key, seed):
+    """A random chunked operand built straight from 64-bit limbs.
+
+    On the numpy backend the operand is drawn as uint64 limbs in one
+    call (row-by-row Python packing dominates construction at the 10M
+    scale); the pure-Python backend keeps the row path.
+    """
+    from repro.model import chunked as chunked_mod
+
+    num_runs, width = SYNTHETIC_SHAPES[shape_key]
+    if chunked_mod.backend_name() == "numpy":
+        import numpy
+
+        num_bits = num_runs * width
+        rng = numpy.random.default_rng(seed)
+        limbs = rng.integers(
+            0, 1 << 64, size=-(-num_bits // 64), dtype=numpy.uint64
+        )
+        if num_bits % 64:
+            limbs[-1] &= numpy.uint64(chunked_mod._tail_mask(num_bits))
+        return ChunkedAssignment(limbs, num_runs, width)
+    shape = _Shape(num_runs, width)
+    return ChunkedAssignment.from_rows(
+        shape, _random_rows(num_runs, width, seed=seed)
+    )
+
+
 def _algebra_loop(phi, psi, rounds=50):
     acc = phi
     for _ in range(rounds):
@@ -86,6 +117,13 @@ def test_chunked_algebra_131k(benchmark):
 
 def test_chunked_algebra_1m(benchmark):
     phi, psi = _synthetic_pair("1m", ChunkedAssignment)
+    benchmark(lambda: _algebra_loop(phi, psi))
+
+
+def test_chunked_algebra_10m(benchmark):
+    """The 10M-point synthetic cell (ROADMAP item 3 scale)."""
+    phi = _chunked_operand("10m", 1)
+    psi = _chunked_operand("10m", 2)
     benchmark(lambda: _algebra_loop(phi, psi))
 
 
@@ -153,6 +191,64 @@ def test_chunked_beats_reference_on_common_fixpoint():
         f"{reference / chunked:.1f}x faster ({chunked:.4f}s vs "
         f"{reference:.4f}s)"
     )
+
+
+def test_matrix_fixpoint_lockstep_beats_scalar_loop():
+    """Acceptance guard for the 2-D limb-matrix mode: ``fixpoint_many``
+    iterating an 8-formula panel in lockstep beats the same panel run as
+    8 scalar fixpoints by >=2x (best of 3 rounds each), with
+    bit-identical rows and iteration counts."""
+    import time
+
+    import pytest
+
+    from repro.knowledge.semantics import _member_limbs, eval_knows
+
+    system = crash_system(4, 1, 3)
+    with kernels.use_kernel(kernels.CHUNKED):
+        index = system.chunked_index()
+        if not index.matrix_capable():
+            pytest.skip("limb-matrix mode needs the numpy backend")
+        masks = _member_limbs(system, index, NONFAULTY)
+        base = Exists(1).evaluate(system)
+        panel, acc = [], base
+        for processor in range(system.n):
+            acc = eval_knows(system, processor, acc)
+            panel.append(acc.disjoin(base).limbs)
+            panel.append(acc.negate().disjoin(base).limbs)
+
+        def post(limbs):
+            return limbs
+
+        def scalar_loop():
+            return [index.fixpoint(masks, phi, post) for phi in panel]
+
+        def lockstep():
+            return index.fixpoint_many(masks, panel, post)
+
+        lockstep()  # warm
+        scalar_rows = scalar_loop()
+        rows, iters = lockstep()
+        for (s_limbs, s_iters), m_limbs, m_iters in zip(
+            scalar_rows, rows, iters
+        ):
+            assert [int(x) for x in s_limbs] == [int(x) for x in m_limbs]
+            assert s_iters == m_iters
+
+        def best_of(fn, rounds=3):
+            best = float("inf")
+            for _ in range(rounds):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        scalar = best_of(scalar_loop)
+        matrix = best_of(lockstep)
+        assert matrix * 2 <= scalar, (
+            f"lockstep fixpoint_many only {scalar / matrix:.1f}x faster "
+            f"({matrix:.4f}s vs {scalar:.4f}s for {len(panel)} rows)"
+        )
 
 
 def test_chunked_pack_unpack_round_trip(benchmark):

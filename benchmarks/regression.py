@@ -20,7 +20,7 @@ import argparse
 import platform
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.bench.regression import (
     BenchSnapshot,
@@ -145,6 +145,41 @@ def _bench_kernel_chunked_algebra_1m() -> None:
     acc.count_true()
 
 
+_CHUNKED_10M_PAIR = []
+
+
+def _bench_kernel_chunked_algebra_10m() -> None:
+    """Limb-array boolean algebra at the 10M-point synthetic scale.
+
+    The ROADMAP item-3 cell: operands are drawn directly as uint64 limbs
+    (cached across rounds) so the timing is the algebra loop itself.
+    Requires the numpy limb backend; on the pure-Python backend the bench
+    degrades to the (much slower) row-construction path, so it is built
+    through ``bench_chunked._chunked_operand`` which handles both.
+    """
+    import importlib.util
+    import os
+    import sys
+
+    if not _CHUNKED_10M_PAIR:
+        bench_dir = os.path.dirname(os.path.abspath(__file__))
+        spec = importlib.util.spec_from_file_location(
+            "_bench_chunked_module",
+            os.path.join(bench_dir, "bench_chunked.py"),
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+        _CHUNKED_10M_PAIR.extend(
+            module._chunked_operand("10m", seed) for seed in (1, 2)
+        )
+    phi, psi = _CHUNKED_10M_PAIR
+    acc = phi
+    for _ in range(50):
+        acc = acc.conjoin(psi).disjoin(phi).negate()
+    acc.count_true()
+
+
 def _bench_kernel_bitset_everyone() -> None:
     from repro.knowledge.formulas import Exists
     from repro.knowledge.nonrigid import NONFAULTY
@@ -172,6 +207,7 @@ MICRO_BENCHES: Dict[str, Callable[[], None]] = {
     "kernel_reference_common_fixpoint": _bench_kernel_reference_fixpoint,
     "kernel_bitset_everyone_sweep": _bench_kernel_bitset_everyone,
     "kernel_chunked_algebra_1m": _bench_kernel_chunked_algebra_1m,
+    "kernel_chunked_algebra_10m": _bench_kernel_chunked_algebra_10m,
 }
 
 
@@ -186,9 +222,21 @@ def best_of(bench: Callable[[], None], rounds: int) -> float:
     return best
 
 
-def take_snapshot(label: str, rounds: int = 3) -> BenchSnapshot:
-    """Time every micro bench; return the snapshot."""
-    timings: Dict[str, float] = {}
+def take_snapshot(
+    label: str,
+    rounds: int = 3,
+    extra: Optional[Dict[str, float]] = None,
+) -> BenchSnapshot:
+    """Time every micro bench; return the snapshot.
+
+    ``extra`` merges externally measured walls into the snapshot — e.g.
+    the sharded ``batch run E9`` wall clock, which is measured by the
+    batch runner itself rather than re-run here — so end-to-end numbers
+    ride the same history and regression gate as the micro benches.
+    """
+    timings: Dict[str, float] = dict(extra or {})
+    for name, seconds in timings.items():
+        print(f"{name:<40} {seconds:.6f}s (extra)", flush=True)
     for name, bench in MICRO_BENCHES.items():
         timings[name] = best_of(bench, rounds)
         print(f"{name:<40} {timings[name]:.6f}s", flush=True)
@@ -220,8 +268,22 @@ def main(argv=None) -> int:
         "--no-append", action="store_true",
         help="time only; do not write the history",
     )
+    parser.add_argument(
+        "--extra", action="append", default=[], metavar="NAME=SECONDS",
+        help="record an externally measured wall (repeatable), e.g. "
+        "--extra exec_e9_limb_shard_w4=4.7",
+    )
     args = parser.parse_args(argv)
-    snapshot = take_snapshot(args.label, rounds=args.rounds)
+    extra: Dict[str, float] = {}
+    for item in args.extra:
+        name, _, seconds = item.partition("=")
+        if not name or not seconds:
+            parser.error(f"--extra expects NAME=SECONDS, got {item!r}")
+        try:
+            extra[name] = float(seconds)
+        except ValueError:
+            parser.error(f"--extra {item!r}: {seconds!r} is not a number")
+    snapshot = take_snapshot(args.label, rounds=args.rounds, extra=extra)
     previous = load_history(args.history)
     if not args.no_append:
         append_history(args.history, snapshot)

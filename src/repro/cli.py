@@ -100,7 +100,12 @@ def normalize_experiment_id(experiment_id: str) -> str:
 
 
 def _cmd_run(
-    ids: List[str], run_all: bool, skip: List[str], json_path: str = None
+    ids: List[str],
+    run_all: bool,
+    skip: List[str],
+    json_path: str = None,
+    *,
+    plan: bool = False,
 ) -> int:
     skip = [normalize_experiment_id(eid) for eid in skip]
     selected = (
@@ -114,9 +119,14 @@ def _cmd_run(
         return 2
     failures = 0
     exported = []
+    from contextlib import nullcontext
+
+    from .knowledge.planner import use_planner
+
     for experiment_id in selected:
         start = time.perf_counter()
-        result = run_experiment(experiment_id)
+        with use_planner() if plan else nullcontext():
+            result = run_experiment(experiment_id)
         elapsed = time.perf_counter() - start
         print(result.render())
         print(f"(took {elapsed:.1f}s)")
@@ -507,12 +517,30 @@ def _cmd_batch(args) -> int:
             return 0
         from .metrics.tables import render_table
 
+        def _health_cells(entry):
+            causes = entry.get("retry_causes") or {}
+            cause_text = (
+                ",".join(
+                    f"{cause}:{count}"
+                    for cause, count in sorted(causes.items())
+                )
+                or "-"
+            )
+            age = entry.get("max_heartbeat_age")
+            return [
+                entry.get("retries", 0),
+                cause_text,
+                entry.get("inflight", 0),
+                f"{age:.1f}s" if age is not None else "-",
+            ]
+
         print(
             render_table(
-                ["batch", "experiment", "kernel", "shards", "bytes"],
+                ["batch", "experiment", "kernel", "shards", "bytes",
+                 "retries", "retry causes", "inflight", "beat age"],
                 [
                     [entry["batch"], entry["experiment"], entry["kernel"],
-                     entry["shards"], entry["bytes"]]
+                     entry["shards"], entry["bytes"]] + _health_cells(entry)
                     for entry in entries
                 ],
             )
@@ -624,6 +652,11 @@ def _dispatch(argv: List[str] = None) -> int:
     run_parser.add_argument(
         "--stats", action="store_true",
         help="print instrumentation totals after the run",
+    )
+    run_parser.add_argument(
+        "--plan", action="store_true",
+        help="route formula portfolios through the fused evaluation "
+        "planner (batched kernel sweeps; identical verdicts)",
     )
     subparsers.add_parser("protocols", help="show the protocol registry")
     stats_parser = subparsers.add_parser(
@@ -780,7 +813,9 @@ def _dispatch(argv: List[str] = None) -> int:
             args.crash, args.omit,
         )
     else:
-        status = _cmd_run(args.ids, args.all, args.skip, args.json)
+        status = _cmd_run(
+            args.ids, args.all, args.skip, args.json, plan=args.plan
+        )
     if getattr(args, "stats", False):
         print()
         _print_stats()

@@ -26,8 +26,12 @@ from typing import Any, Dict, List, Optional
 
 from .shard import payload_digest
 
-#: Bump when the checkpoint record layout changes.
-CHECKPOINT_VERSION = 1
+#: Bump when the checkpoint record layout — or the meaning of the shard
+#: payloads — changes.  Version 2: limb-block sharding replaced the
+#: run-level E9 shards; version-1 directories hold run-level payloads
+#: that must be invalidated, never silently resumed, so both the
+#: manifest check and the per-record check reject them wholesale.
+CHECKPOINT_VERSION = 2
 
 #: Environment variable relocating the cache root (shared with the system
 #: disk cache in :mod:`repro.model.provider`).
@@ -106,6 +110,30 @@ class CheckpointStore:
         if record.get("checkpoint_version") != CHECKPOINT_VERSION:
             return False
         return all(record.get(key) == value for key, value in meta.items())
+
+    # -- health snapshots -------------------------------------------------
+
+    def health_path(self) -> str:
+        return os.path.join(self.directory, "health.json")
+
+    def write_health(self, snapshot: Dict[str, Any]) -> None:
+        """Persist a pool health snapshot (see
+        :meth:`repro.exec.pool.ShardPool.health_snapshot`) for
+        ``batch status``."""
+        _atomic_write(
+            self.health_path(),
+            json.dumps(snapshot, sort_keys=True, indent=2).encode("utf-8"),
+        )
+
+    def load_health(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.health_path(), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        return record
 
     # -- shard records ----------------------------------------------------
 
@@ -200,14 +228,29 @@ def list_batches(root: Optional[str] = None) -> List[Dict[str, Any]]:
                 )
             except OSError:
                 pass
+        health = store.load_health() or {}
+        retries = health.get("shard_retries") or {}
+        inflight = health.get("inflight") or []
+        beat_ages = [
+            entry["heartbeat_age"]
+            for entry in inflight
+            if isinstance(entry, dict)
+            and entry.get("heartbeat_age") is not None
+        ]
         entries.append(
             {
                 "batch": name,
                 "experiment": manifest.get("experiment", "?"),
                 "kernel": manifest.get("kernel", "?"),
+                "partition": manifest.get("partition", "?"),
                 "shards": len(shard_ids),
                 "bytes": size,
+                "retries": sum(retries.values()),
+                "retry_causes": health.get("retry_causes") or {},
+                "inflight": len(inflight),
+                "max_heartbeat_age": max(beat_ages) if beat_ages else None,
                 "manifest": manifest,
+                "health": health,
             }
         )
     return entries

@@ -82,24 +82,33 @@ class BatchPlan:
     stages: List[Stage]
     finalize: Callable[[Dict[str, Any]], Any]
     context: Dict[str, Any] = field(default_factory=dict)
+    #: Sharding scheme the plan's stages use (``"run"`` for run-range /
+    #: per-cell fan-out, ``"limb"`` for limb-block shards over the
+    #: chunked kernel's group tables).  Part of the batch key: a
+    #: checkpoint directory written under one scheme is never resumed by
+    #: a plan sharding under another.
+    partition: str = "run"
 
     def params_digest(self) -> str:
         return params_digest(self.params)
 
     def batch_key(self) -> str:
-        """Checkpoint-directory key: experiment + inputs + kernel.
+        """Checkpoint-directory key: experiment + inputs + kernel +
+        partition scheme.
 
         The selected evaluation kernel (three-valued:
         ``bitset`` / ``chunked`` / ``reference``) is part of the key
         because shard payloads of different kernels, while
         verdict-identical, are not interchangeable as *resume* state for
-        a batch claiming a specific kernel.
+        a batch claiming a specific kernel; the partition scheme is part
+        of it for the same reason — run-range and limb-block shards
+        decompose the same truth table along different axes.
         """
         from ..model.kernels import active_kernel
 
         return (
             f"{self.experiment_id}_{self.params_digest()[:12]}"
-            f"_{active_kernel()}"
+            f"_{active_kernel()}_{self.partition}"
         )
 
     def manifest_meta(self) -> Dict[str, Any]:
@@ -110,6 +119,7 @@ class BatchPlan:
             "experiment": self.experiment_id,
             "params_digest": self.params_digest(),
             "kernel": active_kernel(),
+            "partition": self.partition,
             "library_version": __version__,
         }
 
@@ -158,6 +168,16 @@ def run_batch(
     started = time.perf_counter()
     total_shards = 0
     resumed_shards = 0
+
+    def snapshot_health() -> None:
+        # Durable, best-effort: `batch status` reads this to show retry
+        # counts and worker heartbeat ages for running/interrupted
+        # batches; a write failure must never fail the batch.
+        try:
+            store.write_health(pool.health_snapshot())
+        except Exception:
+            pass
+
     try:
         with trace.span(
             f"experiment.{plan.experiment_id}",
@@ -196,9 +216,11 @@ def run_batch(
                                 ),
                             )
                         )
+                    snapshot_health()
                 stage.reduce(results, context)
             result = plan.finalize(context)
     finally:
+        snapshot_health()
         pool.close()
     attach_instrumentation(result, before)
     attach_trace(result, mark)
@@ -209,5 +231,7 @@ def run_batch(
         "resumed": resumed_shards,
         "workers": pool.workers,
         "wall_seconds": time.perf_counter() - started,
+        "retries": sum(pool.shard_retries.values()),
+        "retry_causes": dict(pool.retry_causes),
     }
     return result

@@ -22,7 +22,14 @@ Failed attempts (death, timeout, checksum mismatch, task exception) are
 retried up to ``retries`` times with exponential backoff
 (``backoff * 2**attempt``, non-blocking — other shards keep dispatching
 while a retry waits).  Exhausting retries raises
-:class:`~repro.errors.ShardExecutionError`.
+:class:`~repro.errors.ShardExecutionError`.  Every retry is counted
+twice in :mod:`repro.obs`: once under the aggregate
+``exec_shard_retries`` and once under a per-cause counter
+(``exec_shard_retries_<cause>`` for causes ``task-error``, ``checksum``,
+``worker-death``, ``timeout``, ``stale-heartbeat``); the pool also keeps
+per-shard retry counts and exposes a :meth:`ShardPool.health_snapshot`
+(in-flight shard ages, worker heartbeat ages, retry tallies) that the
+batch runner persists for ``repro-eba batch status``.
 
 Every completed shard ships its payload (canonical JSON bytes plus a
 SHA-256 the supervisor re-verifies), its :mod:`repro.obs` counter delta and
@@ -30,6 +37,17 @@ its :mod:`repro.trace` spans; the supervisor folds deltas into the parent
 instrumentation and grafts spans under the stage span, so a sharded batch
 reports the same counters and a coherent timeline, exactly like the
 parallel system builder.
+
+Results and heartbeats travel over a **per-worker pipe**, not a shared
+queue.  A shared ``multiprocessing.Queue`` serializes writers through one
+cross-process lock held by each sender's feeder thread; SIGKILLing a
+worker (the ``retire`` path for checksum mismatches, timeouts and stale
+heartbeats) could land mid-write and strand that lock forever, freezing
+every *other* worker's results and heartbeats and cascading into
+spurious stale-heartbeat retries until the shard's attempts were
+exhausted.  With one pipe per worker a kill can only tear the killed
+worker's own channel — the supervisor sees EOF, retires it and
+reschedules its shard, and the rest of the pool is untouched.
 
 Pool sizing and limits resolve from ``REPRO_EXEC_WORKERS``,
 ``REPRO_EXEC_TIMEOUT``, ``REPRO_EXEC_RETRIES`` and ``REPRO_EXEC_BACKOFF``
@@ -46,6 +64,7 @@ import os
 import signal
 import threading
 import time
+from multiprocessing import connection as mp_connection
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
@@ -129,8 +148,14 @@ def resolve_backoff(backoff: Optional[float] = None) -> float:
     return backoff if backoff is not None else _env_float(BACKOFF_ENV, DEFAULT_BACKOFF)
 
 
-def _worker_main(work_queue, result_queue, heartbeat: float) -> None:
+def _worker_main(work_queue, conn, heartbeat: float) -> None:
     """Worker loop: execute assigned shards until told to stop.
+
+    Results and heartbeats go out over *conn*, this worker's private pipe
+    to the supervisor.  ``Connection.send`` writes from the calling thread
+    under an in-process lock — there is no cross-process write lock to
+    strand, so a worker SIGKILLed mid-send can only tear its own pipe
+    (the supervisor reads it as EOF), never freeze its siblings.
 
     Each result carries canonical payload bytes, their SHA-256 (computed
     *before* any ``corrupt`` fault fires, so corruption is detectable), the
@@ -139,12 +164,19 @@ def _worker_main(work_queue, result_queue, heartbeat: float) -> None:
     """
     pid = os.getpid()
     stop = threading.Event()
+    send_lock = threading.Lock()
+
+    def post(message) -> bool:
+        try:
+            with send_lock:
+                conn.send(message)
+            return True
+        except Exception:
+            return False
 
     def beat() -> None:
         while not stop.wait(heartbeat):
-            try:
-                result_queue.put(("hb", pid, time.time()))
-            except Exception:
+            if not post(("hb", pid, time.time())):
                 return
 
     threading.Thread(target=beat, daemon=True).start()
@@ -155,7 +187,7 @@ def _worker_main(work_queue, result_queue, heartbeat: float) -> None:
             stop.set()
             return
         shard_id, task_name, params, attempt = item
-        result_queue.put(("started", pid, shard_id, attempt))
+        post(("started", pid, shard_id, attempt))
         try:
             action = fault_mod.fault_for(fault_plan, shard_id, attempt)
             if action is not None and action.mode == "kill":
@@ -178,7 +210,7 @@ def _worker_main(work_queue, result_queue, heartbeat: float) -> None:
             digest = hashlib.sha256(blob).hexdigest()
             if action is not None and action.mode == "corrupt":
                 blob = b'{"corrupted": ' + blob + b"}"
-            result_queue.put(
+            post(
                 (
                     "done",
                     pid,
@@ -195,22 +227,26 @@ def _worker_main(work_queue, result_queue, heartbeat: float) -> None:
             stop.set()
             return
         except BaseException as exc:
-            result_queue.put(
+            post(
                 ("error", pid, shard_id, attempt, f"{type(exc).__name__}: {exc}")
             )
 
 
 class _Worker:
-    """A forked worker process and its dedicated assignment queue."""
+    """A forked worker process, its assignment queue and result pipe."""
 
-    def __init__(self, ctx, result_queue, heartbeat: float) -> None:
+    def __init__(self, ctx, heartbeat: float) -> None:
         self.queue = ctx.Queue()
+        self.conn, child_conn = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(self.queue, result_queue, heartbeat),
+            args=(self.queue, child_conn, heartbeat),
             daemon=True,
         )
         self.process.start()
+        # Drop the parent's copy of the send end so a worker death reads
+        # as EOF on ``conn`` instead of a silent hang.
+        child_conn.close()
         self.pid: int = self.process.pid or 0
         self.last_beat = time.time()
 
@@ -221,6 +257,10 @@ class _Worker:
         if self.process.is_alive():
             self.process.kill()
         self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - double close
+            pass
 
 
 class ShardPool:
@@ -251,10 +291,50 @@ class ShardPool:
         self.heartbeat = heartbeat
         self.stale_after = max(STALE_BEATS * heartbeat, STALE_FLOOR_SECONDS)
         self._ctx = None
-        self._result_queue = None
         self._workers: Dict[int, _Worker] = {}
         self._idle: Deque[int] = deque()
         self._epoch = context_epoch()
+        #: Cumulative retries per shard id, across every :meth:`run`.
+        self.shard_retries: Dict[str, int] = {}
+        #: Cumulative retries per failure cause, across every :meth:`run`.
+        self.retry_causes: Dict[str, int] = {}
+        #: The active :meth:`run`'s in-flight map (pid -> shard, attempt,
+        #: dispatch time); empty between runs.
+        self._inflight: Dict[int, Tuple[Shard, int, float]] = {}
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """Point-in-time worker/shard health for ``batch status``.
+
+        JSON-serializable: in-flight shards with their attempt number,
+        how long they have been running and the owning worker's heartbeat
+        age, plus the cumulative per-shard and per-cause retry tallies.
+        """
+        now = time.time()
+        inflight = []
+        for pid, (shard, attempt, dispatched) in sorted(
+            self._inflight.items()
+        ):
+            worker = self._workers.get(pid)
+            inflight.append(
+                {
+                    "shard": shard.shard_id,
+                    "pid": pid,
+                    "attempt": attempt,
+                    "running_seconds": round(now - dispatched, 3),
+                    "heartbeat_age": round(
+                        now - worker.last_beat, 3
+                    )
+                    if worker is not None
+                    else None,
+                }
+            )
+        return {
+            "updated": now,
+            "workers": len(self._workers),
+            "inflight": inflight,
+            "shard_retries": dict(self.shard_retries),
+            "retry_causes": dict(self.retry_causes),
+        }
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -263,7 +343,7 @@ class ShardPool:
         self.close()
 
     def close(self) -> None:
-        """Shut down all workers and release the result queue."""
+        """Shut down all workers and release their channels."""
         for worker in list(self._workers.values()):
             try:
                 worker.queue.put(None)
@@ -275,10 +355,6 @@ class ShardPool:
             worker.kill()
         self._workers.clear()
         self._idle.clear()
-        if self._result_queue is not None:
-            self._result_queue.close()
-            self._result_queue.cancel_join_thread()
-            self._result_queue = None
         self._ctx = None
 
     def _ensure_ready(self, pool_size: int) -> None:
@@ -292,7 +368,6 @@ class ShardPool:
                 self._ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX fallback
                 self._ctx = multiprocessing.get_context()
-            self._result_queue = self._ctx.Queue()
         for pid in list(self._idle):
             worker = self._workers.get(pid)
             if worker is None or not worker.alive():
@@ -302,7 +377,7 @@ class ShardPool:
             self._spawn()
 
     def _spawn(self) -> None:
-        worker = _Worker(self._ctx, self._result_queue, self.heartbeat)
+        worker = _Worker(self._ctx, self.heartbeat)
         self._workers[worker.pid] = worker
         self._idle.append(worker.pid)
 
@@ -327,13 +402,13 @@ class ShardPool:
         self._ensure_ready(pool_size)
         workers = self._workers
         idle = self._idle
-        result_queue = self._result_queue
         # (shard, attempt, not_before): retries wait out their backoff here
         # without blocking dispatch of other shards.
         pending: Deque[Tuple[Shard, int, float]] = deque(
             (shard, 0, 0.0) for shard in shards
         )
-        inflight: Dict[int, Tuple[Shard, int, float]] = {}
+        inflight = self._inflight
+        inflight.clear()
         done: Dict[str, Dict[str, Any]] = {}
 
         def spawn() -> None:
@@ -349,13 +424,20 @@ class ShardPool:
                 spawn()
                 obs.count("exec_worker_restarts")
 
-        def reschedule(shard: Shard, attempt: int, why: str) -> None:
+        def reschedule(
+            shard: Shard, attempt: int, why: str, cause: str
+        ) -> None:
             if attempt + 1 > self.retries:
                 raise ShardExecutionError(
                     f"shard {shard.shard_id!r} failed after "
                     f"{attempt + 1} attempt(s): {why}"
                 )
             obs.count("exec_shard_retries")
+            obs.count(f"exec_shard_retries_{cause}")
+            self.shard_retries[shard.shard_id] = (
+                self.shard_retries.get(shard.shard_id, 0) + 1
+            )
+            self.retry_causes[cause] = self.retry_causes.get(cause, 0) + 1
             delay = self.backoff * (2 ** attempt)
             pending.append((shard, attempt + 1, time.time() + delay))
 
@@ -382,12 +464,32 @@ class ShardPool:
                             (shard.shard_id, shard.task, shard.params, attempt)
                         )
                     pending.extendleft(reversed(deferred))
-                # Collect one message (or time out and run health checks).
+                # Drain ready result pipes (or time out for health checks).
+                conn_map = {
+                    worker.conn: worker_pid
+                    for worker_pid, worker in workers.items()
+                    if not worker.conn.closed
+                }
                 try:
-                    message = result_queue.get(timeout=min(self.heartbeat, 0.25))
-                except Exception:
-                    message = None
-                if message is not None:
+                    ready = mp_connection.wait(
+                        list(conn_map), timeout=min(self.heartbeat, 0.25)
+                    )
+                except OSError:  # pragma: no cover - race with retire()
+                    ready = []
+                messages = []
+                for conn in ready:
+                    try:
+                        messages.append(conn.recv())
+                    except (EOFError, OSError):
+                        # The worker's send end is gone — death, or a send
+                        # torn mid-write by SIGKILL.  Close our end so the
+                        # pipe stops polling ready; the liveness check
+                        # below retires the worker and reschedules.
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+                for message in messages:
                     kind = message[0]
                     pid = message[1]
                     worker = workers.get(pid)
@@ -407,7 +509,10 @@ class ShardPool:
                         if hashlib.sha256(blob).hexdigest() != digest:
                             retire(pid, respawn=True)
                             reschedule(
-                                shard, attempt, "payload checksum mismatch"
+                                shard,
+                                attempt,
+                                "payload checksum mismatch",
+                                "checksum",
                             )
                             continue
                         payload = json.loads(blob.decode("utf-8"))
@@ -424,7 +529,7 @@ class ShardPool:
                     elif kind == "error" and pid in inflight:
                         shard, attempt, _ = inflight.pop(pid)
                         idle.append(pid)
-                        reschedule(shard, attempt, message[4])
+                        reschedule(shard, attempt, message[4], "task-error")
                 # Health checks on inflight workers.
                 now = time.time()
                 for pid in list(inflight):
@@ -433,7 +538,12 @@ class ShardPool:
                     if worker is None or not worker.alive():
                         inflight.pop(pid)
                         retire(pid, respawn=True)
-                        reschedule(shard, attempt, "worker died mid-shard")
+                        reschedule(
+                            shard,
+                            attempt,
+                            "worker died mid-shard",
+                            "worker-death",
+                        )
                     elif now - started > self.timeout:
                         inflight.pop(pid)
                         obs.count("exec_shard_timeouts")
@@ -442,11 +552,17 @@ class ShardPool:
                             shard,
                             attempt,
                             f"shard exceeded timeout ({self.timeout:g}s)",
+                            "timeout",
                         )
                     elif now - worker.last_beat > self.stale_after:
                         inflight.pop(pid)
                         retire(pid, respawn=True)
-                        reschedule(shard, attempt, "worker heartbeat went stale")
+                        reschedule(
+                            shard,
+                            attempt,
+                            "worker heartbeat went stale",
+                            "stale-heartbeat",
+                        )
                 # Replace idle workers that died outside a shard.
                 for pid in list(idle):
                     worker = workers.get(pid)

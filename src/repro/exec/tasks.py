@@ -7,26 +7,38 @@ stage chain
 ``eval-second`` → ``eval-sticky`` → ``eval-cbox2`` → ``eval-probes`` →
 ``assemble``
 
-which mirrors the monolithic evaluation exactly:
+which mirrors the monolithic evaluation exactly, but runs on **limb-block
+shards** instead of run ranges: the supervisor loads the cell's
+:class:`~repro.model.partition.SystemArrays` projection (an ``.npz``
+sidecar — no ``Run`` objects are ever materialized on this path), cuts
+the chunked kernel's group tables into
+:class:`~repro.model.partition.LimbBlockPartition` blocks, and ships the
+tiny JSON block descriptors to workers while the heavy tables travel
+copy-on-write through the worker context:
 
 * **believes shards** compute per-view verdicts of ``B_i^N(φ)`` for a
-  *run-level* operand φ (every operand the F^Λ construction uses is one):
-  the verdict at a view is the AND of φ over the view's occurrence points
-  whose owner is nonfaulty, vacuously true with none — precisely the
-  reference ``eval_believes`` semantics, and kernel-independent.  Sharded
-  by contiguous chunks of the owner's sorted view list;
-* **components shards** run the Corollary 3.3 reachability-component scan
-  for one nonrigid set ``N∧Z``; run-level ``C□`` values follow by AND-ing
-  φ over each component (isolated runs are vacuously true);
-* **trigger shards** scan contiguous run ranges for first firing times of
-  a pair (the ``sticky_pair`` semantics, with the same simultaneous-firing
-  tie-break as ``FullInformationProtocol.decision_for``);
+  *run-level* operand φ (every operand the F^Λ construction uses is one)
+  over one ``(processor, block)`` slice of the group tables — one
+  vectorized gather/segmented-reduce per shard, with verdicts identical
+  to the reference ``eval_believes`` semantics;
+* **components shards** emit one limb block's slice of the Corollary 3.3
+  reachability components for a nonrigid set ``N∧Z`` as a compressed
+  ``(runs, reps)`` partition; the stage barrier welds the block
+  partitions with :func:`~repro.model.partition.merge_component_labels`
+  (a union-find over the conflicting representatives only) and run-level
+  ``C□`` values follow by AND-ing φ over each merged component;
+* **trigger shards** stay run-range sharded (the first-firing scan is a
+  dense pass over the view matrix) but are vectorized over their range,
+  with the same simultaneous-firing tie-break as
+  ``FullInformationProtocol.decision_for``;
 * **probe shards** read belief verdicts at chosen points of the witness
-  run.
+  run through the partition's group-lookup path.
 
 Run-level truth assignments travel between stages as hex-encoded bit
 masks (bit ``i`` = run ``i``), so shard parameters stay JSON-serializable
-and checkpoint digests bind each shard to its exact operand.
+and checkpoint digests bind each shard to its exact operand *and* its
+exact block bounds — a relaid partition can never silently resume
+another layout's shards.
 
 E14 and E20 shard per sweep cell; their tasks call the same per-cell
 helpers the monolithic experiments use.
@@ -36,7 +48,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from ..core.decision_sets import DecisionPair, close_under_recall
+from ..core.decision_sets import DecisionPair
+from ..model.partition import (
+    LimbBlockPartition,
+    cbox_mask_from_labels,
+    merge_component_labels,
+    run_mask_to_limbs,
+)
 from .plan import BatchPlan, Stage, register_plan
 from .shard import (
     Shard,
@@ -46,8 +64,7 @@ from .shard import (
     worker_context,
 )
 
-#: Default chunk sizes for view-sharded and run-sharded tasks.
-DEFAULT_VIEW_CHUNK = 4096
+#: Default chunk size for the run-sharded trigger scan.
 DEFAULT_RUN_CHUNK = 131072
 
 
@@ -108,51 +125,28 @@ def cbox_bits(components: List[int], phi: int) -> int:
     )
 
 
-# -- shared worker-side lookups -------------------------------------------
-
-_PROC_VIEWS: Dict[Tuple[int, int], List[int]] = {}
-
-
-def _proc_views(system, processor: int) -> List[int]:
-    """Sorted occurring views owned by *processor* (memoized per system)."""
-    key = (id(system), processor)
-    cached = _PROC_VIEWS.get(key)
-    if cached is None:
-        table = system.table
-        cached = sorted(
-            view
-            for view in system._state_index
-            if table.info(view).processor == processor
-        )
-        _PROC_VIEWS[key] = cached
-    return cached
-
-
-def _believes_view_verdict(
-    system, view: int, processor: int, operand_bytes: bytes
-) -> bool:
-    """``B_processor^N(operand)`` at a local state, for run-level operand."""
-    runs = system.runs
-    for run_index, _time in system._state_index[view]:
-        if processor in runs[run_index].nonfaulty and not mask_bit(
-            operand_bytes, run_index
-        ):
-            return False
-    return True
-
-
 # -- E9 tasks --------------------------------------------------------------
+
+
+def _operand_limbs(partition: LimbBlockPartition, operand_hex: str):
+    """A shard's run-level operand, spread to point-level limbs."""
+    return run_mask_to_limbs(
+        int(operand_hex, 16), partition.num_runs, partition.width
+    )
 
 
 @register_task("system.ensure")
 def _task_system_ensure(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Build stage: make sure the cell's enumeration is on disk.
+    """Build stage: make sure the cell's enumeration *and* its
+    :class:`~repro.model.partition.SystemArrays` sidecar are on disk.
 
-    If a current-version cache file already exists the shard is a no-op;
-    otherwise the worker enumerates (possibly in parallel) and the provider
-    persists it, so the supervisor's evaluate-stage ``prepare`` gets a fast
-    disk hit.  With the disk layer off there is nothing a worker could hand
-    back cheaply, so the supervisor builds in-process instead.
+    If both current-version cache files already exist the shard is a
+    no-op; otherwise the worker enumerates (possibly in parallel) and the
+    provider persists the system plus the array projection, so the
+    supervisor's evaluate-stage ``prepare`` gets a fast ``.npz`` hit and
+    never unpickles a ``Run`` object.  With the disk layer off there is
+    nothing a worker could hand back cheaply, so the supervisor builds
+    in-process instead.
     """
     from ..model.failures import FailureMode
     from ..model.provider import get_provider
@@ -160,135 +154,87 @@ def _task_system_ensure(params: Dict[str, Any]) -> Dict[str, Any]:
     mode = FailureMode(params["mode"])
     n, t, horizon = params["n"], params["t"], params["horizon"]
     provider = get_provider()
-    if provider.has_current_cell(mode, n, t, horizon):
+    if provider.has_current_cell(
+        mode, n, t, horizon
+    ) and provider.has_current_arrays(mode, n, t, horizon):
         return {"built": False, "cached": True}
     if not provider.disk_enabled:
         return {"built": False, "cached": False}
-    system = provider.get(mode, n, t, horizon)
+    arrays = provider.get_arrays(mode, n, t, horizon)
     return {
         "built": True,
         "cached": False,
-        "runs": len(system.runs),
-        "views": len(system.table),
+        "runs": arrays.num_runs,
+        "views": arrays.num_views,
     }
 
 
 @register_task("e9.believes")
 def _task_believes(params: Dict[str, Any]) -> Dict[str, Any]:
-    system = worker_context("system")
+    """``B_p^N(operand)`` verdicts over one limb block's state groups."""
+    partition: LimbBlockPartition = worker_context("partition")
+    nf_limbs = worker_context("nf_limbs")
     processor = params["processor"]
-    operand_bytes = mask_bytes(
-        int(params["operand"], 16), len(system.runs)
+    phi = _operand_limbs(partition, params["operand"])
+    views = partition.believes_true_views(
+        processor, params["block"]["block"], nf_limbs[processor], phi
     )
-    start, stop = params["chunk"]
-    views = _proc_views(system, processor)[start:stop]
-    true_views = [
-        view
-        for view in views
-        if _believes_view_verdict(system, view, processor, operand_bytes)
-    ]
-    return {"true_views": true_views}
+    return {"true_views": [int(view) for view in views]}
 
 
 @register_task("e9.components")
 def _task_components(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Reachability components of ``N∧Z`` for ``Z = set(params["states"])``.
+    """One limb block's slice of the ``N∧Z`` reachability components.
 
-    Same union-find contract as the monolithic
-    ``semantics._compute_components`` for a ``NonfaultyAndDeciding`` set:
-    processor ``i`` is a member at ``(run, time)`` iff its view there is in
-    ``Z`` and ``i`` is nonfaulty in the run.  Labels are union-find roots —
-    their values may differ from the monolithic scan's, but the partition
-    (all that ``cbox_bits`` consumes) is identical.
+    Emits the block-local partition compressed as ``(runs, reps)`` — the
+    touched runs and each one's component representative.  The stage
+    barrier merges the blocks
+    (:func:`~repro.model.partition.merge_component_labels`); the merged
+    labels may differ in value from the monolithic union-find scan's, but
+    the partition (all that ``cbox_bits`` consumes) is identical.
     """
-    system = worker_context("system")
-    states = set(params["states"])
-    runs = system.runs
-    table = system.table
-    num_runs = len(runs)
-    parent = list(range(num_runs))
-
-    def find(node: int) -> int:
-        while parent[node] != node:
-            parent[node] = parent[parent[node]]
-            node = parent[node]
-        return node
-
-    has_occurrence = [False] * num_runs
-    for view in states:
-        points = system._state_index.get(view)
-        if not points:
-            continue
-        owner = table.info(view).processor
-        anchor = -1
-        for run_index, _time in points:
-            if owner not in runs[run_index].nonfaulty:
-                continue
-            has_occurrence[run_index] = True
-            if anchor < 0:
-                anchor = run_index
-            else:
-                root_a, root_b = find(anchor), find(run_index)
-                if root_a != root_b:
-                    parent[root_b] = root_a
-    components = [
-        find(run_index) if has_occurrence[run_index] else -1
-        for run_index in range(num_runs)
-    ]
-    return {"components": components}
+    partition: LimbBlockPartition = worker_context("partition")
+    nf_limbs = worker_context("nf_limbs")
+    flags = partition.state_flags(params["states"])
+    runs, reps = partition.component_labels(
+        params["block"]["block"], flags, nf_limbs
+    )
+    return {
+        "runs": [int(run) for run in runs],
+        "reps": [int(rep) for rep in reps],
+    }
 
 
 @register_task("e9.triggers")
 def _task_triggers(params: Dict[str, Any]) -> Dict[str, Any]:
     """First-firing trigger views of a pair over a contiguous run range."""
-    system = worker_context("system")
-    zeros = set(params["zeros"])
-    ones = set(params["ones"])
-    start, stop = params["runs"]
-    horizon = system.horizon
-    n = system.n
-    zero_triggers = set()
-    one_triggers = set()
-    for run_index in range(start, stop):
-        run = system.runs[run_index]
-        for processor in range(n):
-            zero_time: Optional[int] = None
-            one_time: Optional[int] = None
-            for time in range(horizon + 1):
-                view = run.view(processor, time)
-                if view in zeros:
-                    zero_time = time
-                if view in ones:
-                    one_time = time
-                if zero_time is not None or one_time is not None:
-                    break
-            if zero_time is None and one_time is None:
-                continue
-            if zero_time is not None and (
-                one_time is None or zero_time <= one_time
-            ):
-                zero_triggers.add(run.view(processor, zero_time))
-            else:
-                one_triggers.add(run.view(processor, one_time))
+    arrays = worker_context("arrays")
+    zeros, ones = arrays.first_fire_triggers(
+        params["zeros"], params["ones"], tuple(params["runs"])
+    )
     return {
-        "zero_triggers": sorted(zero_triggers),
-        "one_triggers": sorted(one_triggers),
+        "zero_triggers": [int(view) for view in zeros],
+        "one_triggers": [int(view) for view in ones],
     }
 
 
 @register_task("e9.probe")
 def _task_probe(params: Dict[str, Any]) -> Dict[str, Any]:
     """Belief verdicts ``B_p^N(operand)`` at explicit ``(run, time)`` points."""
-    system = worker_context("system")
+    arrays = worker_context("arrays")
+    partition: LimbBlockPartition = worker_context("partition")
+    nf_limbs = worker_context("nf_limbs")
     processor = params["processor"]
-    operand_bytes = mask_bytes(
-        int(params["operand"], 16), len(system.runs)
-    )
+    phi = _operand_limbs(partition, params["operand"])
     values = []
     for run_index, time in params["points"]:
-        view = system.runs[run_index].view(processor, time)
+        view = arrays.view_at(run_index, time, processor)
         values.append(
-            _believes_view_verdict(system, view, processor, operand_bytes)
+            bool(
+                partition.probe_believes(
+                    processor, view, nf_limbs[processor], phi
+                )
+            )
         )
     return {"values": values}
 
@@ -306,20 +252,33 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
 
     params = {"n": n, "t": t, "horizon": horizon}
 
-    def prepare_system(context: Dict[str, Any]) -> None:
-        from ..model.builder import omission_system
+    def prepare_eval(context: Dict[str, Any]) -> None:
+        """Load the array projection, cut the limb-block partition and
+        publish both (plus the per-processor nonfaulty point masks) to
+        the worker context — exactly one context epoch, so the pool's
+        workers fork once and inherit everything copy-on-write."""
+        from ..model.failures import FailureMode
+        from ..model.provider import get_provider
 
-        system = omission_system(n, t, horizon)
-        context["system"] = system
-        set_worker_context(system=system)
-        context["exists0"] = pack_run_levels(
-            run.exists(0) for run in system.runs
+        arrays = get_provider().get_arrays(
+            FailureMode("omission"), n, t, horizon
         )
-        context["exists1"] = pack_run_levels(
-            run.exists(1) for run in system.runs
+        partition = LimbBlockPartition.from_arrays(
+            arrays, target_entries=context.get("shard_size") or None
         )
-        context["full_mask"] = (1 << len(system.runs)) - 1
-        context["all_states"] = list(system.occurring_views())
+        nf_limbs = [
+            partition.nonfaulty_limbs(processor)
+            for processor in range(arrays.n)
+        ]
+        context["arrays"] = arrays
+        context["partition"] = partition
+        context["exists0"] = arrays.exists_mask(0)
+        context["exists1"] = arrays.exists_mask(1)
+        context["full_mask"] = (1 << arrays.num_runs) - 1
+        context["empty_states"] = []
+        set_worker_context(
+            arrays=arrays, partition=partition, nf_limbs=nf_limbs
+        )
 
     def make_build(context: Dict[str, Any]) -> List[Shard]:
         return [
@@ -337,49 +296,61 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
     def components_stage(
         name: str, states_key: str, phi_key: str, out_key: str
     ) -> Stage:
-        """One reachability-component scan (a single, heavy shard)."""
+        """One reachability-component scan, sharded by limb block."""
 
         def make(context: Dict[str, Any]) -> List[Shard]:
+            partition: LimbBlockPartition = context["partition"]
+            states = sorted(context[states_key])
             return [
                 Shard(
-                    shard_id=f"{name}/components",
+                    shard_id=f"{name}/b{block['block']}",
                     task="e9.components",
-                    params={"states": context[states_key]},
+                    params={"states": states, "block": block},
                     stage=name,
                 )
+                for block in partition.block_descriptors()
             ]
 
         def reduce(results, context) -> None:
-            components = results[f"{name}/components"]["components"]
-            context[out_key] = cbox_bits(components, context[phi_key])
+            labels = merge_component_labels(
+                context["arrays"].num_runs,
+                [
+                    (results[shard_id]["runs"], results[shard_id]["reps"])
+                    for shard_id in _shard_id_order(results)
+                ],
+            )
+            context[out_key] = cbox_mask_from_labels(
+                labels, context[phi_key], context["arrays"].num_runs
+            )
 
         return Stage(name=name, make_shards=make, reduce=reduce)
 
     def believes_stage(
         name: str, ops_key: str, pair_key: str, pair_name: str
     ) -> Stage:
-        """Fan out ``B_i^N`` view verdicts, close under recall, emit a pair."""
+        """Fan out ``B_i^N`` view verdicts per limb block, close under
+        recall, emit a decision pair."""
 
         def make(context: Dict[str, Any]) -> List[Shard]:
-            system = context["system"]
-            size = context.get("shard_size") or DEFAULT_VIEW_CHUNK
+            partition: LimbBlockPartition = context["partition"]
             ops = context[ops_key]
             shards = []
-            for processor in range(system.n):
-                views = _proc_views(system, processor)
+            for processor in range(partition.n):
                 for which in ("zero", "one"):
-                    for index, (start, stop) in enumerate(
-                        chunk_ranges(len(views), size)
-                    ):
+                    operand = format(ops[which], "x")
+                    for block in partition.block_descriptors():
                         shards.append(
                             Shard(
-                                shard_id=f"{name}/p{processor}-{which}/{index}",
+                                shard_id=(
+                                    f"{name}/p{processor}-{which}"
+                                    f"/b{block['block']}"
+                                ),
                                 task="e9.believes",
                                 params={
                                     "processor": processor,
                                     "which": which,
-                                    "operand": format(ops[which], "x"),
-                                    "chunk": [start, stop],
+                                    "operand": operand,
+                                    "block": block,
                                 },
                                 stage=name,
                             )
@@ -387,19 +358,15 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
             return shards
 
         def reduce(results, context) -> None:
-            system = context["system"]
+            arrays = context["arrays"]
             zero_states: List[int] = []
             one_states: List[int] = []
             for shard_id in _shard_id_order(results):
                 sink = zero_states if "-zero/" in shard_id else one_states
                 sink.extend(results[shard_id]["true_views"])
             context[pair_key] = DecisionPair(
-                close_under_recall(
-                    zero_states, context["all_states"], system.table
-                ),
-                close_under_recall(
-                    one_states, context["all_states"], system.table
-                ),
+                frozenset(arrays.recall_closure(zero_states)),
+                frozenset(arrays.recall_closure(one_states)),
                 name=pair_name,
             )
 
@@ -407,8 +374,16 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
 
     def reduce_base(results, context) -> None:
         # C□_{N∧∅}∃0 over the empty decision set: prime-step base case.
-        components = results["eval-base/components"]["components"]
-        cbox_base = cbox_bits(components, context["exists0"])
+        labels = merge_component_labels(
+            context["arrays"].num_runs,
+            [
+                (results[shard_id]["runs"], results[shard_id]["reps"])
+                for shard_id in _shard_id_order(results)
+            ],
+        )
+        cbox_base = cbox_mask_from_labels(
+            labels, context["exists0"], context["arrays"].num_runs
+        )
         full = context["full_mask"]
         context["first_ops"] = {
             "zero": context["exists0"] & cbox_base,
@@ -419,8 +394,16 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
         context["first_zeros"] = sorted(context["first_pair"].zeros)
 
     def reduce_cbox1(results, context) -> None:
-        components = results["eval-cbox1/components"]["components"]
-        cbox1 = cbox_bits(components, context["exists1"])
+        labels = merge_component_labels(
+            context["arrays"].num_runs,
+            [
+                (results[shard_id]["runs"], results[shard_id]["reps"])
+                for shard_id in _shard_id_order(results)
+            ],
+        )
+        cbox1 = cbox_mask_from_labels(
+            labels, context["exists1"], context["arrays"].num_runs
+        )
         full = context["full_mask"]
         context["cbox1"] = cbox1
         context["second_ops"] = {
@@ -429,7 +412,7 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
         }
 
     def make_sticky(context: Dict[str, Any]) -> List[Shard]:
-        system = context["system"]
+        arrays = context["arrays"]
         first = context["first_pair"]
         size = context.get("shard_size") or DEFAULT_RUN_CHUNK
         if size < 1024:
@@ -448,24 +431,20 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
                 stage="eval-sticky",
             )
             for index, (start, stop) in enumerate(
-                chunk_ranges(len(system.runs), size)
+                chunk_ranges(arrays.num_runs, size)
             )
         ]
 
     def reduce_sticky(results, context) -> None:
-        system = context["system"]
+        arrays = context["arrays"]
         zero_triggers: List[int] = []
         one_triggers: List[int] = []
         for shard_id in _shard_id_order(results):
             zero_triggers.extend(results[shard_id]["zero_triggers"])
             one_triggers.extend(results[shard_id]["one_triggers"])
         context["sticky_first"] = DecisionPair(
-            close_under_recall(
-                zero_triggers, context["all_states"], system.table
-            ),
-            close_under_recall(
-                one_triggers, context["all_states"], system.table
-            ),
+            frozenset(arrays.recall_closure(zero_triggers)),
+            frozenset(arrays.recall_closure(one_triggers)),
             name=context["first_pair"].name,
         )
 
@@ -473,11 +452,11 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
         context["sticky_zeros"] = sorted(context["sticky_first"].zeros)
 
     def make_probes(context: Dict[str, Any]) -> List[Shard]:
-        system = context["system"]
+        arrays = context["arrays"]
         target = e09.witness_target(n, horizon)
-        target_index = system.run_index_for(*target)
+        target_index = arrays.run_index_of(*target)
         context["target_index"] = target_index
-        nonfaulty = sorted(system.runs[target_index].nonfaulty)
+        nonfaulty = arrays.nonfaulty_of(target_index)
         context["target_nonfaulty"] = nonfaulty
         operand = format(context["cbox2"], "x")
         return [
@@ -504,18 +483,20 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
         )
 
     def reduce_assemble(results, context) -> None:
-        system = context["system"]
+        arrays = context["arrays"]
         second = context["second_pair"]
         target_index = context["target_index"]
-        run = system.runs[target_index]
         nobody_decides = all(
-            _decision_in_run(system, second, target_index, processor) is None
-            for processor in run.nonfaulty
+            arrays.first_decision(
+                target_index, processor, second.zeros, second.ones
+            )
+            is None
+            for processor in context["target_nonfaulty"]
         )
         cbox2 = context["cbox2"]
         perturbed_rows: List[List[Any]] = []
         for label, config, pattern in e09.perturbed_cases(n, horizon):
-            run_index = system.run_index_for(config, pattern)
+            run_index = arrays.run_index_of(config, pattern)
             perturbed_rows.append(
                 [label, bool((cbox2 >> run_index) & 1)]
             )
@@ -524,7 +505,7 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
 
     def finalize(context: Dict[str, Any]):
         return e09.build_result(
-            context["system"],
+            context["arrays"].num_runs,
             n,
             t,
             horizon,
@@ -544,10 +525,11 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
         Stage("eval-probes", make_probes, reduce_probes),
         Stage("assemble", lambda context: [], reduce_assemble),
     ]
-    # eval-base needs no member states; eval-cbox1/2 compute theirs in a
-    # prepare hook from the preceding stage's pair.  The base stage's
-    # reduce also derives the first-pair operands (it sees exists0/1).
-    stages[1].prepare = lambda context: _prepare_base(context, prepare_system)
+    # eval-base loads arrays + partition (one worker-context epoch for the
+    # whole batch) and its reduce derives the first-pair operands;
+    # eval-cbox1/2 compute their Z states in prepare hooks from the
+    # preceding stage's pair.
+    stages[1].prepare = prepare_eval
     stages[1].reduce = reduce_base
     stages[3].prepare = prepare_cbox1
     stages[3].reduce = reduce_cbox1
@@ -558,36 +540,8 @@ def e9_plan(n: int = 4, t: int = 2, horizon: int = 2) -> BatchPlan:
         params=params,
         stages=stages,
         finalize=finalize,
+        partition="limb",
     )
-
-
-def _prepare_base(context: Dict[str, Any], prepare_system) -> None:
-    prepare_system(context)
-    context["empty_states"] = []
-
-
-def _decision_in_run(
-    system, pair: DecisionPair, run_index: int, processor: int
-) -> Optional[Tuple[int, int]]:
-    """First decision of *processor* in one run — the reference firing
-    scan of ``FullInformationProtocol``, including its 0-favouring
-    tie-break for simultaneous first firings."""
-    run = system.runs[run_index]
-    zero_time: Optional[int] = None
-    one_time: Optional[int] = None
-    for time in range(system.horizon + 1):
-        view = run.view(processor, time)
-        if pair.decides_zero(view):
-            zero_time = time
-        if pair.decides_one(view):
-            one_time = time
-        if zero_time is not None or one_time is not None:
-            break
-    if zero_time is None and one_time is None:
-        return None
-    if zero_time is not None and (one_time is None or zero_time <= one_time):
-        return (0, zero_time)
-    return (1, one_time)  # type: ignore[return-value]
 
 
 # -- E14: scaling ablation -------------------------------------------------

@@ -1,0 +1,308 @@
+"""Fused evaluation planner: one pass over shared formula structure.
+
+Experiments evaluate *portfolios* of formulas against the same system —
+E4 sweeps a dozen ``C□`` axioms over the same four facts, E5 checks two
+Proposition 4.3 conditions per processor per protocol, E21 compares
+``C``/``C◇``/``C□`` over the same operands — and each
+:meth:`~repro.knowledge.formulas.Formula.evaluate` call walks its own
+tree, re-dispatching one kernel sweep per modal node.  The per-system
+formula cache already deduplicates *exact* repeats, but sibling nodes
+that could share a pass (four beliefs of one processor, two fixpoints
+over the same nonrigid set) still run one sweep each.
+
+:class:`EvalPlan` collects a portfolio up front, deduplicates subterms
+structurally (by ``cache_key``), and evaluates the whole DAG in
+topological waves.  Within a wave, sibling modal nodes are *fused*:
+
+* ``K_i`` nodes with the same processor run as one
+  :meth:`~repro.model.chunked.ChunkedIndex.knows_limbs_many` matrix
+  sweep — one gather/segmented-reduce over an ``(F, limbs)`` stack
+  instead of F scalar passes;
+* ``B_i^S`` nodes with the same processor and nonrigid set share the
+  membership gather through ``believes_limbs_many``;
+* ``E_S`` nodes with the same nonrigid set share the per-processor
+  membership passes through ``everyone_limbs_many``;
+* fixpoint nodes (``C_S`` / ``C◇_S`` / ``C□_S`` in fixpoint form) with
+  the same nonrigid set and post-sweep iterate **in lockstep sharing one
+  frontier**: each round retires state groups against the union of every
+  row's freshly eliminated points, one gather per processor per round
+  (:meth:`~repro.model.chunked.ChunkedIndex.fixpoint_many`);
+* run-level ``C□_S`` nodes take the Corollary 3.3 component fast path,
+  whose labelling is memoized per nonrigid set on the system — every
+  such node after the first is a shared-component lookup.
+
+Fusion engages on the chunked kernel's numpy (matrix-capable) backend;
+on the bitset/reference kernels — or the pure-Python chunked backend —
+the plan still deduplicates subterms and evaluates each node once, so
+results are identical on every kernel (the parity tests in
+``tests/test_kernels.py`` assert exactly that).
+
+Every result is seeded into the system's kernel-qualified formula cache,
+so the experiment's subsequent per-formula ``evaluate`` calls are cache
+hits and its verdict logic runs unchanged — planner on or off can never
+change a verdict, only the number of kernel sweeps.
+
+Activation: :func:`use_planner` (tests), the ``REPRO_EVAL_PLANNER`` env
+var, or the CLI's ``run --plan`` flag.  Experiments guard their
+portfolio prefetch with :func:`prefetch`, which no-ops when the planner
+is inactive.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .. import obs, trace
+from ..model.chunked import ChunkedAssignment
+from ..model.system import System, TruthAssignment
+from . import semantics
+from .formulas import (
+    Believes,
+    Common,
+    ContinualCommon,
+    EventualCommon,
+    Everyone,
+    Formula,
+    Knows,
+)
+
+PLANNER_ENV = "REPRO_EVAL_PLANNER"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Test/CLI override; ``None`` defers to the environment variable.
+_FORCED: Optional[bool] = None
+
+
+def planner_active() -> bool:
+    """Whether experiment portfolio prefetches route through the planner."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get(PLANNER_ENV, "").strip().lower() in _TRUTHY
+
+
+@contextmanager
+def use_planner(enabled: bool = True) -> Iterator[None]:
+    """Force the planner on (or off) for the enclosed block."""
+    global _FORCED
+    previous = _FORCED
+    _FORCED = enabled
+    try:
+        yield
+    finally:
+        _FORCED = previous
+
+
+def _children(formula: Formula) -> List[Formula]:
+    """Immediate subformulas, across the AST's child attribute spellings."""
+    out: List[Formula] = []
+    for attr in ("operand", "antecedent", "consequent", "left", "right"):
+        child = getattr(formula, attr, None)
+        if isinstance(child, Formula):
+            out.append(child)
+    operands = getattr(formula, "operands", None)
+    if operands:
+        out.extend(op for op in operands if isinstance(op, Formula))
+    return out
+
+
+def _fixpoint_kind(node: Formula) -> Optional[str]:
+    """Which lockstep-fusable fixpoint *node* is, if any."""
+    if isinstance(node, Common):
+        return "common"
+    if isinstance(node, EventualCommon):
+        return "eventual"
+    if isinstance(node, ContinualCommon) and (
+        node.force_fixpoint or not node.operand.is_run_level()
+    ):
+        # Run-level C□ without force_fixpoint takes the component fast
+        # path instead — memoized per nonrigid set, so it shares too.
+        return "continual"
+    return None
+
+
+class EvalPlan:
+    """A deduplicated evaluation schedule for a portfolio of formulas.
+
+    Build with :meth:`add`, execute with :meth:`run`.  Running seeds the
+    system's formula cache; read results with ``formula.evaluate(system)``
+    afterwards (a cache hit) or via :func:`evaluate_formulas`.
+    """
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self._nodes: Dict[object, Formula] = {}
+        self._child_keys: Dict[object, List[object]] = {}
+        self.stats: Dict[str, int] = {
+            "formulas": 0,
+            "nodes": 0,
+            "waves": 0,
+            "fused_sweeps": 0,
+            "fused_rows": 0,
+        }
+
+    def add(self, *formulas: Formula) -> "EvalPlan":
+        """Register formulas (and transitively their subterms)."""
+        stack = list(formulas)
+        self.stats["formulas"] += len(formulas)
+        while stack:
+            node = stack.pop()
+            key = node.cache_key()
+            if key in self._nodes:
+                continue
+            self._nodes[key] = node
+            children = _children(node)
+            self._child_keys[key] = [child.cache_key() for child in children]
+            stack.extend(children)
+        self.stats["nodes"] = len(self._nodes)
+        return self
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> Dict[str, int]:
+        """Evaluate every node once, fusing sibling sweeps; returns stats."""
+        obs.count("planner_plans")
+        with obs.stage("planner_run"), trace.span(
+            "planner.run", nodes=len(self._nodes)
+        ):
+            pending = dict(self._child_keys)
+            done: set = set()
+            while pending:
+                wave = [
+                    key
+                    for key, deps in pending.items()
+                    if all(dep in done for dep in deps)
+                ]
+                if not wave:  # pragma: no cover - ASTs are acyclic
+                    raise RuntimeError("cycle in formula DAG")
+                self.stats["waves"] += 1
+                self._run_wave([self._nodes[key] for key in wave])
+                for key in wave:
+                    del pending[key]
+                    done.add(key)
+        obs.count("planner_nodes_evaluated", len(done))
+        return dict(self.stats)
+
+    def _run_wave(self, nodes: List[Formula]) -> None:
+        """Evaluate one topological wave, grouping fusable siblings."""
+        groups: Dict[object, List[Formula]] = {}
+        rest: List[Formula] = []
+        for node in nodes:
+            kind = _fixpoint_kind(node)
+            if kind is not None:
+                groups.setdefault(
+                    ("fix", kind, node.nonrigid.cache_key()), []
+                ).append(node)
+            elif isinstance(node, Knows):
+                groups.setdefault(("K", node.processor), []).append(node)
+            elif isinstance(node, Believes):
+                groups.setdefault(
+                    ("B", node.processor, node.nonrigid.cache_key()), []
+                ).append(node)
+            elif isinstance(node, Everyone):
+                groups.setdefault(
+                    ("E", node.nonrigid.cache_key()), []
+                ).append(node)
+            else:
+                rest.append(node)
+        for node in rest:
+            node.evaluate(self.system)
+        for group_key, members in groups.items():
+            self._run_group(group_key[0], members)
+
+    def _operands(self, members: List[Formula]) -> List[TruthAssignment]:
+        return [node.operand.evaluate(self.system) for node in members]
+
+    def _fusable(self, phis: List[TruthAssignment]) -> bool:
+        """Fusion needs >1 chunked operand and a matrix-capable index."""
+        if len(phis) < 2:
+            return False
+        if not all(isinstance(phi, ChunkedAssignment) for phi in phis):
+            return False
+        return self.system.chunked_index().matrix_capable()
+
+    def _seed(self, node: Formula, assignment: TruthAssignment) -> None:
+        self.system.cached_evaluation(
+            node.cache_key(), lambda: assignment
+        )
+
+    def _count_fused(self, rows: int) -> None:
+        self.stats["fused_sweeps"] += 1
+        self.stats["fused_rows"] += rows
+        obs.count("planner_fused_sweeps")
+        obs.count("planner_fused_rows", rows)
+
+    def _run_group(self, shape: str, members: List[Formula]) -> None:
+        system = self.system
+        phis = self._operands(members)
+        if not self._fusable(phis):
+            for node in members:
+                node.evaluate(system)
+            return
+        cindex = system.chunked_index()
+        limbs = [phi.limbs for phi in phis]
+        template = phis[0]
+        if shape == "K":
+            outs = cindex.knows_limbs_many(members[0].processor, limbs)
+        elif shape == "B":
+            pmask = semantics._member_limbs(
+                system, cindex, members[0].nonrigid
+            )[members[0].processor]
+            outs = cindex.believes_limbs_many(
+                members[0].processor, pmask, limbs
+            )
+        elif shape == "E":
+            member_masks = semantics._member_limbs(
+                system, cindex, members[0].nonrigid
+            )
+            outs = cindex.everyone_limbs_many(member_masks, limbs)
+        else:  # fixpoint lockstep
+            member_masks = semantics._member_limbs(
+                system, cindex, members[0].nonrigid
+            )
+            kind = _fixpoint_kind(members[0])
+            post: Callable[[object], object]
+            if kind == "eventual":
+                post = cindex.eventually_limbs
+            elif kind == "continual":
+                post = cindex.at_all_times_limbs
+            else:
+                post = lambda matrix: matrix  # noqa: E731
+            outs, _iters = cindex.fixpoint_many(member_masks, limbs, post)
+        self._count_fused(len(members))
+        for node, out in zip(members, outs):
+            self._seed(node, template._replace(out))
+
+
+def evaluate_formulas(
+    system: System, formulas: Iterable[Formula]
+) -> List[TruthAssignment]:
+    """Evaluate a portfolio through one :class:`EvalPlan`.
+
+    The returned assignments are in input order; every subterm is also
+    left in the system's formula cache.
+    """
+    formulas = list(formulas)
+    plan = EvalPlan(system)
+    plan.add(*formulas)
+    plan.run()
+    return [formula.evaluate(system) for formula in formulas]
+
+
+def prefetch(system: System, formulas: Iterable[Formula]) -> bool:
+    """Run a portfolio through the planner **iff** it is active.
+
+    Experiments call this with the formulas their checks are about to
+    evaluate; with the planner off it costs nothing, with it on the
+    subsequent per-formula ``evaluate`` calls become cache hits on the
+    fused results.  Returns whether a plan ran.
+    """
+    if not planner_active():
+        return False
+    formulas = list(formulas)
+    if not formulas:
+        return False
+    evaluate_formulas(system, formulas)
+    return True

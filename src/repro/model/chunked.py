@@ -25,6 +25,14 @@ Two interchangeable limb backends:
   ``REPRO_CHUNKED_BACKEND`` environment variable is set to ``python``
   (tests use :func:`force_python_backend`).
 
+On top of the numpy backend sits an optional **matrix mode**
+(``REPRO_CHUNKED_BACKEND=matrix`` requests it explicitly; the fused
+planner uses it whenever :func:`matrix_supported`): F formula buffers
+stack into one ``(F, limbs)`` uint64 matrix and the ``*_many`` sweeps
+on :class:`ChunkedIndex` run all F knowledge tests — or all F fixpoints
+in lockstep, sharing one dirty frontier per round — through a single
+gather/segmented-reduce pass per processor.
+
 The fixpoint evaluators (``C`` / ``C□`` / ``C◇``) run the same
 downward iteration as the bitset kernel but carry a **dirty-limb
 frontier** between iterations: the limbs the eliminated set (``delta``)
@@ -53,9 +61,15 @@ from .views import ViewId
 LIMB_BITS = 64
 LIMB_MASK = (1 << LIMB_BITS) - 1
 
-#: Environment variable forcing the limb backend (``python`` / ``py`` /
-#: ``list`` pins the pure-Python backend; anything else means auto).
+#: Environment variable forcing the limb backend.  ``python`` / ``py`` /
+#: ``list`` pins the pure-Python backend; ``matrix`` pins the numpy
+#: backend *and* marks the batched ``(F, limbs)`` matrix sweeps as
+#: explicitly requested (the fused planner then refuses to fall back
+#: silently); anything else means auto (numpy when importable).
 BACKEND_ENV = "REPRO_CHUNKED_BACKEND"
+
+#: Env value requesting the 2-D limb-matrix mode explicitly.
+MATRIX = "matrix"
 
 try:  # pragma: no cover - exercised implicitly by every import
     import numpy as _numpy  # type: ignore
@@ -81,6 +95,26 @@ _active_numpy = _backend_from_env()
 def backend_name() -> str:
     """``"numpy"`` or ``"python"`` — the backend new buffers use."""
     return "numpy" if _active_numpy is not None else "python"
+
+
+def matrix_supported() -> bool:
+    """True when batched ``(F, limbs)`` matrix sweeps are available.
+
+    Matrix mode rides the numpy backend: the axis-agnostic limb helpers
+    treat the *last* axis as the limb axis, so a stack of F formula
+    buffers flows through the same gather/segmented-reduce passes as a
+    single buffer.  Selection precedence mirrors the scalar backend:
+    ``force_python_backend`` (and ``REPRO_CHUNKED_BACKEND=python``)
+    disables it, ``REPRO_CHUNKED_BACKEND=matrix`` requests it
+    explicitly, and otherwise it is available whenever numpy is.
+    """
+    return _active_numpy is not None
+
+
+def matrix_requested() -> bool:
+    """True when ``REPRO_CHUNKED_BACKEND=matrix`` insists on matrix mode."""
+    raw = os.environ.get(BACKEND_ENV, "").strip().lower()
+    return raw == MATRIX
 
 
 @contextmanager
@@ -156,13 +190,17 @@ def _andnot(a, b):
 
 
 def _not(a, tail: int):
-    """Complement within the valid bit range (tail limb masked)."""
+    """Complement within the valid bit range (tail limb masked).
+
+    Axis-agnostic on the numpy branch: the last axis is the limb axis,
+    so ``(F, limbs)`` matrix stacks complement row-wise.
+    """
     if _is_py(a):
         out = [~x & LIMB_MASK for x in a]
         out[-1] &= tail
         return out
     out = ~a
-    out[-1] &= tail
+    out[..., -1] &= _numpy.uint64(tail)
     return out
 
 
@@ -185,10 +223,14 @@ def _popcount(a) -> int:
 
 
 def _shift_down(a, k: int):
-    """Limb buffer logically shifted toward bit 0 by *k* bits."""
-    n = len(a)
-    q, r = divmod(k, LIMB_BITS)
+    """Limb buffer logically shifted toward bit 0 by *k* bits.
+
+    Axis-agnostic on the numpy branch (last axis = limb axis), so
+    matrix stacks shift every row in one pass.
+    """
     if _is_py(a):
+        n = len(a)
+        q, r = divmod(k, LIMB_BITS)
         out = [0] * n
         if q < n:
             if r == 0:
@@ -201,22 +243,29 @@ def _shift_down(a, k: int):
                     out[i] = lo | hi
         return out
     np = _numpy
-    out = np.zeros(n, np.uint64)
+    n = a.shape[-1]
+    q, r = divmod(k, LIMB_BITS)
+    out = np.zeros(a.shape, np.uint64)
     if q < n:
         if r == 0:
-            out[: n - q] = a[q:]
+            out[..., : n - q] = a[..., q:]
         else:
-            out[: n - q] = a[q:] >> np.uint64(r)
+            out[..., : n - q] = a[..., q:] >> np.uint64(r)
             if q + 1 < n:
-                out[: n - q - 1] |= a[q + 1 :] << np.uint64(LIMB_BITS - r)
+                out[..., : n - q - 1] |= a[..., q + 1 :] << np.uint64(
+                    LIMB_BITS - r
+                )
     return out
 
 
 def _shift_up(a, k: int, tail: int):
-    """Limb buffer shifted away from bit 0 by *k* bits, tail-masked."""
-    n = len(a)
-    q, r = divmod(k, LIMB_BITS)
+    """Limb buffer shifted away from bit 0 by *k* bits, tail-masked.
+
+    Axis-agnostic on the numpy branch (last axis = limb axis).
+    """
     if _is_py(a):
+        n = len(a)
+        q, r = divmod(k, LIMB_BITS)
         out = [0] * n
         if q < n:
             if r == 0:
@@ -230,15 +279,19 @@ def _shift_up(a, k: int, tail: int):
         out[-1] &= tail
         return out
     np = _numpy
-    out = np.zeros(n, np.uint64)
+    n = a.shape[-1]
+    q, r = divmod(k, LIMB_BITS)
+    out = np.zeros(a.shape, np.uint64)
     if q < n:
         if r == 0:
-            out[q:] = a[: n - q]
+            out[..., q:] = a[..., : n - q]
         else:
-            out[q:] = a[: n - q] << np.uint64(r)
+            out[..., q:] = a[..., : n - q] << np.uint64(r)
             if q + 1 < n:
-                out[q + 1 :] |= a[: n - q - 1] >> np.uint64(LIMB_BITS - r)
-    out[-1] &= tail
+                out[..., q + 1 :] |= a[..., : n - q - 1] >> np.uint64(
+                    LIMB_BITS - r
+                )
+    out[..., -1] &= np.uint64(tail)
     return out
 
 
@@ -977,3 +1030,209 @@ class ChunkedIndex:
             alive &= ~grp_hit
             sel = np.repeat(newly, self._sizes[processor])
             np.bitwise_or.at(bad, idx[sel], (val & pmask[idx])[sel])
+
+    # -- matrix mode: batched (F, limbs) sweeps ----------------------------
+    #
+    # The fused planner (:mod:`repro.knowledge.planner`) evaluates a
+    # *set* of formulas against one system.  When several ready formulas
+    # share the same sweep shape — same processor for ``K``, same
+    # (processor, nonrigid set) for ``B``, same nonrigid set for ``E`` or
+    # a fixpoint — their operand buffers stack into one ``(F, limbs)``
+    # uint64 matrix and the per-group entry table is gathered and
+    # segment-reduced once for all F rows.  Row results are bit-for-bit
+    # identical to F scalar sweeps; on the pure-Python backend each
+    # ``*_many`` method simply loops the scalar implementation.
+
+    def matrix_capable(self) -> bool:
+        """Whether this index can run batched matrix sweeps (numpy)."""
+        return not self._py
+
+    def _stack(self, phis):
+        np = _numpy
+        return np.stack(
+            [_coerce(phi, to_python=False) for phi in phis]
+        ).astype(np.uint64, copy=False)
+
+    def knows_limbs_many(self, processor: int, phis) -> List[object]:
+        """``[K_p φ for φ in phis]`` in one gather/reduce pass."""
+        if not phis:
+            return []
+        self._ensure_groups()
+        if self._py:
+            return [self.knows_limbs(processor, phi) for phi in phis]
+        np = _numpy
+        phi2 = self._stack(phis)
+        count = phi2.shape[0]
+        out = np.zeros((count, self.nlimbs), np.uint64)
+        idx = self._idx[processor]
+        if idx.size == 0:
+            return list(out)
+        val = self._val[processor]
+        bad = (val[None, :] & ~phi2[:, idx]) != 0
+        grp_bad = np.bitwise_or.reduceat(
+            bad, self._rstarts[processor], axis=1
+        )
+        sizes = self._sizes[processor]
+        for f in range(count):
+            if grp_bad[f].all():
+                continue
+            sel = np.repeat(~grp_bad[f], sizes)
+            np.bitwise_or.at(out[f], idx[sel], val[sel])
+        return list(out)
+
+    def believes_limbs_many(self, processor: int, pmask, phis) -> List[object]:
+        """``[B_p^S φ for φ in phis]`` sharing one membership gather."""
+        if not phis:
+            return []
+        self._ensure_groups()
+        if self._py:
+            return [
+                self.believes_limbs(processor, pmask, phi) for phi in phis
+            ]
+        np = _numpy
+        phi2 = self._stack(phis)
+        pmask = self._adopt(pmask)
+        count = phi2.shape[0]
+        out = np.zeros((count, self.nlimbs), np.uint64)
+        idx = self._idx[processor]
+        if idx.size == 0:
+            return list(out)
+        val = self._val[processor]
+        rel = val & pmask[idx]
+        bad = (rel[None, :] & ~phi2[:, idx]) != 0
+        grp_bad = np.bitwise_or.reduceat(
+            bad, self._rstarts[processor], axis=1
+        )
+        sizes = self._sizes[processor]
+        for f in range(count):
+            if grp_bad[f].all():
+                continue
+            sel = np.repeat(~grp_bad[f], sizes)
+            np.bitwise_or.at(out[f], idx[sel], val[sel])
+        return list(out)
+
+    def everyone_limbs_many(self, member_masks, phis) -> List[object]:
+        """``[E_S φ for φ in phis]`` with one membership pass per processor."""
+        if not phis:
+            return []
+        if self._py:
+            return [self.everyone_limbs(member_masks, phi) for phi in phis]
+        np = _numpy
+        phi2 = self._stack(phis)
+        count = phi2.shape[0]
+        bad_total = np.zeros((count, self.nlimbs), np.uint64)
+        for processor in range(self.system.n):
+            pmask = self._adopt(member_masks[processor])
+            if not _any(pmask):
+                continue
+            beliefs = self.believes_limbs_many(processor, pmask, list(phi2))
+            for f in range(count):
+                bad_total[f] |= pmask & _not(beliefs[f], self.tail)
+        return [_not(bad_total[f], self.tail) for f in range(count)]
+
+    def fixpoint_many(
+        self, member_masks, phis, post: Callable[[object], object]
+    ) -> Tuple[List[object], List[int]]:
+        """Batched greatest fixpoints sharing one frontier per round.
+
+        Iterates all F fixpoints in lockstep: each round evaluates
+        ``post`` once on the whole ``(F, limbs)`` matrix (the temporal
+        sweeps are axis-agnostic) and retires state groups against the
+        union frontier of every row's freshly eliminated set, one
+        gather/reduce per processor instead of F.  A row that reaches
+        its fixed point stops changing (its delta is empty), so lockstep
+        iteration returns exactly the scalar :meth:`fixpoint` result and
+        iteration count per row.
+        """
+        if not phis:
+            return [], []
+        self._ensure_groups()
+        if self._py:
+            results: List[object] = []
+            iterations: List[int] = []
+            for phi in phis:
+                limbs, iters = self.fixpoint(member_masks, phi, post)
+                results.append(limbs)
+                iterations.append(iters)
+            return results, iterations
+        np = _numpy
+        tail = self.tail
+        phi2 = self._stack(phis)
+        count = phi2.shape[0]
+        member_masks = [self._adopt(m) for m in member_masks]
+        processors = [
+            p for p in range(self.system.n) if _any(member_masks[p])
+        ]
+        bad = np.zeros((count, self.nlimbs), np.uint64)
+        alive: Dict[int, object] = {}
+        for p in processors:
+            alive[p] = self._seed_alive_many(
+                p, member_masks[p], phi2, bad
+            )
+        current = np.tile(self._ones(), (count, 1))
+        operand = phi2.copy()
+        done = np.zeros(count, dtype=bool)
+        iterations = [0] * count
+        while True:
+            obs.count("fixpoint_matrix_rounds")
+            for f in range(count):
+                if not done[f]:
+                    obs.count("fixpoint_iterations")
+                    iterations[f] += 1
+            candidate = post(_not(bad, tail))
+            done |= (candidate == current).all(axis=1)
+            if done.all():
+                return list(candidate), iterations
+            new_operand = phi2 & candidate
+            delta = operand & ~new_operand
+            if delta.any():
+                for p in processors:
+                    self._kill_groups_many(
+                        p, alive[p], member_masks[p], delta, bad
+                    )
+            operand = new_operand
+            current = candidate
+
+    def _seed_alive_many(self, processor: int, pmask, phi2, bad):
+        """Matrix seeding: per-row alive flags, dead groups feed ``bad``."""
+        np = _numpy
+        idx = self._idx[processor]
+        count = phi2.shape[0]
+        if idx.size == 0:
+            return np.zeros((count, 0), dtype=bool)
+        val = self._val[processor]
+        rel = val & pmask[idx]
+        badent = (rel[None, :] & ~phi2[:, idx]) != 0
+        grp_bad = np.bitwise_or.reduceat(
+            badent, self._rstarts[processor], axis=1
+        )
+        sizes = self._sizes[processor]
+        for f in range(count):
+            if grp_bad[f].any():
+                sel = np.repeat(grp_bad[f], sizes)
+                np.bitwise_or.at(bad[f], idx[sel], rel[sel])
+        return ~grp_bad
+
+    def _kill_groups_many(
+        self, processor: int, alive, pmask, delta, bad
+    ) -> None:
+        """Matrix kill pass: one gather/reduce for all F rows' deltas."""
+        np = _numpy
+        idx = self._idx[processor]
+        if idx.size == 0:
+            return
+        val = self._val[processor]
+        rel = val & pmask[idx]
+        touch = (rel[None, :] & delta[:, idx]) != 0
+        grp_hit = np.bitwise_or.reduceat(
+            touch, self._rstarts[processor], axis=1
+        )
+        newly = alive & grp_hit
+        if not newly.any():
+            return
+        alive &= ~grp_hit
+        sizes = self._sizes[processor]
+        for f in range(newly.shape[0]):
+            if newly[f].any():
+                sel = np.repeat(newly[f], sizes)
+                np.bitwise_or.at(bad[f], idx[sel], rel[sel])

@@ -1,0 +1,1403 @@
+"""Limb-block partitions: in-kernel sharding for the chunked evaluator.
+
+The execution engine used to shard E9 at *run* level: every worker held
+the full :class:`~repro.model.system.System` (385k heavy ``Run`` objects
+on the Proposition 6.3 cell — ~20s just to unpickle) and scanned its
+slice of views point by point.  The chunked kernel, meanwhile, already
+organizes the same information as flat limb arrays and sparse per-state
+group tables.  This module closes that gap with two pieces:
+
+* :class:`SystemArrays` — a compact, numpy-native projection of a system
+  (view-id matrix, per-view owner/time/parent, initial values, nonfaulty
+  sets, delivery tensors).  It carries everything the sharded knowledge
+  sweeps need, costs a fraction of the ``Run``-object pickle to load,
+  and round-trips through an ``.npz`` sidecar managed by
+  :class:`~repro.model.provider.SystemProvider` next to the system cache
+  files.  Scenario lookup (``run_index_of``) matches the *observable*
+  run content — initial values, nonfaulty set, delivery tensor — which
+  identifies a run uniquely under the canonical adversaries.
+
+* :class:`LimbBlockPartition` — the chunked index's per-processor group
+  tables (``idx`` / ``val`` / ``starts``; see
+  :class:`~repro.model.chunked.ChunkedIndex`) cut into **limb blocks**:
+  contiguous limb ranges, each owning every state group whose first
+  entry falls inside it (a group always stays whole — its trailing
+  entries may spill past the block edge, which only affects balance,
+  never correctness).  A :class:`LimbBlock` descriptor is tiny and
+  JSON-serializable, so shard parameters stay checkpointable while the
+  heavy tables travel to forked workers copy-on-write through the worker
+  context.  Per-block sweeps (believes verdicts, reachability-component
+  labels, decision-state masks) are vectorized gather/segmented-reduce
+  passes on the numpy backend with the same pure-Python fallbacks as the
+  kernel itself; per-block results are merged at the stage barrier
+  (:func:`merge_component_labels` folds block-local component labels
+  with a union-find over the conflicting representatives only).
+
+Everything here is deliberately :class:`System`-free: the E9 batch plan
+runs entirely on arrays, and the verdicts are bit-identical to the
+monolithic evaluation because both reduce to the same group tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import obs, trace
+from ..errors import ConfigurationError, EvaluationError
+from . import chunked as _ck
+from .chunked import LIMB_BITS, LIMB_MASK
+
+#: Target group-table entries per limb block when no explicit shard size
+#: is requested; blocks are balanced by entry count, not limb count.
+DEFAULT_BLOCK_ENTRIES = 1 << 18
+
+#: Hard cap on blocks per partition (shard-id explosion guard).
+MAX_BLOCKS = 64
+
+#: Format stamp of the ``.npz`` sidecar payload.
+ARRAYS_VERSION = 1
+
+
+def _np():
+    """The numpy module the chunked backend is currently using (or None).
+
+    Routed through :mod:`repro.model.chunked` so that
+    ``force_python_backend`` and ``REPRO_CHUNKED_BACKEND=python`` put the
+    partition machinery onto its pure-Python paths together with the
+    kernel.
+    """
+    return _ck._active_numpy
+
+
+# -- run-level mask helpers -------------------------------------------------
+
+
+def run_mask_to_limbs(mask: int, num_runs: int, width: int):
+    """Spread a run-level bit mask to a point-level limb buffer.
+
+    Bit ``r`` of *mask* becomes the full ``width``-bit window of run
+    ``r`` — the limb form of a run-level truth assignment.
+    """
+    np = _np()
+    nbits = num_runs * width
+    nlimbs = max(1, (nbits + LIMB_BITS - 1) // LIMB_BITS)
+    if np is None:
+        limbs = [0] * nlimbs
+        data = mask.to_bytes((num_runs + 7) // 8 or 1, "little")
+        block = (1 << width) - 1
+        for run_index in range(num_runs):
+            if (data[run_index >> 3] >> (run_index & 7)) & 1:
+                _ck._or_window(limbs, run_index * width, block)
+        return limbs
+    data = mask.to_bytes((num_runs + 7) // 8 or 1, "little")
+    bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8), bitorder="little"
+    )[:num_runs]
+    points = np.repeat(bits, width)
+    packed = np.packbits(points, bitorder="little")
+    buf = np.zeros(nlimbs * 8, np.uint8)
+    buf[: packed.size] = packed
+    return buf.view(np.uint64)
+
+
+def bools_to_mask(values) -> int:
+    """Pack an iterable/array of booleans into a run-level int mask."""
+    np = _np()
+    if np is not None and isinstance(values, np.ndarray):
+        packed = np.packbits(
+            values.astype(bool, copy=False), bitorder="little"
+        )
+        return int.from_bytes(packed.tobytes(), "little")
+    data = bytearray()
+    byte = 0
+    shift = 0
+    for value in values:
+        if value:
+            byte |= 1 << shift
+        shift += 1
+        if shift == 8:
+            data.append(byte)
+            byte = 0
+            shift = 0
+    if shift:
+        data.append(byte)
+    return int.from_bytes(bytes(data), "little")
+
+
+def limbs_to_hex(limbs) -> str:
+    """Hex serialization of a limb buffer (JSON-safe shard payloads)."""
+    if isinstance(limbs, list):
+        nbytes = len(limbs) * 8
+        value = 0
+        for i, limb in enumerate(limbs):
+            value |= limb << (64 * i)
+        return value.to_bytes(nbytes, "little").hex()
+    return limbs.astype("<u8").tobytes().hex()
+
+
+def hex_to_limbs(text: str):
+    """Inverse of :func:`limbs_to_hex`, onto the active backend."""
+    data = bytes.fromhex(text)
+    np = _np()
+    if np is None:
+        return [
+            int.from_bytes(data[i : i + 8], "little")
+            for i in range(0, len(data), 8)
+        ]
+    return np.frombuffer(data, dtype="<u8").astype(np.uint64)
+
+
+def cbox_mask_from_labels(labels, phi: int, num_runs: int) -> int:
+    """Run-level ``C□`` mask from component labels and run-level φ.
+
+    Vectorized counterpart of ``repro.exec.tasks.cbox_bits``: a run's bit
+    is the AND of φ over its component; label ``-1`` is vacuously true.
+    """
+    np = _np()
+    if np is None or isinstance(labels, list):
+        from ..exec.tasks import cbox_bits
+
+        return cbox_bits([int(x) for x in labels], phi)
+    data = phi.to_bytes((num_runs + 7) // 8 or 1, "little")
+    phi_bits = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8), bitorder="little"
+    )[:num_runs].astype(bool)
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.ones(num_runs, dtype=bool)
+    labeled = np.flatnonzero(labels >= 0)
+    if labeled.size:
+        lab = labels[labeled]
+        order = np.argsort(lab, kind="stable")
+        sorted_lab = lab[order]
+        sorted_phi = phi_bits[labeled][order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_lab[1:] != sorted_lab[:-1]))
+        )
+        group_ok = np.logical_and.reduceat(sorted_phi, starts)
+        ok_sorted = np.repeat(group_ok, np.diff(np.append(starts, lab.size)))
+        ok = np.empty(lab.size, dtype=bool)
+        ok[order] = ok_sorted
+        out[labeled] = ok
+    return bools_to_mask(out)
+
+
+# -- the array sidecar ------------------------------------------------------
+
+
+class SystemArrays:
+    """Array projection of an enumerated system (numpy-native).
+
+    Attributes (numpy backend; the pure-Python fallback stores plain
+    nested lists with identical indexing):
+
+    * ``views`` — ``(runs, horizon+1, n)`` int32, the view id at point
+      ``(run, time)`` for each processor; position ``run * width + time``
+      is the chunked kernel's bit layout.
+    * ``owner`` / ``vtime`` / ``prev`` — per view id: owning processor,
+      depth, and the owner's view one round earlier (``-1`` at time 0).
+    * ``init`` — ``(runs, n)`` int8 initial values.
+    * ``nonfaulty`` — ``(runs, n)`` bool membership matrix.
+    * ``deliveries`` — ``(runs, horizon, n, n)`` bool;
+      ``deliveries[r, m-1, receiver, sender]`` says the round-``m``
+      message arrived (diagonal forced true — self-delivery is vacuous).
+    * ``occurs`` — per view id, whether it occurs at any point.
+    """
+
+    __slots__ = (
+        "mode",
+        "n",
+        "t",
+        "horizon",
+        "num_runs",
+        "width",
+        "num_views",
+        "views",
+        "owner",
+        "vtime",
+        "prev",
+        "init",
+        "nonfaulty",
+        "deliveries",
+        "occurs",
+        "_time_levels",
+    )
+
+    def __init__(
+        self,
+        *,
+        mode: str,
+        n: int,
+        t: int,
+        horizon: int,
+        num_views: int,
+        views,
+        owner,
+        vtime,
+        prev,
+        init,
+        nonfaulty,
+        deliveries,
+        occurs,
+    ) -> None:
+        self.mode = mode
+        self.n = n
+        self.t = t
+        self.horizon = horizon
+        self.width = horizon + 1
+        self.num_runs = len(views)
+        self.num_views = num_views
+        self.views = views
+        self.owner = owner
+        self.vtime = vtime
+        self.prev = prev
+        self.init = init
+        self.nonfaulty = nonfaulty
+        self.deliveries = deliveries
+        self.occurs = occurs
+        self._time_levels: Optional[List[object]] = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_system(cls, system) -> "SystemArrays":
+        """Project *system* onto arrays (one pass over runs and table)."""
+        np = _np()
+        with obs.stage("system_arrays_build"), trace.span(
+            "system_arrays_build", runs=len(system.runs)
+        ):
+            n = system.n
+            horizon = system.horizon
+            runs = system.runs
+            num_views = len(system.table)
+            table = system.table
+            owner_list = [0] * num_views
+            vtime_list = [0] * num_views
+            prev_list = [-1] * num_views
+            for view_id in range(num_views):
+                info = table.info(view_id)
+                owner_list[view_id] = info.processor
+                vtime_list[view_id] = info.time
+                prev_list[view_id] = (
+                    -1 if info.previous is None else info.previous
+                )
+            views_list = [run.views for run in runs]
+            init_list = [run.config.values for run in runs]
+            nf_list = [
+                [p in run.nonfaulty for p in range(n)] for run in runs
+            ]
+            mode = system.mode.value if system.mode is not None else "?"
+            if np is None:
+                deliv = [
+                    [
+                        [
+                            [
+                                (s == r) or (s in run.deliveries[m][r])
+                                for s in range(n)
+                            ]
+                            for r in range(n)
+                        ]
+                        for m in range(horizon)
+                    ]
+                    for run in runs
+                ]
+                occurs = [False] * num_views
+                for row in views_list:
+                    for per_time in row:
+                        for view in per_time:
+                            occurs[view] = True
+                return cls(
+                    mode=mode,
+                    n=n,
+                    t=system.t,
+                    horizon=horizon,
+                    num_views=num_views,
+                    views=[
+                        [list(per_time) for per_time in row]
+                        for row in views_list
+                    ],
+                    owner=owner_list,
+                    vtime=vtime_list,
+                    prev=prev_list,
+                    init=[list(values) for values in init_list],
+                    nonfaulty=nf_list,
+                    deliveries=deliv,
+                    occurs=occurs,
+                )
+            views_arr = np.array(views_list, dtype=np.int32)
+            deliv = np.zeros((len(runs), horizon, n, n), dtype=bool)
+            for run_index, run in enumerate(runs):
+                for m in range(horizon):
+                    per_receiver = run.deliveries[m]
+                    for receiver in range(n):
+                        senders = per_receiver[receiver]
+                        if senders:
+                            deliv[run_index, m, receiver, list(senders)] = (
+                                True
+                            )
+            diag = np.arange(n)
+            deliv[:, :, diag, diag] = True
+            occurs = np.zeros(num_views, dtype=bool)
+            occurs[views_arr.ravel()] = True
+            return cls(
+                mode=mode,
+                n=n,
+                t=system.t,
+                horizon=horizon,
+                num_views=num_views,
+                views=views_arr,
+                owner=np.array(owner_list, dtype=np.int32),
+                vtime=np.array(vtime_list, dtype=np.int16),
+                prev=np.array(prev_list, dtype=np.int32),
+                init=np.array(init_list, dtype=np.int8),
+                nonfaulty=np.array(nf_list, dtype=bool),
+                deliveries=deliv,
+                occurs=occurs,
+            )
+
+    # -- npz round-trip ----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the ``.npz`` sidecar (numpy backend only)."""
+        np = _np()
+        if np is None:
+            raise ConfigurationError(
+                "the SystemArrays sidecar needs the numpy backend"
+            )
+        meta = json.dumps(
+            {
+                "arrays_version": ARRAYS_VERSION,
+                "mode": self.mode,
+                "n": self.n,
+                "t": self.t,
+                "horizon": self.horizon,
+                "num_views": self.num_views,
+            }
+        )
+        np.savez_compressed(
+            path,
+            meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+            views=self.views,
+            owner=self.owner,
+            vtime=self.vtime,
+            prev=self.prev,
+            init=self.init,
+            nonfaulty=self.nonfaulty,
+            deliveries=self.deliveries,
+            occurs=self.occurs,
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "SystemArrays":
+        """Read a sidecar written by :meth:`save`; raises on mismatch."""
+        np = _np()
+        if np is None:
+            raise ConfigurationError(
+                "the SystemArrays sidecar needs the numpy backend"
+            )
+        with np.load(path, allow_pickle=False) as bundle:
+            meta = json.loads(bytes(bundle["meta"]).decode("utf-8"))
+            if meta.get("arrays_version") != ARRAYS_VERSION:
+                raise ConfigurationError(
+                    f"sidecar {path} has arrays_version "
+                    f"{meta.get('arrays_version')!r}, need {ARRAYS_VERSION}"
+                )
+            return cls(
+                mode=meta["mode"],
+                n=meta["n"],
+                t=meta["t"],
+                horizon=meta["horizon"],
+                num_views=meta["num_views"],
+                views=bundle["views"],
+                owner=bundle["owner"],
+                vtime=bundle["vtime"],
+                prev=bundle["prev"],
+                init=bundle["init"],
+                nonfaulty=bundle["nonfaulty"],
+                deliveries=bundle["deliveries"],
+                occurs=bundle["occurs"],
+            )
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def num_points(self) -> int:
+        return self.num_runs * self.width
+
+    @property
+    def nlimbs(self) -> int:
+        return max(1, (self.num_points + LIMB_BITS - 1) // LIMB_BITS)
+
+    @property
+    def tail(self) -> int:
+        rem = self.num_points % LIMB_BITS
+        return LIMB_MASK if rem == 0 else (1 << rem) - 1
+
+    # -- run-level facts ---------------------------------------------------
+
+    def exists_mask(self, value: int) -> int:
+        """Run-level mask of the paper's ∃value."""
+        np = _np()
+        if np is None or isinstance(self.init, list):
+            return bools_to_mask(
+                any(v == value for v in row) for row in self.init
+            )
+        return bools_to_mask((self.init == value).any(axis=1))
+
+    def nonfaulty_mask(self, processor: int) -> int:
+        """Run-level mask of runs where *processor* is nonfaulty."""
+        np = _np()
+        if np is None or isinstance(self.nonfaulty, list):
+            return bools_to_mask(row[processor] for row in self.nonfaulty)
+        return bools_to_mask(self.nonfaulty[:, processor])
+
+    def nonfaulty_of(self, run_index: int) -> List[int]:
+        """The nonfaulty processors of one run."""
+        row = self.nonfaulty[run_index]
+        return [p for p in range(self.n) if row[p]]
+
+    def view_at(self, run_index: int, time: int, processor: int) -> int:
+        return int(self.views[run_index][time][processor])
+
+    # -- scenario lookup ---------------------------------------------------
+
+    def run_index_of(self, config, pattern) -> int:
+        """The unique run matching ``(config, pattern)`` by content.
+
+        Matches the observable run description — initial values,
+        nonfaulty set and the full delivery tensor — which determines
+        the run uniquely under the canonical enumerations (a behaviour
+        is recoverable from the messages it drops).  Zero or multiple
+        matches raise, so a content collision can never silently pick a
+        wrong run.
+        """
+        n = self.n
+        values = list(config.values)
+        nonfaulty = pattern.nonfaulty(n)
+        nf_row = [p in nonfaulty for p in range(n)]
+        deliv = [
+            [
+                [
+                    s == r or pattern.delivered(s, r, m + 1)
+                    for s in range(n)
+                ]
+                for r in range(n)
+            ]
+            for m in range(self.horizon)
+        ]
+        np = _np()
+        if np is None or isinstance(self.views, list):
+            matches = [
+                run_index
+                for run_index in range(self.num_runs)
+                if list(self.init[run_index]) == values
+                and list(self.nonfaulty[run_index]) == nf_row
+                and [
+                    [list(row) for row in per_round]
+                    for per_round in self.deliveries[run_index]
+                ]
+                == deliv
+            ]
+        else:
+            hits = (
+                (self.init == np.array(values, dtype=np.int8)).all(axis=1)
+                & (self.nonfaulty == np.array(nf_row, dtype=bool)).all(
+                    axis=1
+                )
+                & (
+                    self.deliveries == np.array(deliv, dtype=bool)
+                ).reshape(self.num_runs, -1).all(axis=1)
+            )
+            matches = np.flatnonzero(hits).tolist()
+        if len(matches) != 1:
+            raise EvaluationError(
+                f"scenario lookup matched {len(matches)} runs "
+                f"(config={config}, pattern={pattern})"
+            )
+        return int(matches[0])
+
+    # -- recall closure ----------------------------------------------------
+
+    def recall_closure(self, trigger_views: Iterable[int]) -> List[int]:
+        """Occurring views closed under recall over the triggers.
+
+        Same contract as
+        :func:`repro.core.decision_sets.close_under_recall`: a view is
+        in the closure iff it or any ancestor (through ``prev``) is a
+        trigger.  Vectorized by time level — each level ORs in its
+        parents' already-final flags.
+        """
+        np = _np()
+        if np is None or isinstance(self.prev, list):
+            triggers = set(trigger_views)
+            closed = [False] * self.num_views
+            for view in triggers:
+                closed[view] = True
+            order = sorted(range(self.num_views), key=lambda v: self.vtime[v])
+            for view in order:
+                parent = self.prev[view]
+                if parent >= 0 and closed[parent]:
+                    closed[view] = True
+            return [
+                view
+                for view in range(self.num_views)
+                if closed[view] and self.occurs[view]
+            ]
+        closed = np.zeros(self.num_views, dtype=bool)
+        triggers = np.asarray(sorted(set(trigger_views)), dtype=np.int64)
+        if triggers.size:
+            closed[triggers] = True
+        if self._time_levels is None:
+            self._time_levels = [
+                np.flatnonzero(self.vtime == level)
+                for level in range(self.width)
+            ]
+        for level in range(1, self.width):
+            level_views = self._time_levels[level]
+            if level_views.size == 0:
+                continue
+            parents = self.prev[level_views]
+            closed[level_views] |= closed[parents]
+        return np.flatnonzero(closed & self.occurs).tolist()
+
+    # -- trigger scans -----------------------------------------------------
+
+    def first_fire_triggers(
+        self,
+        zeros: Iterable[int],
+        ones: Iterable[int],
+        run_range: Tuple[int, int],
+    ) -> Tuple[List[int], List[int]]:
+        """First-firing trigger views of a pair over a run range.
+
+        The per-(run, processor) scan of ``e9.triggers`` — first time a
+        view falls in either set, zero winning simultaneous firings —
+        vectorized over the run range.
+        """
+        start, stop = run_range
+        np = _np()
+        if np is None or isinstance(self.views, list):
+            zset, oset = set(zeros), set(ones)
+            zero_triggers: set = set()
+            one_triggers: set = set()
+            for run_index in range(start, stop):
+                row = self.views[run_index]
+                for processor in range(self.n):
+                    zero_time = one_time = None
+                    for time in range(self.width):
+                        view = row[time][processor]
+                        if view in zset:
+                            zero_time = time
+                        if view in oset:
+                            one_time = time
+                        if zero_time is not None or one_time is not None:
+                            break
+                    if zero_time is None and one_time is None:
+                        continue
+                    if zero_time is not None and (
+                        one_time is None or zero_time <= one_time
+                    ):
+                        zero_triggers.add(row[zero_time][processor])
+                    else:
+                        one_triggers.add(row[one_time][processor])
+            return sorted(zero_triggers), sorted(one_triggers)
+        zflags = np.zeros(self.num_views, dtype=bool)
+        oflags = np.zeros(self.num_views, dtype=bool)
+        zlist = np.asarray(sorted(set(zeros)), dtype=np.int64)
+        olist = np.asarray(sorted(set(ones)), dtype=np.int64)
+        if zlist.size:
+            zflags[zlist] = True
+        if olist.size:
+            oflags[olist] = True
+        width = self.width
+        zero_triggers: set = set()
+        one_triggers: set = set()
+        block = self.views[start:stop]  # (range, width, n)
+        for processor in range(self.n):
+            vv = block[:, :, processor]
+            zhit = zflags[vv]
+            ohit = oflags[vv]
+            fz = np.where(zhit.any(axis=1), zhit.argmax(axis=1), width)
+            fo = np.where(ohit.any(axis=1), ohit.argmax(axis=1), width)
+            zfire = (fz < width) & (fz <= fo)
+            ofire = (fo < width) & (fo < fz)
+            if zfire.any():
+                rows = np.flatnonzero(zfire)
+                zero_triggers.update(vv[rows, fz[rows]].tolist())
+            if ofire.any():
+                rows = np.flatnonzero(ofire)
+                one_triggers.update(vv[rows, fo[rows]].tolist())
+        return sorted(zero_triggers), sorted(one_triggers)
+
+    def first_decision(
+        self, run_index: int, processor: int, zeros, ones
+    ) -> Optional[Tuple[int, int]]:
+        """First decision of *processor* in one run (0 wins ties)."""
+        zero_time = one_time = None
+        row = self.views[run_index]
+        for time in range(self.width):
+            view = int(row[time][processor])
+            if view in zeros:
+                zero_time = time
+            if view in ones:
+                one_time = time
+            if zero_time is not None or one_time is not None:
+                break
+        if zero_time is None and one_time is None:
+            return None
+        if zero_time is not None and (
+            one_time is None or zero_time <= one_time
+        ):
+            return (0, zero_time)
+        return (1, one_time)
+
+
+# -- limb blocks ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LimbBlock:
+    """Picklable descriptor of one limb block of a partition.
+
+    ``limb_lo``/``limb_hi`` delimit the block's limb range; a block owns
+    every state group whose *first* entry limb falls in the range (the
+    group's spans per processor are resolved against the partition's
+    tables, which travel to workers copy-on-write — the descriptor
+    itself stays a few ints so shard parameters remain JSON-sized).
+    """
+
+    block_id: int
+    limb_lo: int
+    limb_hi: int
+    groups: int
+    entries: int
+
+    def to_params(self) -> Dict[str, int]:
+        """JSON form embedded in shard parameters (checkpoint binding)."""
+        return {
+            "block": self.block_id,
+            "limb_lo": self.limb_lo,
+            "limb_hi": self.limb_hi,
+            "groups": self.groups,
+            "entries": self.entries,
+        }
+
+
+class LimbBlockPartition:
+    """Group tables of a chunked index, cut into limb blocks.
+
+    Built either from :class:`SystemArrays` (vectorized, no
+    :class:`System` required — the exec path) or from an existing
+    :class:`~repro.model.chunked.ChunkedIndex` (differential tests).
+    Per-processor tables mirror the index: ``idx[p]`` limb indices,
+    ``val[p]`` limb values, ``starts[p]`` group boundaries, ``gv[p]``
+    the view id behind each group.  Blocks partition groups by first
+    entry limb, balanced by entry count.
+    """
+
+    def __init__(
+        self,
+        *,
+        n: int,
+        num_runs: int,
+        width: int,
+        num_views: int,
+        tables: List[Dict[str, Any]],
+        num_blocks: Optional[int] = None,
+        target_entries: Optional[int] = None,
+        arrays: Optional[SystemArrays] = None,
+    ) -> None:
+        self.n = n
+        self.num_runs = num_runs
+        self.width = width
+        self.num_views = num_views
+        self.num_points = num_runs * width
+        self.nlimbs = max(1, (self.num_points + LIMB_BITS - 1) // LIMB_BITS)
+        rem = self.num_points % LIMB_BITS
+        self.tail = LIMB_MASK if rem == 0 else (1 << rem) - 1
+        self.tables = tables
+        self.arrays = arrays
+        self.total_entries = sum(table["entries"] for table in tables)
+        self._span_cache: Dict[Tuple[int, int], Any] = {}
+        self.blocks: List[LimbBlock] = self._make_blocks(
+            num_blocks, target_entries
+        )
+
+    # -- factories ---------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: SystemArrays,
+        *,
+        num_blocks: Optional[int] = None,
+        target_entries: Optional[int] = None,
+    ) -> "LimbBlockPartition":
+        """Build group tables directly from the view-id matrix."""
+        np = _np()
+        with obs.stage("limb_partition_build"), trace.span(
+            "limb_partition_build", runs=arrays.num_runs
+        ):
+            width = arrays.width
+            tables: List[Dict[str, Any]] = []
+            if np is None or isinstance(arrays.views, list):
+                for processor in range(arrays.n):
+                    acc: Dict[int, Dict[int, int]] = {}
+                    for run_index in range(arrays.num_runs):
+                        base = run_index * width
+                        row = arrays.views[run_index]
+                        for time in range(width):
+                            view = int(row[time][processor])
+                            pos = base + time
+                            per = acc.setdefault(view, {})
+                            limb = pos >> 6
+                            per[limb] = per.get(limb, 0) | (
+                                1 << (pos & 63)
+                            )
+                    gv = sorted(acc)
+                    idx: List[int] = []
+                    val: List[int] = []
+                    starts = [0]
+                    first_limb: List[int] = []
+                    for view in gv:
+                        per = acc[view]
+                        limbs = sorted(per)
+                        first_limb.append(limbs[0])
+                        for limb in limbs:
+                            idx.append(limb)
+                            val.append(per[limb])
+                        starts.append(len(idx))
+                    tables.append(
+                        {
+                            "idx": idx,
+                            "val": val,
+                            "starts": starts,
+                            "gv": gv,
+                            "first_limb": first_limb,
+                            "entries": len(idx),
+                        }
+                    )
+            else:
+                for processor in range(arrays.n):
+                    vv = arrays.views[:, :, processor].ravel().astype(
+                        np.int64
+                    )
+                    order = np.argsort(vv, kind="stable")
+                    sv = vv[order]
+                    limb = order >> 6
+                    bit = (order & 63).astype(np.uint64)
+                    if sv.size == 0:
+                        tables.append(
+                            {
+                                "idx": np.zeros(0, np.int64),
+                                "val": np.zeros(0, np.uint64),
+                                "starts": np.zeros(1, np.int64),
+                                "gv": np.zeros(0, np.int64),
+                                "first_limb": np.zeros(0, np.int64),
+                                "entries": 0,
+                            }
+                        )
+                        continue
+                    new_entry = np.empty(sv.size, dtype=bool)
+                    new_entry[0] = True
+                    new_entry[1:] = (sv[1:] != sv[:-1]) | (
+                        limb[1:] != limb[:-1]
+                    )
+                    entry_starts = np.flatnonzero(new_entry)
+                    val = np.bitwise_or.reduceat(
+                        np.uint64(1) << bit, entry_starts
+                    )
+                    idx = limb[entry_starts]
+                    sv_entries = sv[entry_starts]
+                    new_group = np.empty(sv_entries.size, dtype=bool)
+                    new_group[0] = True
+                    new_group[1:] = sv_entries[1:] != sv_entries[:-1]
+                    group_first = np.flatnonzero(new_group)
+                    starts = np.append(group_first, sv_entries.size)
+                    tables.append(
+                        {
+                            "idx": idx,
+                            "val": val,
+                            "starts": starts,
+                            "gv": sv_entries[group_first],
+                            "first_limb": idx[group_first],
+                            "entries": int(idx.size),
+                        }
+                    )
+            return cls(
+                n=arrays.n,
+                num_runs=arrays.num_runs,
+                width=width,
+                num_views=arrays.num_views,
+                tables=tables,
+                num_blocks=num_blocks,
+                target_entries=target_entries,
+                arrays=arrays,
+            )
+
+    @classmethod
+    def from_index(
+        cls,
+        index,
+        *,
+        num_blocks: Optional[int] = None,
+        target_entries: Optional[int] = None,
+    ) -> "LimbBlockPartition":
+        """Slice an existing :class:`ChunkedIndex`'s tables."""
+        index._ensure_groups()
+        np = _np()
+        tables: List[Dict[str, Any]] = []
+        for processor in range(index.system.n):
+            idx = index._idx[processor]
+            val = index._val[processor]
+            starts = index._starts[processor]
+            gv = index.group_views[processor]
+            if isinstance(idx, list):
+                first_limb = [
+                    idx[starts[g]] for g in range(len(starts) - 1)
+                ]
+                tables.append(
+                    {
+                        "idx": list(idx),
+                        "val": list(val),
+                        "starts": list(starts),
+                        "gv": list(gv),
+                        "first_limb": first_limb,
+                        "entries": len(idx),
+                    }
+                )
+            else:
+                starts_arr = np.asarray(starts, dtype=np.int64)
+                tables.append(
+                    {
+                        "idx": idx,
+                        "val": val,
+                        "starts": starts_arr,
+                        "gv": np.asarray(gv, dtype=np.int64),
+                        "first_limb": idx[starts_arr[:-1]]
+                        if idx.size
+                        else np.zeros(0, np.int64),
+                        "entries": int(idx.size),
+                    }
+                )
+        num_views = len(index.system.table)
+        return cls(
+            n=index.system.n,
+            num_runs=index.num_runs,
+            width=index.width,
+            num_views=num_views,
+            tables=tables,
+            num_blocks=num_blocks,
+            target_entries=target_entries,
+        )
+
+    # -- block layout ------------------------------------------------------
+
+    def _make_blocks(
+        self,
+        num_blocks: Optional[int],
+        target_entries: Optional[int],
+    ) -> List[LimbBlock]:
+        if num_blocks is None:
+            target = target_entries or DEFAULT_BLOCK_ENTRIES
+            num_blocks = (self.total_entries + target - 1) // target
+        num_blocks = max(1, min(MAX_BLOCKS, int(num_blocks)))
+        np = _np()
+        weights = [0] * self.nlimbs
+        if np is not None and not isinstance(self.tables[0]["idx"], list):
+            weights = np.zeros(self.nlimbs + 1, dtype=np.int64)
+            for table in self.tables:
+                starts = table["starts"]
+                if table["entries"]:
+                    sizes = np.diff(starts)
+                    np.add.at(weights, table["first_limb"], sizes)
+            csum = np.cumsum(weights)
+            total = int(csum[-1])
+            cuts = {0, self.nlimbs}
+            for k in range(1, num_blocks):
+                target_weight = total * k / num_blocks
+                cut = int(np.searchsorted(csum, target_weight, side="left"))
+                cuts.add(min(cut + 1, self.nlimbs))
+        else:
+            for table in self.tables:
+                starts = table["starts"]
+                for g in range(len(starts) - 1):
+                    weights[table["first_limb"][g]] += (
+                        starts[g + 1] - starts[g]
+                    )
+            total = sum(weights)
+            cuts = {0, self.nlimbs}
+            acc = 0
+            k = 1
+            for limb, weight in enumerate(weights):
+                acc += weight
+                while k < num_blocks and acc >= total * k / num_blocks:
+                    cuts.add(min(limb + 1, self.nlimbs))
+                    k += 1
+        bounds = sorted(cuts)
+        blocks: List[LimbBlock] = []
+        for block_id, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            groups = 0
+            entries = 0
+            for processor in range(self.n):
+                gids = self._block_groups(processor, lo, hi)
+                groups += self._count(gids)
+                entries += self._entry_count(processor, gids)
+            blocks.append(
+                LimbBlock(
+                    block_id=block_id,
+                    limb_lo=lo,
+                    limb_hi=hi,
+                    groups=groups,
+                    entries=entries,
+                )
+            )
+        return blocks
+
+    @staticmethod
+    def _count(gids) -> int:
+        return len(gids) if isinstance(gids, list) else int(gids.size)
+
+    def _entry_count(self, processor: int, gids) -> int:
+        starts = self.tables[processor]["starts"]
+        if isinstance(gids, list):
+            return sum(starts[g + 1] - starts[g] for g in gids)
+        np = _np()
+        starts = np.asarray(starts)
+        return int((starts[gids + 1] - starts[gids]).sum()) if gids.size else 0
+
+    def _block_groups(self, processor: int, lo: int, hi: int):
+        """Group ids of *processor* whose first entry limb ∈ [lo, hi)."""
+        table = self.tables[processor]
+        first_limb = table["first_limb"]
+        if isinstance(first_limb, list):
+            return [
+                g
+                for g, limb in enumerate(first_limb)
+                if lo <= limb < hi
+            ]
+        np = _np()
+        key = (processor, -1)
+        cached = self._span_cache.get(key)
+        if cached is None:
+            order = np.argsort(first_limb, kind="stable")
+            cached = (order, np.asarray(first_limb)[order])
+            self._span_cache[key] = cached
+        order, sorted_limbs = cached
+        s, e = np.searchsorted(sorted_limbs, [lo, hi])
+        return np.sort(order[s:e])
+
+    def _block_entries(self, processor: int, block_id: int):
+        """``(gids, entry_sel, local_starts)`` for one (processor, block).
+
+        ``entry_sel`` gathers the block's entries out of the flat table;
+        ``local_starts`` delimits groups within the gathered entries
+        (``reduceat`` boundaries).  Cached — workers build each pair
+        once.
+        """
+        key = (processor, block_id)
+        cached = self._span_cache.get(key)
+        if cached is not None:
+            return cached
+        block = self.blocks[block_id]
+        gids = self._block_groups(processor, block.limb_lo, block.limb_hi)
+        table = self.tables[processor]
+        starts = table["starts"]
+        if isinstance(starts, list):
+            entry_sel = []
+            local_starts = []
+            for g in gids:
+                local_starts.append(len(entry_sel))
+                entry_sel.extend(range(starts[g], starts[g + 1]))
+            cached = (gids, entry_sel, local_starts)
+        else:
+            np = _np()
+            counts = starts[gids + 1] - starts[gids]
+            total = int(counts.sum())
+            if total == 0:
+                cached = (
+                    gids,
+                    np.zeros(0, np.int64),
+                    np.zeros(0, np.int64),
+                )
+            else:
+                offsets = np.concatenate(
+                    ([0], np.cumsum(counts)[:-1])
+                ).astype(np.int64)
+                base = np.repeat(starts[gids], counts)
+                intra = np.arange(total, dtype=np.int64) - np.repeat(
+                    offsets, counts
+                )
+                cached = (gids, base + intra, offsets)
+        self._span_cache[key] = cached
+        return cached
+
+    def block_descriptors(self) -> List[Dict[str, int]]:
+        """JSON descriptors of every block (shard parameters)."""
+        return [block.to_params() for block in self.blocks]
+
+    # -- member masks ------------------------------------------------------
+
+    def nonfaulty_limbs(self, processor: int):
+        """Point-level limbs where *processor* is nonfaulty (N member)."""
+        if self.arrays is None:
+            raise ConfigurationError(
+                "nonfaulty_limbs needs a partition built from SystemArrays"
+            )
+        return run_mask_to_limbs(
+            self.arrays.nonfaulty_mask(processor),
+            self.num_runs,
+            self.width,
+        )
+
+    # -- per-block sweeps --------------------------------------------------
+
+    def believes_true_views(
+        self, processor: int, block_id: int, pmask, phi
+    ) -> List[int]:
+        """Views of the block whose group passes ``B_p^S φ``.
+
+        A group passes iff no member point (``val ∧ pmask``) violates φ
+        — vacuously true with no member occurrence, exactly the
+        reference semantics.
+        """
+        gids, entry_sel, local_starts = self._block_entries(
+            processor, block_id
+        )
+        table = self.tables[processor]
+        if isinstance(table["idx"], list):
+            idx = table["idx"]
+            val = table["val"]
+            starts = table["starts"]
+            gv = table["gv"]
+            out = []
+            for g in gids:
+                ok = True
+                for k in range(starts[g], starts[g + 1]):
+                    if val[k] & pmask[idx[k]] & ~phi[idx[k]]:
+                        ok = False
+                        break
+                if ok:
+                    out.append(int(gv[g]))
+            return out
+        np = _np()
+        if self._count(gids) == 0 or entry_sel.size == 0:
+            return [int(v) for v in np.asarray(table["gv"])[gids]]
+        ent_idx = table["idx"][entry_sel]
+        ent_val = table["val"][entry_sel]
+        bad = (ent_val & pmask[ent_idx] & ~phi[ent_idx]) != 0
+        grp_bad = np.bitwise_or.reduceat(bad, local_starts)
+        return np.asarray(table["gv"])[gids[~grp_bad]].tolist()
+
+    def component_labels(
+        self, block_id: int, state_flags, nf_limbs: List[object]
+    ) -> Tuple[List[int], List[int]]:
+        """Block-local reachability components of ``N ∧ Z``.
+
+        ``state_flags`` marks the decision views Z (bool per view id, or
+        a set on the pure-Python path); ``nf_limbs[p]`` is processor
+        *p*'s nonfaulty point mask.  Two runs are connected when some
+        block group with its view in Z has nonfaulty-owner occurrences
+        in both.  Returns ``(runs, reps)``: the touched runs and each
+        one's block-local component representative (its component's
+        minimum touched run) — merged across blocks by
+        :func:`merge_component_labels` at the stage barrier.
+        """
+        np = _np()
+        pairs_group: List[Any] = []
+        pairs_run: List[Any] = []
+        group_base = 0
+        for processor in range(self.n):
+            gids, entry_sel, local_starts = self._block_entries(
+                processor, block_id
+            )
+            table = self.tables[processor]
+            if isinstance(table["idx"], list):
+                idx = table["idx"]
+                val = table["val"]
+                starts = table["starts"]
+                gv = table["gv"]
+                pmask = nf_limbs[processor]
+                for g in gids:
+                    if gv[g] not in state_flags:
+                        continue
+                    for k in range(starts[g], starts[g + 1]):
+                        rel = val[k] & pmask[idx[k]]
+                        base = idx[k] * LIMB_BITS
+                        while rel:
+                            bit = (rel & -rel).bit_length() - 1
+                            pairs_group.append(group_base + g)
+                            pairs_run.append(
+                                (base + bit) // self.width
+                            )
+                            rel &= rel - 1
+                group_base += len(table["first_limb"])
+                continue
+            if self._count(gids) == 0:
+                group_base += int(np.asarray(table["gv"]).size)
+                continue
+            gv = np.asarray(table["gv"])
+            in_z = state_flags[gv[gids]]
+            if not in_z.any():
+                group_base += int(gv.size)
+                continue
+            z_gids = gids[in_z]
+            starts = table["starts"]
+            counts = starts[z_gids + 1] - starts[z_gids]
+            total = int(counts.sum())
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(
+                np.int64
+            )
+            base = np.repeat(starts[z_gids], counts)
+            intra = np.arange(total, dtype=np.int64) - np.repeat(
+                offsets, counts
+            )
+            sel = base + intra
+            ent_idx = table["idx"][sel]
+            ent_val = table["val"][sel]
+            rel = ent_val & nf_limbs[processor][ent_idx]
+            grp_of_entry = np.repeat(z_gids, counts)
+            nz = np.flatnonzero(rel)
+            if nz.size == 0:
+                group_base += int(gv.size)
+                continue
+            rel = rel[nz]
+            ent_idx = ent_idx[nz]
+            grp_of_entry = grp_of_entry[nz]
+            unpacked = np.unpackbits(
+                rel.astype("<u8").view(np.uint8), bitorder="little"
+            ).astype(bool)
+            bit_pos = (
+                ent_idx[:, None] * LIMB_BITS
+                + np.arange(LIMB_BITS, dtype=np.int64)
+            ).ravel()[unpacked]
+            runs = bit_pos // self.width
+            groups = np.repeat(grp_of_entry, LIMB_BITS)[unpacked]
+            pairs_group.append(groups + group_base)
+            pairs_run.append(runs)
+            group_base += int(gv.size)
+        if np is None or (pairs_group and isinstance(pairs_group[0], list)):
+            return _component_labels_py(pairs_group, pairs_run)
+        if not pairs_group:
+            return [], []
+        grp = np.concatenate(pairs_group)
+        run = np.concatenate(pairs_run)
+        key = grp * np.int64(self.num_runs) + run
+        unique_key = np.unique(key)
+        grp = unique_key // self.num_runs
+        run = unique_key % self.num_runs
+        # label propagation on the bipartite (group, run) incidence:
+        # converges to the minimum touched run per connected component.
+        uruns, run_inv = np.unique(run, return_inverse=True)
+        order = np.argsort(grp, kind="stable")
+        run_inv_sorted = run_inv[order]
+        grp_sorted = grp[order]
+        gstarts = np.flatnonzero(
+            np.concatenate(([True], grp_sorted[1:] != grp_sorted[:-1]))
+        )
+        gcounts = np.diff(np.append(gstarts, grp_sorted.size))
+        labels = np.arange(uruns.size, dtype=np.int64)
+        while True:
+            gmin = np.minimum.reduceat(labels[run_inv_sorted], gstarts)
+            new_labels = labels.copy()
+            np.minimum.at(
+                new_labels, run_inv_sorted, np.repeat(gmin, gcounts)
+            )
+            if (new_labels == labels).all():
+                break
+            labels = new_labels
+        return uruns.tolist(), uruns[labels].tolist()
+
+    def states_limbs(self, processor: int, block_id: int, state_flags):
+        """Occurrence mask of the block's groups with view ∈ Z.
+
+        The block slice of ``ChunkedIndex.states_mask``; OR-merged with
+        the other blocks' slices at the stage barrier.
+        """
+        gids, entry_sel, local_starts = self._block_entries(
+            processor, block_id
+        )
+        table = self.tables[processor]
+        np = _np()
+        if isinstance(table["idx"], list):
+            out = [0] * self.nlimbs
+            idx = table["idx"]
+            val = table["val"]
+            starts = table["starts"]
+            gv = table["gv"]
+            for g in gids:
+                if gv[g] in state_flags:
+                    for k in range(starts[g], starts[g + 1]):
+                        out[idx[k]] |= val[k]
+            return out
+        out = np.zeros(self.nlimbs, np.uint64)
+        if self._count(gids) == 0:
+            return out
+        gv = np.asarray(table["gv"])
+        in_z = state_flags[gv[gids]]
+        if not in_z.any():
+            return out
+        z_gids = gids[in_z]
+        starts = table["starts"]
+        counts = starts[z_gids + 1] - starts[z_gids]
+        total = int(counts.sum())
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(
+            np.int64
+        )
+        base = np.repeat(starts[z_gids], counts)
+        intra = np.arange(total, dtype=np.int64) - np.repeat(
+            offsets, counts
+        )
+        sel = base + intra
+        np.bitwise_or.at(out, table["idx"][sel], table["val"][sel])
+        return out
+
+    def probe_believes(
+        self, processor: int, view: int, pmask, phi
+    ) -> bool:
+        """``B_p^S φ`` verdict at one local state (group lookup)."""
+        table = self.tables[processor]
+        gv = table["gv"]
+        if isinstance(gv, list):
+            try:
+                g = gv.index(view)
+            except ValueError:
+                raise EvaluationError(
+                    f"view {view} is not a state of processor {processor}"
+                )
+            idx = table["idx"]
+            val = table["val"]
+            starts = table["starts"]
+            for k in range(starts[g], starts[g + 1]):
+                if val[k] & pmask[idx[k]] & ~phi[idx[k]]:
+                    return False
+            return True
+        np = _np()
+        key = (processor, -2)
+        cached = self._span_cache.get(key)
+        if cached is None:
+            order = np.argsort(gv, kind="stable")
+            cached = (order, np.asarray(gv)[order])
+            self._span_cache[key] = cached
+        order, sorted_gv = cached
+        pos = int(np.searchsorted(sorted_gv, view))
+        if pos >= sorted_gv.size or int(sorted_gv[pos]) != view:
+            raise EvaluationError(
+                f"view {view} is not a state of processor {processor}"
+            )
+        g = int(order[pos])
+        starts = table["starts"]
+        s, e = int(starts[g]), int(starts[g + 1])
+        span = table["idx"][s:e]
+        bad = (table["val"][s:e] & pmask[span] & ~phi[span]) != 0
+        return not bool(bad.any())
+
+    def state_flags(self, states: Iterable[int]):
+        """Z as a per-view-id flag vector (or the set itself, pure-Python)."""
+        np = _np()
+        if np is None or isinstance(self.tables[0]["idx"], list):
+            return set(states)
+        flags = np.zeros(self.num_views, dtype=bool)
+        state_list = np.asarray(sorted(set(states)), dtype=np.int64)
+        if state_list.size:
+            flags[state_list] = True
+        return flags
+
+
+def _component_labels_py(
+    pairs_group: List[int], pairs_run: List[int]
+) -> Tuple[List[int], List[int]]:
+    """Union-find fallback over explicit (group, run) incidence pairs."""
+    anchor: Dict[int, int] = {}
+    parent: Dict[int, int] = {}
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for grp, run in zip(pairs_group, pairs_run):
+        if run not in parent:
+            parent[run] = run
+        if grp not in anchor:
+            anchor[grp] = run
+            continue
+        root_a, root_b = find(anchor[grp]), find(run)
+        if root_a != root_b:
+            parent[root_b] = root_a
+    runs = sorted(parent)
+    reps: Dict[int, int] = {}
+    labels = []
+    for run in runs:
+        root = find(run)
+        if root not in reps:
+            reps[root] = run  # minimum run of the class (sorted order)
+        labels.append(reps[root])
+    return runs, labels
+
+
+def merge_component_labels(
+    num_runs: int, block_results: Sequence[Tuple[Sequence[int], Sequence[int]]]
+):
+    """Fold per-block ``(runs, reps)`` partitions into global labels.
+
+    The barrier merge: each block contributes a partition of its touched
+    runs; a run touched by several blocks welds its blocks' components
+    together.  Only the *conflicting representatives* go through the
+    union-find (a handful per stage), everything else is vectorized.
+    Returns per-run labels with ``-1`` for runs with no occurrence —
+    the same partition the monolithic component scan produces (label
+    values may differ; only the partition matters).
+    """
+    parent: Dict[int, int] = {}
+
+    def find(node: int) -> int:
+        parent.setdefault(node, node)
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    np = _np()
+    if np is None:
+        labels = [-1] * num_runs
+        for runs, reps in block_results:
+            for run, rep in zip(runs, reps):
+                if labels[run] < 0:
+                    labels[run] = rep
+                else:
+                    union(labels[run], rep)
+        return [
+            find(label) if label >= 0 else -1 for label in labels
+        ]
+    labels = np.full(num_runs, -1, dtype=np.int64)
+    for runs, reps in block_results:
+        if not len(runs):
+            continue
+        runs_arr = np.asarray(runs, dtype=np.int64)
+        reps_arr = np.asarray(reps, dtype=np.int64)
+        existing = labels[runs_arr]
+        fresh = existing < 0
+        labels[runs_arr[fresh]] = reps_arr[fresh]
+        clash = ~fresh
+        if clash.any():
+            pairs = np.unique(
+                np.stack([existing[clash], reps_arr[clash]], axis=1),
+                axis=0,
+            )
+            for a, b in pairs.tolist():
+                union(int(a), int(b))
+    touched = np.flatnonzero(labels >= 0)
+    if touched.size:
+        distinct = np.unique(labels[touched])
+        mapping = {int(label): find(int(label)) for label in distinct}
+        lookup = np.vectorize(mapping.__getitem__, otypes=[np.int64])
+        labels[touched] = lookup(labels[touched])
+    return labels

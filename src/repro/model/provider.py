@@ -130,6 +130,17 @@ class SystemProvider:
         name = self._cell_prefix(key) + self._pickle_suffix()
         return os.path.join(self.cache_dir, name)
 
+    def _arrays_suffix(self) -> str:
+        from .. import __version__
+        from ..io.system_codec import CODEC_VERSION
+        from .partition import ARRAYS_VERSION
+
+        return f"a{ARRAYS_VERSION}_c{CODEC_VERSION}_v{__version__}.npz"
+
+    def _arrays_path(self, key: CacheKey) -> str:
+        name = self._cell_prefix(key) + self._arrays_suffix()
+        return os.path.join(self.cache_dir, name)
+
     @property
     def pickle_enabled(self) -> bool:
         """Whether the pickle sidecar layer is active (env-overridable)."""
@@ -150,6 +161,75 @@ class SystemProvider:
         return os.path.exists(self._cache_path(key)) or (
             self.pickle_enabled and os.path.exists(self._pickle_path(key))
         )
+
+    def has_current_arrays(
+        self, mode: FailureMode, n: int, t: int, horizon: int
+    ) -> bool:
+        """Whether a current-version ``.npz`` array sidecar exists."""
+        if not self.disk_enabled:
+            return False
+        key: CacheKey = (mode.value, n, t, horizon)
+        return os.path.exists(self._arrays_path(key))
+
+    def get_arrays(self, mode: FailureMode, n: int, t: int, horizon: int):
+        """The cell's :class:`~repro.model.partition.SystemArrays`.
+
+        Loads the ``.npz`` sidecar when present — orders of magnitude
+        cheaper than unpickling the ``Run`` objects on the big cells —
+        and otherwise projects the full system (through :meth:`get`,
+        populating the regular layers on the way) and writes the sidecar
+        for the next process.  Array projections ride the same memory
+        LRU budget as systems, under an ``("arrays", ...)``-tagged key.
+        """
+        from .partition import SystemArrays
+
+        key: CacheKey = (mode.value, n, t, horizon)
+        memo_key = ("arrays",) + key
+        cached = self._memory.get(memo_key)  # type: ignore[arg-type]
+        if cached is not None:
+            self._memory.move_to_end(memo_key)  # type: ignore[arg-type]
+            obs.count("arrays_cache_hits")
+            return cached
+        arrays = None
+        path = self._arrays_path(key)
+        if self.disk_enabled and os.path.exists(path):
+            try:
+                with obs.stage("arrays_cache_load"):
+                    arrays = SystemArrays.load(path)
+                obs.count("arrays_disk_hits")
+            except Exception:
+                arrays = None
+        if arrays is None:
+            obs.count("arrays_cache_misses")
+            system = self.get(mode, n, t, horizon)
+            arrays = SystemArrays.from_system(system)
+            self._store_arrays(key, arrays)
+        self._remember(memo_key, arrays)  # type: ignore[arg-type]
+        return arrays
+
+    def _store_arrays(self, key: CacheKey, arrays) -> None:
+        if not self.disk_enabled:
+            return
+        path = self._arrays_path(key)
+        try:
+            with obs.stage("arrays_cache_store"):
+                os.makedirs(self.cache_dir, exist_ok=True)
+                # numpy appends ``.npz`` to names without it, so the
+                # temp file must already end that way to stay findable.
+                fd, temp_path = tempfile.mkstemp(
+                    dir=self.cache_dir, suffix=".tmp.npz"
+                )
+                os.close(fd)
+                try:
+                    arrays.save(temp_path)
+                    os.replace(temp_path, path)
+                finally:
+                    if os.path.exists(temp_path):
+                        os.unlink(temp_path)
+        except Exception:
+            # Same contract as the other layers: caching must never
+            # break evaluation (read-only disk, python backend, ...).
+            pass
 
     # -- lookup ------------------------------------------------------------
 
@@ -327,6 +407,7 @@ class SystemProvider:
                 keep={
                     os.path.basename(path),
                     os.path.basename(self._pickle_path(key)),
+                    os.path.basename(self._arrays_path(key)),
                 },
             )
         except OSError:
@@ -353,7 +434,9 @@ class SystemProvider:
             if name in keep:
                 continue
             if not name.startswith(prefix) or not (
-                name.endswith(".json.gz") or name.endswith(".pickle")
+                name.endswith(".json.gz")
+                or name.endswith(".pickle")
+                or name.endswith(".npz")
             ):
                 continue
             try:
@@ -398,6 +481,7 @@ class SystemProvider:
         current = {
             ".json.gz": self._current_suffix(),
             ".pickle": self._pickle_suffix(),
+            ".npz": self._arrays_suffix(),
         }
         for name in sorted(os.listdir(self.cache_dir)):
             extension = next(

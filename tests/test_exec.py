@@ -10,6 +10,7 @@ three evaluation kernels for E9.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import signal
@@ -31,6 +32,7 @@ from repro.exec import (
     register_task,
     run_batch,
 )
+from repro.exec.checkpoint import CHECKPOINT_VERSION
 from repro.exec.plan import BatchPlan, Stage
 from repro.exec.pool import (
     BACKOFF_ENV,
@@ -247,6 +249,57 @@ class TestCheckpointStore:
         assert store.completed_ids() == []
         assert store.load_manifest() is None
 
+    def test_stale_version_records_degrade_to_miss(self, tmp_path):
+        """A checkpoint written under an older spec version (the
+        run-level-shard era) must be invalidated, never resumed: the
+        payload checksum still validates after a version rewrite, so only
+        the explicit version check can reject it."""
+        store = CheckpointStore("batchE", root=str(tmp_path))
+        digest = params_digest({"x": 1})
+        store.store("s/1", digest, {"value": 7})
+        path = store.shard_path("s/1")
+        record = json.loads(open(path, "r", encoding="utf-8").read())
+        record["checkpoint_version"] = CHECKPOINT_VERSION - 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        assert store.load("s/1", digest) is None
+
+    def test_stale_version_manifest_never_matches(self, tmp_path):
+        store = CheckpointStore("batchF", root=str(tmp_path))
+        meta = {"experiment": "E9", "kernel": "bitset"}
+        store.write_manifest(meta)
+        manifest = store.load_manifest()
+        manifest["checkpoint_version"] = CHECKPOINT_VERSION - 1
+        with open(store.manifest_path(), "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        assert not store.manifest_matches(meta)
+
+    def test_health_snapshot_roundtrip_and_status_fields(self, tmp_path):
+        root = str(tmp_path)
+        store = CheckpointStore("batchG", root=root)
+        store.write_manifest(
+            {"experiment": "E9", "kernel": "bitset", "partition": "limb"}
+        )
+        assert store.load_health() is None
+        store.write_health(
+            {
+                "workers": 2,
+                "inflight": [
+                    {"shard": "s/1", "attempt": 1, "heartbeat_age": 0.25}
+                ],
+                "shard_retries": {"s/1": 2},
+                "retry_causes": {"timeout": 2},
+            }
+        )
+        entry = next(e for e in list_batches(root) if e["batch"] == "batchG")
+        assert entry["partition"] == "limb"
+        assert entry["retries"] == 2
+        assert entry["retry_causes"] == {"timeout": 2}
+        assert entry["inflight"] == 1
+        assert entry["max_heartbeat_age"] == 0.25
+        store.clear()
+        assert store.load_health() is None
+
 
 class TestShardPool:
     def test_runs_shards_to_completion(self, tmp_path):
@@ -298,7 +351,9 @@ class TestFaultInjection:
         counters = _counters(result)
         assert counters.get("exec_worker_restarts", 0) >= 1
         assert counters.get("exec_shard_retries", 0) >= 1
+        assert counters.get("exec_shard_retries_worker-death", 0) >= 1
         assert counters["exec_shards_completed"] == 3
+        assert result.data["batch"]["retry_causes"].get("worker-death", 0) >= 1
 
     def test_hung_shard_hits_timeout_and_is_retried(self, tmp_path, monkeypatch):
         monkeypatch.setenv(FAULTS_ENV, "hang:work/0@0")
@@ -313,6 +368,10 @@ class TestFaultInjection:
         counters = _counters(result)
         assert counters.get("exec_shard_timeouts", 0) >= 1
         assert counters.get("exec_shard_retries", 0) >= 1
+        assert (
+            counters.get("exec_shard_retries_timeout", 0)
+            + counters.get("exec_shard_retries_stale-heartbeat", 0)
+        ) >= 1
 
     def test_corrupted_payload_fails_checksum_and_is_retried(
         self, tmp_path, monkeypatch
@@ -325,7 +384,9 @@ class TestFaultInjection:
             checkpoint_root=str(tmp_path / "exec"),
         )
         assert result.data["values"] == [0, 10, 20]
-        assert _counters(result).get("exec_shard_retries", 0) >= 1
+        counters = _counters(result)
+        assert counters.get("exec_shard_retries", 0) >= 1
+        assert counters.get("exec_shard_retries_checksum", 0) >= 1
 
     def test_exhausted_retries_raise(self, tmp_path, monkeypatch):
         # attempt-pinned faults fire once, so exhaust by allowing no retries
@@ -389,6 +450,28 @@ class TestResume:
         drifted = _toy_plan(count=2, sleeps=[0.01, 0.01])
         result = run_batch(drifted, workers=1, resume=True, checkpoint_root=root)
         assert result.data["batch"]["resumed"] == 0
+
+    def test_resume_rejects_run_level_era_checkpoints(self, tmp_path):
+        """Rewind a completed batch's checkpoints to spec version 1 (the
+        run-level-shard era); ``--resume`` must re-execute everything
+        rather than resume payloads sharded along a different axis."""
+        root = str(tmp_path / "exec")
+        plan = _toy_plan(count=3)
+        run_batch(plan, workers=1, checkpoint_root=root)
+        store = CheckpointStore(plan.batch_key(), root=root)
+        for path in [store.manifest_path()] + [
+            os.path.join(store.shard_dir, name + ".json")
+            for name in store.completed_ids()
+        ]:
+            record = json.loads(open(path, "r", encoding="utf-8").read())
+            record["checkpoint_version"] = 1
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+        result = run_batch(
+            _toy_plan(count=3), workers=1, resume=True, checkpoint_root=root
+        )
+        assert result.data["batch"]["resumed"] == 0
+        assert _counters(result)["exec_shards_completed"] == 3
 
     def test_resume_replays_everything_when_complete(self, tmp_path):
         root = str(tmp_path / "exec")
@@ -481,6 +564,9 @@ class TestCli:
         assert cli.main(["batch", "status"]) == 0
         out = capsys.readouterr().out
         assert "E20" in out
+        # the health columns from the heartbeat/retry snapshot
+        assert "retries" in out
+        assert "beat age" in out
 
     def test_batch_run_without_ids_is_usage_error(self, capsys):
         from repro import cli

@@ -432,6 +432,88 @@ class TestRandomizedDifferential:
         _differential(omission3, _random_formula(rng, omission3.n))
 
 
+class TestPlannerDifferential:
+    """The fused :class:`EvalPlan` vs formula-at-a-time evaluation.
+
+    Randomized formula portfolios, all three kernels: routing a portfolio
+    through the planner (shared subterms, batched sweeps, lockstep
+    fixpoints on the matrix backend) must leave every formula with
+    exactly the rows the solo ``evaluate`` path produces.
+    """
+
+    @pytest.mark.parametrize("kernel", ["reference", "bitset", "chunked"])
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_portfolio_crash(self, crash3, kernel, seed):
+        self._check(crash3, kernel, random.Random(7000 + seed))
+
+    @pytest.mark.parametrize("kernel", ["reference", "bitset", "chunked"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_portfolio_omission(self, omission3, kernel, seed):
+        self._check(omission3, kernel, random.Random(8000 + seed))
+
+    @staticmethod
+    def _check(system, kernel, rng):
+        from repro.knowledge.planner import evaluate_formulas
+
+        formulas = [_random_formula(rng, system.n) for _ in range(4)]
+        with kernels.use_kernel(kernel):
+            system.clear_caches()
+            solo = [formula.evaluate(system) for formula in formulas]
+            system.clear_caches()
+            fused = evaluate_formulas(system, formulas)
+        for formula, lone, planned in zip(formulas, solo, fused):
+            assert planned.to_rows() == lone.to_rows(), repr(formula)
+
+
+class TestShardedDifferential:
+    """Limb-block-sharded batches vs the monolithic path (E9/E14/E20).
+
+    The deep parity drills (per-kernel E9, fault injection, resume) live
+    in ``tests/test_exec.py``; this is the kernel-suite view of the same
+    guarantee at the reduced experiment sizes used above.
+    """
+
+    NONPARITY_KEYS = {"instrumentation", "trace", "batch", "kernel"}
+
+    @pytest.fixture(autouse=True)
+    def _fresh_worker_context(self):
+        from repro.exec.shard import clear_worker_context
+
+        yield
+        clear_worker_context()
+
+    @pytest.mark.parametrize("experiment_id", ["E9", "E14", "E20"])
+    def test_sharded_matches_monolithic(
+        self, experiment_id, tmp_path, monkeypatch
+    ):
+        from repro.exec import plan_for, run_batch
+        from repro.experiments.registry import run_experiment
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        params = dict(_reduced_params(experiment_id))
+        if experiment_id == "E20":
+            params["seed"] = 5
+        mono = run_experiment(experiment_id, **params)
+        sharded = run_batch(
+            plan_for(experiment_id, **params),
+            workers=2,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        assert sharded.ok == mono.ok
+        assert sharded.notes == mono.notes
+        if experiment_id == "E14":
+            # E14's table embeds measured wall times; compare structure.
+            assert re.sub(r"\d+\.\d+", "#", sharded.table) == re.sub(
+                r"\d+\.\d+", "#", mono.table
+            )
+            return
+        assert sharded.table == mono.table
+        for key in mono.data.keys() | sharded.data.keys():
+            if key in self.NONPARITY_KEYS:
+                continue
+            assert sharded.data[key] == mono.data[key], key
+
+
 class TestExplainCatalogDifferential:
     """Every formula the explain CLI exposes, identical under all kernels."""
 
