@@ -115,3 +115,35 @@ def test_tracing_overhead_within_5_percent():
         f"{enabled_seconds / disabled_seconds - 1:.1%} exceeds 5% "
         f"({enabled_seconds:.3f}s vs {disabled_seconds:.3f}s)"
     )
+
+
+def test_instrumentation_overhead_within_5_percent():
+    """Acceptance: keeping counters, timers AND histograms enabled costs
+    <=5% on enumeration (the counter/observe-dense tier-1 workload)."""
+    from repro import obs
+
+    def workload():
+        return build_system(ExhaustiveCrashAdversary(4, 1, 3))
+
+    def measure(rounds=3):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            workload()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    workload()  # warm imports and allocator
+    assert obs.OBS.enabled
+    enabled_seconds = measure()
+    obs.OBS.enabled = False
+    try:
+        disabled_seconds = measure()
+    finally:
+        obs.OBS.enabled = True
+
+    assert enabled_seconds <= disabled_seconds * 1.05, (
+        f"instrumentation overhead "
+        f"{enabled_seconds / disabled_seconds - 1:.1%} exceeds 5% "
+        f"({enabled_seconds:.3f}s vs {disabled_seconds:.3f}s)"
+    )

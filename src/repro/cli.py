@@ -17,6 +17,10 @@ Usage::
     repro-eba bench-compare --history BENCH_HISTORY.jsonl
     repro-eba batch run E9 --workers 4 --resume   # sharded execution
     repro-eba batch status         # checkpointed batches on disk
+    repro-eba batch top            # live dashboard of the latest batch
+    repro-eba batch top E9 --once  # one frame, for scripts and CI
+    repro-eba metrics              # Prometheus text of this process
+    repro-eba metrics --journal PATH   # fold a telemetry.jsonl instead
 
 Experiment ids are normalized (``E04``, ``e4`` and ``4`` all mean
 ``E4``).  ``batch run`` executes an experiment through the sharded,
@@ -36,9 +40,16 @@ recorded by ``benchmarks/regression.py``.
 
 ``--stats`` (available on ``run``, ``compare`` and ``diagram``) prints the
 process-wide :mod:`repro.obs` instrumentation — stage wall times, runs
-built, cache hits/misses, fixpoint iterations — after the command's normal
-output.  ``stats`` inspects the persistent caches themselves; ``stats
---clear`` empties them.
+built, cache hits/misses, fixpoint iterations, histogram digests — after
+the command's normal output.  ``stats`` inspects the persistent caches
+themselves (plus the span tracer's ring-buffer health: capacity, fill,
+watermark and dropped-span total); ``stats --clear`` empties the caches.
+``metrics`` renders the same instrumentation as Prometheus text
+exposition — of this process, or of a batch run's ``telemetry.jsonl``
+via ``--journal``.  ``batch top`` tails a batch's ``health.json`` and
+telemetry journal into a live per-worker dashboard (inflight shard,
+attempt, heartbeat age, RSS, shard-latency p50/p95, retries by cause);
+``--once`` prints a single frame and exits.
 
 Failure patterns on the command line use a mini-language:
 
@@ -206,12 +217,20 @@ def _build_pattern(crash_specs: List[str], omit_specs: List[str]):
 
 def _print_stats() -> None:
     """Print the process-wide instrumentation and system-cache counters."""
-    from . import obs
+    from . import obs, trace
     from .model.builder import system_cache_info
     from .model.kernels import active_kernel, kernel_selections
 
     print("instrumentation (this process):")
     print(obs.format_summary())
+    status = trace.tracer_status()
+    print("span tracer:")
+    print(
+        f"  {'enabled' if status['enabled'] else 'disabled'}, "
+        f"{status['buffered']}/{status['capacity']} buffered, "
+        f"watermark {status['watermark']}, "
+        f"{status['dropped']} dropped"
+    )
     info = system_cache_info()
     print("system cache:")
     print(
@@ -256,13 +275,14 @@ def _cmd_stats(clear: bool, as_json: bool = False) -> int:
     if as_json:
         import json as json_module
 
-        from . import obs
+        from . import obs, trace
         from .model.builder import system_cache_info
 
         from .model.kernels import active_kernel, kernel_selections
 
         payload = {
             "instrumentation": obs.snapshot(),
+            "tracer": trace.tracer_status(),
             "system_cache": system_cache_info(),
             "disk_entries": get_provider().disk_entries(),
             "kernel": active_kernel(),
@@ -282,6 +302,178 @@ def _cmd_stats(clear: bool, as_json: bool = False) -> int:
     else:
         print("disk cache inventory: (empty)")
     return 0
+
+
+def _cmd_metrics(journal_path: str = None) -> int:
+    """Prometheus text exposition of an instrumentation snapshot.
+
+    With no argument, exposes this process's totals; with ``--journal``,
+    folds a batch run's ``telemetry.jsonl`` back into a snapshot first.
+    """
+    from . import obs
+    from .obs.metrics import prometheus_text
+
+    if journal_path is not None:
+        from .obs.journal import fold_journal, read_journal
+
+        try:
+            folded = fold_journal(read_journal(journal_path))
+        except OSError as error:
+            print(f"cannot read {journal_path}: {error}", file=sys.stderr)
+            return 2
+        summary = folded["metrics"]
+    else:
+        summary = obs.snapshot()
+    sys.stdout.write(prometheus_text(summary))
+    return 0
+
+
+def _resolve_top_batch(batch: str = None):
+    """The batch entry ``batch top`` should watch.
+
+    *batch* may be a full batch key, a prefix, or a bare experiment id;
+    with no argument the batch whose journal changed most recently wins.
+    """
+    import os
+
+    from .exec.checkpoint import list_batches
+
+    entries = [e for e in list_batches() if e.get("journal")]
+    if batch is not None:
+        key = batch.strip()
+        experiment = normalize_experiment_id(key)
+        entries = [
+            entry
+            for entry in entries
+            if entry["batch"] == key
+            or entry["batch"].startswith(key)
+            or entry["experiment"] == experiment
+        ]
+    def mtime(entry):
+        try:
+            return os.path.getmtime(entry["journal"])
+        except OSError:
+            return 0.0
+    return max(entries, key=mtime) if entries else None
+
+
+def _render_top_frame(entry) -> str:
+    """One ``batch top`` frame from a batch's journal + health snapshot."""
+    from .exec.checkpoint import CheckpointStore
+    from .obs.journal import (
+        fold_journal,
+        read_journal,
+        worker_latency_quantiles,
+    )
+
+    folded = fold_journal(read_journal(entry["journal"]))
+    store = CheckpointStore(entry["batch"])
+    health = store.load_health() or entry.get("health") or {}
+    now = time.time()
+    meta = folded["meta"]
+    shards = folded["shards"]
+    done = folded["done"]
+    lines = [
+        f"batch {entry['batch']}  experiment {meta.get('experiment', '?')}"
+    ]
+    state = (
+        f"finished ({'ok' if done.get('ok') else 'FAILED'}, "
+        f"{done.get('seconds', 0):.1f}s)"
+        if done
+        else "running"
+    )
+    lines.append(
+        f"shards {shards['done']} done / {shards['started']} started"
+        f" / {shards['resumed']} resumed   retries {shards['retries']}"
+        f"   state {state}"
+    )
+    causes = shards["retries_by_cause"]
+    if causes:
+        lines.append(
+            "retries by cause: "
+            + ", ".join(
+                f"{cause}={count}" for cause, count in sorted(causes.items())
+            )
+        )
+    # Freshest heartbeat ages come from health.json when it is newer
+    # than the last journal event for that worker.
+    beat_age = {}
+    for row in health.get("worker_detail") or []:
+        if row.get("heartbeat_age") is not None:
+            beat_age[row["pid"]] = (
+                row["heartbeat_age"] + max(0.0, now - health.get("updated", now))
+            )
+    header = (
+        f"  {'worker':>8} {'state':<22} {'beat age':>9} {'rss':>9} "
+        f"{'cpu s':>7} {'done':>5} {'retry':>5} {'p50':>8} {'p95':>8}"
+    )
+    lines.append("")
+    lines.append(header)
+    for pid in sorted(folded["workers"]):
+        worker = folded["workers"][pid]
+        inflight = worker.get("inflight")
+        if inflight:
+            state_text = (
+                f"{inflight['shard']}#{inflight['attempt']}"
+            )[:22]
+        else:
+            state_text = "idle"
+        age = beat_age.get(pid)
+        if age is None and worker.get("last_event_ts") is not None:
+            age = now - worker["last_event_ts"]
+        sample = worker.get("last_sample") or {}
+        rss = sample.get("rss_bytes")
+        cpu = sample.get("cpu_seconds")
+        quantiles = worker_latency_quantiles(worker)
+        lines.append(
+            f"  {pid:>8} {state_text:<22} "
+            f"{(f'{age:.1f}s' if age is not None else '-'):>9} "
+            f"{(f'{rss / (1 << 20):.0f}M' if rss else '-'):>9} "
+            f"{(f'{cpu:.1f}' if cpu is not None else '-'):>7} "
+            f"{worker['shards_done']:>5} {worker['retries']:>5} "
+            f"{quantiles['p50'] * 1000:>6.1f}ms {quantiles['p95'] * 1000:>6.1f}ms"
+        )
+    if not folded["workers"]:
+        lines.append("  (no worker events in the journal yet)")
+    if folded["stages"]:
+        lines.append("")
+        lines.append("stages:")
+        for stage in folded["stages"]:
+            lines.append(
+                f"  {stage['stage']:<28} {stage['seconds']:>9.3f}s"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_batch_top(batch: str, once: bool, interval: float) -> int:
+    """Live terminal dashboard over ``health.json`` + the journal."""
+    entry = _resolve_top_batch(batch)
+    if entry is None:
+        target = batch or "any batch"
+        print(
+            f"no checkpointed batch with a telemetry journal ({target}); "
+            "run `repro-eba batch run ...` first",
+            file=sys.stderr,
+        )
+        return 2
+    if once:
+        print(_render_top_frame(entry))
+        return 0
+    from .obs.journal import fold_journal, read_journal
+
+    try:
+        while True:
+            frame = _render_top_frame(entry)
+            # ANSI clear + home keeps the dashboard in place per refresh.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            folded = fold_journal(read_journal(entry["journal"]))
+            if folded["done"]:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _cmd_trace(ids: List[str], out_path: str, fmt: str) -> int:
@@ -509,6 +701,13 @@ def _parse_batch_params(specs: List[str]) -> Dict[str, int]:
 def _cmd_batch(args) -> int:
     from .exec.checkpoint import list_batches
     from .exec.plan import plan_for, run_batch
+
+    if args.batch_action == "top":
+        return _cmd_batch_top(
+            args.batch_ids[0] if args.batch_ids else None,
+            args.once,
+            args.interval,
+        )
 
     if args.batch_action == "status":
         entries = list_batches()
@@ -751,8 +950,8 @@ def _dispatch(argv: List[str] = None) -> int:
         help="sharded, checkpointed experiment execution (repro.exec)",
     )
     batch_parser.add_argument(
-        "batch_action", choices=["run", "status"],
-        help="run a batch, or list checkpointed batches",
+        "batch_action", choices=["run", "status", "top"],
+        help="run a batch, list checkpointed batches, or watch one live",
     )
     batch_parser.add_argument(
         "batch_ids", nargs="*", metavar="ID",
@@ -786,6 +985,23 @@ def _dispatch(argv: List[str] = None) -> int:
         "--stats", action="store_true",
         help="print instrumentation totals after the batch",
     )
+    batch_parser.add_argument(
+        "--once", action="store_true",
+        help="batch top: print one frame and exit (scripting/CI)",
+    )
+    batch_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="batch top: refresh interval (default 2.0)",
+    )
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="Prometheus text exposition of instrumentation metrics",
+    )
+    metrics_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="fold a batch run's telemetry.jsonl instead of this "
+        "process's (empty) totals",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -803,6 +1019,8 @@ def _dispatch(argv: List[str] = None) -> int:
         return _cmd_bench_compare(
             args.snapshots, args.history, args.threshold
         )
+    if args.command == "metrics":
+        return _cmd_metrics(args.journal)
     if args.command == "batch":
         status = _cmd_batch(args)
     elif args.command == "compare":

@@ -3,7 +3,15 @@
 Layout::
 
     <cache_root>/exec/<batch_key>/manifest.json
+    <cache_root>/exec/<batch_key>/health.json
+    <cache_root>/exec/<batch_key>/telemetry.jsonl
     <cache_root>/exec/<batch_key>/shards/<shard_id>.json
+
+``telemetry.jsonl`` is the run-scoped event journal
+(:mod:`repro.obs.journal`) the batch runner writes next to the
+checkpoints; like ``health.json`` it is run metadata, not a checkpoint —
+:meth:`CheckpointStore.clear` removes both so a fresh run starts a fresh
+record.
 
 The manifest records the batch's identity (experiment, parameter digest,
 evaluation kernel) plus the checkpoint spec version and library version;
@@ -135,6 +143,12 @@ class CheckpointStore:
             return None
         return record
 
+    # -- telemetry journal ------------------------------------------------
+
+    def journal_path(self) -> str:
+        """Where the run's ``telemetry.jsonl`` event journal lives."""
+        return os.path.join(self.directory, "telemetry.jsonl")
+
     # -- shard records ----------------------------------------------------
 
     def shard_path(self, shard_id: str) -> str:
@@ -237,6 +251,11 @@ def list_batches(root: Optional[str] = None) -> List[Dict[str, Any]]:
             if isinstance(entry, dict)
             and entry.get("heartbeat_age") is not None
         ]
+        journal_path = store.journal_path()
+        try:
+            journal_bytes = os.path.getsize(journal_path)
+        except OSError:
+            journal_bytes = None
         entries.append(
             {
                 "batch": name,
@@ -249,6 +268,8 @@ def list_batches(root: Optional[str] = None) -> List[Dict[str, Any]]:
                 "retry_causes": health.get("retry_causes") or {},
                 "inflight": len(inflight),
                 "max_heartbeat_age": max(beat_ages) if beat_ages else None,
+                "journal": journal_path if journal_bytes is not None else None,
+                "journal_bytes": journal_bytes,
                 "manifest": manifest,
                 "health": health,
             }

@@ -144,6 +144,8 @@ def run_batch(
     they finish, so the batch can be killed at any instant and resumed.
     """
     from ..experiments.framework import attach_instrumentation, attach_trace
+    from ..obs.journal import TelemetryJournal
+    from ..obs.resource import ResourceSampler
     from .pool import ShardPool
 
     store = CheckpointStore(plan.batch_key(), root=checkpoint_root)
@@ -154,6 +156,35 @@ def run_batch(
         resume = False
     pool = ShardPool(
         workers, timeout=timeout, retries=retries, backoff=backoff
+    )
+    # Run-scoped telemetry journal next to the checkpoints.  Best-effort
+    # throughout: the journal observes the run, it never fails it.
+    try:
+        journal: Optional[TelemetryJournal] = TelemetryJournal(
+            store.journal_path(),
+            batch=plan.batch_key(),
+            experiment=plan.experiment_id,
+        )
+    except OSError:
+        journal = None
+
+    def emit(event: str, fields: Dict[str, Any]) -> None:
+        if journal is not None:
+            journal.emit(event, **fields)
+
+    pool.on_event = emit
+    sampler = ResourceSampler(
+        on_sample=lambda sample: emit(
+            "resource_sample",
+            {
+                "scope": "supervisor",
+                "worker": 0,
+                "rss_bytes": sample.get("rss_bytes", 0.0),
+                "cpu_seconds": sample.get("cpu_seconds", 0.0),
+                "majflt": sample.get("majflt", 0.0),
+                "minflt": sample.get("minflt", 0.0),
+            },
+        )
     )
     context = plan.context
     context.update(
@@ -170,25 +201,34 @@ def run_batch(
     resumed_shards = 0
 
     def snapshot_health() -> None:
-        # Durable, best-effort: `batch status` reads this to show retry
-        # counts and worker heartbeat ages for running/interrupted
-        # batches; a write failure must never fail the batch.
+        # Durable, best-effort: `batch status` and `batch top` read this
+        # to show retry counts and worker heartbeat/RSS for running or
+        # interrupted batches; a write failure must never fail the batch.
         try:
-            store.write_health(pool.health_snapshot())
+            snapshot = pool.health_snapshot()
+            store.write_health(snapshot)
+            emit("health", {"snapshot": snapshot})
         except Exception:
             pass
 
+    ok = False
     try:
+        sampler.start()
         with trace.span(
             f"experiment.{plan.experiment_id}",
             experiment=plan.experiment_id,
             batch=plan.batch_key(),
         ):
             for stage in plan.stages:
+                stage_started = time.perf_counter()
                 if stage.prepare is not None:
                     with trace.span("exec.prepare", stage=stage.name):
                         stage.prepare(context)
                 shards = stage.make_shards(context)
+                emit(
+                    "stage_start",
+                    {"stage": stage.name, "shards": len(shards)},
+                )
                 total_shards += len(shards)
                 results: Dict[str, Dict[str, Any]] = {}
                 to_run: List[Shard] = []
@@ -202,6 +242,7 @@ def run_batch(
                         results[shard.shard_id] = payload
                         resumed_shards += 1
                         obs.count("exec_shards_resumed")
+                        emit("shard_resumed", {"shard": shard.shard_id})
                     else:
                         to_run.append(shard)
                 if to_run:
@@ -218,10 +259,38 @@ def run_batch(
                         )
                     snapshot_health()
                 stage.reduce(results, context)
+                emit(
+                    "stage_done",
+                    {
+                        "stage": stage.name,
+                        "seconds": round(
+                            time.perf_counter() - stage_started, 6
+                        ),
+                    },
+                )
             result = plan.finalize(context)
+        ok = True
     finally:
         snapshot_health()
         pool.close()
+        sampler.stop()
+        if journal is not None:
+            delta = obs.delta_since(before)
+            journal.emit("counter_delta", scope="supervisor", delta=delta)
+            for name, stats in _span_summaries(mark).items():
+                journal.emit(
+                    "span_summary",
+                    name=name,
+                    spans=stats["spans"],
+                    seconds=stats["seconds"],
+                )
+            journal.emit(
+                "batch_done",
+                seconds=round(time.perf_counter() - started, 6),
+                shards=total_shards,
+                ok=ok,
+            )
+            journal.close()
     attach_instrumentation(result, before)
     attach_trace(result, mark)
     result.data["batch"] = {
@@ -233,5 +302,20 @@ def run_batch(
         "wall_seconds": time.perf_counter() - started,
         "retries": sum(pool.shard_retries.values()),
         "retry_causes": dict(pool.retry_causes),
+        "journal": store.journal_path() if journal is not None else None,
     }
     return result
+
+
+def _span_summaries(mark: int) -> Dict[str, Dict[str, Any]]:
+    """Per-name span count/total-seconds since trace watermark *mark*."""
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for span_record in trace.collect(mark):
+        entry = summaries.setdefault(
+            span_record.name, {"spans": 0, "seconds": 0.0}
+        )
+        entry["spans"] += 1
+        entry["seconds"] = round(
+            entry["seconds"] + (span_record.duration or 0.0), 6
+        )
+    return summaries

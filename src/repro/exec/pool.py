@@ -34,9 +34,20 @@ batch runner persists for ``repro-eba batch status``.
 Every completed shard ships its payload (canonical JSON bytes plus a
 SHA-256 the supervisor re-verifies), its :mod:`repro.obs` counter delta and
 its :mod:`repro.trace` spans; the supervisor folds deltas into the parent
-instrumentation and grafts spans under the stage span, so a sharded batch
-reports the same counters and a coherent timeline, exactly like the
-parallel system builder.
+instrumentation — histograms merging per-bucket alongside the counters —
+and grafts spans under the stage span, so a sharded batch reports the same
+counters and a coherent timeline, exactly like the parallel system
+builder.  The supervisor additionally records every shard's wall time in
+the ``exec_shard_seconds`` histogram.
+
+Heartbeats double as the resource-telemetry channel: roughly once a
+second the beat thread attaches a :func:`repro.obs.resource.read_sample`
+(RSS, CPU seconds, fault counters) to the beat, giving the supervisor a
+per-worker resource series with no extra thread or pipe.  The latest
+sample per worker lands in :meth:`ShardPool.health_snapshot` and — via
+the pool's :attr:`~ShardPool.on_event` hook — in the batch run's
+telemetry journal, alongside ``worker_spawned`` / ``worker_retired`` and
+shard lifecycle events, all tagged with worker/shard provenance.
 
 Results and heartbeats travel over a **per-worker pipe**, not a shared
 queue.  A shared ``multiprocessing.Queue`` serializes writers through one
@@ -70,6 +81,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from .. import obs, trace
 from ..errors import ConfigurationError, ShardExecutionError
+from ..obs.resource import read_sample
 from . import faults as fault_mod
 from .shard import Shard, context_epoch, run_task
 
@@ -88,6 +100,10 @@ DEFAULT_HEARTBEAT = 0.5
 #: on purpose: a GIL-bound compute burst must not read as death.
 STALE_BEATS = 20
 STALE_FLOOR_SECONDS = 10.0
+
+#: Minimum seconds between resource samples shipped with heartbeats; a
+#: 0.5 s beat does not need to read ``/proc`` every time.
+SAMPLE_EVERY = 1.0
 
 
 def _env_int(name: str, default: int, minimum: int = 1) -> int:
@@ -175,8 +191,27 @@ def _worker_main(work_queue, conn, heartbeat: float) -> None:
             return False
 
     def beat() -> None:
+        # Beats carry a resource sample roughly once per SAMPLE_EVERY so
+        # the supervisor gets a per-worker RSS/CPU series for free.  The
+        # first beat goes out (with a sample) immediately, so even shards
+        # faster than the interval leave a per-worker resource record.
+        last_sampled = time.time()
+        try:
+            first = read_sample()
+        except Exception:
+            first = None
+        if not post(("hb", pid, last_sampled, first)):
+            return
         while not stop.wait(heartbeat):
-            if not post(("hb", pid, time.time())):
+            now = time.time()
+            sample = None
+            if now - last_sampled >= SAMPLE_EVERY:
+                try:
+                    sample = read_sample()
+                except Exception:
+                    sample = None
+                last_sampled = now
+            if not post(("hb", pid, now, sample)):
                 return
 
     threading.Thread(target=beat, daemon=True).start()
@@ -301,13 +336,29 @@ class ShardPool:
         #: The active :meth:`run`'s in-flight map (pid -> shard, attempt,
         #: dispatch time); empty between runs.
         self._inflight: Dict[int, Tuple[Shard, int, float]] = {}
+        #: Latest heartbeat-shipped resource sample per worker pid.
+        self.worker_samples: Dict[int, Dict[str, float]] = {}
+        #: Optional telemetry hook ``(event_name, fields_dict)``; the batch
+        #: runner points it at the run's journal.  Exceptions are swallowed
+        #: — telemetry must never fail a shard.
+        self.on_event: Optional[Callable[[str, Dict[str, Any]], None]] = None
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        hook = self.on_event
+        if hook is not None:
+            try:
+                hook(event, fields)
+            except Exception:
+                pass
 
     def health_snapshot(self) -> Dict[str, Any]:
         """Point-in-time worker/shard health for ``batch status``.
 
         JSON-serializable: in-flight shards with their attempt number,
         how long they have been running and the owning worker's heartbeat
-        age, plus the cumulative per-shard and per-cause retry tallies.
+        age, a per-worker detail table (heartbeat age plus the latest
+        heartbeat-shipped RSS/CPU sample), and the cumulative per-shard
+        and per-cause retry tallies.
         """
         now = time.time()
         inflight = []
@@ -328,9 +379,24 @@ class ShardPool:
                     else None,
                 }
             )
+        worker_rows = []
+        for pid, worker in sorted(self._workers.items()):
+            sample = self.worker_samples.get(pid)
+            worker_rows.append(
+                {
+                    "pid": pid,
+                    "alive": worker.alive(),
+                    "heartbeat_age": round(now - worker.last_beat, 3),
+                    "rss_bytes": sample.get("rss_bytes") if sample else None,
+                    "cpu_seconds": (
+                        sample.get("cpu_seconds") if sample else None
+                    ),
+                }
+            )
         return {
             "updated": now,
             "workers": len(self._workers),
+            "worker_detail": worker_rows,
             "inflight": inflight,
             "shard_retries": dict(self.shard_retries),
             "retry_causes": dict(self.retry_causes),
@@ -355,6 +421,7 @@ class ShardPool:
             worker.kill()
         self._workers.clear()
         self._idle.clear()
+        self.worker_samples.clear()
         self._ctx = None
 
     def _ensure_ready(self, pool_size: int) -> None:
@@ -380,6 +447,7 @@ class ShardPool:
         worker = _Worker(self._ctx, self.heartbeat)
         self._workers[worker.pid] = worker
         self._idle.append(worker.pid)
+        self._emit("worker_spawned", worker=worker.pid)
 
     def run(
         self,
@@ -410,6 +478,9 @@ class ShardPool:
         inflight = self._inflight
         inflight.clear()
         done: Dict[str, Dict[str, Any]] = {}
+        # Last worker each shard was dispatched to (provenance for the
+        # shard_retry telemetry event).
+        pid_of: Dict[str, int] = {}
 
         def spawn() -> None:
             self._spawn()
@@ -420,6 +491,8 @@ class ShardPool:
                 worker.kill()
             if pid in idle:
                 idle.remove(pid)
+            self.worker_samples.pop(pid, None)
+            self._emit("worker_retired", worker=pid)
             if respawn and len(workers) < pool_size:
                 spawn()
                 obs.count("exec_worker_restarts")
@@ -438,6 +511,13 @@ class ShardPool:
                 self.shard_retries.get(shard.shard_id, 0) + 1
             )
             self.retry_causes[cause] = self.retry_causes.get(cause, 0) + 1
+            self._emit(
+                "shard_retry",
+                shard=shard.shard_id,
+                worker=pid_of.get(shard.shard_id, 0),
+                attempt=attempt,
+                cause=cause,
+            )
             delay = self.backoff * (2 ** attempt)
             pending.append((shard, attempt + 1, time.time() + delay))
 
@@ -460,8 +540,15 @@ class ShardPool:
                             continue
                         pid = idle.popleft()
                         inflight[pid] = (shard, attempt, now)
+                        pid_of[shard.shard_id] = pid
                         workers[pid].queue.put(
                             (shard.shard_id, shard.task, shard.params, attempt)
+                        )
+                        self._emit(
+                            "shard_started",
+                            shard=shard.shard_id,
+                            worker=pid,
+                            attempt=attempt,
                         )
                     pending.extendleft(reversed(deferred))
                 # Drain ready result pipes (or time out for health checks).
@@ -496,6 +583,20 @@ class ShardPool:
                     if kind == "hb":
                         if worker is not None:
                             worker.last_beat = message[2]
+                            sample = message[3] if len(message) > 3 else None
+                            if sample is not None:
+                                self.worker_samples[pid] = sample
+                                self._emit(
+                                    "resource_sample",
+                                    scope="worker",
+                                    worker=pid,
+                                    rss_bytes=sample.get("rss_bytes", 0.0),
+                                    cpu_seconds=sample.get(
+                                        "cpu_seconds", 0.0
+                                    ),
+                                    majflt=sample.get("majflt", 0.0),
+                                    minflt=sample.get("minflt", 0.0),
+                                )
                     elif kind == "started":
                         if pid in inflight:
                             shard, attempt, _ = inflight[pid]
@@ -517,8 +618,17 @@ class ShardPool:
                             continue
                         payload = json.loads(blob.decode("utf-8"))
                         obs.merge_delta(delta)
+                        obs.observe("exec_shard_seconds", elapsed)
                         trace.TRACER.graft(
                             spans, parent_id=parent_span, offset=graft_offset
+                        )
+                        self._emit(
+                            "shard_done",
+                            shard=shard_id,
+                            worker=pid,
+                            attempt=attempt,
+                            seconds=round(float(elapsed), 6),
+                            bytes=len(blob),
                         )
                         if shard_id not in done:
                             done[shard_id] = payload

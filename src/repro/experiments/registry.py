@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List
 
 from . import (
@@ -77,8 +78,10 @@ def run_experiment(experiment_id: str, **params) -> ExperimentResult:
         ) from None
     before = obs.snapshot()
     mark = trace.watermark()
+    started = time.perf_counter()
     with trace.span(f"experiment.{experiment_id}", experiment=experiment_id):
         result = runner(**params)
+    obs.observe("experiment_seconds", time.perf_counter() - started)
     attach_instrumentation(result, before)
     return attach_trace(result, mark)
 

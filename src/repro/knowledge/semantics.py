@@ -228,6 +228,7 @@ def _bitset_fixpoint(
         iterations += 1
         candidate = post(full & ~bad)
         if candidate == current:
+            obs.observe("fixpoint_iterations_per_call", iterations)
             return current, iterations
         new_operand = phi_mask & candidate
         delta = operand & ~new_operand
@@ -394,6 +395,7 @@ def eval_common(
             iterations += 1
             candidate = eval_everyone(system, nonrigid, phi.conjoin(current))
             if candidate == current:
+                obs.observe("fixpoint_iterations_per_call", iterations)
                 fixpoint_span.set("iterations", iterations)
                 return current
             current = candidate
@@ -500,6 +502,7 @@ def eval_continual_common(
                 system, nonrigid, phi.conjoin(current)
             )
             if candidate == current:
+                obs.observe("fixpoint_iterations_per_call", iterations)
                 fixpoint_span.set("iterations", iterations)
                 return current
             current = candidate
@@ -549,6 +552,7 @@ def eval_eventual_common(
                 system, eval_everyone(system, nonrigid, phi.conjoin(current))
             )
             if candidate == current:
+                obs.observe("fixpoint_iterations_per_call", iterations)
                 fixpoint_span.set("iterations", iterations)
                 return current
             current = candidate

@@ -628,6 +628,9 @@ class ChunkedIndex:
                     target_val.append(acc[limb])
                 starts[owner].append(len(target_idx))
             for p in range(n):
+                # Group-table sweep size per processor: how many
+                # (limb, mask) entries a full knowledge sweep visits.
+                obs.observe("chunked_group_entries", len(idx_acc[p]))
                 self._starts[p] = starts[p]
                 if self._py:
                     self._idx[p] = idx_acc[p]
@@ -927,11 +930,13 @@ class ChunkedIndex:
             iterations += 1
             candidate = post(_not(bad, tail))
             if _eq(candidate, current):
+                obs.observe("fixpoint_iterations_per_call", iterations)
                 return current, iterations
             new_operand = _and(phi, candidate)
             delta = _andnot(operand, new_operand)
             if _any(delta):
                 dirty = self._dirty_limbs(delta)
+                obs.observe("fixpoint_frontier_limbs", len(dirty))
                 for p in processors:
                     self._kill_groups(
                         p, alive[p], member_masks[p], delta, dirty, bad
@@ -1182,6 +1187,8 @@ class ChunkedIndex:
             candidate = post(_not(bad, tail))
             done |= (candidate == current).all(axis=1)
             if done.all():
+                for iters in iterations:
+                    obs.observe("fixpoint_iterations_per_call", iters)
                 return list(candidate), iterations
             new_operand = phi2 & candidate
             delta = operand & ~new_operand

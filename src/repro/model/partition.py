@@ -1065,6 +1065,11 @@ class LimbBlockPartition:
         gids, entry_sel, local_starts = self._block_entries(
             processor, block_id
         )
+        # Sweep size per (processor, block): entry count is a property of
+        # the partition layout, so this histogram is identical whether the
+        # plan runs monolithic or sharded (the merge-parity tests rely on
+        # it).
+        obs.observe("partition_sweep_entries", len(entry_sel))
         table = self.tables[processor]
         if isinstance(table["idx"], list):
             idx = table["idx"]
@@ -1178,8 +1183,11 @@ class LimbBlockPartition:
             pairs_run.append(runs)
             group_base += int(gv.size)
         if np is None or (pairs_group and isinstance(pairs_group[0], list)):
-            return _component_labels_py(pairs_group, pairs_run)
+            runs_py, reps_py = _component_labels_py(pairs_group, pairs_run)
+            obs.observe("partition_component_runs", len(runs_py))
+            return runs_py, reps_py
         if not pairs_group:
+            obs.observe("partition_component_runs", 0)
             return [], []
         grp = np.concatenate(pairs_group)
         run = np.concatenate(pairs_run)
@@ -1207,6 +1215,7 @@ class LimbBlockPartition:
             if (new_labels == labels).all():
                 break
             labels = new_labels
+        obs.observe("partition_component_runs", int(uruns.size))
         return uruns.tolist(), uruns[labels].tolist()
 
     def states_limbs(self, processor: int, block_id: int, state_flags):

@@ -1,0 +1,379 @@
+"""Run-scoped telemetry journal: ``telemetry.jsonl`` next to the checkpoints.
+
+A batch run is the unit of observability for the sharded engine — the
+checkpoint store already makes its *results* durable; the journal makes
+its *behaviour* durable.  :class:`TelemetryJournal` appends one JSON
+object per event, each stamped with:
+
+* ``v`` — the journal schema version (:data:`SCHEMA_VERSION`; consumers
+  must reject lines from a version they do not understand);
+* ``seq`` — a per-run monotonically increasing sequence number (gaps mean
+  truncation, inversions mean corruption — both detectable);
+* ``ts`` — wall-clock seconds;
+* ``event`` — one of :data:`EVENT_TYPES`, each with a fixed set of
+  required fields (extra fields are allowed, so events can grow without a
+  version bump).
+
+Shard lifecycle events (``shard_started`` / ``shard_done`` /
+``shard_retry``) and resource samples carry **worker provenance** (the
+worker pid), counter/histogram deltas arrive as ``counter_delta`` events
+in the exact :func:`repro.obs.snapshot` shape, and ``span_summary``
+events aggregate the run's trace spans by name.  The journal is what
+``repro-eba batch top`` tails and what ``repro-eba metrics --journal``
+folds back into a metrics snapshot (:func:`fold_journal`) — and it is the
+per-run record the ROADMAP's results warehouse ingests.
+
+Writes are line-buffered appends under a lock; a telemetry failure must
+never fail the batch, so :meth:`TelemetryJournal.emit` swallows I/O
+errors after disabling itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from .metrics import quantile_from_values
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "TelemetryJournal",
+    "validate_event",
+    "read_journal",
+    "validate_journal",
+    "fold_journal",
+]
+
+#: Bump when required fields change meaning or shape.
+SCHEMA_VERSION = 1
+
+_NUMBER = (int, float)
+
+#: Required fields (name -> type tuple) per event type.  ``None`` means
+#: "any JSON value".  Extra fields are always allowed.
+EVENT_TYPES: Dict[str, Dict[str, Any]] = {
+    "journal_open": {"batch": (str,), "experiment": (str,), "pid": _NUMBER},
+    "stage_start": {"stage": (str,), "shards": _NUMBER},
+    "stage_done": {"stage": (str,), "seconds": _NUMBER},
+    "shard_started": {"shard": (str,), "worker": _NUMBER, "attempt": _NUMBER},
+    "shard_done": {
+        "shard": (str,),
+        "worker": _NUMBER,
+        "attempt": _NUMBER,
+        "seconds": _NUMBER,
+        "bytes": _NUMBER,
+    },
+    "shard_retry": {
+        "shard": (str,),
+        "worker": _NUMBER,
+        "attempt": _NUMBER,
+        "cause": (str,),
+    },
+    "shard_resumed": {"shard": (str,)},
+    "worker_spawned": {"worker": _NUMBER},
+    "worker_retired": {"worker": _NUMBER},
+    "resource_sample": {
+        "scope": (str,),
+        "worker": _NUMBER,
+        "rss_bytes": _NUMBER,
+        "cpu_seconds": _NUMBER,
+    },
+    "counter_delta": {"scope": (str,), "delta": (dict,)},
+    "span_summary": {"name": (str,), "spans": _NUMBER, "seconds": _NUMBER},
+    "health": {"snapshot": (dict,)},
+    "batch_done": {"seconds": _NUMBER, "shards": _NUMBER, "ok": (bool,)},
+}
+
+
+def validate_event(record: Any) -> List[str]:
+    """Problems with one journal line (empty list = schema-valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["event is not a JSON object"]
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        problems.append(
+            f"schema version {version!r} != {SCHEMA_VERSION}"
+        )
+    seq = record.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        problems.append(f"seq {seq!r} is not a non-negative integer")
+    if not isinstance(record.get("ts"), _NUMBER):
+        problems.append(f"ts {record.get('ts')!r} is not a number")
+    event = record.get("event")
+    spec = EVENT_TYPES.get(event) if isinstance(event, str) else None
+    if spec is None:
+        problems.append(f"unknown event type {event!r}")
+        return problems
+    for field, types in spec.items():
+        if field not in record:
+            problems.append(f"{event}: missing required field {field!r}")
+        elif types is not None and not isinstance(record[field], types):
+            problems.append(
+                f"{event}: field {field!r} has type "
+                f"{type(record[field]).__name__}"
+            )
+    return problems
+
+
+class TelemetryJournal:
+    """Append-only, monotonically-sequenced event sink for one batch run.
+
+    Opening truncates any previous journal at *path* — the journal is
+    scoped to one run, so a resumed batch starts a fresh sequence (its
+    ``shard_resumed`` events record what was served from checkpoints).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        batch: str = "",
+        experiment: str = "",
+    ) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._handle = None
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(path, "w", encoding="utf-8")
+        self.emit(
+            "journal_open",
+            batch=batch,
+            experiment=experiment,
+            pid=os.getpid(),
+        )
+
+    def emit(self, event: str, **fields: Any) -> Optional[int]:
+        """Append one event; returns its sequence number (None if closed
+        or after a write failure)."""
+        with self._lock:
+            if self._handle is None:
+                return None
+            record = {
+                "v": SCHEMA_VERSION,
+                "seq": self._seq,
+                "ts": round(time.time(), 6),
+                "event": event,
+            }
+            record.update(fields)
+            try:
+                self._handle.write(json.dumps(record, sort_keys=True))
+                self._handle.write("\n")
+                self._handle.flush()
+            except (OSError, ValueError, TypeError):
+                # Telemetry must never fail the batch: stop journaling.
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+                return None
+            self._seq += 1
+            return record["seq"]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+    def __enter__(self) -> "TelemetryJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- consumption ---------------------------------------------------------------
+
+
+def read_journal(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield the parsed events of a journal file (unparseable lines are
+    yielded as ``{"event": "_malformed", "line": ...}`` markers so
+    validators can report them)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                yield {"event": "_malformed", "line": line}
+                continue
+            yield record
+
+
+def validate_journal(path: str) -> List[str]:
+    """Validate every line of a journal: schema per event, monotonic
+    sequence numbers across the file.  Returns the list of problems."""
+    problems: List[str] = []
+    last_seq = -1
+    for index, record in enumerate(read_journal(path)):
+        if record.get("event") == "_malformed":
+            problems.append(f"line {index + 1}: not valid JSON")
+            continue
+        for problem in validate_event(record):
+            problems.append(f"line {index + 1}: {problem}")
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                problems.append(
+                    f"line {index + 1}: seq {seq} not monotonically "
+                    f"increasing (previous {last_seq})"
+                )
+            last_seq = seq
+    if last_seq < 0 and not problems:
+        problems.append("journal holds no events")
+    return problems
+
+
+def fold_journal(events: Iterator[Dict[str, Any]]) -> Dict[str, Any]:
+    """Reconstruct a metrics/state view from a journal's events.
+
+    Returns::
+
+        {
+          "meta":     {batch, experiment, pid},
+          "metrics":  {counters, timers, histograms, gauges},   # merged
+          "workers":  {pid: {last_sample, spawned, retired, shards_done,
+                             retries, latencies, inflight...}},
+          "shards":   {done, started, resumed, retries_by_cause},
+          "stages":   [{stage, shards, seconds}],
+          "spans":    [{name, spans, seconds}],
+          "health":   latest health snapshot or None,
+          "done":     batch_done event or None,
+        }
+
+    ``metrics`` is built by folding every ``counter_delta`` exactly the
+    way :func:`repro.obs.merge_delta` would, so a journal replay and a
+    live supervisor agree.  Per-worker shard latencies keep the raw
+    values (journals are bounded per run), which lets the dashboard show
+    exact p50/p95 per worker.
+    """
+    from . import Instrumentation
+
+    sink = Instrumentation()
+    meta: Dict[str, Any] = {}
+    workers: Dict[int, Dict[str, Any]] = {}
+    shards = {
+        "done": 0,
+        "started": 0,
+        "resumed": 0,
+        "retries": 0,
+        "retries_by_cause": {},
+    }
+    stages: List[Dict[str, Any]] = []
+    spans: List[Dict[str, Any]] = []
+    health: Optional[Dict[str, Any]] = None
+    done_event: Optional[Dict[str, Any]] = None
+
+    def worker(pid: Any) -> Dict[str, Any]:
+        entry = workers.get(pid)
+        if entry is None:
+            entry = workers[pid] = {
+                "last_sample": None,
+                "shards_done": 0,
+                "retries": 0,
+                "latencies": [],
+                "inflight": None,
+                "last_event_ts": None,
+            }
+        return entry
+
+    for record in events:
+        event = record.get("event")
+        ts = record.get("ts")
+        if event == "journal_open":
+            meta = {
+                "batch": record.get("batch"),
+                "experiment": record.get("experiment"),
+                "pid": record.get("pid"),
+            }
+        elif event == "counter_delta":
+            sink.merge_delta(record.get("delta") or {})
+        elif event == "resource_sample":
+            if record.get("scope") == "worker":
+                entry = worker(record.get("worker"))
+                entry["last_sample"] = record
+                entry["last_event_ts"] = ts
+            else:
+                sink.gauge("rss_bytes", record.get("rss_bytes", 0))
+                sink.gauge("cpu_seconds", record.get("cpu_seconds", 0))
+        elif event == "shard_started":
+            shards["started"] += 1
+            entry = worker(record.get("worker"))
+            entry["inflight"] = {
+                "shard": record.get("shard"),
+                "attempt": record.get("attempt"),
+                "since": ts,
+            }
+            entry["last_event_ts"] = ts
+        elif event == "shard_done":
+            shards["done"] += 1
+            entry = worker(record.get("worker"))
+            entry["shards_done"] += 1
+            entry["latencies"].append(float(record.get("seconds", 0.0)))
+            entry["inflight"] = None
+            entry["last_event_ts"] = ts
+        elif event == "shard_retry":
+            shards["retries"] += 1
+            cause = record.get("cause", "?")
+            shards["retries_by_cause"][cause] = (
+                shards["retries_by_cause"].get(cause, 0) + 1
+            )
+            entry = worker(record.get("worker"))
+            entry["retries"] += 1
+            entry["inflight"] = None
+        elif event == "shard_resumed":
+            shards["resumed"] += 1
+        elif event == "stage_done":
+            stages.append(
+                {
+                    "stage": record.get("stage"),
+                    "seconds": record.get("seconds"),
+                }
+            )
+        elif event == "span_summary":
+            spans.append(
+                {
+                    "name": record.get("name"),
+                    "spans": record.get("spans"),
+                    "seconds": record.get("seconds"),
+                }
+            )
+        elif event == "health":
+            health = record.get("snapshot")
+        elif event == "batch_done":
+            done_event = record
+    return {
+        "meta": meta,
+        "metrics": sink.snapshot(),
+        "workers": workers,
+        "shards": shards,
+        "stages": stages,
+        "spans": spans,
+        "health": health,
+        "done": done_event,
+    }
+
+
+def worker_latency_quantiles(
+    entry: Dict[str, Any]
+) -> Dict[str, float]:
+    """p50/p95 of one folded worker's shard latencies."""
+    latencies = entry.get("latencies") or []
+    return {
+        "p50": quantile_from_values(latencies, 0.50),
+        "p95": quantile_from_values(latencies, 0.95),
+    }

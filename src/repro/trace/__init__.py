@@ -17,9 +17,13 @@ Design constraints, in priority order:
    (an enumeration, a fixpoint, one simulator execution), never inner
    loops, so tracing costs well under 5% on the micro benches (asserted in
    ``benchmarks/bench_micro_core.py``).
-2. **Bounded.**  Finished spans land in a ring buffer
-   (:data:`DEFAULT_CAPACITY` entries); a long-running process keeps the
-   most recent window instead of growing without bound.
+2. **Bounded, with visible overflow.**  Finished spans land in a ring
+   buffer (:data:`DEFAULT_CAPACITY` entries); a long-running process
+   keeps the most recent window instead of growing without bound.
+   Evictions are no longer silent: every dropped span increments the
+   tracer's :attr:`Tracer.dropped` total and the ``trace_spans_dropped``
+   obs counter, and :func:`tracer_status` (surfaced by
+   ``repro-eba stats``) reports watermark/capacity/drops.
 3. **Mergeable.**  Worker processes of the parallel system builder trace
    into their own tracer and export their spans relative to the chunk
    start; the parent grafts them under its own build span
@@ -34,7 +38,10 @@ Export formats:
 * :func:`write_jsonl` — one span per line, machine-readable;
 * :func:`chrome_trace_events` / :func:`write_chrome_trace` — the Chrome
   trace-event format, loadable in Perfetto / ``chrome://tracing``
-  (``repro-eba trace run E4 --out trace.json``);
+  (``repro-eba trace run E4 --out trace.json``); resource-sample series
+  from :mod:`repro.obs.resource` graft in as counter tracks
+  (:func:`chrome_counter_events`) so RSS/CPU rise and fall under the
+  span timeline;
 * :func:`span_tree` — the nested dict form that
   ``ExperimentResult.data["trace"]`` carries.
 """
@@ -53,9 +60,11 @@ __all__ = [
     "span",
     "watermark",
     "collect",
+    "tracer_status",
     "span_tree",
     "export_spans",
     "chrome_trace_events",
+    "chrome_counter_events",
     "write_chrome_trace",
     "write_jsonl",
     "DEFAULT_CAPACITY",
@@ -136,6 +145,8 @@ class Tracer:
             raise ValueError(f"need capacity >= 1, got {capacity}")
         self.capacity = capacity
         self.enabled = True
+        #: Total spans evicted from the ring buffer over this tracer's life.
+        self.dropped = 0
         self._epoch = time.perf_counter()
         self._finished: List[Span] = []
         self._stack: List[Span] = []
@@ -173,13 +184,38 @@ class Tracer:
 
     def _append(self, record: Span) -> None:
         self._finished.append(record)
-        if len(self._finished) > self.capacity:
-            # Drop the oldest half in one slice instead of popping per span.
-            del self._finished[: len(self._finished) - self.capacity]
+        overflow = len(self._finished) - self.capacity
+        if overflow > 0:
+            # Drop the oldest in one slice instead of popping per span, and
+            # account for the loss so stats can surface it.
+            del self._finished[:overflow]
+            self.dropped += overflow
+            from repro import obs
+
+            obs.count("trace_spans_dropped", overflow)
+
+    def status(self) -> Dict[str, object]:
+        """Ring-buffer health: capacity, fill, watermark and drop totals."""
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "buffered": len(self._finished),
+            "open": len(self._stack),
+            "watermark": self._next_id,
+            "dropped": self.dropped,
+        }
 
     def current_span_id(self) -> Optional[int]:
         """Id of the innermost open span, or ``None``."""
         return self._stack[-1].span_id if self._stack else None
+
+    @property
+    def epoch(self) -> float:
+        """``perf_counter`` value at which this tracer's clock started.
+
+        Span starts are relative to this; counter tracks built from
+        resource samples use it to land on the same timeline."""
+        return self._epoch
 
     # -- collection ---------------------------------------------------------
 
@@ -264,6 +300,11 @@ def collect(since: int = 0) -> List[Span]:
     return TRACER.collect(since)
 
 
+def tracer_status() -> Dict[str, object]:
+    """Ring-buffer health of the process-wide tracer."""
+    return TRACER.status()
+
+
 # -- export -------------------------------------------------------------------
 
 
@@ -321,12 +362,62 @@ def chrome_trace_events(spans: List[Span]) -> List[Dict[str, object]]:
     return events
 
 
-def write_chrome_trace(spans: List[Span], path: str) -> int:
-    """Write *spans* to *path* in Chrome trace-event JSON.
+def chrome_counter_events(
+    samples: List[Dict[str, float]],
+    *,
+    name: str = "resources",
+    pid: int = 0,
+    epoch: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Resource samples as Chrome trace counter-track events (``"ph": "C"``).
+
+    Each sample (the :func:`repro.obs.resource.read_sample` shape) becomes
+    one counter event carrying RSS (MiB, so the track is readable next to
+    CPU) and CPU%.  Timestamps come from the sample's monotonic ``perf``
+    field, shifted by *epoch* (pass the tracer's epoch so the counter track
+    lines up with the span timeline); samples without ``perf`` are skipped.
+    """
+    events: List[Dict[str, object]] = []
+    for sample in samples:
+        perf = sample.get("perf")
+        if perf is None:
+            continue
+        ts = float(perf) - (epoch if epoch is not None else 0.0)
+        if ts < 0:
+            continue
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": round(ts * 1e6, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "rss_mib": round(
+                        float(sample.get("rss_bytes", 0.0)) / (1024 * 1024), 2
+                    ),
+                    "cpu_pct": round(float(sample.get("cpu_pct", 0.0)), 2),
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    spans: List[Span],
+    path: str,
+    *,
+    extra_events: Optional[List[Dict[str, object]]] = None,
+) -> int:
+    """Write *spans* (plus optional pre-built events, e.g. counter tracks
+    from :func:`chrome_counter_events`) to *path* in Chrome trace-event
+    JSON.
 
     Returns the number of events written.
     """
     events = chrome_trace_events(spans)
+    if extra_events:
+        events.extend(extra_events)
     with open(path, "w") as handle:
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
     return len(events)

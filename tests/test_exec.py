@@ -547,6 +547,138 @@ class TestVerdictParity:
             assert wired in message
 
 
+class TestTelemetryJournal:
+    """Every batch run writes a schema-valid telemetry.jsonl next to its
+    checkpoints, and folding it back reproduces the run's shape."""
+
+    def test_run_emits_schema_valid_journal(self, tmp_path):
+        from repro.obs.journal import (
+            fold_journal,
+            read_journal,
+            validate_journal,
+        )
+
+        root = str(tmp_path / "exec")
+        plan = _toy_plan(count=4)
+        result = run_batch(plan, workers=2, checkpoint_root=root)
+        journal_path = result.data["batch"]["journal"]
+        store = CheckpointStore(plan.batch_key(), root=root)
+        assert journal_path == store.journal_path()
+        assert validate_journal(journal_path) == []
+
+        folded = fold_journal(read_journal(journal_path))
+        assert folded["meta"]["batch"] == plan.batch_key()
+        assert folded["meta"]["experiment"] == "EX"
+        assert folded["shards"]["done"] == 4
+        assert folded["shards"]["started"] == 4
+        assert folded["done"]["ok"] is True
+        assert folded["done"]["shards"] == 4
+        # the supervisor's counter delta folded back through merge_delta
+        assert folded["metrics"]["counters"]["exec_shards_completed"] == 4
+        hist = folded["metrics"]["histograms"]["exec_shard_seconds"]
+        assert hist["count"] == 4
+        # every shard_done carries worker provenance
+        assert sum(w["shards_done"] for w in folded["workers"].values()) == 4
+
+    def test_resumed_batch_journals_resumed_shards(self, tmp_path):
+        from repro.obs.journal import fold_journal, read_journal
+
+        root = str(tmp_path / "exec")
+        run_batch(_toy_plan(count=3), workers=1, checkpoint_root=root)
+        again = run_batch(
+            _toy_plan(count=3), workers=1, resume=True, checkpoint_root=root
+        )
+        folded = fold_journal(read_journal(again.data["batch"]["journal"]))
+        assert folded["shards"]["resumed"] == 3
+        assert folded["shards"]["done"] == 0
+
+    def test_retry_events_carry_cause(self, tmp_path, monkeypatch):
+        from repro.obs.journal import fold_journal, read_journal
+
+        monkeypatch.setenv(FAULTS_ENV, "kill:work/1@0")
+        result = run_batch(
+            _toy_plan(count=3),
+            workers=2,
+            backoff=0.01,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        folded = fold_journal(read_journal(result.data["batch"]["journal"]))
+        assert folded["shards"]["retries_by_cause"].get("worker-death", 0) >= 1
+
+    def test_clear_removes_journal(self, tmp_path):
+        root = str(tmp_path / "exec")
+        plan = _toy_plan(count=2)
+        run_batch(plan, workers=1, checkpoint_root=root)
+        store = CheckpointStore(plan.batch_key(), root=root)
+        assert os.path.exists(store.journal_path())
+        store.clear()
+        assert not os.path.exists(store.journal_path())
+
+    def test_list_batches_reports_journal(self, tmp_path):
+        root = str(tmp_path / "exec")
+        plan = _toy_plan(count=2)
+        run_batch(plan, workers=1, checkpoint_root=root)
+        entry = next(
+            e for e in list_batches(root) if e["batch"] == plan.batch_key()
+        )
+        assert entry["journal"] is not None
+        assert entry["journal_bytes"] > 0
+
+
+class TestHistogramMergeParity:
+    """The supervisor's merged histograms must be independent of how the
+    work was sharded across processes: executing the E9 plan's shards
+    in-process and through the pool yields identical deterministic
+    histograms (bucket counts AND sums)."""
+
+    #: histograms whose values are properties of the partition layout /
+    #: evaluation structure, not wall-clock — these must merge exactly.
+    DETERMINISTIC_HISTOGRAMS = (
+        "partition_sweep_entries",
+        "partition_component_runs",
+    )
+
+    def test_e9_pool_and_inprocess_histograms_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from repro import obs
+        from repro.exec.shard import run_task
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+        plan = plan_for("E9", n=3, t=1, horizon=2)
+        context = plan.context
+        context["shard_size"] = 64
+        before = obs.snapshot()
+        for stage in plan.stages:
+            if stage.prepare is not None:
+                stage.prepare(context)
+            shards = stage.make_shards(context)
+            results = {
+                shard.shard_id: run_task(shard.task, shard.params)
+                for shard in shards
+            }
+            stage.reduce(results, context)
+        inproc = obs.delta_since(before)
+        clear_worker_context()
+
+        before = obs.snapshot()
+        run_batch(
+            plan_for("E9", n=3, t=1, horizon=2),
+            workers=2,
+            shard_size=64,
+            checkpoint_root=str(tmp_path / "exec"),
+        )
+        pooled = obs.delta_since(before)
+
+        for key in self.DETERMINISTIC_HISTOGRAMS:
+            mono_hist = inproc["histograms"][key]
+            pool_hist = pooled["histograms"][key]
+            assert pool_hist["count"] == mono_hist["count"], key
+            assert pool_hist["buckets"] == mono_hist["buckets"], key
+            assert abs(pool_hist["sum"] - mono_hist["sum"]) < 1e-9, key
+
+
 class TestCli:
     def test_batch_run_and_status(self, tmp_path, monkeypatch, capsys):
         from repro import cli
@@ -573,6 +705,53 @@ class TestCli:
 
         assert cli.main(["batch", "run"]) == 2
         assert "nothing to run" in capsys.readouterr().err
+
+    def test_batch_top_once_renders_worker_rows(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import cli
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert (
+            cli.main(
+                ["batch", "run", "E20", "--param", "samples=20",
+                 "--param", "seed=3", "--workers", "2"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert cli.main(["batch", "top", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment E20" in out
+        assert "state finished (ok" in out
+        assert "worker" in out and "rss" in out and "p95" in out
+        # at least one worker row with a latency quantile
+        assert "ms" in out
+
+    def test_batch_top_unknown_batch_is_usage_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import cli
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert cli.main(["batch", "top", "NOPE", "--once"]) == 2
+        assert "no checkpointed batch" in capsys.readouterr().err
+
+    def test_metrics_journal_emits_prometheus_text(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro import cli
+
+        root = str(tmp_path / "exec")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        result = run_batch(_toy_plan(count=3), workers=1, checkpoint_root=root)
+        capsys.readouterr()
+        journal = result.data["batch"]["journal"]
+        assert cli.main(["metrics", "--journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "repro_exec_shards_completed_total 3" in out
+        assert "repro_exec_shard_seconds_bucket" in out
+        assert 'le="+Inf"' in out
 
     def test_interrupt_exits_130_and_flushes(self, monkeypatch, capsys):
         from repro import cli

@@ -66,6 +66,148 @@ class TestInstrumentation:
         assert "hits" in lines[1]
 
 
+class TestHistograms:
+    def test_observe_accumulates_buckets(self):
+        inst = obs.Instrumentation()
+        inst.observe("latency", 0.5)
+        inst.observe("latency", 0.5)
+        inst.observe("latency", 2.0)
+        snap = inst.snapshot()["histograms"]["latency"]
+        assert snap["count"] == 3
+        assert abs(snap["sum"] - 3.0) < 1e-9
+        assert sum(snap["buckets"].values()) == 3
+
+    def test_delta_since_only_new_observations(self):
+        inst = obs.Instrumentation()
+        inst.observe("latency", 1.0)
+        before = inst.snapshot()
+        inst.observe("latency", 1.0)
+        inst.observe("other", 4.0)
+        delta = inst.delta_since(before)
+        assert delta["histograms"]["latency"]["count"] == 1
+        assert delta["histograms"]["other"]["count"] == 1
+
+    def test_merge_delta_folds_histograms(self):
+        """The worker->supervisor folding protocol: merging per-worker
+        deltas gives the same histogram as observing locally."""
+        local = obs.Instrumentation()
+        for value in (0.1, 0.2, 0.4, 8.0):
+            local.observe("latency", value)
+
+        supervisor = obs.Instrumentation()
+        worker_a, worker_b = obs.Instrumentation(), obs.Instrumentation()
+        worker_a.observe("latency", 0.1)
+        worker_a.observe("latency", 0.2)
+        worker_b.observe("latency", 0.4)
+        worker_b.observe("latency", 8.0)
+        supervisor.merge_delta(worker_a.snapshot())
+        supervisor.merge_delta(worker_b.snapshot())
+
+        merged = supervisor.snapshot()["histograms"]["latency"]
+        direct = local.snapshot()["histograms"]["latency"]
+        assert merged == direct
+
+    def test_quantile_summary(self):
+        from repro.obs.metrics import summarize
+
+        inst = obs.Instrumentation()
+        for value in range(1, 101):
+            inst.observe("spread", float(value))
+        digest = summarize(inst.snapshot()["histograms"]["spread"])
+        assert digest["count"] == 100
+        assert abs(digest["mean"] - 50.5) < 1e-9
+        # bucket quantiles are approximate; log buckets bound the error
+        assert 30 <= digest["p50"] <= 70
+        assert digest["p90"] <= digest["p99"]
+
+    def test_disabled_records_nothing(self):
+        inst = obs.Instrumentation()
+        inst.enabled = False
+        inst.observe("latency", 1.0)
+        inst.gauge("rss", 42)
+        snap = inst.snapshot()
+        assert snap.get("histograms", {}) == {}
+        assert snap.get("gauges", {}) == {}
+
+    def test_stage_feeds_same_named_histogram(self):
+        inst = obs.Instrumentation()
+        with inst.stage("build"):
+            pass
+        snap = inst.snapshot()
+        assert snap["histograms"]["build"]["count"] == 1
+        assert "build" in snap["timers"]
+
+    def test_format_summary_includes_histogram_digest(self):
+        inst = obs.Instrumentation()
+        inst.observe("latency", 0.5)
+        text = obs.format_summary(inst.snapshot())
+        assert "latency" in text
+        assert "p99" in text
+
+
+class TestGauges:
+    def test_gauge_last_write_wins(self):
+        inst = obs.Instrumentation()
+        inst.gauge("rss_bytes", 100)
+        inst.gauge("rss_bytes", 250)
+        assert inst.snapshot()["gauges"]["rss_bytes"] == 250
+
+    def test_delta_since_reports_changed_gauges_only(self):
+        inst = obs.Instrumentation()
+        inst.gauge("stable", 7)
+        inst.gauge("moving", 1)
+        before = inst.snapshot()
+        inst.gauge("moving", 2)
+        delta = inst.delta_since(before)
+        assert delta.get("gauges") == {"moving": 2}
+
+    def test_merge_delta_overwrites_gauges(self):
+        inst = obs.Instrumentation()
+        inst.gauge("rss_bytes", 100)
+        inst.merge_delta({"gauges": {"rss_bytes": 999}})
+        assert inst.snapshot()["gauges"]["rss_bytes"] == 999
+
+
+class TestThreadSafety:
+    def test_concurrent_counts_sum_exactly(self):
+        import threading
+
+        inst = obs.Instrumentation()
+        rounds = 2000
+
+        def hammer():
+            for _ in range(rounds):
+                inst.count("hits")
+                inst.observe("values", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert inst.counters["hits"] == 4 * rounds
+        assert inst.snapshot()["histograms"]["values"]["count"] == 4 * rounds
+
+    def test_stage_reentrancy_is_per_thread(self):
+        """Two threads timing the same stage concurrently must each get
+        a frame (the reentrancy guard is thread-local, not global)."""
+        import threading
+
+        inst = obs.Instrumentation()
+        barrier = threading.Barrier(2)
+
+        def timed():
+            with inst.stage("work"):
+                barrier.wait(timeout=5)
+
+        threads = [threading.Thread(target=timed) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert inst.snapshot()["histograms"]["work"]["count"] == 2
+
+
 class TestEvaluationCounters:
     def test_formula_cache_hit_miss_counted(self, crash3):
         crash3.clear_caches()

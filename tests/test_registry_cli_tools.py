@@ -130,11 +130,16 @@ class TestCliTools:
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {
             "instrumentation", "system_cache", "disk_entries", "kernel",
-            "kernel_selections",
+            "kernel_selections", "tracer",
         }
         instrumentation = payload["instrumentation"]
-        assert set(instrumentation) == {"counters", "timers"}
+        assert set(instrumentation) == {
+            "counters", "timers", "histograms", "gauges"
+        }
         assert instrumentation["counters"]["system_cache_hits"] >= 1
         assert isinstance(payload["disk_entries"], list)
         assert payload["kernel"] in ("bitset", "chunked", "reference")
         assert isinstance(payload["kernel_selections"], list)
+        tracer = payload["tracer"]
+        assert tracer["capacity"] >= 1
+        assert "dropped" in tracer and "watermark" in tracer

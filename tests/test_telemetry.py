@@ -1,0 +1,312 @@
+"""Tests for the telemetry layer: the resource sampler
+(:mod:`repro.obs.resource`), the event journal schema
+(:mod:`repro.obs.journal`), and the Prometheus text exposition
+(:mod:`repro.obs.metrics`)."""
+
+import json
+import math
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.journal import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    TelemetryJournal,
+    fold_journal,
+    read_journal,
+    validate_event,
+    validate_journal,
+    worker_latency_quantiles,
+)
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    bucket_index,
+    prometheus_text,
+    quantile_from_values,
+    summarize,
+)
+from repro.obs.resource import ResourceSampler, read_sample
+
+
+class TestBuckets:
+    def test_bounds_are_strictly_increasing(self):
+        assert all(
+            a < b for a, b in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:])
+        )
+
+    def test_bucket_index_respects_bounds(self):
+        for value in (1e-9, 0.001, 1.0, 7.5, 1e6):
+            index = bucket_index(value)
+            if index < len(BUCKET_BOUNDS):
+                assert value <= BUCKET_BOUNDS[index]
+            if index > 0:
+                assert value > BUCKET_BOUNDS[index - 1]
+
+    def test_overflow_bucket(self):
+        assert bucket_index(float(2 ** 40)) == len(BUCKET_BOUNDS)
+
+    def test_quantile_from_values_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert quantile_from_values(values, 0.0) == 1.0
+        assert quantile_from_values(values, 1.0) == 4.0
+        assert quantile_from_values(values, 0.5) == pytest.approx(2.5)
+        assert quantile_from_values([], 0.5) == 0.0
+
+
+class TestResourceSampler:
+    def test_read_sample_shape(self):
+        sample = read_sample()
+        assert sample["rss_bytes"] > 0
+        assert sample["cpu_seconds"] >= 0.0
+        assert "ts" in sample and "perf" in sample
+        json.dumps(sample)  # heartbeat/journal-shippable as-is
+
+    def test_sampler_collects_and_sets_gauges(self):
+        inst = obs.Instrumentation()
+        seen = []
+        sampler = ResourceSampler(
+            interval=0.01, sink=inst, on_sample=seen.append
+        )
+        with sampler:
+            deadline = time.time() + 5.0
+            while not sampler.samples and time.time() < deadline:
+                time.sleep(0.01)
+        assert sampler.samples, "no sample within 5s"
+        assert seen
+        gauges = inst.snapshot()["gauges"]
+        assert gauges["rss_bytes"] > 0
+        assert gauges["cpu_seconds"] >= 0.0
+
+    def test_on_sample_errors_do_not_kill_sampler(self):
+        def boom(sample):
+            raise RuntimeError("sink failed")
+
+        sampler = ResourceSampler(interval=0.01, on_sample=boom)
+        with sampler:
+            deadline = time.time() + 5.0
+            while len(sampler.samples) < 2 and time.time() < deadline:
+                time.sleep(0.01)
+        assert len(sampler.samples) >= 2
+
+
+class TestJournalSchema:
+    def _valid(self, **overrides):
+        record = {
+            "v": SCHEMA_VERSION,
+            "seq": 0,
+            "ts": 1.5,
+            "event": "shard_done",
+            "shard": "s/1",
+            "worker": 42,
+            "attempt": 0,
+            "seconds": 0.25,
+            "bytes": 10,
+        }
+        record.update(overrides)
+        return record
+
+    def test_valid_event_has_no_problems(self):
+        assert validate_event(self._valid()) == []
+
+    def test_extra_fields_are_allowed(self):
+        assert validate_event(self._valid(custom="fine")) == []
+
+    def test_wrong_version_rejected(self):
+        problems = validate_event(self._valid(v=SCHEMA_VERSION + 1))
+        assert any("schema version" in p for p in problems)
+
+    def test_unknown_event_rejected(self):
+        problems = validate_event(self._valid(event="nope"))
+        assert any("unknown event" in p for p in problems)
+
+    def test_missing_required_field_rejected(self):
+        record = self._valid()
+        del record["worker"]
+        problems = validate_event(record)
+        assert any("missing required field 'worker'" in p for p in problems)
+
+    def test_wrong_field_type_rejected(self):
+        problems = validate_event(self._valid(shard=7))
+        assert any("field 'shard'" in p for p in problems)
+
+    def test_every_event_type_round_trips(self, tmp_path):
+        """An emitted instance of every registered event type validates."""
+        fillers = {str: "x", dict: {}, bool: True}
+        path = str(tmp_path / "telemetry.jsonl")
+        with TelemetryJournal(path, batch="b", experiment="EX") as journal:
+            for event, spec in EVENT_TYPES.items():
+                if event == "journal_open":
+                    continue  # emitted by the constructor
+                fields = {
+                    name: fillers.get(types[0], 1)
+                    for name, types in spec.items()
+                }
+                assert journal.emit(event, **fields) is not None
+        assert validate_journal(path) == []
+        events = [r["event"] for r in read_journal(path)]
+        assert set(events) == set(EVENT_TYPES)
+
+
+class TestJournalWriter:
+    def test_sequence_is_monotonic_and_validated(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        journal = TelemetryJournal(path, batch="b", experiment="EX")
+        seqs = [
+            journal.emit("shard_resumed", shard=f"s/{i}") for i in range(5)
+        ]
+        journal.close()
+        assert seqs == [1, 2, 3, 4, 5]  # seq 0 is journal_open
+        assert validate_journal(path) == []
+
+    def test_open_truncates_previous_run(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        with TelemetryJournal(path, batch="run1") as journal:
+            journal.emit("shard_resumed", shard="s/0")
+        with TelemetryJournal(path, batch="run2"):
+            pass
+        records = list(read_journal(path))
+        assert len(records) == 1
+        assert records[0]["batch"] == "run2"
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        journal = TelemetryJournal(str(tmp_path / "t.jsonl"), batch="b")
+        journal.close()
+        assert journal.emit("shard_resumed", shard="s/0") is None
+
+    def test_unserializable_payload_disables_journal(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        journal = TelemetryJournal(path, batch="b")
+        assert journal.emit("health", snapshot={"bad": object()}) is None
+        # disabled, not crashed: later emits are silently dropped
+        assert journal.emit("shard_resumed", shard="s/0") is None
+        assert validate_journal(path) == []  # journal_open alone is valid
+
+    def test_validate_flags_malformed_and_inverted_lines(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TelemetryJournal(path, batch="b") as journal:
+            journal.emit("shard_resumed", shard="s/0")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(
+                json.dumps(
+                    {"v": SCHEMA_VERSION, "seq": 0, "ts": 1.0,
+                     "event": "shard_resumed", "shard": "s/1"}
+                )
+                + "\n"
+            )
+        problems = validate_journal(path)
+        assert any("not valid JSON" in p for p in problems)
+        assert any("monotonically" in p for p in problems)
+
+    def test_empty_journal_is_a_problem(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        open(path, "w").close()
+        assert validate_journal(path) == ["journal holds no events"]
+
+
+class TestFoldJournal:
+    def test_fold_reconstructs_metrics_and_workers(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TelemetryJournal(path, batch="b", experiment="EX") as journal:
+            journal.emit(
+                "shard_started", shard="s/0", worker=7, attempt=0
+            )
+            journal.emit(
+                "resource_sample", scope="worker", worker=7,
+                rss_bytes=1000, cpu_seconds=0.5,
+            )
+            journal.emit(
+                "shard_done", shard="s/0", worker=7, attempt=0,
+                seconds=0.2, bytes=5,
+            )
+            journal.emit(
+                "counter_delta", scope="supervisor",
+                delta={"counters": {"exec_shards_completed": 1}},
+            )
+            journal.emit("batch_done", seconds=1.0, shards=1, ok=True)
+        folded = fold_journal(read_journal(path))
+        assert folded["meta"]["experiment"] == "EX"
+        assert folded["metrics"]["counters"]["exec_shards_completed"] == 1
+        worker = folded["workers"][7]
+        assert worker["shards_done"] == 1
+        assert worker["inflight"] is None
+        assert worker["last_sample"]["rss_bytes"] == 1000
+        quantiles = worker_latency_quantiles(worker)
+        assert quantiles["p50"] == pytest.approx(0.2)
+        assert quantiles["p95"] == pytest.approx(0.2)
+        assert folded["done"]["ok"] is True
+
+    def test_fold_tracks_inflight_shards(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with TelemetryJournal(path, batch="b") as journal:
+            journal.emit(
+                "shard_started", shard="s/9", worker=3, attempt=2
+            )
+        folded = fold_journal(read_journal(path))
+        inflight = folded["workers"][3]["inflight"]
+        assert inflight["shard"] == "s/9"
+        assert inflight["attempt"] == 2
+
+
+class TestPrometheusText:
+    def _summary(self):
+        inst = obs.Instrumentation()
+        inst.count("exec_shards_completed", 3)
+        inst.gauge("rss_bytes", 12345)
+        with inst.stage("build_system"):
+            pass
+        for value in (0.1, 0.2, 3.0):
+            inst.observe("exec_shard_seconds", value)
+        return inst.snapshot()
+
+    def test_counters_gauges_and_stage_totals(self):
+        text = prometheus_text(self._summary())
+        assert "# TYPE repro_exec_shards_completed_total counter" in text
+        assert "repro_exec_shards_completed_total 3" in text
+        assert "repro_rss_bytes 12345" in text
+        assert 'repro_stage_seconds_total{stage="build_system"}' in text
+
+    def test_histogram_exposition_is_cumulative_and_monotonic(self):
+        text = prometheus_text(self._summary())
+        counts = []
+        for line in text.splitlines():
+            if line.startswith("repro_exec_shard_seconds_bucket"):
+                counts.append(int(line.rsplit(" ", 1)[1]))
+        assert counts, "no bucket lines emitted"
+        assert counts == sorted(counts)  # cumulative => monotonic
+        assert counts[-1] == 3  # the +Inf bucket equals the count
+        assert "repro_exec_shard_seconds_count 3" in text
+        assert 'le="+Inf"' in text
+
+    def test_every_line_parses(self):
+        """Every non-comment line is `name{labels} value` with a finite
+        float value — the shape Prometheus' text parser requires."""
+        for line in prometheus_text(self._summary()).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name[0].isalpha()
+            assert math.isfinite(float(value))
+
+    def test_empty_summary_emits_comment_only(self):
+        text = prometheus_text(
+            {"counters": {}, "timers": {}, "histograms": {}, "gauges": {}}
+        )
+        assert text.startswith("#")
+
+    def test_metric_names_sanitized(self):
+        inst = obs.Instrumentation()
+        inst.count("weird-name.with:chars", 1)
+        text = prometheus_text(inst.snapshot())
+        assert "repro_weird_name_with_chars_total 1" in text
+
+
+class TestHistogramSummaries:
+    def test_summarize_handles_overflow_bucket(self):
+        inst = obs.Instrumentation()
+        inst.observe("huge", float(2 ** 40))
+        digest = summarize(inst.snapshot()["histograms"]["huge"])
+        assert digest["count"] == 1
+        assert digest["p50"] >= BUCKET_BOUNDS[-1]

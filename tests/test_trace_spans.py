@@ -72,6 +72,77 @@ class TestTracerCore:
         with pytest.raises(ValueError):
             Tracer(capacity=0)
 
+    def test_overflow_counts_dropped_spans(self):
+        from repro import obs
+
+        tracer = Tracer(capacity=4)
+        before = obs.snapshot()
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert tracer.dropped == 6
+        delta = obs.delta_since(before)
+        assert delta["counters"]["trace_spans_dropped"] == 6
+
+    def test_status_reports_buffer_state(self):
+        tracer = Tracer(capacity=4)
+        for index in range(6):
+            with tracer.span(f"s{index}"):
+                pass
+        status = tracer.status()
+        assert status["enabled"] is True
+        assert status["capacity"] == 4
+        assert status["buffered"] == 4
+        assert status["dropped"] == 2
+        assert status["watermark"] == tracer.watermark()
+
+    def test_module_tracer_status(self):
+        from repro.trace import tracer_status
+
+        status = tracer_status()
+        assert status["capacity"] >= 1
+        assert set(status) == {
+            "enabled", "capacity", "buffered", "open", "watermark", "dropped"
+        }
+
+
+class TestCounterTracks:
+    def test_counter_events_from_resource_samples(self):
+        from repro.trace import chrome_counter_events
+
+        samples = [
+            {"perf": 10.0, "rss_bytes": 2 << 20, "cpu_pct": 50.0},
+            {"perf": 11.0, "rss_bytes": 4 << 20, "cpu_pct": 25.0},
+            {"rss_bytes": 1},  # no perf timestamp: skipped
+        ]
+        events = chrome_counter_events(samples, epoch=10.0)
+        assert len(events) == 2
+        first, second = events
+        assert first["ph"] == "C"
+        assert first["ts"] == 0.0
+        assert second["ts"] == pytest.approx(1e6)
+        assert first["args"]["rss_mib"] == 2.0
+        assert second["args"]["cpu_pct"] == 25.0
+
+    def test_write_chrome_trace_grafts_extra_events(self, tmp_path):
+        from repro.trace import chrome_counter_events
+
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        counters = chrome_counter_events(
+            [{"perf": 0.0, "rss_bytes": 1 << 20, "cpu_pct": 1.0}],
+            epoch=0.0,
+        )
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(
+            tracer.collect(), path, extra_events=counters
+        )
+        payload = json.loads(open(path).read())
+        assert count == 2  # one span + one counter event
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert phases == {"X", "C"}
+
 
 class TestGraft:
     def _worker_spans(self):
