@@ -1,0 +1,72 @@
+"""Benchmarks for incremental horizon extension (extend vs rebuild).
+
+The acceptance criterion of the extension tentpole, measured directly on
+an E9-class cell (exhaustive omission ``n=3, t=1`` — the cell behind the
+omission non-termination experiment): growing the horizon-2 system to
+horizon 3 through ``extend_system`` must be **identical** to the fresh
+horizon-3 enumeration and measurably cheaper, because it pays one new
+round plus an amortized prefix remap instead of three rounds of
+simulation per scenario.
+
+The same A/B rides the bench-regression history through
+``benchmarks/regression.py`` (``extend_omission_h2_to_h3`` vs
+``enumerate_omission_system_h3``), so a regression in the incremental
+path fails CI via ``repro-eba bench-compare``.
+"""
+
+import time
+
+from repro.model.adversary import (
+    ExhaustiveCrashAdversary,
+    ExhaustiveOmissionAdversary,
+)
+from repro.model.system import build_system, extend_system
+
+
+def _best_of(callable_, rounds=3):
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_extend_beats_rebuild_on_e9_cell():
+    """Acceptance: extending omission (3,1) h=2 -> h=3 must beat a fresh
+    h=3 enumeration while producing the identical system."""
+    base = build_system(ExhaustiveOmissionAdversary(3, 1, 2))
+    adversary = ExhaustiveOmissionAdversary(3, 1, 3)
+
+    fresh = build_system(adversary)
+    extended = extend_system(base, adversary)
+    assert [r.scenario_key() for r in extended.runs] == [
+        r.scenario_key() for r in fresh.runs
+    ]
+    assert [r.views for r in extended.runs] == [r.views for r in fresh.runs]
+    assert extended.table.export_entries() == fresh.table.export_entries()
+
+    rebuild_seconds = _best_of(lambda: build_system(adversary))
+    extend_seconds = _best_of(lambda: extend_system(base, adversary))
+    assert extend_seconds < rebuild_seconds, (
+        f"extension {extend_seconds:.3f}s not cheaper than fresh "
+        f"rebuild {rebuild_seconds:.3f}s"
+    )
+
+
+def test_extend_streaming_rounds_stay_incremental(benchmark):
+    """One monitor-style streaming pass: crash (3,1) grown 1 -> 4 round
+    by round, timed end to end under the benchmark fixture."""
+
+    def stream():
+        system = build_system(ExhaustiveCrashAdversary(3, 1, 1))
+        for horizon in (2, 3, 4):
+            system = extend_system(
+                system, ExhaustiveCrashAdversary(3, 1, horizon)
+            )
+        return system
+
+    system = benchmark.pedantic(stream, rounds=1, iterations=1)
+    assert system.horizon == 4
+    benchmark.extra_info["runs"] = len(system.runs)
+    benchmark.extra_info["views"] = len(system.table)

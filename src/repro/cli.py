@@ -21,6 +21,8 @@ Usage::
     repro-eba batch top E9 --once  # one frame, for scripts and CI
     repro-eba metrics              # Prometheus text of this process
     repro-eba metrics --journal PATH   # fold a telemetry.jsonl instead
+    repro-eba monitor --config 011 --crash 0:1 --rounds 3
+                                   # stream a scenario; online K/E/C□
 
 Experiment ids are normalized (``E04``, ``e4`` and ``4`` all mean
 ``E4``).  ``batch run`` executes an experiment through the sharded,
@@ -64,7 +66,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .errors import ReproError
 from .experiments.registry import EXPERIMENTS, run_experiment
@@ -679,6 +681,90 @@ def _cmd_diagram(
     return 0
 
 
+def _parse_recv_omit_specs(specs: List[str]):
+    """Parse repeated ``P:K:S1,S2`` into {processor: ReceiveOmissionBehavior}."""
+    from .model.failures import ReceiveOmissionBehavior
+
+    tables: Dict[int, Dict[int, List[int]]] = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise ReproError(
+                f"bad --recv-omit spec {spec!r}; expected P:K:S1,S2"
+            )
+        processor = int(parts[0])
+        round_number = int(parts[1])
+        senders = [int(s) for s in parts[2].split(",") if s]
+        table = tables.setdefault(processor, {})
+        table.setdefault(round_number, []).extend(senders)
+    return {
+        processor: ReceiveOmissionBehavior(table)
+        for processor, table in tables.items()
+    }
+
+
+def _cmd_monitor(
+    mode: str,
+    n: int,
+    t: int,
+    config_bits: str,
+    crash_specs: List[str],
+    omit_specs: List[str],
+    recv_omit_specs: List[str],
+    rounds: int,
+    value: int,
+    journal_path: Optional[str],
+) -> int:
+    """Stream one scenario round by round with online K/E/C□ verdicts."""
+    from .model.config import InitialConfiguration
+    from .model.failures import FailureMode, FailurePattern
+    from .sim.monitor import StreamingMonitor
+
+    config = InitialConfiguration([int(bit) for bit in config_bits])
+    if config.n != n:
+        raise ReproError(
+            f"--config {config_bits!r} has {config.n} bits but n={n}"
+        )
+    pattern = _build_pattern(crash_specs, omit_specs)
+    if recv_omit_specs:
+        behaviors = dict(pattern.behaviors)
+        behaviors.update(_parse_recv_omit_specs(recv_omit_specs))
+        pattern = FailurePattern(behaviors)
+    journal = None
+    if journal_path is not None:
+        from .obs.journal import TelemetryJournal
+
+        journal = TelemetryJournal(
+            journal_path, batch="monitor", experiment="monitor"
+        )
+    monitor = StreamingMonitor(
+        FailureMode(mode), n, t, config, pattern,
+        value=value, journal=journal,
+    )
+    print(
+        f"monitoring {mode} n={n} t={t} config={config_bits} "
+        f"value={value} — {pattern}"
+    )
+    for _ in range(rounds):
+        record = monitor.advance()
+        verdicts = record["verdicts"]
+        knows = " ".join(
+            f"{p}:{'yes' if known else 'no'}"
+            for p, known in enumerate(verdicts["knows"])
+        )
+        print(
+            f"round {record['round']:>2}  "
+            f"K∃{value}: {knows}   "
+            f"E∃{value}: {'yes' if verdicts['everyone'] else 'no'}   "
+            f"C□∃{value}: {'yes' if verdicts['continual_common'] else 'no'}"
+            f"   ({record['seconds']:.3f}s)"
+        )
+    if journal is not None:
+        journal.close()
+        print(f"journal: {journal_path}")
+    return 0
+
+
 def _parse_batch_params(specs: List[str]) -> Dict[str, int]:
     """Parse repeated ``--param key=value`` overrides (integer values)."""
     params: Dict[str, int] = {}
@@ -945,6 +1031,43 @@ def _dispatch(argv: List[str] = None) -> int:
         "--stats", action="store_true",
         help="print instrumentation totals after the diagram",
     )
+    monitor_parser = subparsers.add_parser(
+        "monitor",
+        help="stream one scenario round by round with online K/E/C□ "
+        "verdicts (incremental horizon extension)",
+    )
+    monitor_parser.add_argument(
+        "--mode", default="crash",
+        choices=["crash", "omission", "receive-omission"],
+    )
+    monitor_parser.add_argument("-n", type=int, default=3)
+    monitor_parser.add_argument("-t", type=int, default=1)
+    monitor_parser.add_argument("--config", required=True,
+                                help="initial values, e.g. 011")
+    monitor_parser.add_argument("--crash", action="append", default=[],
+                                metavar="P:K[:R1,R2]")
+    monitor_parser.add_argument("--omit", action="append", default=[],
+                                metavar="P:K:D1,D2")
+    monitor_parser.add_argument(
+        "--recv-omit", action="append", default=[], metavar="P:K:S1,S2",
+        help="receive-omission: P misses round-K messages from S1,S2",
+    )
+    monitor_parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="how many rounds to feed (default 3)",
+    )
+    monitor_parser.add_argument(
+        "--value", type=int, default=1,
+        help="monitor ∃value (default 1)",
+    )
+    monitor_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write one monitor_round telemetry event per round to PATH",
+    )
+    monitor_parser.add_argument(
+        "--stats", action="store_true",
+        help="print instrumentation totals after the session",
+    )
     batch_parser = subparsers.add_parser(
         "batch",
         help="sharded, checkpointed experiment execution (repro.exec)",
@@ -1029,6 +1152,12 @@ def _dispatch(argv: List[str] = None) -> int:
         status = _cmd_diagram(
             args.name, args.mode, args.n, args.t, args.config,
             args.crash, args.omit,
+        )
+    elif args.command == "monitor":
+        status = _cmd_monitor(
+            args.mode, args.n, args.t, args.config, args.crash,
+            args.omit, args.recv_omit, args.rounds, args.value,
+            args.journal,
         )
     else:
         status = _cmd_run(

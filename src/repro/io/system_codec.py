@@ -147,21 +147,30 @@ PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 def dump_system_pickle(system: System, path: str) -> None:
     """Write *system* to *path* as a pickle sidecar.
 
-    Evaluation caches and the bitset index are detached for the dump (they
-    are derived state, can be huge, and are keyed by objects that need not
-    pickle) and restored afterwards, so dumping never perturbs the live
-    instance.
+    Evaluation caches and the packed-kernel indexes are detached for the
+    dump (they are derived state, can be huge, and are keyed by objects
+    that need not pickle) and restored afterwards, so dumping never
+    perturbs the live instance.  Detaching the chunked index also makes
+    cache stamps *extension-aware*: a system produced by
+    :func:`~repro.model.system.extend_system` carries a pre-seeded
+    ``_chunked_index``, and stripping it keeps the sidecar byte-identical
+    to one written from a fresh build of the same cell — the on-disk
+    payload depends only on ``(mode, n, t, horizon)`` and the codec and
+    library versions in the filename stamp, never on how the system was
+    produced.
     """
     detached = (
         system._formula_cache,
         system._nonrigid_cache,
         system._components_cache,
         system._bitset_index,
+        system._chunked_index,
     )
     system._formula_cache = {}
     system._nonrigid_cache = {}
     system._components_cache = {}
     system._bitset_index = None
+    system._chunked_index = None
     try:
         with open(path, "wb") as handle:
             pickle.dump(system, handle, protocol=PICKLE_PROTOCOL)
@@ -171,6 +180,7 @@ def dump_system_pickle(system: System, path: str) -> None:
             system._nonrigid_cache,
             system._components_cache,
             system._bitset_index,
+            system._chunked_index,
         ) = detached
 
 

@@ -55,6 +55,7 @@ from contextlib import contextmanager
 from typing import Callable, Container, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs, trace
+from ..errors import ConfigurationError
 from .system import System, TruthAssignment
 from .views import ViewId
 
@@ -537,6 +538,7 @@ class ChunkedIndex:
         "_rstarts",
         "_sizes",
         "_limb_groups_cache",
+        "fresh_limbs",
     )
 
     def __init__(self, system: "System") -> None:
@@ -568,6 +570,10 @@ class ChunkedIndex:
         self._limb_groups_cache: List[Optional[Dict[int, List[int]]]] = (
             [None] * n
         )
+        #: When this index was produced by :meth:`extend_points`, the sorted
+        #: limb indices containing the extension's new (time == horizon)
+        #: points — the dirty-limb frontier seeded by one horizon step.
+        self.fresh_limbs: Optional[List[int]] = None
 
     # -- shape helpers -----------------------------------------------------
 
@@ -646,6 +652,46 @@ class ChunkedIndex:
                         np.array(starts[p], dtype=np.int64)
                     )
         self._groups_built = True
+
+    def extend_points(self, extended: "System") -> "ChunkedIndex":
+        """The index of *extended*, the one-round extension of this system.
+
+        Growing the horizon changes ``width = horizon + 1``, which
+        relocates **every** bit position (``run * width + time``), and the
+        extension's scenario enumeration interleaves brand-new failure
+        patterns among the old ones, permuting run indices — so the limb
+        geometry and group tables cannot be widened in place; they are
+        rebuilt in one pass over the extended system's state index
+        (eagerly iff this index had already paid for its group tables,
+        so a never-swept index stays lazy).  What the extension *does*
+        carry over is the frontier: the limbs holding the new
+        ``time == horizon`` points (``fresh_limbs``), exactly the dirty
+        set one horizon step seeds into the sparse fixpoint machinery
+        (:meth:`fixpoint`'s dirty-limb path), and the observability
+        hook for how localized the delta is.
+        """
+        if extended.horizon != self.system.horizon + 1:
+            raise ConfigurationError(
+                f"extend_points: extended horizon {extended.horizon} is not "
+                f"{self.system.horizon} + 1"
+            )
+        with trace.span(
+            "chunked_extend_points", runs=len(extended.runs)
+        ):
+            new_index = ChunkedIndex(extended)
+            if self._groups_built:
+                new_index._ensure_groups()
+            width = new_index.width
+            fresh = sorted(
+                {
+                    (run_index * width + (width - 1)) >> 6
+                    for run_index in range(new_index.num_runs)
+                }
+            )
+            new_index.fresh_limbs = fresh
+        obs.count("chunked_extends")
+        obs.observe("chunked_extend_fresh_limbs", len(fresh))
+        return new_index
 
     def _limb_groups(self, processor: int) -> Dict[int, List[int]]:
         """Lazily built limb→group-ids map (the frontier index)."""

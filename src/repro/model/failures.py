@@ -478,3 +478,49 @@ def make_pattern(
                     f"behaviour {behavior!r} is not a {mode} behaviour"
                 )
     return pattern
+
+
+def _truncate_behavior(
+    behavior: FaultyBehavior, horizon: int
+) -> FaultyBehavior:
+    """*behavior* with every entry after *horizon* removed."""
+    if isinstance(behavior, CrashBehavior):
+        return behavior
+    if isinstance(behavior, OmissionBehavior):
+        return OmissionBehavior(
+            [(r, s) for r, s in behavior.omissions if r <= horizon]
+        )
+    if isinstance(behavior, ReceiveOmissionBehavior):
+        return ReceiveOmissionBehavior(
+            [(r, s) for r, s in behavior.omissions if r <= horizon]
+        )
+    if isinstance(behavior, GeneralOmissionBehavior):
+        return GeneralOmissionBehavior(
+            [(r, s) for r, s in behavior.send_omissions if r <= horizon],
+            [(r, s) for r, s in behavior.receive_omissions if r <= horizon],
+        )
+    raise ConfigurationError(f"unknown faulty behaviour: {behavior!r}")
+
+
+def truncate_pattern(
+    pattern: FailurePattern, horizon: int, n: int
+) -> FailurePattern:
+    """Restrict *pattern* to its observable prefix of length *horizon*.
+
+    Deliveries in rounds ``1..horizon`` are identical under the original
+    and the truncated pattern, and processors whose behaviour causes no
+    omission within the horizon (``is_visible_within``) are dropped
+    entirely — so truncating a canonical horizon-``h+1`` adversary pattern
+    always lands on a canonical horizon-``h`` pattern (or ``NO_FAILURES``).
+    This is the bridge incremental system extension walks: the horizon-``h``
+    run a new scenario shares its first ``h`` rounds with is the run of the
+    truncated pattern.
+    """
+    surviving = []
+    for processor, behavior in pattern.behaviors:
+        if not behavior.is_visible_within(horizon, n, processor):
+            continue
+        surviving.append((processor, _truncate_behavior(behavior, horizon)))
+    if not surviving:
+        return NO_FAILURES
+    return FailurePattern(surviving)

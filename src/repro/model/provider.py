@@ -38,11 +38,16 @@ from ..errors import ConfigurationError
 from .adversary import exhaustive_adversary
 from .config import InitialConfiguration
 from .failures import FailureMode
-from .system import System, build_system
+from .system import System, build_system, extend_system
 
 #: Default bound on the in-memory layer.  Systems are large; a handful of
 #: parameter cells covers every experiment in the suite.
 DEFAULT_MAX_MEMORY_ENTRIES = 16
+
+#: Default bound on the in-memory arrays layer.  Array projections are much
+#: smaller than systems but accounted separately — arrays pressure must
+#: never evict a hot system (and vice versa).
+DEFAULT_MAX_ARRAYS_ENTRIES = 8
 
 CacheKey = Tuple[str, int, int, int]
 
@@ -72,6 +77,7 @@ class SystemProvider:
         self,
         *,
         max_memory_entries: int = DEFAULT_MAX_MEMORY_ENTRIES,
+        max_arrays_entries: int = DEFAULT_MAX_ARRAYS_ENTRIES,
         cache_dir: Optional[str] = None,
         disk_cache: Optional[bool] = None,
     ) -> None:
@@ -79,13 +85,23 @@ class SystemProvider:
             raise ConfigurationError(
                 f"need max_memory_entries >= 1, got {max_memory_entries}"
             )
+        if max_arrays_entries < 1:
+            raise ConfigurationError(
+                f"need max_arrays_entries >= 1, got {max_arrays_entries}"
+            )
         self.max_memory_entries = max_memory_entries
+        self.max_arrays_entries = max_arrays_entries
         self._cache_dir = cache_dir
         self._disk_cache = disk_cache
         self._memory: "OrderedDict[CacheKey, System]" = OrderedDict()
+        # Arrays live in their own accounted LRU: sharing the system
+        # OrderedDict (the old design) conflated the hit/size/eviction
+        # counters and let arrays pressure evict hot systems.
+        self._arrays_memory: "OrderedDict[CacheKey, object]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._arrays_evictions = 0
         self._disk_hits = 0
         self._disk_misses = 0
         self._disk_prunes = 0
@@ -178,16 +194,16 @@ class SystemProvider:
         cheaper than unpickling the ``Run`` objects on the big cells —
         and otherwise projects the full system (through :meth:`get`,
         populating the regular layers on the way) and writes the sidecar
-        for the next process.  Array projections ride the same memory
-        LRU budget as systems, under an ``("arrays", ...)``-tagged key.
+        for the next process.  Array projections are memoized in their
+        own bounded LRU (``max_arrays_entries``), accounted separately
+        from systems.
         """
         from .partition import SystemArrays
 
         key: CacheKey = (mode.value, n, t, horizon)
-        memo_key = ("arrays",) + key
-        cached = self._memory.get(memo_key)  # type: ignore[arg-type]
+        cached = self._arrays_memory.get(key)
         if cached is not None:
-            self._memory.move_to_end(memo_key)  # type: ignore[arg-type]
+            self._arrays_memory.move_to_end(key)
             obs.count("arrays_cache_hits")
             return cached
         arrays = None
@@ -204,7 +220,7 @@ class SystemProvider:
             system = self.get(mode, n, t, horizon)
             arrays = SystemArrays.from_system(system)
             self._store_arrays(key, arrays)
-        self._remember(memo_key, arrays)  # type: ignore[arg-type]
+        self._remember_arrays(key, arrays)
         return arrays
 
     def _store_arrays(self, key: CacheKey, arrays) -> None:
@@ -226,6 +242,17 @@ class SystemProvider:
                 finally:
                     if os.path.exists(temp_path):
                         os.unlink(temp_path)
+            # Same keep-set discipline as _store_to_disk: an arrays-only
+            # workflow (get_arrays over a warm system cache) must not leak
+            # old-version .npz siblings after a codec or numpy bump.
+            self._prune_stale(
+                key,
+                keep={
+                    os.path.basename(self._cache_path(key)),
+                    os.path.basename(self._pickle_path(key)),
+                    os.path.basename(path),
+                },
+            )
         except Exception:
             # Same contract as the other layers: caching must never
             # break evaluation (read-only disk, python backend, ...).
@@ -273,6 +300,63 @@ class SystemProvider:
         self._remember(key, system)
         return system
 
+    def extend(
+        self, mode: FailureMode, n: int, t: int, horizon: int
+    ) -> System:
+        """The cell's system, grown incrementally from a shallower cell.
+
+        Scans horizons ``horizon-1 .. 1`` for the deepest available base —
+        the in-memory LRU first, then a current-version disk file — and
+        extends it round by round through
+        :func:`~repro.model.system.extend_system`, which is identical to a
+        fresh build but pays only one new round (plus an amortized prefix
+        remap) per step.  Every intermediate horizon is remembered in the
+        LRU, so a streaming monitor advancing one round at a time always
+        extends from the previous round.  Only the target cell is written
+        to disk.  With no shallower cell cached this degrades to
+        :meth:`get`.
+        """
+        key: CacheKey = (mode.value, n, t, horizon)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            self._hits += 1
+            obs.count("system_cache_hits")
+            return cached
+        base: Optional[System] = None
+        base_horizon = 0
+        for h0 in range(horizon - 1, 0, -1):
+            base_key: CacheKey = (mode.value, n, t, h0)
+            base = self._memory.get(base_key)
+            if base is not None:
+                self._memory.move_to_end(base_key)
+                base_horizon = h0
+                break
+            if self.has_current_cell(mode, n, t, h0):
+                base = self.get(mode, n, t, h0)
+                base_horizon = h0
+                break
+        if base is None:
+            return self.get(mode, n, t, horizon)
+        self._misses += 1
+        obs.count("system_cache_misses")
+        with trace.span(
+            "provider.extend",
+            mode=mode.value,
+            n=n,
+            t=t,
+            horizon=horizon,
+            base_horizon=base_horizon,
+        ):
+            system = base
+            for next_horizon in range(base_horizon + 1, horizon + 1):
+                adversary = exhaustive_adversary(mode, n, t, next_horizon)
+                system = extend_system(system, adversary)
+                obs.count("system_extends")
+                self._remember((mode.value, n, t, next_horizon), system)
+            self._store_to_disk(key, system)
+        return system
+
     def _build(
         self,
         mode: FailureMode,
@@ -292,6 +376,14 @@ class SystemProvider:
             self._memory.popitem(last=False)
             self._evictions += 1
             obs.count("system_cache_evictions")
+
+    def _remember_arrays(self, key: CacheKey, arrays) -> None:
+        self._arrays_memory[key] = arrays
+        self._arrays_memory.move_to_end(key)
+        while len(self._arrays_memory) > self.max_arrays_entries:
+            self._arrays_memory.popitem(last=False)
+            self._arrays_evictions += 1
+            obs.count("arrays_cache_evictions")
 
     # -- disk layer --------------------------------------------------------
 
@@ -354,6 +446,17 @@ class SystemProvider:
                     f"pickle sidecar {path} holds a different system"
                 )
         except Exception:
+            # A sidecar that fails to load (truncated by a crashed run,
+            # or holding the wrong system) would otherwise linger forever:
+            # _store_pickle early-returns when the path exists, so it was
+            # never repaired.  Delete it here so the next store — the JSON
+            # backfill a few frames up, or the next fresh build — rewrites
+            # a good one.
+            try:
+                os.unlink(path)
+                obs.count("pickle_cache_repairs")
+            except OSError:
+                pass
             return None
         obs.count("pickle_cache_hits")
         return system
@@ -456,6 +559,9 @@ class SystemProvider:
             "size": len(self._memory),
             "max_size": self.max_memory_entries,
             "evictions": self._evictions,
+            "arrays_size": len(self._arrays_memory),
+            "arrays_max_size": self.max_arrays_entries,
+            "arrays_evictions": self._arrays_evictions,
             "disk_hits": self._disk_hits,
             "disk_misses": self._disk_misses,
             "disk_prunes": self._disk_prunes,
@@ -511,12 +617,16 @@ class SystemProvider:
             disk: Also delete the on-disk cache files.
 
         Returns:
-            ``{"evicted": ..., "disk_files_removed": ...}`` — how many
-            in-memory entries and disk files were dropped by this call.
+            ``{"evicted": ..., "arrays_evicted": ..., "disk_files_removed":
+            ...}`` — how many in-memory systems, in-memory array
+            projections and disk files were dropped by this call.
         """
         evicted = len(self._memory)
         self._memory.clear()
         self._evictions += evicted
+        arrays_evicted = len(self._arrays_memory)
+        self._arrays_memory.clear()
+        self._arrays_evictions += arrays_evicted
         removed = 0
         if disk and os.path.isdir(self.cache_dir):
             for entry in self.disk_entries():
@@ -525,7 +635,11 @@ class SystemProvider:
                     removed += 1
                 except OSError:
                     pass
-        return {"evicted": evicted, "disk_files_removed": removed}
+        return {
+            "evicted": evicted,
+            "arrays_evicted": arrays_evicted,
+            "disk_files_removed": removed,
+        }
 
 
 #: The process-wide provider used by :mod:`repro.model.builder`.

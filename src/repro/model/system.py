@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time as _time
 from typing import Callable, Container, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs, trace
@@ -24,7 +25,7 @@ from ..errors import ConfigurationError, EvaluationError
 from . import kernels
 from .adversary import Adversary
 from .config import InitialConfiguration, all_configurations
-from .failures import FailureMode, FailurePattern, ProcessorId
+from .failures import FailureMode, FailurePattern, ProcessorId, truncate_pattern
 from .runs import Run, build_run
 from .views import ViewId, ViewTable, merge_entries
 
@@ -716,6 +717,24 @@ def _build_chunk(args):
     return table.export_entries(), runs, obs.delta_since(obs_before), spans
 
 
+def _graft_offset(build_span) -> float:
+    """Timeline offset for grafting worker spans under *build_span*.
+
+    Worker spans are exported relative to their chunk's start, so the
+    graft must shift them to the parent build span's start.  When the
+    tracer dropped the parent span (tracing toggled mid-build, or the
+    ring buffer rejected it) the yielded null span has no ``start``
+    attribute — falling back to ``0.0`` would pin every worker timeline
+    to the tracer epoch, corrupting Chrome-trace exports.  Fall back to
+    the tracer clock instead: "now" is when the graft happens, which at
+    least keeps worker spans in the present.
+    """
+    start = getattr(build_span, "start", None)
+    if start is None:
+        return _time.perf_counter() - trace.TRACER.epoch
+    return float(start)
+
+
 def _build_runs_parallel(
     scenarios: List[Tuple[InitialConfiguration, FailurePattern]],
     horizon: int,
@@ -747,7 +766,7 @@ def _build_runs_parallel(
                 _build_chunk, [(chunk, horizon) for chunk in chunks]
             )
         parent_id = trace.TRACER.current_span_id()
-        offset = getattr(build_span, "start", 0.0)
+        offset = _graft_offset(build_span)
         runs: List[Run] = []
         for entries, chunk_runs, worker_delta, worker_spans in results:
             obs.merge_delta(worker_delta)
@@ -835,3 +854,177 @@ def build_system(
         build_span.set("views_interned", len(table) - views_before)
     obs.count("views_interned", len(table) - views_before)
     return system
+
+
+def _remap_run_prefix(
+    old_run: Run,
+    old_table: ViewTable,
+    new_table: ViewTable,
+    memo: Dict[ViewId, ViewId],
+) -> List[List[ViewId]]:
+    """Re-intern *old_run*'s view rows into *new_table*, time-major.
+
+    *memo* maps old view ids to new ones and is shared across all runs of
+    an extension, so views common to several prefixes are translated once.
+    Walking rows oldest-first guarantees every referenced id (the owner's
+    previous view, the senders' carried views — all one time step earlier)
+    is already in the memo when an unseen view arrives, and reproduces the
+    exact first-appearance interning order of a fresh build.
+
+    Rows come back as lists: each extended run tuples its own copies, so
+    sibling runs sharing a prefix do not alias row objects — a fresh build
+    never aliases across runs, and aliasing would make the extended
+    system's pickle diverge byte-wise from a fresh one.
+    """
+    rows: List[List[ViewId]] = []
+    for row in old_run.views:
+        new_row = []
+        for old_id in row:
+            new_id = memo.get(old_id)
+            if new_id is None:
+                info = old_table.info(old_id)
+                if info.previous is None:
+                    new_id = new_table.leaf(info.processor, info.initial_value)
+                else:
+                    new_id = new_table.intern_node(
+                        memo[info.previous],
+                        tuple((s, memo[sv]) for s, sv in info.heard_from),
+                    )
+                memo[old_id] = new_id
+            new_row.append(new_id)
+        rows.append(new_row)
+    return rows
+
+
+def extend_system(system: System, adversary: Adversary) -> System:
+    """Grow *system* by one round: the horizon-``h+1`` system of *adversary*.
+
+    Instead of re-simulating every scenario from time 0, each new scenario
+    is resolved to the horizon-``h`` run it shares its first ``h`` rounds
+    with — the run of the *truncated* pattern (see
+    :func:`repro.model.failures.truncate_pattern`) — whose view rows are
+    re-interned into the new table and extended by a single round.  The
+    per-scenario cost is one round of message filtering plus an amortized
+    prefix remap (each distinct horizon-``h`` run is remapped once, however
+    many extended scenarios share it), instead of ``h+1`` rounds of
+    simulation.
+
+    The result is **identical** to ``build_system(adversary)`` — same run
+    order, same view-id assignment, same deliveries — because scenarios are
+    walked in the fresh builder's enumeration order and views are interned
+    time-major per run, which is exactly the fresh builder's
+    first-appearance order (scenarios sharing a truncation have identical
+    prefix rows, so re-interning them is a no-op past the first).
+
+    Returns a **new** :class:`System`; *system* and its caches are left
+    untouched.  When *system* carries a built chunked index, the new
+    system's index is pre-seeded via
+    :meth:`repro.model.chunked.ChunkedIndex.extend_points`.
+    """
+    n, t, new_horizon = adversary.n, adversary.t, adversary.horizon
+    if (n, t) != (system.n, system.t):
+        raise ConfigurationError(
+            f"adversary is (n={n}, t={t}) but system is "
+            f"(n={system.n}, t={system.t})"
+        )
+    if new_horizon != system.horizon + 1:
+        raise ConfigurationError(
+            f"can only extend horizon {system.horizon} to "
+            f"{system.horizon + 1}, adversary has horizon {new_horizon}"
+        )
+    if adversary.mode is not system.mode:
+        raise ConfigurationError(
+            f"adversary mode {adversary.mode} != system mode {system.mode}"
+        )
+    patterns = list(adversary.patterns())
+    for pattern in patterns:
+        pattern.validate(n, t)
+    config_list = list(all_configurations(n))
+    # Everything that depends only on the pattern — its observable
+    # truncation, who hears whom in the new round, the nonfaulty set — is
+    # hoisted out of the config loop: each pattern recurs once per
+    # configuration, so computing these per scenario would redo the work
+    # ``len(config_list)`` times over.
+    per_pattern = []
+    for pattern in patterns:
+        truncated = truncate_pattern(pattern, system.horizon, n)
+        senders_by_receiver = [
+            tuple(
+                sender
+                for sender in range(n)
+                if sender != receiver
+                and pattern.delivered(sender, receiver, new_horizon)
+            )
+            for receiver in range(n)
+        ]
+        per_pattern.append(
+            (pattern, truncated, senders_by_receiver, pattern.nonfaulty(n))
+        )
+    table = ViewTable()
+    memo: Dict[ViewId, ViewId] = {}
+    prefix_cache: Dict[int, List[List[ViewId]]] = {}
+    old_table = system.table
+    runs: List[Run] = []
+    with obs.stage("extend_system"), trace.span(
+        "extend_system",
+        mode=None if adversary.mode is None else adversary.mode.value,
+        n=n,
+        t=t,
+        horizon=new_horizon,
+        scenarios=len(config_list) * len(patterns),
+    ) as build_span:
+        for config in config_list:
+            for pattern, truncated, senders_by_receiver, nonfaulty in (
+                per_pattern
+            ):
+                old_index = system._scenario_index.get((config, truncated))
+                if old_index is None:
+                    raise ConfigurationError(
+                        f"cannot extend: scenario {config} / {truncated} "
+                        f"(truncation of {pattern}) not in the base system"
+                    )
+                rows = prefix_cache.get(old_index)
+                if rows is None:
+                    rows = _remap_run_prefix(
+                        system.runs[old_index], old_table, table, memo
+                    )
+                    prefix_cache[old_index] = rows
+                current = rows[-1]
+                delivered_per_receiver: List[FrozenSet[ProcessorId]] = []
+                next_views: List[ViewId] = []
+                for receiver in range(n):
+                    heard: Dict[ProcessorId, ViewId] = {
+                        sender: current[sender]
+                        for sender in senders_by_receiver[receiver]
+                    }
+                    delivered_per_receiver.append(frozenset(heard))
+                    next_views.append(table.extend(current[receiver], heard))
+                old_run = system.runs[old_index]
+                # Per-run copies of shared prefix structures: a fresh build
+                # never aliases views/deliveries/nonfaulty across runs, and
+                # byte-level pickle parity depends on the same object graph.
+                runs.append(
+                    Run(
+                        config=config,
+                        pattern=pattern,
+                        horizon=new_horizon,
+                        views=[tuple(row) for row in rows]
+                        + [tuple(next_views)],
+                        nonfaulty=frozenset(set(nonfaulty)),
+                        deliveries=[
+                            tuple(frozenset(set(s)) for s in round_deliveries)
+                            for round_deliveries in old_run.deliveries
+                        ]
+                        + [tuple(delivered_per_receiver)],
+                    )
+                )
+        obs.count("runs_extended", len(runs))
+        with trace.span("index_system", runs=len(runs)):
+            new_system = System(n, t, new_horizon, runs, table, adversary.mode)
+        build_span.set("views_interned", len(table))
+        build_span.set("prefix_runs_reused", len(prefix_cache))
+    obs.count("views_interned", len(table))
+    old_chunked = system._chunked_index
+    if old_chunked is not None:
+        new_system._chunked_index = old_chunked.extend_points(new_system)
+    return new_system

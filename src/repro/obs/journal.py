@@ -86,6 +86,12 @@ EVENT_TYPES: Dict[str, Dict[str, Any]] = {
     "span_summary": {"name": (str,), "spans": _NUMBER, "seconds": _NUMBER},
     "health": {"snapshot": (dict,)},
     "batch_done": {"seconds": _NUMBER, "shards": _NUMBER, "ok": (bool,)},
+    "monitor_round": {
+        "round": _NUMBER,
+        "horizon": _NUMBER,
+        "seconds": _NUMBER,
+        "verdicts": (dict,),
+    },
 }
 
 

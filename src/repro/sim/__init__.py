@@ -1,11 +1,15 @@
-"""Synchronous round-based execution of concrete protocols."""
+"""Synchronous round-based execution of concrete protocols, plus the
+streaming knowledge monitor."""
 
 from .engine import execute, run_over_scenarios, traces_over_scenarios
+from .monitor import StreamingMonitor, monitor_scenario
 from .trace import Trace
 
 __all__ = [
+    "StreamingMonitor",
     "Trace",
     "execute",
+    "monitor_scenario",
     "run_over_scenarios",
     "traces_over_scenarios",
 ]

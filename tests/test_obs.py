@@ -342,3 +342,32 @@ class TestCliStats:
         assert "instrumentation (this process):" in out
         assert "system cache:" in out
         assert "disk cache inventory" in out
+
+
+class TestGraftOffset:
+    """Regression: parallel-build span grafting when the parent span was
+    dropped (tracer ring overflow / disabled tracer hands out the null
+    span).  The offset must come from the tracer clock, never default to
+    0.0 — a zero offset grafts every worker span at the epoch, corrupting
+    the timeline."""
+
+    def test_null_parent_uses_tracer_clock(self):
+        import time
+
+        from repro import trace
+        from repro.model.system import _graft_offset
+        from repro.trace import _NULL_SPAN
+
+        before = time.perf_counter() - trace.TRACER.epoch
+        offset = _graft_offset(_NULL_SPAN)
+        after = time.perf_counter() - trace.TRACER.epoch
+        # Pre-fix this returned 0.0; the process has been alive longer.
+        assert before <= offset <= after
+        assert offset > 0.0
+
+    def test_real_parent_span_keeps_its_start(self):
+        from repro import trace
+        from repro.model.system import _graft_offset
+
+        with trace.span("parent") as parent:
+            assert _graft_offset(parent) == parent.start

@@ -372,3 +372,86 @@ class TestStaleCacheFilePruning:
         entries = provider.disk_entries()
         assert len(entries) == 2
         assert all(entry["stale"] is False for entry in entries)
+
+
+class TestArraysCacheLayer:
+    def test_arrays_memo_separate_from_systems(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        provider.get_arrays(FailureMode.CRASH, 3, 1, 2)
+        info = provider.cache_info()
+        # Arrays must not leak into the system LRU's keys or size.
+        assert info["size"] == 1
+        assert info["keys"] == [("crash", 3, 1, 2)]
+        assert info["arrays_size"] == 1
+
+    def test_arrays_pressure_never_evicts_systems(self):
+        provider = SystemProvider(max_memory_entries=2, disk_cache=False)
+        provider.get(FailureMode.CRASH, 2, 1, 1)
+        provider.get(FailureMode.CRASH, 2, 1, 2)
+        provider.get_arrays(FailureMode.CRASH, 2, 1, 1)
+        provider.get_arrays(FailureMode.CRASH, 2, 1, 2)
+        info = provider.cache_info()
+        assert info["evictions"] == 0
+        hits = info["hits"]
+        provider.get(FailureMode.CRASH, 2, 1, 1)
+        provider.get(FailureMode.CRASH, 2, 1, 2)
+        assert provider.cache_info()["hits"] == hits + 2
+
+    def test_arrays_lru_bounded_separately(self):
+        provider = SystemProvider(max_arrays_entries=1, disk_cache=False)
+        provider.get_arrays(FailureMode.CRASH, 2, 1, 1)
+        provider.get_arrays(FailureMode.CRASH, 2, 1, 2)
+        info = provider.cache_info()
+        assert info["arrays_size"] == 1
+        assert info["arrays_evictions"] == 1
+        assert info["evictions"] == 0
+
+    def test_clear_reports_arrays_evictions(self):
+        provider = SystemProvider(disk_cache=False)
+        provider.get_arrays(FailureMode.CRASH, 2, 1, 1)
+        stats = provider.clear()
+        assert stats["arrays_evicted"] == 1
+        assert provider.cache_info()["arrays_size"] == 0
+
+    def test_arrays_store_prunes_stale_npz_siblings(self, tmp_path):
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 2)
+        # A leftover sidecar with an outdated version stamp, created after
+        # the store above (which prunes on its own): only the arrays-store
+        # path can clean it up.
+        stale = "system_crash_n3_t1_h2_a0_c0_v0.9.9.npz"
+        with open(os.path.join(str(tmp_path), stale), "wb") as handle:
+            handle.write(b"stale arrays")
+        provider.get_arrays(FailureMode.CRASH, 3, 1, 2)
+        names = os.listdir(str(tmp_path))
+        assert stale not in names
+        # JSON payload + pickle sidecar + current arrays sidecar remain.
+        assert len(names) == 3
+
+
+class TestTruncatedPickleRepair:
+    def test_truncated_sidecar_deleted_and_rewritten(self, tmp_path):
+        from repro.io.system_codec import load_system_pickle
+
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        built = provider.get(FailureMode.CRASH, 3, 1, 2)
+        (sidecar,) = [
+            os.path.join(str(tmp_path), entry)
+            for entry in os.listdir(str(tmp_path))
+            if entry.endswith(".pickle")
+        ]
+        # A crashed process leaves a partial pickle behind.
+        with open(sidecar, "rb") as handle:
+            data = handle.read()
+        with open(sidecar, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+
+        fresh = SystemProvider(cache_dir=str(tmp_path))
+        loaded = fresh.get(FailureMode.CRASH, 3, 1, 2)
+        assert fresh.cache_info()["disk_hits"] == 1
+        assert_systems_identical(loaded, built)
+        # The corrupt sidecar was unlinked on the failed load, so the JSON
+        # hit's backfill rewrote a loadable one (the old early-return kept
+        # the truncated file forever).
+        assert_systems_identical(load_system_pickle(sidecar), built)
