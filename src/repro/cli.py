@@ -23,6 +23,10 @@ Usage::
     repro-eba metrics --journal PATH   # fold a telemetry.jsonl instead
     repro-eba monitor --config 011 --crash 0:1 --rounds 3
                                    # stream a scenario; online K/E/C□
+    repro-eba serve                # long-lived knowledge-query daemon
+    repro-eba query eval --catalog E4/common-exists1
+                                   # query the daemon (in-process fallback)
+    repro-eba metrics --socket .repro_serve.sock  # scrape a live daemon
 
 Experiment ids are normalized (``E04``, ``e4`` and ``4`` all mean
 ``E4``).  ``batch run`` executes an experiment through the sharded,
@@ -270,7 +274,8 @@ def _cmd_stats(clear: bool, as_json: bool = False) -> int:
     if clear:
         stats = clear_system_cache(disk=True)
         print(
-            f"cleared: {stats['evicted']} in-memory entries, "
+            f"cleared: {stats['evicted']} in-memory system(s), "
+            f"{stats['arrays_evicted']} in-memory array projection(s), "
             f"{stats['disk_files_removed']} disk file(s)"
         )
         return 0
@@ -306,15 +311,26 @@ def _cmd_stats(clear: bool, as_json: bool = False) -> int:
     return 0
 
 
-def _cmd_metrics(journal_path: str = None) -> int:
+def _cmd_metrics(journal_path: str = None, socket_path: str = None) -> int:
     """Prometheus text exposition of an instrumentation snapshot.
 
     With no argument, exposes this process's totals; with ``--journal``,
-    folds a batch run's ``telemetry.jsonl`` back into a snapshot first.
+    folds a batch run's ``telemetry.jsonl`` back into a snapshot first;
+    with ``--socket``, scrapes a live serve daemon's ``healthz``.
     """
     from . import obs
     from .obs.metrics import prometheus_text
 
+    if socket_path is not None:
+        from .serve.client import ServeClient
+
+        try:
+            with ServeClient(socket_path, timeout=10.0) as client:
+                sys.stdout.write(client.healthz()["prometheus"])
+        except ReproError as error:
+            print(f"cannot scrape {socket_path}: {error}", file=sys.stderr)
+            return 2
+        return 0
     if journal_path is not None:
         from .obs.journal import fold_journal, read_journal
 
@@ -871,6 +887,177 @@ def _cmd_batch(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the long-lived knowledge-query daemon (repro.serve)."""
+    from .serve.queue import QueryBudget
+    from .serve.server import ServeConfig, run_server
+
+    budget = QueryBudget.resolve(args.max_points, args.timeout)
+    config = ServeConfig(
+        socket_path=None if args.port is not None else args.socket,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        budget=budget,
+        journal_path=args.journal,
+        debug=args.debug,
+    )
+    return run_server(config)
+
+
+def _parse_catalog_ref(spec: str) -> Dict[str, str]:
+    """``E4/common-exists1`` -> the wire catalog reference."""
+    if "/" not in spec:
+        raise ReproError(
+            f"bad --catalog spec {spec!r}; expected EXPERIMENT/FORMULA "
+            f"(e.g. E4/common-exists1)"
+        )
+    experiment, _, formula = spec.partition("/")
+    return {
+        "experiment": normalize_experiment_id(experiment),
+        "formula": formula,
+    }
+
+
+def _query_params(args) -> Dict[str, object]:
+    """The wire ``params`` object for one ``repro-eba query`` invocation."""
+    import json as json_module
+
+    op = args.query_op
+    params: Dict[str, object] = {}
+    if op in ("stats", "healthz"):
+        return params
+    if op == "monitor":
+        if not args.config:
+            raise ReproError("query monitor needs --config")
+        params = {
+            "mode": args.mode or "crash",
+            "n": args.n if args.n is not None else 3,
+            "t": args.t if args.t is not None else 1,
+            "config": args.config,
+            "rounds": args.rounds,
+        }
+        if args.crash:
+            params["crash"] = args.crash
+        if args.omit:
+            params["omit"] = args.omit
+        if args.recv_omit:
+            params["recv_omit"] = args.recv_omit
+        if args.value is not None:
+            params["value"] = args.value
+        return params
+    if op == "extend":
+        if args.horizon is None:
+            raise ReproError("query extend needs --horizon")
+        return {
+            "mode": args.mode or "crash",
+            "n": args.n if args.n is not None else 3,
+            "t": args.t if args.t is not None else 1,
+            "horizon": args.horizon,
+        }
+    # eval / explain
+    if args.catalog:
+        params["catalog"] = _parse_catalog_ref(args.catalog)
+    if op == "eval" and args.formula:
+        try:
+            params["formula"] = json_module.loads(args.formula)
+        except ValueError as error:
+            raise ReproError(
+                f"--formula is not valid JSON: {error}"
+            ) from None
+    if op == "eval" and not params:
+        raise ReproError("query eval needs --catalog or --formula")
+    if op == "explain" and "catalog" not in params:
+        raise ReproError("query explain needs --catalog")
+    for name in ("mode", "n", "t", "horizon"):
+        value = getattr(args, name)
+        if value is not None and not (op == "explain" and name in
+                                      ("mode", "horizon")):
+            params[name] = value
+    if args.point:
+        params["point"] = list(_parse_point(args.point))
+    if op == "eval" and args.kernel:
+        params["kernel"] = args.kernel
+    return params
+
+
+def _cmd_query(args) -> int:
+    """One knowledge query — against a live daemon, or in-process.
+
+    With a reachable daemon on ``--socket`` (or ``--port``) the query
+    goes over the wire; otherwise it falls back to the same
+    :class:`~repro.serve.session.QueryEngine` in-process (identical code
+    path, so verdicts match byte for byte).  ``--local`` forces the
+    fallback, ``--remote`` forbids it.
+    """
+    import json as json_module
+
+    from .serve.client import ServeClient, ServeError, daemon_available
+
+    op = args.query_op
+    params = _query_params(args)
+
+    def show(obj) -> None:
+        print(json_module.dumps(obj, indent=2, sort_keys=True))
+
+    use_daemon = not args.local and daemon_available(
+        None if args.port is not None else args.socket,
+        host=args.host,
+        port=args.port,
+    )
+    if args.remote and not use_daemon:
+        print(
+            f"no daemon reachable at "
+            f"{args.socket if args.port is None else args.port} "
+            f"(--remote forbids the in-process fallback)",
+            file=sys.stderr,
+        )
+        return 2
+    if use_daemon:
+        try:
+            with ServeClient(
+                None if args.port is not None else args.socket,
+                host=args.host,
+                port=args.port,
+            ) as client:
+                if op == "monitor":
+                    for frame in client.stream(op, **params):
+                        show(frame)
+                else:
+                    show(client.request(op, **params))
+        except ServeError as error:
+            print(f"query failed: {error}", file=sys.stderr)
+            return 1
+        return 0
+    # In-process fallback: a cold path by definition — build what the
+    # query needs directly, no fork-pool.
+    from .serve.queue import BudgetExceeded, QueryBudget
+    from .serve.session import QueryEngine
+
+    if op in ("stats", "healthz"):
+        print(
+            "stats/healthz need a live daemon (start one with "
+            "`repro-eba serve`)",
+            file=sys.stderr,
+        )
+        return 2
+    engine = QueryEngine(
+        budget=QueryBudget.resolve(args.max_points, args.timeout),
+        fork_policy="never",
+    )
+    try:
+        result = engine.execute(op, params, emit=show)
+        show(result)
+    except (BudgetExceeded, ReproError, KeyError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"query failed: {message}", file=sys.stderr)
+        return 1
+    finally:
+        engine.close()
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     """Top-level entry point with interrupt hardening.
 
@@ -1125,6 +1312,116 @@ def _dispatch(argv: List[str] = None) -> int:
         help="fold a batch run's telemetry.jsonl instead of this "
         "process's (empty) totals",
     )
+    metrics_parser.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="scrape a live serve daemon's healthz instead",
+    )
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="long-lived knowledge-query daemon (NDJSON over a unix "
+        "socket; bounded queue, per-query budgets, streaming monitor)",
+    )
+    serve_parser.add_argument(
+        "--socket", default=".repro_serve.sock", metavar="PATH",
+        help="unix socket to listen on (default .repro_serve.sock)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="listen on TCP instead of the unix socket",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="query worker threads (default 2)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="admission-queue bound (default: REPRO_SERVE_MAX_QUEUE or 64)",
+    )
+    serve_parser.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="per-query point budget "
+        "(default: REPRO_SERVE_MAX_POINTS or 4000000)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-query wall budget (default: REPRO_SERVE_TIMEOUT or 120)",
+    )
+    serve_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write one serve_request telemetry event per request to PATH",
+    )
+    serve_parser.add_argument(
+        "--debug", action="store_true",
+        help="admit the debug_sleep op (tests and benchmarks)",
+    )
+    query_parser = subparsers.add_parser(
+        "query",
+        help="one knowledge query, against a live daemon when reachable "
+        "(in-process fallback otherwise)",
+    )
+    query_parser.add_argument(
+        "query_op",
+        choices=["eval", "explain", "extend", "monitor", "stats", "healthz"],
+        help="request type",
+    )
+    query_parser.add_argument(
+        "--socket", default=".repro_serve.sock", metavar="PATH",
+        help="daemon unix socket (default .repro_serve.sock)",
+    )
+    query_parser.add_argument("--port", type=int, default=None, metavar="N")
+    query_parser.add_argument("--host", default="127.0.0.1")
+    query_parser.add_argument(
+        "--local", action="store_true",
+        help="skip the daemon; evaluate in-process",
+    )
+    query_parser.add_argument(
+        "--remote", action="store_true",
+        help="require the daemon; fail instead of falling back",
+    )
+    query_parser.add_argument(
+        "--catalog", default=None, metavar="EXP/FORMULA",
+        help="explain-catalog reference, e.g. E4/common-exists1",
+    )
+    query_parser.add_argument(
+        "--formula", default=None, metavar="JSON",
+        help='formula AST, e.g. \'{"kind": "exists", "value": 1}\'',
+    )
+    query_parser.add_argument(
+        "--mode", default=None,
+        choices=["crash", "omission", "receive-omission",
+                 "general-omission"],
+    )
+    query_parser.add_argument("-n", type=int, default=None)
+    query_parser.add_argument("-t", type=int, default=None)
+    query_parser.add_argument("--horizon", type=int, default=None)
+    query_parser.add_argument(
+        "--point", default=None, metavar="RUN:TIME",
+        help="also report whether the formula holds at this point",
+    )
+    query_parser.add_argument(
+        "--kernel", default=None,
+        choices=["bitset", "chunked", "reference"],
+    )
+    query_parser.add_argument(
+        "--config", default=None, help="monitor: initial values, e.g. 011"
+    )
+    query_parser.add_argument("--crash", action="append", default=[],
+                              metavar="P:K[:R1,R2]")
+    query_parser.add_argument("--omit", action="append", default=[],
+                              metavar="P:K:D1,D2")
+    query_parser.add_argument("--recv-omit", action="append", default=[],
+                              metavar="P:K:S1,S2")
+    query_parser.add_argument("--rounds", type=int, default=3)
+    query_parser.add_argument("--value", type=int, default=None)
+    query_parser.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="in-process fallback: point budget override",
+    )
+    query_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="in-process fallback: wall budget override",
+    )
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -1143,7 +1440,11 @@ def _dispatch(argv: List[str] = None) -> int:
             args.snapshots, args.history, args.threshold
         )
     if args.command == "metrics":
-        return _cmd_metrics(args.journal)
+        return _cmd_metrics(args.journal, args.socket)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     if args.command == "batch":
         status = _cmd_batch(args)
     elif args.command == "compare":

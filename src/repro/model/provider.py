@@ -24,12 +24,22 @@ them, never crashes.
 
 Only exhaustive default-config systems are cached; restricted systems and
 explicit config subsets always build fresh.
+
+Thread-safety: the in-memory layers (system LRU, arrays LRU, hit/miss
+counters) are guarded by one reentrant lock, so the serve daemon's worker
+threads may share the process-wide provider.  Builds and disk I/O happen
+*outside* the lock — a doubly-exponential enumeration must not serialize
+unrelated cached lookups — which means two threads missing on the same
+cell may both build it; the second :meth:`SystemProvider._remember` wins
+and the duplicate work is bounded by one cell.  The daemon avoids even
+that by routing non-resident cells through the fork-pool.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -98,6 +108,9 @@ class SystemProvider:
         # OrderedDict (the old design) conflated the hit/size/eviction
         # counters and let arrays pressure evict hot systems.
         self._arrays_memory: "OrderedDict[CacheKey, object]" = OrderedDict()
+        # Reentrant: _remember (locked) is reached from get (locked
+        # sections) and from extend's per-round loop.
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -162,6 +175,19 @@ class SystemProvider:
         """Whether the pickle sidecar layer is active (env-overridable)."""
         return self.disk_enabled and _pickle_enabled_default()
 
+    def has_memory_cell(
+        self, mode: FailureMode, n: int, t: int, horizon: int
+    ) -> bool:
+        """Whether the cell is resident in the in-memory LRU right now.
+
+        A pure peek: does not touch recency order or hit/miss counters.
+        The serve daemon uses it (with :meth:`has_current_cell`) to place
+        queries inline vs. on the fork-pool.
+        """
+        key: CacheKey = (mode.value, n, t, horizon)
+        with self._lock:
+            return key in self._memory
+
     def has_current_cell(
         self, mode: FailureMode, n: int, t: int, horizon: int
     ) -> bool:
@@ -201,11 +227,12 @@ class SystemProvider:
         from .partition import SystemArrays
 
         key: CacheKey = (mode.value, n, t, horizon)
-        cached = self._arrays_memory.get(key)
-        if cached is not None:
-            self._arrays_memory.move_to_end(key)
-            obs.count("arrays_cache_hits")
-            return cached
+        with self._lock:
+            cached = self._arrays_memory.get(key)
+            if cached is not None:
+                self._arrays_memory.move_to_end(key)
+                obs.count("arrays_cache_hits")
+                return cached
         arrays = None
         path = self._arrays_path(key)
         if self.disk_enabled and os.path.exists(path):
@@ -279,14 +306,15 @@ class SystemProvider:
         if configs is not None or not use_cache:
             return self._build(mode, n, t, horizon, configs, workers)
         key: CacheKey = (mode.value, n, t, horizon)
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self._hits += 1
-            obs.count("system_cache_hits")
-            return cached
-        self._misses += 1
-        obs.count("system_cache_misses")
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self._hits += 1
+                obs.count("system_cache_hits")
+                return cached
+            self._misses += 1
+            obs.count("system_cache_misses")
         with trace.span(
             "provider.get", mode=mode.value, n=n, t=t, horizon=horizon
         ) as lookup_span:
@@ -317,19 +345,22 @@ class SystemProvider:
         :meth:`get`.
         """
         key: CacheKey = (mode.value, n, t, horizon)
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self._hits += 1
-            obs.count("system_cache_hits")
-            return cached
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self._hits += 1
+                obs.count("system_cache_hits")
+                return cached
         base: Optional[System] = None
         base_horizon = 0
         for h0 in range(horizon - 1, 0, -1):
             base_key: CacheKey = (mode.value, n, t, h0)
-            base = self._memory.get(base_key)
+            with self._lock:
+                base = self._memory.get(base_key)
+                if base is not None:
+                    self._memory.move_to_end(base_key)
             if base is not None:
-                self._memory.move_to_end(base_key)
                 base_horizon = h0
                 break
             if self.has_current_cell(mode, n, t, h0):
@@ -338,8 +369,9 @@ class SystemProvider:
                 break
         if base is None:
             return self.get(mode, n, t, horizon)
-        self._misses += 1
-        obs.count("system_cache_misses")
+        with self._lock:
+            self._misses += 1
+            obs.count("system_cache_misses")
         with trace.span(
             "provider.extend",
             mode=mode.value,
@@ -370,20 +402,22 @@ class SystemProvider:
         return build_system(adversary, configs=configs, workers=workers)
 
     def _remember(self, key: CacheKey, system: System) -> None:
-        self._memory[key] = system
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_memory_entries:
-            self._memory.popitem(last=False)
-            self._evictions += 1
-            obs.count("system_cache_evictions")
+        with self._lock:
+            self._memory[key] = system
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.max_memory_entries:
+                self._memory.popitem(last=False)
+                self._evictions += 1
+                obs.count("system_cache_evictions")
 
     def _remember_arrays(self, key: CacheKey, arrays) -> None:
-        self._arrays_memory[key] = arrays
-        self._arrays_memory.move_to_end(key)
-        while len(self._arrays_memory) > self.max_arrays_entries:
-            self._arrays_memory.popitem(last=False)
-            self._arrays_evictions += 1
-            obs.count("arrays_cache_evictions")
+        with self._lock:
+            self._arrays_memory[key] = arrays
+            self._arrays_memory.move_to_end(key)
+            while len(self._arrays_memory) > self.max_arrays_entries:
+                self._arrays_memory.popitem(last=False)
+                self._arrays_evictions += 1
+                obs.count("arrays_cache_evictions")
 
     # -- disk layer --------------------------------------------------------
 
@@ -553,25 +587,27 @@ class SystemProvider:
 
     def cache_info(self) -> Dict[str, object]:
         """Hit/miss/size statistics for both cache layers."""
-        return {
-            "hits": self._hits,
-            "misses": self._misses,
-            "size": len(self._memory),
-            "max_size": self.max_memory_entries,
-            "evictions": self._evictions,
-            "arrays_size": len(self._arrays_memory),
-            "arrays_max_size": self.max_arrays_entries,
-            "arrays_evictions": self._arrays_evictions,
-            "disk_hits": self._disk_hits,
-            "disk_misses": self._disk_misses,
-            "disk_prunes": self._disk_prunes,
-            "disk_stale": sum(
-                1 for entry in self.disk_entries() if entry["stale"]
-            ),
-            "disk_enabled": self.disk_enabled,
-            "cache_dir": self.cache_dir,
-            "keys": list(self._memory.keys()),
-        }
+        with self._lock:
+            info = {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._memory),
+                "max_size": self.max_memory_entries,
+                "evictions": self._evictions,
+                "arrays_size": len(self._arrays_memory),
+                "arrays_max_size": self.max_arrays_entries,
+                "arrays_evictions": self._arrays_evictions,
+                "disk_hits": self._disk_hits,
+                "disk_misses": self._disk_misses,
+                "disk_prunes": self._disk_prunes,
+                "keys": list(self._memory.keys()),
+            }
+        info["disk_stale"] = sum(
+            1 for entry in self.disk_entries() if entry["stale"]
+        )
+        info["disk_enabled"] = self.disk_enabled
+        info["cache_dir"] = self.cache_dir
+        return info
 
     def disk_entries(self) -> List[Dict[str, object]]:
         """The on-disk cache inventory.
@@ -621,12 +657,13 @@ class SystemProvider:
             ...}`` — how many in-memory systems, in-memory array
             projections and disk files were dropped by this call.
         """
-        evicted = len(self._memory)
-        self._memory.clear()
-        self._evictions += evicted
-        arrays_evicted = len(self._arrays_memory)
-        self._arrays_memory.clear()
-        self._arrays_evictions += arrays_evicted
+        with self._lock:
+            evicted = len(self._memory)
+            self._memory.clear()
+            self._evictions += evicted
+            arrays_evicted = len(self._arrays_memory)
+            self._arrays_memory.clear()
+            self._arrays_evictions += arrays_evicted
         removed = 0
         if disk and os.path.isdir(self.cache_dir):
             for entry in self.disk_entries():

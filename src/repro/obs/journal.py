@@ -92,6 +92,14 @@ EVENT_TYPES: Dict[str, Dict[str, Any]] = {
         "seconds": _NUMBER,
         "verdicts": (dict,),
     },
+    # One per request the serve daemon finishes (ok or not); `code` is
+    # "ok" on success, else the wire error code the client received.
+    "serve_request": {
+        "op": (str,),
+        "seconds": _NUMBER,
+        "ok": (bool,),
+        "code": (str,),
+    },
 }
 
 

@@ -1,0 +1,184 @@
+"""Thin blocking client for the knowledge-query daemon.
+
+:class:`ServeClient` speaks the newline-delimited JSON protocol over a
+unix socket (or TCP host/port) synchronously — it exists for the CLI
+(``repro-eba query``), the tests and the benchmarks, none of which want
+an event loop.  One call, one request id, frames matched by echo:
+
+    with ServeClient(".repro_serve.sock") as client:
+        result = client.request("eval", catalog={...})
+        for event in client.stream("monitor", mode="crash", ...):
+            ...  # one dict per observed round
+
+Wire errors surface as :class:`ServeError` carrying the error ``code``
+(``queue_full``, ``budget_exceeded``, ...) so callers can branch on the
+cause without string matching.  :func:`daemon_available` is the cheap
+probe ``repro-eba query`` uses to decide between the daemon and its
+in-process fallback.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+from ..errors import ReproError
+from .protocol import decode_frame, encode_frame
+
+__all__ = ["ServeClient", "ServeError", "daemon_available"]
+
+
+class ServeError(ReproError):
+    """The daemon answered with an error frame."""
+
+    def __init__(self, code: str, message: str, error: Dict[str, Any]):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.error = error
+
+
+class ServeClient:
+    """Synchronous NDJSON client; not thread-safe (one socket, one reader).
+
+    Args:
+        socket_path: Unix socket to connect to (mutually exclusive with
+            *host*/*port*).
+        host, port: TCP endpoint when no unix socket is given.
+        timeout: Socket timeout in seconds for connect and each reply
+            frame; streams reset it per frame, so a slow round does not
+            need a round-count-times-longer timeout.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 300.0,
+    ) -> None:
+        if socket_path is None and port is None:
+            raise ReproError("ServeClient needs a socket path or a port")
+        if socket_path is not None:
+            self._socket = socket.socket(socket.AF_UNIX)
+            endpoint = socket_path
+        else:
+            self._socket = socket.socket(socket.AF_INET)
+            endpoint = (host, port)
+        self._socket.settimeout(timeout)
+        try:
+            self._socket.connect(endpoint)
+        except OSError as error:
+            self._socket.close()
+            raise ReproError(
+                f"cannot reach daemon at {endpoint!r}: {error}"
+            ) from None
+        self._reader = self._socket.makefile("rb")
+        self._next_id = 0
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    # -- the protocol ------------------------------------------------------
+
+    def _send(self, op: str, params: Dict[str, Any]) -> int:
+        self._next_id += 1
+        request_id = self._next_id
+        frame = {"id": request_id, "op": op, "params": params}
+        self._socket.sendall(encode_frame(frame))
+        return request_id
+
+    def _read_frame(self, request_id: int) -> Dict[str, Any]:
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ReproError(
+                    "daemon closed the connection mid-request"
+                )
+            frame = decode_frame(line)
+            if frame.get("id") == request_id:
+                return frame
+            # A frame for a request this client never pipelined would be
+            # a daemon bug; skip rather than mis-attribute it.
+
+    @staticmethod
+    def _raise_on_error(frame: Dict[str, Any]) -> None:
+        if frame.get("ok"):
+            return
+        error = frame.get("error") or {}
+        raise ServeError(
+            str(error.get("code", "internal")),
+            str(error.get("message", "daemon error")),
+            error,
+        )
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """One non-streaming request; the ``result`` object, or raises."""
+        request_id = self._send(op, params)
+        frame = self._read_frame(request_id)
+        self._raise_on_error(frame)
+        if frame.get("stream"):
+            raise ReproError(
+                f"op {op!r} streams; use ServeClient.stream()"
+            )
+        return frame["result"]
+
+    def stream(self, op: str, **params: Any) -> Iterator[Dict[str, Any]]:
+        """A streaming request: yields each event, then the terminal result.
+
+        Every yielded dict is an ``event`` except the last, which is the
+        terminal ``result`` (distinguished by the generator simply
+        ending after it).  Wire errors raise :class:`ServeError`, also
+        mid-stream.
+        """
+        request_id = self._send(op, params)
+        while True:
+            frame = self._read_frame(request_id)
+            self._raise_on_error(frame)
+            if frame.get("stream"):
+                yield frame["event"]
+                continue
+            yield frame["result"]
+            return
+
+    # -- conveniences ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self.request("healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+
+def daemon_available(
+    socket_path: Optional[str],
+    *,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    timeout: float = 1.0,
+) -> bool:
+    """Whether a live daemon answers ``healthz`` at the endpoint."""
+    try:
+        with ServeClient(
+            socket_path, host=host, port=port, timeout=timeout
+        ) as client:
+            return bool(client.healthz().get("ok"))
+    except ReproError:
+        return False
+    except OSError:
+        return False

@@ -1,0 +1,228 @@
+"""Bounded admission queue and per-query budgets for the daemon.
+
+The daemon is sized for sustained load, not bursts: requests that cannot
+be queued are **rejected at admission** (the 429 analog — error code
+``queue_full`` with the bound that was hit) instead of accumulating
+unboundedly and OOMing the process.  :class:`RequestQueue` is the bridge
+between the asyncio acceptor (producer, never blocks) and the worker
+threads (consumers, block on :meth:`RequestQueue.pop`):
+
+* :meth:`RequestQueue.try_push` admits or rejects in O(1) under a lock
+  and keeps the ``serve_queue_depth`` gauge current, so a Prometheus
+  scrape shows backpressure as it happens;
+* rejections bump ``serve_rejected_<cause>`` counters (causes
+  ``queue_full`` and ``shutdown``), the per-cause convention shared with
+  ``exec_shard_retries_<cause>``;
+* :meth:`RequestQueue.close` drains consumers: blocked ``pop`` calls
+  return ``None`` and further pushes are rejected with cause
+  ``shutdown`` — the graceful-drain half of SIGTERM handling.
+
+:class:`QueryBudget` carries the per-query limits: ``max_points`` bounds
+the system size a query may evaluate over (checked against
+``System.num_points()`` once the cell is resolved, before any formula
+work) and ``timeout`` bounds wall time — enforced for real on the forked
+heavy path, where the supervised pool SIGKILLs a worker that exceeds it.
+Budgets resolve from ``REPRO_SERVE_MAX_POINTS`` / ``REPRO_SERVE_TIMEOUT``
+when not given explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Optional
+
+from .. import obs
+from ..errors import ConfigurationError, ReproError
+
+__all__ = [
+    "BudgetExceeded",
+    "QueryBudget",
+    "RequestQueue",
+    "DEFAULT_MAX_POINTS",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_MAX_QUEUE",
+]
+
+MAX_POINTS_ENV = "REPRO_SERVE_MAX_POINTS"
+TIMEOUT_ENV = "REPRO_SERVE_TIMEOUT"
+MAX_QUEUE_ENV = "REPRO_SERVE_MAX_QUEUE"
+
+#: Default point-count budget: generous enough for every experiment cell
+#: in the suite (E9's heavy cell is ~1.2M points) while still bounding a
+#: hostile ``(n, t, horizon)`` request.
+DEFAULT_MAX_POINTS = 4_000_000
+
+#: Default per-query wall budget in seconds.
+DEFAULT_TIMEOUT = 120.0
+
+#: Default admission-queue bound.
+DEFAULT_MAX_QUEUE = 64
+
+
+class BudgetExceeded(ReproError):
+    """A query hit its point-count or wall-time budget."""
+
+    def __init__(self, limit: str, message: str) -> None:
+        super().__init__(message)
+        self.limit = limit
+
+
+def _env_positive_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(f"{name} must be an integer >= 1, got {raw!r}")
+    return value
+
+
+def _env_positive_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name} must be a number > 0, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be a number > 0, got {raw!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Per-query limits the daemon enforces before and during evaluation."""
+
+    max_points: int = DEFAULT_MAX_POINTS
+    timeout: float = DEFAULT_TIMEOUT
+
+    @staticmethod
+    def resolve(
+        max_points: Optional[int] = None, timeout: Optional[float] = None
+    ) -> "QueryBudget":
+        """Explicit arguments, else the ``REPRO_SERVE_*`` env vars."""
+        budget = QueryBudget(
+            max_points=(
+                max_points
+                if max_points is not None
+                else _env_positive_int(MAX_POINTS_ENV, DEFAULT_MAX_POINTS)
+            ),
+            timeout=(
+                timeout
+                if timeout is not None
+                else _env_positive_float(TIMEOUT_ENV, DEFAULT_TIMEOUT)
+            ),
+        )
+        if budget.max_points < 1:
+            raise ConfigurationError(
+                f"need max_points >= 1, got {budget.max_points}"
+            )
+        if budget.timeout <= 0:
+            raise ConfigurationError(f"need timeout > 0, got {budget.timeout}")
+        return budget
+
+    def check_points(self, points: int, descriptor: str) -> None:
+        """Reject a system too large for this query's budget."""
+        if points > self.max_points:
+            raise BudgetExceeded(
+                "max_points",
+                f"{descriptor} has {points} points, over the "
+                f"{self.max_points}-point budget",
+            )
+
+
+class RequestQueue:
+    """Bounded FIFO between the acceptor and the worker threads."""
+
+    def __init__(self, max_depth: Optional[int] = None) -> None:
+        if max_depth is None:
+            max_depth = _env_positive_int(MAX_QUEUE_ENV, DEFAULT_MAX_QUEUE)
+        if max_depth < 1:
+            raise ConfigurationError(f"need max_depth >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._items: Deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self.admitted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def try_push(self, item: Any) -> bool:
+        """Admit *item*, or reject it (full queue / closed) returning False."""
+        with self._not_empty:
+            if self._closed:
+                self.rejected += 1
+                obs.count("serve_rejected_shutdown")
+                return False
+            if len(self._items) >= self.max_depth:
+                self.rejected += 1
+                obs.count("serve_rejected_queue_full")
+                return False
+            self._items.append((time.perf_counter(), item))
+            self.admitted += 1
+            obs.gauge("serve_queue_depth", len(self._items))
+            self._not_empty.notify()
+            return True
+
+    def pop(self, timeout: Optional[float] = None):
+        """The oldest admitted item, blocking up to *timeout* seconds.
+
+        Returns ``(queued_seconds, item)`` — the time the request waited
+        in the queue rides along so the server can report it — or
+        ``None`` on timeout or once the queue is closed and drained.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            enqueued, item = self._items.popleft()
+            obs.gauge("serve_queue_depth", len(self._items))
+            return (time.perf_counter() - enqueued, item)
+
+    def close(self) -> None:
+        """Reject further pushes; wake every blocked consumer.
+
+        Already-admitted items stay poppable — the daemon drains them
+        before exiting.
+        """
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def snapshot(self) -> dict:
+        """Depth/bound/admission tallies for ``stats`` and ``healthz``."""
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "max_depth": self.max_depth,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "closed": self._closed,
+            }

@@ -1,0 +1,471 @@
+"""The knowledge-query daemon: asyncio acceptor, worker threads, drain.
+
+Layout — three layers, each with one job:
+
+* the **acceptor** (asyncio, single-threaded) owns the sockets.  It reads
+  newline-delimited JSON frames, validates them against the protocol
+  tables, answers ``stats`` / ``healthz`` immediately (they only read
+  in-process state), and pushes everything else onto the bounded
+  :class:`~repro.serve.queue.RequestQueue`.  A push that fails is a wire
+  error in the same breath: ``queue_full`` (the 429 analog, carrying the
+  bound) or ``shutting_down``.  The acceptor never blocks on query work.
+* the **worker threads** pop admitted requests and run them through one
+  shared :class:`~repro.serve.session.QueryEngine` — inline on the hot
+  provider for resident cells, through the supervised fork-pool for
+  fresh enumerations.  Responses (and streamed ``monitor`` round events)
+  are marshalled back onto the event loop with
+  ``call_soon_threadsafe``, the only thread-safe way to touch a writer.
+* the **drain path**: SIGTERM/SIGINT closes the listeners, closes the
+  queue (new pushes rejected, admitted items stay poppable), joins the
+  workers once the queue is dry, tears down the engine's fork-pool (no
+  orphaned children), flushes the telemetry journal and unlinks the
+  socket file.  In-flight queries finish; nothing is dropped.
+
+Every finished request lands in the ``serve_request_seconds`` histogram
+and (when a journal is attached) as one schema-validated
+``serve_request`` event, with ``code="ok"`` or the wire error code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .. import obs
+from ..errors import ReproError
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    stream_event,
+    validate_request,
+)
+from .queue import BudgetExceeded, QueryBudget, RequestQueue
+from .session import QueryEngine
+
+__all__ = ["ServeConfig", "KnowledgeServer", "run_server", "DEFAULT_SOCKET"]
+
+#: Default unix-socket path (relative to the working directory, next to
+#: the disk cache the daemon keeps hot).
+DEFAULT_SOCKET = ".repro_serve.sock"
+
+#: Acceptor line limit — a request frame has no business being larger.
+MAX_FRAME_BYTES = 1 << 20
+
+#: Ops the acceptor answers on the event loop (pure in-process reads).
+_LOOP_OPS = ("stats", "healthz")
+
+
+@dataclass
+class ServeConfig:
+    """Everything a daemon instance needs; CLI flags map 1:1 onto this."""
+
+    socket_path: Optional[str] = DEFAULT_SOCKET
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    workers: int = 2
+    max_queue: Optional[int] = None
+    budget: Optional[QueryBudget] = None
+    journal_path: Optional[str] = None
+    fork_policy: str = "auto"
+    #: Admit the ``debug_sleep`` op (tests and benchmarks only).
+    debug: bool = False
+    #: Extra env knobs already resolved; kept for introspection.
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.socket_path is None and self.port is None:
+            raise ReproError("serve needs a unix socket path or a TCP port")
+        if self.workers < 1:
+            raise ReproError(f"need workers >= 1, got {self.workers}")
+
+
+class _Pending:
+    """One admitted request: frame fields plus where to answer."""
+
+    __slots__ = ("request_id", "op", "params", "writer", "loop", "server")
+
+    def __init__(self, request_id, op, params, writer, loop, server):
+        self.request_id = request_id
+        self.op = op
+        self.params = params
+        self.writer = writer
+        self.loop = loop
+        self.server = server
+
+
+class KnowledgeServer:
+    """The daemon.  ``await start()``, then ``await wait_closed()``."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.budget = (
+            config.budget if config.budget is not None else QueryBudget.resolve()
+        )
+        self.engine = QueryEngine(
+            budget=self.budget, fork_policy=config.fork_policy
+        )
+        self.queue = RequestQueue(config.max_queue)
+        self.journal = None
+        if config.journal_path:
+            from ..obs.journal import TelemetryJournal
+
+            self.journal = TelemetryJournal(
+                config.journal_path, batch="serve", experiment="serve"
+            )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._threads: List[threading.Thread] = []
+        self._started_monotonic = 0.0
+        self._shutting_down = False
+        self._closed = asyncio.Event()
+        self._requests_done = 0
+        self._requests_failed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the sockets, start the worker threads, install handlers."""
+        self._loop = asyncio.get_running_loop()
+        self._started_monotonic = time.monotonic()
+        if self.config.socket_path:
+            self._prepare_socket_path(self.config.socket_path)
+            self._servers.append(
+                await asyncio.start_unix_server(
+                    self._handle_connection,
+                    path=self.config.socket_path,
+                    limit=MAX_FRAME_BYTES,
+                )
+            )
+        if self.config.port is not None:
+            self._servers.append(
+                await asyncio.start_server(
+                    self._handle_connection,
+                    host=self.config.host,
+                    port=self.config.port,
+                    limit=MAX_FRAME_BYTES,
+                )
+            )
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(
+                    signum, lambda s=signum: self.request_shutdown(f"signal {s}")
+                )
+            except (NotImplementedError, RuntimeError):
+                # Non-main thread or exotic loop: tests drive shutdown
+                # directly through request_shutdown().
+                pass
+
+    @staticmethod
+    def _prepare_socket_path(path: str) -> None:
+        """Unlink a stale socket file left by a crashed daemon.
+
+        A *live* daemon's socket accepts connections; refuse to steal it.
+        """
+        if not os.path.exists(path):
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            return
+        import socket as socket_module
+
+        probe = socket_module.socket(socket_module.AF_UNIX)
+        probe.settimeout(0.25)
+        try:
+            probe.connect(path)
+        except OSError:
+            os.unlink(path)  # stale: nobody home
+        else:
+            raise ReproError(
+                f"socket {path!r} already has a live daemon; "
+                f"stop it or pick another --socket"
+            )
+        finally:
+            probe.close()
+
+    def request_shutdown(self, why: str = "") -> None:
+        """Begin the graceful drain; idempotent, callable from any thread."""
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        obs.count("serve_shutdowns")
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(
+                lambda: loop.create_task(self._drain(why))
+            )
+
+    async def _drain(self, why: str) -> None:
+        for server in self._servers:
+            server.close()
+        # Reject new pushes; wake workers so they can drain what is left.
+        self.queue.close()
+        await asyncio.gather(
+            *(server.wait_closed() for server in self._servers),
+            return_exceptions=True,
+        )
+        # Workers exit once pop() returns None (queue closed and dry).
+        while any(thread.is_alive() for thread in self._threads):
+            await asyncio.sleep(0.05)
+        self.engine.close()
+        if self.journal is not None:
+            self.journal.emit(
+                "health", snapshot={"why": why, "queue": self.queue.snapshot()}
+            )
+            self.journal.close()
+        path = self.config.socket_path
+        if path and os.path.exists(path):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    # -- the acceptor ------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        obs.count("serve_connections")
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionResetError):
+                    # Over-long frame or mid-line reset: unrecoverable
+                    # framing, drop the connection.
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._handle_frame(line, writer)
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _handle_frame(self, line: bytes, writer) -> None:
+        try:
+            frame = decode_frame(line)
+        except ProtocolError as error:
+            self._write(writer, error_response(None, "bad_frame", str(error)))
+            self._finish(None, "?", 0.0, "bad_frame")
+            return
+        request_id = frame.get("id")
+        problems = validate_request(frame)
+        if problems:
+            self._write(
+                writer,
+                error_response(
+                    request_id, "bad_request", "; ".join(problems)
+                ),
+            )
+            self._finish(None, str(frame.get("op")), 0.0, "bad_request")
+            return
+        op = frame["op"]
+        params = frame.get("params", {})
+        if op == "debug_sleep" and not self.config.debug:
+            self._write(
+                writer,
+                error_response(
+                    request_id, "bad_request",
+                    "debug_sleep is only admitted with --debug",
+                ),
+            )
+            return
+        if op in _LOOP_OPS:
+            started = time.perf_counter()
+            result = (
+                self._stats_result() if op == "stats" else self._healthz_result()
+            )
+            self._write(writer, ok_response(request_id, result))
+            self._finish(None, op, time.perf_counter() - started, "ok")
+            return
+        pending = _Pending(
+            request_id, op, params, writer, asyncio.get_running_loop(), self
+        )
+        if not self.queue.try_push(pending):
+            if self._shutting_down or self.queue.closed:
+                self._write(
+                    writer,
+                    error_response(
+                        request_id, "shutting_down",
+                        "daemon is draining; retry against a fresh daemon",
+                    ),
+                )
+                self._finish(None, op, 0.0, "shutting_down")
+            else:
+                self._write(
+                    writer,
+                    error_response(
+                        request_id, "queue_full",
+                        f"request queue is at its bound "
+                        f"({self.queue.max_depth}); retry with backoff",
+                        max_depth=self.queue.max_depth,
+                    ),
+                )
+                self._finish(None, op, 0.0, "queue_full")
+
+    # -- the workers -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            popped = self.queue.pop(timeout=0.5)
+            if popped is None:
+                if self.queue.closed:
+                    return
+                continue
+            queued_seconds, pending = popped
+            obs.observe("serve_queue_wait_seconds", queued_seconds)
+            self._execute(pending)
+
+    def _execute(self, pending: _Pending) -> None:
+        started = time.perf_counter()
+
+        def emit(event: Dict[str, Any]) -> None:
+            self._write_threadsafe(
+                pending, stream_event(pending.request_id, event)
+            )
+
+        code = "ok"
+        try:
+            result = self.engine.execute(
+                pending.op, pending.params, emit=emit
+            )
+            done = True if pending.op == "monitor" else None
+            frame = ok_response(pending.request_id, result, done=done)
+        except BudgetExceeded as error:
+            code = "budget_exceeded"
+            frame = error_response(
+                pending.request_id, code, str(error), limit=error.limit
+            )
+        except ProtocolError as error:
+            code = "bad_request"
+            frame = error_response(pending.request_id, code, str(error))
+        except KeyError as error:
+            code = "not_found"
+            message = error.args[0] if error.args else str(error)
+            frame = error_response(pending.request_id, code, str(message))
+        except ReproError as error:
+            code = "internal"
+            frame = error_response(pending.request_id, code, str(error))
+        except Exception as error:  # noqa: BLE001 — daemon must survive
+            code = "internal"
+            frame = error_response(
+                pending.request_id, code,
+                f"{type(error).__name__}: {error}",
+            )
+        self._write_threadsafe(pending, frame)
+        self._finish(pending, pending.op, time.perf_counter() - started, code)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _write(self, writer, frame: Dict[str, Any]) -> None:
+        """Send one frame from the event-loop thread; drops on dead peers."""
+        try:
+            if writer.is_closing():
+                return
+            writer.write(encode_frame(frame))
+        except Exception:
+            # A client killed mid-query must not take the daemon down.
+            obs.count("serve_dead_client_writes")
+
+    def _write_threadsafe(self, pending: _Pending, frame) -> None:
+        pending.loop.call_soon_threadsafe(self._write, pending.writer, frame)
+
+    def _finish(self, pending, op: str, seconds: float, code: str) -> None:
+        ok = code == "ok"
+        if ok:
+            self._requests_done += 1
+        else:
+            self._requests_failed += 1
+        obs.observe("serve_request_seconds", seconds)
+        if self.journal is not None:
+            self.journal.emit(
+                "serve_request", op=op, seconds=seconds, ok=ok, code=code
+            )
+
+    # -- loop-answered ops -------------------------------------------------
+
+    def _stats_result(self) -> Dict[str, Any]:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "queue": self.queue.snapshot(),
+            "requests_done": self._requests_done,
+            "requests_failed": self._requests_failed,
+            "budget": {
+                "max_points": self.budget.max_points,
+                "timeout": self.budget.timeout,
+            },
+            "cache": _json_safe(self.engine.provider.cache_info()),
+            "obs": obs.snapshot(),
+        }
+
+    def _healthz_result(self) -> Dict[str, Any]:
+        from ..obs.metrics import prometheus_text
+
+        return {
+            "ok": not self._shutting_down,
+            "queue_depth": len(self.queue),
+            "uptime_seconds": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "prometheus": prometheus_text(obs.snapshot()),
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    """Deep-copy *value* with non-JSON scalars (tuple keys) stringified."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return value
+
+
+def run_server(config: ServeConfig) -> int:
+    """Run a daemon until SIGTERM/SIGINT; the blocking CLI entry point."""
+
+    async def main() -> None:
+        server = KnowledgeServer(config)
+        await server.start()
+        where = []
+        if config.socket_path:
+            where.append(f"unix:{config.socket_path}")
+        if config.port is not None:
+            where.append(f"tcp:{config.host}:{config.port}")
+        print(
+            f"repro-eba serve: listening on {', '.join(where)} "
+            f"({config.workers} worker(s), queue bound "
+            f"{server.queue.max_depth}, budget "
+            f"{server.budget.max_points} points / "
+            f"{server.budget.timeout:g}s)",
+            flush=True,
+        )
+        await server.wait_closed()
+        print("repro-eba serve: drained and stopped", flush=True)
+
+    asyncio.run(main())
+    return 0

@@ -94,6 +94,9 @@ class StreamingMonitor:
             process-wide one.
         journal: Optional telemetry journal receiving one
             ``monitor_round`` event per round.
+        on_round: Optional callback invoked with each round's record as
+            soon as it is computed — the streaming hook the serve daemon
+            uses to push verdicts to a connected client round by round.
     """
 
     def __init__(
@@ -107,6 +110,7 @@ class StreamingMonitor:
         value: int = 1,
         provider: Optional[SystemProvider] = None,
         journal=None,
+        on_round=None,
     ) -> None:
         if config.n != n:
             raise ConfigurationError(
@@ -128,6 +132,7 @@ class StreamingMonitor:
         self.value = value
         self.provider = provider if provider is not None else get_provider()
         self.journal = journal
+        self.on_round = on_round
         self.round = 0
         self.history: List[Dict[str, object]] = []
 
@@ -193,6 +198,8 @@ class StreamingMonitor:
             "verdicts": verdicts,
         }
         self.history.append(record)
+        if self.on_round is not None:
+            self.on_round(record)
         return record
 
     def run(self, rounds: int) -> List[Dict[str, object]]:

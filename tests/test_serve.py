@@ -1,0 +1,820 @@
+"""Tests for repro.serve: protocol, queue, budgets, engine, live daemon.
+
+The live-daemon tests spawn ``repro-eba serve`` as a subprocess on a unix
+socket under ``tmp_path`` and speak the real wire protocol through
+:class:`repro.serve.client.ServeClient` — including the served-vs-in-process
+verdict-parity suite (E4/E5/E21 across all three kernels), queue-full
+backpressure, budget rejection, a client killed mid-query, and the
+SIGTERM graceful drain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket as socket_module
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.model.failures import FailureMode
+from repro.serve.client import ServeClient, ServeError, daemon_available
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    build_formula,
+    decode_frame,
+    encode_frame,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from repro.serve.queue import (
+    BudgetExceeded,
+    QueryBudget,
+    RequestQueue,
+)
+from repro.serve.session import QueryEngine, verdict_digest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+#: The parity suite: every explain-catalog formula for these experiments,
+#: served and in-process, across every kernel.
+PARITY_EXPERIMENTS = ("E4", "E5", "E21")
+KERNELS = ("bitset", "chunked", "reference")
+
+
+# ---------------------------------------------------------------------------
+# protocol
+
+
+class TestProtocol:
+    def test_frame_round_trip(self):
+        frame = ok_response(7, {"x": 1}, done=True)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"not json at all\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"[1, 2, 3]\n")
+
+    def test_valid_request_has_no_problems(self):
+        assert (
+            validate_request(
+                {
+                    "id": 1,
+                    "op": "eval",
+                    "params": {"formula": {"kind": "true"}},
+                }
+            )
+            == []
+        )
+
+    def test_missing_id_and_unknown_op(self):
+        problems = validate_request({"op": "frobnicate"})
+        assert any("'id'" in p for p in problems)
+        assert any("unknown op" in p for p in problems)
+
+    def test_missing_required_param(self):
+        problems = validate_request(
+            {"id": 1, "op": "extend", "params": {"mode": "crash"}}
+        )
+        assert any("missing required param 'n'" in p for p in problems)
+
+    def test_unknown_param_rejected(self):
+        problems = validate_request(
+            {"id": 1, "op": "stats", "params": {"bogus": 1}}
+        )
+        assert problems == ["stats: unknown param 'bogus'"]
+
+    def test_wrong_param_type_rejected(self):
+        problems = validate_request(
+            {
+                "id": 1,
+                "op": "monitor",
+                "params": {
+                    "mode": "crash",
+                    "n": 3,
+                    "t": 1,
+                    "config": 11,  # must be a string
+                    "rounds": 2,
+                },
+            }
+        )
+        assert any("'config' has type int" in p for p in problems)
+
+    def test_unknown_frame_field_rejected(self):
+        problems = validate_request(
+            {"id": 1, "op": "stats", "params": {}, "surprise": True}
+        )
+        assert problems == ["unknown frame field 'surprise'"]
+
+    def test_error_response_shape(self):
+        frame = error_response(3, "queue_full", "full", max_depth=4)
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == "queue_full"
+        assert frame["error"]["max_depth"] == 4
+
+
+class TestFormulaAst:
+    def test_builds_nested_knowledge_formula(self, crash3):
+        formula = build_formula(
+            {
+                "kind": "knows",
+                "processor": 0,
+                "of": {"kind": "exists", "value": 1},
+            }
+        )
+        from repro.knowledge.formulas import Knows, exists
+
+        reference = Knows(0, exists(1))
+        assert (
+            formula.evaluate(crash3).to_rows()
+            == reference.evaluate(crash3).to_rows()
+        )
+
+    def test_group_operators_use_nonfaulty(self, crash3):
+        formula = build_formula(
+            {"kind": "everyone", "of": {"kind": "exists", "value": 1}}
+        )
+        from repro.knowledge.formulas import Everyone, exists
+        from repro.knowledge.nonrigid import NONFAULTY
+
+        reference = Everyone(NONFAULTY, exists(1))
+        assert (
+            formula.evaluate(crash3).to_rows()
+            == reference.evaluate(crash3).to_rows()
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown formula kind"):
+            build_formula({"kind": "telepathy"})
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(ProtocolError, match="needs 'value'"):
+            build_formula({"kind": "exists"})
+
+    def test_extra_key_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown keys"):
+            build_formula({"kind": "true", "huh": 1})
+
+    def test_empty_operand_list_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            build_formula({"kind": "and", "operands": []})
+
+
+# ---------------------------------------------------------------------------
+# queue and budgets
+
+
+class TestRequestQueue:
+    def test_fifo_with_queue_wait(self):
+        queue = RequestQueue(max_depth=4)
+        assert queue.try_push("a")
+        assert queue.try_push("b")
+        waited, item = queue.pop(timeout=1)
+        assert item == "a" and waited >= 0
+        _, item = queue.pop(timeout=1)
+        assert item == "b"
+
+    def test_rejects_at_bound(self):
+        queue = RequestQueue(max_depth=1)
+        assert queue.try_push("a")
+        assert not queue.try_push("b")
+        assert queue.snapshot()["rejected"] == 1
+
+    def test_close_rejects_but_drains_admitted(self):
+        queue = RequestQueue(max_depth=4)
+        queue.try_push("a")
+        queue.close()
+        assert not queue.try_push("b")
+        assert queue.pop(timeout=1)[1] == "a"
+        assert queue.pop(timeout=0.05) is None
+
+    def test_pop_times_out_empty(self):
+        queue = RequestQueue(max_depth=4)
+        assert queue.pop(timeout=0.05) is None
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = RequestQueue(max_depth=4)
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(queue.pop(timeout=30))
+        )
+        thread.start()
+        time.sleep(0.1)
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [None]
+
+
+class TestQueryBudget:
+    def test_check_points_over_budget(self):
+        budget = QueryBudget(max_points=100, timeout=1.0)
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check_points(101, "test system")
+        assert info.value.limit == "max_points"
+
+    def test_resolves_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_MAX_POINTS", "1234")
+        monkeypatch.setenv("REPRO_SERVE_TIMEOUT", "5.5")
+        budget = QueryBudget.resolve()
+        assert budget.max_points == 1234
+        assert budget.timeout == 5.5
+
+    def test_bad_environment_rejected(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("REPRO_SERVE_MAX_POINTS", "zero")
+        with pytest.raises(ConfigurationError):
+            QueryBudget.resolve()
+
+
+# ---------------------------------------------------------------------------
+# the engine, in-process
+
+
+class TestQueryEngineInProcess:
+    def test_eval_formula_ast(self, crash3):
+        engine = QueryEngine(fork_policy="never")
+        result = engine.execute(
+            "eval",
+            {
+                "formula": {"kind": "exists", "value": 1},
+                "horizon": 3,
+                "point": [0, 0],
+            },
+        )
+        assert result["system"]["runs"] == len(crash3.runs)
+        assert result["placement"] == "inline"
+        assert isinstance(result["holds"], bool)
+        assert len(result["digest"]) == 64
+
+    def test_eval_catalog_reference(self):
+        engine = QueryEngine(fork_policy="never")
+        result = engine.execute(
+            "eval",
+            {"catalog": {"experiment": "E4", "formula": "everyone-exists1"}},
+        )
+        assert result["formula"] == "E4/everyone-exists1"
+        assert result["kernel"] in KERNELS
+
+    def test_unknown_catalog_entry_raises_key_error(self):
+        engine = QueryEngine(fork_policy="never")
+        with pytest.raises(KeyError):
+            engine.execute(
+                "eval",
+                {"catalog": {"experiment": "E4", "formula": "nope"}},
+            )
+
+    def test_point_outside_system_raises_key_error(self):
+        engine = QueryEngine(fork_policy="never")
+        with pytest.raises(KeyError):
+            engine.execute(
+                "eval",
+                {
+                    "formula": {"kind": "true"},
+                    "horizon": 2,
+                    "point": [999999, 0],
+                },
+            )
+
+    def test_point_budget_enforced(self):
+        engine = QueryEngine(
+            budget=QueryBudget(max_points=10, timeout=30.0),
+            fork_policy="never",
+        )
+        with pytest.raises(BudgetExceeded):
+            engine.execute("eval", {"formula": {"kind": "true"}, "horizon": 2})
+
+    def test_explain_round_trip(self):
+        engine = QueryEngine(fork_policy="never")
+        result = engine.execute(
+            "explain",
+            {"catalog": {"experiment": "E4", "formula": "common-exists1"}},
+        )
+        assert result["check_ok"] is True
+        assert result["problems"] == []
+        assert "rendered" in result
+
+    def test_extend_grows_resident_cell(self):
+        engine = QueryEngine(fork_policy="never")
+        result = engine.execute(
+            "extend", {"mode": "crash", "n": 3, "t": 1, "horizon": 3}
+        )
+        assert result["system"]["horizon"] == 3
+
+    def test_monitor_streams_per_round(self):
+        engine = QueryEngine(fork_policy="never")
+        events = []
+        result = engine.execute(
+            "monitor",
+            {
+                "mode": "crash",
+                "n": 3,
+                "t": 1,
+                "config": "011",
+                "rounds": 2,
+                "crash": ["0:1"],
+            },
+            emit=events.append,
+        )
+        assert [event["round"] for event in events] == [1, 2]
+        assert result["rounds"] == 2
+        assert set(result["verdicts"]) == {
+            "knows",
+            "everyone",
+            "continual_common",
+        }
+
+    def test_forked_query_matches_inline_and_pool_closes(self, crash3):
+        inline = QueryEngine(fork_policy="never")
+        forked = QueryEngine(fork_policy="always")
+        params = {
+            "catalog": {"experiment": "E4", "formula": "everyone-exists1"}
+        }
+        try:
+            a = inline.execute("eval", dict(params))
+            b = forked.execute("eval", dict(params))
+            assert a["digest"] == b["digest"]
+            assert a["count_true"] == b["count_true"]
+            assert b["placement"] == "fork"
+        finally:
+            inline.close()
+            forked.close()
+        assert forked._pool is None
+
+    def test_fork_timeout_is_budget_exceeded(self):
+        engine = QueryEngine(
+            budget=QueryBudget(max_points=4_000_000, timeout=0.4),
+            fork_policy="always",
+        )
+        try:
+            with pytest.raises(BudgetExceeded) as info:
+                # Large enough that enumeration cannot finish in 0.4s.
+                engine.execute(
+                    "eval",
+                    {
+                        "formula": {"kind": "true"},
+                        "mode": "omission",
+                        "n": 3,
+                        "t": 2,
+                        "horizon": 4,
+                    },
+                )
+            assert info.value.limit == "timeout"
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------------
+# satellite: provider thread-safety regression
+
+
+class TestProviderConcurrency:
+    def test_concurrent_get_extend_and_arrays(self, tmp_path, crash3):
+        from repro.model.provider import SystemProvider
+
+        provider = SystemProvider(
+            max_memory_entries=4,
+            max_arrays_entries=2,
+            cache_dir=str(tmp_path),
+        )
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(index):
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(5):
+                    system = provider.get(FailureMode.CRASH, 3, 1, 2)
+                    assert system.horizon == 2
+                    grown = provider.extend(FailureMode.CRASH, 3, 1, 3)
+                    assert grown.horizon == 3
+                    arrays = provider.get_arrays(FailureMode.CRASH, 3, 1, 2)
+                    assert arrays is not None
+                    assert provider.has_memory_cell(
+                        FailureMode.CRASH, 3, 1, 2
+                    ) in (True, False)
+                    provider.cache_info()
+            except Exception as error:  # noqa: BLE001 — collected below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        info = provider.cache_info()
+        assert info["size"] <= 4
+        assert info["arrays_size"] <= 2
+
+    def test_clear_reports_arrays_lru(self, tmp_path):
+        from repro.model.provider import SystemProvider
+
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        provider.get(FailureMode.CRASH, 3, 1, 1)
+        provider.get_arrays(FailureMode.CRASH, 3, 1, 1)
+        stats = provider.clear()
+        assert stats["evicted"] >= 1
+        assert stats["arrays_evicted"] == 1
+        assert provider.cache_info()["arrays_size"] == 0
+
+    def test_has_memory_cell_does_not_touch_counters(self, tmp_path):
+        from repro.model.provider import SystemProvider
+
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        assert not provider.has_memory_cell(FailureMode.CRASH, 3, 1, 1)
+        provider.get(FailureMode.CRASH, 3, 1, 1)
+        before = provider.cache_info()["hits"]
+        assert provider.has_memory_cell(FailureMode.CRASH, 3, 1, 1)
+        assert provider.cache_info()["hits"] == before
+
+
+# ---------------------------------------------------------------------------
+# the live daemon
+
+
+def _spawn_daemon(socket_path, *extra, journal=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--socket",
+        socket_path,
+        *extra,
+    ]
+    if journal:
+        argv += ["--journal", journal]
+    process = subprocess.Popen(
+        argv,
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"daemon died at startup:\n{process.stdout.read()}"
+            )
+        if daemon_available(socket_path, timeout=0.5):
+            return process
+        time.sleep(0.2)
+    process.kill()
+    raise RuntimeError("daemon did not come up within 60s")
+
+
+def _stop_daemon(process, socket_path):
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    returncode = process.wait(timeout=30)
+    assert returncode == 0, process.stdout.read()
+    assert not os.path.exists(socket_path)
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """A generously budgeted daemon plus its journal path."""
+    tmp = tmp_path_factory.mktemp("serve")
+    socket_path = str(tmp / "serve.sock")
+    journal_path = str(tmp / "serve_journal.jsonl")
+    process = _spawn_daemon(socket_path, journal=journal_path)
+    try:
+        yield {"socket": socket_path, "journal": journal_path}
+    finally:
+        _stop_daemon(process, socket_path)
+
+
+@pytest.fixture(scope="module")
+def strict_daemon(tmp_path_factory):
+    """Failure-path daemon: one worker, queue bound 1, debug ops on."""
+    tmp = tmp_path_factory.mktemp("serve_strict")
+    socket_path = str(tmp / "strict.sock")
+    process = _spawn_daemon(
+        socket_path,
+        "--debug",
+        "--workers",
+        "1",
+        "--max-queue",
+        "1",
+        "--max-points",
+        "400",
+    )
+    try:
+        yield {"socket": socket_path}
+    finally:
+        _stop_daemon(process, socket_path)
+
+
+def _parity_cases():
+    from repro.knowledge.explain import EXPLAIN_CATALOG
+
+    for experiment in PARITY_EXPERIMENTS:
+        for formula_key in EXPLAIN_CATALOG[experiment]:
+            yield experiment, formula_key
+
+
+class TestDaemonRoundTrips:
+    def test_healthz_and_stats(self, daemon):
+        with ServeClient(daemon["socket"]) as client:
+            health = client.healthz()
+            assert health["ok"] is True
+            assert "repro_serve_connections_total" in health["prometheus"]
+            stats = client.stats()
+            assert stats["protocol"] == PROTOCOL_VERSION
+            assert stats["queue"]["max_depth"] >= 1
+            assert "cache" in stats
+
+    def test_eval_explain_extend(self, daemon):
+        with ServeClient(daemon["socket"]) as client:
+            result = client.request(
+                "eval",
+                catalog={"experiment": "E4", "formula": "everyone-exists1"},
+                point=[0, 1],
+            )
+            assert result["system"] == {
+                "mode": "crash",
+                "n": 3,
+                "t": 1,
+                "horizon": 3,
+                "runs": 224,
+                "points": 896,
+            }
+            assert result["holds"] is False
+            explained = client.request(
+                "explain",
+                catalog={"experiment": "E4", "formula": "common-exists1"},
+            )
+            assert explained["check_ok"] is True
+            extended = client.request(
+                "extend", mode="crash", n=3, t=1, horizon=3
+            )
+            assert extended["system"]["horizon"] == 3
+
+    def test_monitor_streams_rounds(self, daemon):
+        with ServeClient(daemon["socket"]) as client:
+            frames = list(
+                client.stream(
+                    "monitor",
+                    mode="crash",
+                    n=3,
+                    t=1,
+                    config="011",
+                    rounds=3,
+                    crash=["0:1"],
+                )
+            )
+        events, terminal = frames[:-1], frames[-1]
+        assert [event["round"] for event in events] == [1, 2, 3]
+        for event in events:
+            assert set(event["verdicts"]) == {
+                "knows",
+                "everyone",
+                "continual_common",
+            }
+        assert terminal["rounds"] == 3
+
+    def test_malformed_frames_rejected_connection_survives(self, daemon):
+        raw = socket_module.socket(socket_module.AF_UNIX)
+        raw.settimeout(10)
+        raw.connect(daemon["socket"])
+        reader = raw.makefile("rb")
+        try:
+            raw.sendall(b"this is not json\n")
+            frame = json.loads(reader.readline())
+            assert frame["ok"] is False
+            assert frame["error"]["code"] == "bad_frame"
+            raw.sendall(b'{"id": 1, "op": "frobnicate"}\n')
+            frame = json.loads(reader.readline())
+            assert frame["error"]["code"] == "bad_request"
+            assert "unknown op" in frame["error"]["message"]
+            # The connection is still serviceable after both rejections.
+            raw.sendall(b'{"id": 2, "op": "healthz", "params": {}}\n')
+            frame = json.loads(reader.readline())
+            assert frame["ok"] is True
+        finally:
+            reader.close()
+            raw.close()
+
+    def test_unknown_catalog_is_not_found(self, daemon):
+        with ServeClient(daemon["socket"]) as client:
+            with pytest.raises(ServeError) as info:
+                client.request(
+                    "eval",
+                    catalog={"experiment": "E4", "formula": "no-such"},
+                )
+            assert info.value.code == "not_found"
+
+    def test_journal_is_schema_valid(self, daemon):
+        from repro.obs.journal import validate_journal
+
+        with ServeClient(daemon["socket"]) as client:
+            client.healthz()
+        assert validate_journal(daemon["journal"]) == []
+        events = [
+            json.loads(line)
+            for line in open(daemon["journal"], encoding="utf-8")
+        ]
+        assert any(e["event"] == "serve_request" for e in events)
+
+    def test_served_verdicts_match_in_process_all_kernels(self, daemon):
+        """Acceptance: byte-identical digests, E4/E5/E21 x all kernels."""
+        engine = QueryEngine(fork_policy="never")
+        with ServeClient(daemon["socket"]) as client:
+            for experiment, formula_key in _parity_cases():
+                for kernel in KERNELS:
+                    params = {
+                        "catalog": {
+                            "experiment": experiment,
+                            "formula": formula_key,
+                        },
+                        "kernel": kernel,
+                    }
+                    served = client.request("eval", **params)
+                    local = engine.execute("eval", dict(params))
+                    assert served["digest"] == local["digest"], (
+                        experiment,
+                        formula_key,
+                        kernel,
+                    )
+                    assert served["count_true"] == local["count_true"]
+                    assert served["valid"] == local["valid"]
+
+    def test_32_concurrent_queries(self, daemon):
+        """Acceptance: the daemon sustains 32 concurrent queries."""
+        digests = []
+        errors = []
+        lock = threading.Lock()
+
+        def one_query():
+            try:
+                with ServeClient(daemon["socket"]) as client:
+                    result = client.request(
+                        "eval",
+                        catalog={
+                            "experiment": "E4",
+                            "formula": "everyone-exists1",
+                        },
+                    )
+                with lock:
+                    digests.append(result["digest"])
+            except Exception as error:  # noqa: BLE001 — collected below
+                with lock:
+                    errors.append(error)
+
+        threads = [threading.Thread(target=one_query) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        assert len(digests) == 32
+        assert len(set(digests)) == 1
+
+
+class TestDaemonFailureModes:
+    def test_queue_full_backpressure(self, strict_daemon):
+        """workers=1 + max-queue=1: the third in-flight request bounces."""
+        clients = [
+            ServeClient(strict_daemon["socket"], timeout=30)
+            for _ in range(3)
+        ]
+        try:
+            first = clients[0]._send("debug_sleep", {"seconds": 2.0})
+            time.sleep(0.8)  # worker picks it up; queue is empty again
+            second = clients[1]._send("debug_sleep", {"seconds": 0.1})
+            time.sleep(0.2)  # admitted; queue now at its bound of 1
+            third = clients[2]._send("debug_sleep", {"seconds": 0.1})
+            rejected = clients[2]._read_frame(third)
+            assert rejected["ok"] is False
+            assert rejected["error"]["code"] == "queue_full"
+            assert rejected["error"]["max_depth"] == 1
+            # The two admitted requests still complete.
+            assert clients[0]._read_frame(first)["ok"] is True
+            assert clients[1]._read_frame(second)["ok"] is True
+        finally:
+            for client in clients:
+                client.close()
+
+    def test_budget_exceeded_over_the_wire(self, strict_daemon):
+        with ServeClient(strict_daemon["socket"]) as client:
+            with pytest.raises(ServeError) as info:
+                # 896 points > the daemon's 400-point budget.
+                client.request(
+                    "eval",
+                    catalog={
+                        "experiment": "E4",
+                        "formula": "everyone-exists1",
+                    },
+                )
+            assert info.value.code == "budget_exceeded"
+            assert info.value.error.get("limit") == "max_points"
+
+    def test_debug_sleep_needs_debug_flag(self, daemon):
+        with ServeClient(daemon["socket"]) as client:
+            with pytest.raises(ServeError) as info:
+                client.request("debug_sleep", seconds=0.01)
+            assert info.value.code == "bad_request"
+
+    def test_client_killed_mid_query_daemon_survives(self, strict_daemon):
+        raw = socket_module.socket(socket_module.AF_UNIX)
+        raw.connect(strict_daemon["socket"])
+        raw.sendall(
+            encode_frame(
+                {
+                    "id": 1,
+                    "op": "debug_sleep",
+                    "params": {"seconds": 1.0},
+                }
+            )
+        )
+        raw.close()  # gone before the response can be written
+        time.sleep(1.5)
+        assert daemon_available(strict_daemon["socket"])
+        with ServeClient(strict_daemon["socket"]) as client:
+            assert client.healthz()["ok"] is True
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_in_flight_work(self, tmp_path):
+        socket_path = str(tmp_path / "drain.sock")
+        process = _spawn_daemon(
+            socket_path, "--debug", "--workers", "1"
+        )
+        client = ServeClient(socket_path, timeout=30)
+        try:
+            request_id = client._send("debug_sleep", {"seconds": 2.0})
+            time.sleep(0.5)  # in the worker's hands
+            process.send_signal(signal.SIGTERM)
+            time.sleep(0.3)
+            # New work on the existing connection is refused while the
+            # in-flight request drains...
+            late = client._send("debug_sleep", {"seconds": 0.1})
+            frame = client._read_frame(late)
+            assert frame["error"]["code"] == "shutting_down"
+            # ...but the admitted request completes before exit.
+            frame = client._read_frame(request_id)
+            assert frame["ok"] is True
+            assert frame["result"]["slept"] == 2.0
+        finally:
+            client.close()
+        assert process.wait(timeout=30) == 0
+        assert not os.path.exists(socket_path)
+
+    def test_stale_socket_file_is_reclaimed(self, tmp_path):
+        socket_path = str(tmp_path / "stale.sock")
+        dead = socket_module.socket(socket_module.AF_UNIX)
+        dead.bind(socket_path)
+        dead.close()  # leaves the file behind, nobody listening
+        assert os.path.exists(socket_path)
+        process = _spawn_daemon(socket_path)
+        try:
+            assert daemon_available(socket_path)
+        finally:
+            _stop_daemon(process, socket_path)
+
+
+class TestQueryCliFallback:
+    def test_query_local_eval_matches_daemonless(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "query",
+                "eval",
+                "--local",
+                "--catalog",
+                "E4/everyone-exists1",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["formula"] == "E4/everyone-exists1"
+        assert payload["placement"] == "inline"
