@@ -1265,7 +1265,7 @@ def _dispatch(argv: List[str] = None) -> int:
     )
     batch_parser.add_argument(
         "batch_ids", nargs="*", metavar="ID",
-        help="experiment ids with batch plans (E9, E14, E20)",
+        help="experiment ids with batch plans (E4, E5, E9, E14, E20, E21)",
     )
     batch_parser.add_argument(
         "--workers", type=int, default=None, metavar="N",

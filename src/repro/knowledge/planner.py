@@ -53,6 +53,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from .. import obs, trace
 from ..model.chunked import ChunkedAssignment
@@ -93,6 +94,100 @@ def use_planner(enabled: bool = True) -> Iterator[None]:
         yield
     finally:
         _FORCED = previous
+
+
+#: Per-system memo of the limb-block decomposition used for component
+#: seeding.  Maps system -> (partition, nf_limbs) or False once a build
+#: attempt failed/was ineligible (so we never retry per formula).
+_BLOCK_PARTS: "WeakKeyDictionary[System, object]" = WeakKeyDictionary()
+
+
+def _block_partition(system: System):
+    """The (partition, nonfaulty limbs) pair for *system*, or ``None``.
+
+    Only the provider's canonical exhaustive cells are eligible: a
+    restricted/explicit-adversary system carries the same ``mode/n/t/
+    horizon`` stamp but enumerates a *subset* of runs, so seeding it
+    from the provider's arrays would be wrong.  The identity check
+    against :meth:`~repro.model.provider.SystemProvider.peek` rules
+    those out.
+    """
+    cached = _BLOCK_PARTS.get(system)
+    if cached is not None:
+        return cached if cached is not False else None
+    result: object = False
+    try:
+        from ..model.partition import LimbBlockPartition
+        from ..model.provider import get_provider
+
+        provider = get_provider()
+        mode = getattr(system, "mode", None)
+        if (
+            mode is not None
+            and provider.peek(mode, system.n, system.t, system.horizon)
+            is system
+        ):
+            arrays = provider.get_arrays(
+                mode, system.n, system.t, system.horizon
+            )
+            partition = LimbBlockPartition.from_arrays(arrays)
+            nf_limbs = [
+                partition.nonfaulty_limbs(p) for p in range(system.n)
+            ]
+            result = (partition, nf_limbs)
+    except Exception:  # pragma: no cover - defensive: fall back to scan
+        result = False
+    try:
+        _BLOCK_PARTS[system] = result
+    except TypeError:  # weakref-less stand-in (tests)
+        pass
+    return result if result is not False else None
+
+
+def seed_block_components(system: System, nonrigid) -> bool:
+    """Seed a run-level ``C□_S`` component labelling via limb blocks.
+
+    Computes the Corollary 3.3 reachability partition block-by-block
+    over the system's :class:`~repro.model.partition.LimbBlockPartition`
+    and welds the per-block labels with
+    :func:`~repro.model.partition.merge_component_labels`, then plants
+    the result in :meth:`~repro.model.system.System.cached_components`
+    under the nonrigid set's key — the same cache the monolithic
+    component scan fills, and partition-identical to it (label *values*
+    may differ; every consumer is partition-only).  Returns whether a
+    labelling was seeded.
+    """
+    from .nonrigid import Nonfaulty, NonfaultyAndDeciding
+
+    key = nonrigid.cache_key()
+    if key in system._components_cache:
+        return False
+    if isinstance(nonrigid, NonfaultyAndDeciding):
+        states: Optional[Iterable[int]] = nonrigid._states
+    elif isinstance(nonrigid, Nonfaulty):
+        states = None  # every view: resolved off the partition below
+    else:
+        return False
+    built = _block_partition(system)
+    if built is None:
+        return False
+    partition, nf_limbs = built
+    if states is None:
+        states = range(partition.num_views)
+    from ..model.partition import merge_component_labels
+
+    flags = partition.state_flags(states)
+    block_results = [
+        partition.component_labels(desc["block"], flags, nf_limbs)
+        for desc in partition.block_descriptors()
+    ]
+    labels = [
+        int(label)
+        for label in merge_component_labels(partition.num_runs, block_results)
+    ]
+    system.cached_components(key, lambda: labels)
+    obs.count("planner_block_components")
+    return True
 
 
 def _children(formula: Formula) -> List[Formula]:
@@ -141,6 +236,7 @@ class EvalPlan:
             "waves": 0,
             "fused_sweeps": 0,
             "fused_rows": 0,
+            "block_component_seeds": 0,
         }
 
     def add(self, *formulas: Formula) -> "EvalPlan":
@@ -208,6 +304,17 @@ class EvalPlan:
             else:
                 rest.append(node)
         for node in rest:
+            if (
+                isinstance(node, ContinualCommon)
+                and not node.force_fixpoint
+                and node.operand.is_run_level()
+            ):
+                # Run-level C□ takes the component fast path; hand it a
+                # labelling welded from limb-block shards when the cell
+                # is eligible, so the planner's first such node costs a
+                # blocked sweep instead of a monolithic scan.
+                if seed_block_components(self.system, node.nonrigid):
+                    self.stats["block_component_seeds"] += 1
             node.evaluate(self.system)
         for group_key, members in groups.items():
             self._run_group(group_key[0], members)

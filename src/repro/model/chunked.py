@@ -538,6 +538,7 @@ class ChunkedIndex:
         "_rstarts",
         "_sizes",
         "_limb_groups_cache",
+        "_native_starts",
         "fresh_limbs",
     )
 
@@ -570,6 +571,7 @@ class ChunkedIndex:
         self._limb_groups_cache: List[Optional[Dict[int, List[int]]]] = (
             [None] * n
         )
+        self._native_starts: List[object] = [None] * n
         #: When this index was produced by :meth:`extend_points`, the sorted
         #: limb indices containing the extension's new (time == horizon)
         #: points — the dirty-limb frontier seeded by one horizon step.
@@ -995,6 +997,33 @@ class ChunkedIndex:
             return [i for i, limb in enumerate(delta) if limb]
         return _numpy.flatnonzero(delta).tolist()
 
+    # -- optional native (C) inner loop ------------------------------------
+
+    def _native_lib(self):
+        """The compiled fixpoint library under
+        ``REPRO_CHUNKED_BACKEND=native``, else None (numpy path).
+
+        Unavailability (no compiler, compile failure) degrades silently:
+        the native backend is benchmarked but never load-bearing.
+        """
+        if self._py:
+            return None
+        from . import native
+
+        if not native.requested():
+            return None
+        return native.library()
+
+    def _starts_i64(self, processor: int):
+        """The group-start offsets as a contiguous int64 array (cached)."""
+        starts = self._native_starts[processor]
+        if starts is None:
+            starts = _numpy.array(
+                self._starts[processor], dtype=_numpy.int64
+            )
+            self._native_starts[processor] = starts
+        return starts
+
     def _seed_alive(self, processor: int, pmask, phi, bad):
         """Initial alive flags (operand = φ); dead groups feed *bad*."""
         idx = self._idx[processor]
@@ -1017,6 +1046,20 @@ class ChunkedIndex:
         np = _numpy
         if idx.size == 0:
             return np.zeros(0, dtype=bool)
+        lib = self._native_lib()
+        if lib is not None:
+            from . import native
+
+            return native.seed_alive(
+                np,
+                lib,
+                self._starts_i64(processor),
+                idx,
+                val,
+                np.ascontiguousarray(pmask, dtype=np.uint64),
+                np.ascontiguousarray(phi, dtype=np.uint64),
+                bad,
+            )
         rel = val & pmask[idx]
         badent = (rel & ~phi[idx]) != 0
         grp_bad = np.bitwise_or.reduceat(badent, self._rstarts[processor])
@@ -1073,6 +1116,22 @@ class ChunkedIndex:
                     np.bitwise_or.at(
                         bad, span, val[s:e] & pmask[span]
                     )
+            return
+        lib = self._native_lib()
+        if lib is not None:
+            from . import native
+
+            native.kill_groups(
+                np,
+                lib,
+                self._starts_i64(processor),
+                idx,
+                val,
+                np.ascontiguousarray(pmask, dtype=np.uint64),
+                np.ascontiguousarray(delta, dtype=np.uint64),
+                bad,
+                alive,
+            )
             return
         touch = (val & delta[idx] & pmask[idx]) != 0
         grp_hit = np.bitwise_or.reduceat(touch, self._rstarts[processor])

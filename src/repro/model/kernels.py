@@ -70,6 +70,23 @@ DEFAULT_KERNEL = BITSET
 #: the huge enumerations (~1.2M points).
 BITSET_POINT_LIMIT = 1 << 18
 
+
+def resolve_selection(requested: str, points: int) -> str:
+    """The kernel a *requested* selection resolves to at *points* points.
+
+    Pure (no counters, no logging): ``bitset`` upgrades to ``chunked``
+    beyond :data:`BITSET_POINT_LIMIT`; explicit ``chunked`` and
+    ``reference`` selections are honoured at any size.
+    ``System.effective_kernel`` is this rule plus per-system
+    observability (:func:`note_selection`); external reporters — e.g.
+    the bench runner's per-entry kernel metadata — call it directly so
+    their notion of the upgrade can never drift from the evaluator's.
+    """
+    if requested == BITSET and points > BITSET_POINT_LIMIT:
+        return CHUNKED
+    return requested
+
+
 _override_stack: List[str] = []
 
 #: Memoized environment parse: raw string -> validated kernel name.  The

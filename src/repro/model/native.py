@@ -1,0 +1,240 @@
+"""Optional native (C) inner loop for the chunked fixpoint kernel.
+
+``REPRO_CHUNKED_BACKEND=native`` asks the chunked kernel to run the two
+per-group scans that dominate fixpoint iteration — the alive-flag
+seeding and the frontier group-retirement pass — through a small C
+library compiled on first use with the system C compiler and loaded via
+:mod:`ctypes`.  Everything else (limb algebra, gathers, the planner's
+matrix sweeps) stays on numpy.
+
+This backend is **benchmarked but not load-bearing**: if no C compiler
+is present, compilation fails, or numpy is unavailable, the request
+silently degrades to the plain numpy backend — verdicts are identical
+either way (the C loops are line-for-line the pure-Python reference
+semantics), so nothing downstream may depend on which one ran.  The
+kernel-parity tests exercise the native path when it is available and
+skip otherwise.
+
+The shared object is cached under the repro cache directory (or a
+temporary directory when caching is disabled) keyed by a digest of the
+C source, so the compiler runs once per source revision, not once per
+process.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from typing import Optional
+
+from .. import obs
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Alive-flag seeding for one processor's group table: a group dies when
+   some member entry (val & pmask) holds a point outside phi; a dead
+   group ORs its member bits into bad.  Mirrors ChunkedIndex._seed_alive
+   (pure-Python reference path) exactly. */
+void seed_alive(
+    long n_groups,
+    const int64_t *starts,
+    const int64_t *idx,
+    const uint64_t *val,
+    const uint64_t *pmask,
+    const uint64_t *phi,
+    uint64_t *bad,
+    uint8_t *alive)
+{
+    for (long g = 0; g < n_groups; ++g) {
+        int64_t s = starts[g], e = starts[g + 1];
+        int ok = 1;
+        for (int64_t k = s; k < e; ++k) {
+            uint64_t rel = val[k] & pmask[idx[k]];
+            if (rel & ~phi[idx[k]]) { ok = 0; break; }
+        }
+        alive[g] = (uint8_t) ok;
+        if (!ok)
+            for (int64_t k = s; k < e; ++k)
+                bad[idx[k]] |= val[k] & pmask[idx[k]];
+    }
+}
+
+/* Frontier pass: retire alive groups whose member bits intersect the
+   freshly eliminated set delta, feeding their members into bad.
+   Mirrors ChunkedIndex._kill_groups. */
+void kill_groups(
+    long n_groups,
+    const int64_t *starts,
+    const int64_t *idx,
+    const uint64_t *val,
+    const uint64_t *pmask,
+    const uint64_t *delta,
+    uint64_t *bad,
+    uint8_t *alive)
+{
+    for (long g = 0; g < n_groups; ++g) {
+        if (!alive[g]) continue;
+        int64_t s = starts[g], e = starts[g + 1];
+        int hit = 0;
+        for (int64_t k = s; k < e; ++k)
+            if (val[k] & delta[idx[k]] & pmask[idx[k]]) { hit = 1; break; }
+        if (hit) {
+            alive[g] = 0;
+            for (int64_t k = s; k < e; ++k)
+                bad[idx[k]] |= val[k] & pmask[idx[k]];
+        }
+    }
+}
+"""
+
+_COMPILERS = ("cc", "gcc", "clang")
+
+_lock = threading.Lock()
+_loaded: Optional[object] = None
+_attempted = False
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if not root:
+        root = os.path.join(tempfile.gettempdir(), "repro_native")
+    path = os.path.join(root, "native")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _compile() -> Optional[object]:
+    """Compile (or load the cached) shared object; None on any failure."""
+    digest = hashlib.sha256(_SOURCE.encode("utf-8")).hexdigest()[:16]
+    try:
+        directory = _cache_dir()
+    except OSError:
+        return None
+    library = os.path.join(directory, f"fixpoint-{digest}.so")
+    if not os.path.exists(library):
+        source = os.path.join(directory, f"fixpoint-{digest}.c")
+        try:
+            with open(source, "w", encoding="utf-8") as handle:
+                handle.write(_SOURCE)
+        except OSError:
+            return None
+        for compiler in _COMPILERS:
+            staging = library + f".tmp{os.getpid()}"
+            command = [
+                compiler, "-O2", "-shared", "-fPIC", source, "-o", staging
+            ]
+            try:
+                proc = subprocess.run(
+                    command,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                    timeout=60,
+                )
+            except (OSError, subprocess.SubprocessError):
+                continue
+            if proc.returncode == 0:
+                try:
+                    os.replace(staging, library)
+                except OSError:
+                    return None
+                break
+            try:
+                os.unlink(staging)
+            except OSError:
+                pass
+        else:
+            return None
+    try:
+        lib = ctypes.CDLL(library)
+    except OSError:
+        return None
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    u64p = ctypes.POINTER(ctypes.c_uint64)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    for name in ("seed_alive", "kill_groups"):
+        fn = getattr(lib, name)
+        fn.argtypes = [
+            ctypes.c_long, i64p, i64p, u64p, u64p, u64p, u64p, u8p
+        ]
+        fn.restype = None
+    return lib
+
+
+def requested() -> bool:
+    """Whether ``REPRO_CHUNKED_BACKEND=native`` is in effect."""
+    raw = os.environ.get("REPRO_CHUNKED_BACKEND", "").strip().lower()
+    return raw == "native"
+
+
+def library() -> Optional[object]:
+    """The compiled library, or None (compile failure / no compiler).
+
+    The first call pays the compile (or a dlopen of the cached ``.so``);
+    failures are remembered so the compiler is not retried per sweep.
+    """
+    global _loaded, _attempted
+    with _lock:
+        if not _attempted:
+            _attempted = True
+            _loaded = _compile()
+            obs.count(
+                "native_backend_loaded"
+                if _loaded is not None
+                else "native_backend_unavailable"
+            )
+        return _loaded
+
+
+def available() -> bool:
+    """Whether the native library compiled and loaded."""
+    return library() is not None
+
+
+def _u64(array):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_uint64))
+
+
+def _i64(array):
+    return array.ctypes.data_as(ctypes.POINTER(ctypes.c_int64))
+
+
+def seed_alive(np, lib, starts, idx, val, pmask, phi, bad):
+    """Native alive seeding; returns the bool alive vector.
+
+    ``bad`` is mutated in place.  All buffers must be contiguous
+    int64/uint64 numpy arrays (the chunked index's native layout).
+    """
+    n_groups = len(starts) - 1
+    alive = np.zeros(n_groups, dtype=np.uint8)
+    lib.seed_alive(
+        n_groups,
+        _i64(starts),
+        _i64(idx),
+        _u64(val),
+        _u64(pmask),
+        _u64(phi),
+        _u64(bad),
+        alive.ctypes.data_as(ctypes.POINTER(ctypes.c_uint8)),
+    )
+    return alive.view(np.bool_)
+
+
+def kill_groups(np, lib, starts, idx, val, pmask, delta, bad, alive):
+    """Native frontier retirement; mutates ``alive`` and ``bad`` in place."""
+    lib.kill_groups(
+        len(starts) - 1,
+        _i64(starts),
+        _i64(idx),
+        _u64(val),
+        _u64(pmask),
+        _u64(delta),
+        _u64(bad),
+        alive.view(np.uint8).ctypes.data_as(
+            ctypes.POINTER(ctypes.c_uint8)
+        ),
+    )

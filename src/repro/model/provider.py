@@ -188,6 +188,22 @@ class SystemProvider:
         with self._lock:
             return key in self._memory
 
+    def peek(
+        self, mode: FailureMode, n: int, t: int, horizon: int
+    ) -> Optional[System]:
+        """The memory-resident :class:`System` for a cell, or ``None``.
+
+        A pure peek like :meth:`has_memory_cell` — no build, no disk
+        load, no recency bump.  Callers use it for *identity* checks: a
+        system instance that ``is`` the peeked cell is the provider's
+        canonical exhaustive enumeration for those parameters (a
+        restricted/explicit-adversary system never is), so projections
+        fetched by ``(mode, n, t, horizon)`` describe exactly it.
+        """
+        key: CacheKey = (mode.value, n, t, horizon)
+        with self._lock:
+            return self._memory.get(key)
+
     def has_current_cell(
         self, mode: FailureMode, n: int, t: int, horizon: int
     ) -> bool:
@@ -244,9 +260,23 @@ class SystemProvider:
                 arrays = None
         if arrays is None:
             obs.count("arrays_cache_misses")
-            system = self.get(mode, n, t, horizon)
-            arrays = SystemArrays.from_system(system)
-            self._store_arrays(key, arrays)
+            # Arrays-first fast path: when the object graph is not
+            # already materialized anywhere (memory or disk), enumerate
+            # straight into arrays and skip Run/ViewTable construction
+            # entirely — evaluation-only consumers never pay for the
+            # object graph.  Byte-identical to the projection below.
+            if not self.has_memory_cell(mode, n, t, horizon) and not (
+                self.has_current_cell(mode, n, t, horizon)
+            ):
+                from . import fastbuild
+
+                arrays = fastbuild.try_build_arrays(mode, n, t, horizon)
+                if arrays is not None:
+                    self._store_arrays(key, arrays)
+            if arrays is None:
+                system = self.get(mode, n, t, horizon)
+                arrays = SystemArrays.from_system(system)
+                self._store_arrays(key, arrays)
         self._remember_arrays(key, arrays)
         return arrays
 

@@ -514,7 +514,8 @@ class System:
         """The kernel evaluations on this system actually use.
 
         Resolves :func:`repro.model.kernels.active_kernel` against the
-        system's size: beyond
+        system's size through the pure
+        :func:`repro.model.kernels.resolve_selection` rule: beyond
         :data:`~repro.model.kernels.BITSET_POINT_LIMIT` points every
         single-integer mask operation costs O(mask length), so a
         ``bitset`` selection is *upgraded* to the ``chunked`` limb-array
@@ -527,12 +528,7 @@ class System:
         ``kernel_selected_*`` counters and in ``repro-eba stats``.
         """
         requested = kernels.active_kernel()
-        selected = requested
-        if (
-            requested == kernels.BITSET
-            and self.num_points() > kernels.BITSET_POINT_LIMIT
-        ):
-            selected = kernels.CHUNKED
+        selected = kernels.resolve_selection(requested, self.num_points())
         if (requested, selected) not in self._noted_kernels:
             self._noted_kernels.add((requested, selected))
             kernels.note_selection(

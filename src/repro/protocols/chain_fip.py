@@ -32,8 +32,10 @@ from ..knowledge.chains import eventually_exists_zero_star, exists_zero_star
 from ..knowledge.formulas import Believes, Formula, Not
 from ..model.system import System
 from .fip import pair_from_formulas
+from .memo import per_system
 
 
+@per_system
 def chain_pair(system: System) -> DecisionPair:
     """The decision pair ``(Z⁰, O⁰)`` over *system*."""
     zero_star_now = exists_zero_star()

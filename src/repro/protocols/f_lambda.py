@@ -32,6 +32,7 @@ from ..knowledge.formulas import (
 from ..knowledge.nonrigid import nonfaulty_and_zeros
 from ..model.system import System
 from .fip import pair_from_formulas
+from .memo import per_system
 
 
 def f_lambda_pair() -> DecisionPair:
@@ -39,6 +40,7 @@ def f_lambda_pair() -> DecisionPair:
     return empty_pair(name="F^Λ")
 
 
+@per_system
 def f_lambda_sequence(system: System) -> Tuple[DecisionPair, DecisionPair, DecisionPair]:
     """``(F^Λ, F^{Λ,1}, F^{Λ,2})`` via the generic two-step construction."""
     base = f_lambda_pair()
@@ -56,6 +58,7 @@ def f_lambda_2_pair(system: System) -> DecisionPair:
     return f_lambda_sequence(system)[2]
 
 
+@per_system
 def zcr_ocr_pair(system: System) -> DecisionPair:
     """The explicit crash-mode pair of Theorem 6.1.
 
@@ -84,6 +87,7 @@ def _never() -> Formula:
     return FALSE
 
 
+@per_system
 def f_lambda_1_explicit_pair(system: System) -> DecisionPair:
     """``F^{Λ,1}`` written out directly: ``Z = B_i^N ∃0``, ``O`` empty for
     nonfaulty processors (``B_i^N(∃1 ∧ false)``).

@@ -22,14 +22,17 @@ from ..core.construction import double_prime_step, prime_step
 from ..core.decision_sets import DecisionPair
 from ..model.system import System
 from .chain_fip import chain_pair
+from .memo import per_system
 
 
+@per_system
 def f_star_pair(system: System) -> DecisionPair:
     """``F*`` built directly from ``O⁰`` (the paper's simplified form)."""
     base = chain_pair(system)
     return prime_step(system, base, name="F*")
 
 
+@per_system
 def f_star_via_construction(
     system: System,
 ) -> Tuple[DecisionPair, DecisionPair, DecisionPair]:

@@ -31,8 +31,10 @@ from ..knowledge.formulas import (
 from ..knowledge.nonrigid import NONFAULTY
 from ..model.system import System
 from .fip import pair_from_formulas
+from .memo import per_system
 
 
+@per_system
 def f_zero_pair(system: System) -> DecisionPair:
     """The decision pair of ``F₀`` over *system*."""
     ec_zero = EventualCommon(NONFAULTY, Exists(0))

@@ -21,6 +21,7 @@ This module provides:
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
+from weakref import WeakValueDictionary
 
 from ..core.decision_sets import DecisionPair, close_under_recall
 from ..core.outcomes import DecisionRecord, ProtocolOutcome, RunOutcome
@@ -58,6 +59,7 @@ class FullInformationProtocol:
         self._first_times: Dict[
             System, List[List[Tuple[Optional[int], Optional[int]]]]
         ] = {}
+        self._sticky: Dict[System, DecisionPair] = {}
 
     @property
     def name(self) -> str:
@@ -223,7 +225,16 @@ class FullInformationProtocol:
         under recall.  For conflict-free monotone pairs — all the paper's
         constructions — this equals the original pair; the equality is
         asserted by tests as a sanity check.
+
+        Memoized on the protocol instance per system (like
+        :meth:`_firing_table`): evaluation caches key on the sticky
+        pair's *token*, so phases of one process that both ask for it —
+        a batch plan's prepare hook and its finalize-time ``run()`` —
+        must see the same object.
         """
+        memoized = self._sticky.get(system)
+        if memoized is not None:
+            return memoized
         zero_triggers: List[ViewId] = []
         one_triggers: List[ViewId] = []
         for run_index, run in enumerate(system.runs):
@@ -235,11 +246,13 @@ class FullInformationProtocol:
                 view = run.view(processor, time)
                 (zero_triggers if value == 0 else one_triggers).append(view)
         all_states = list(system.occurring_views())
-        return DecisionPair(
+        sticky = DecisionPair(
             close_under_recall(zero_triggers, all_states, system.table),
             close_under_recall(one_triggers, all_states, system.table),
             name=self.pair.name,
         )
+        self._sticky[system] = sticky
+        return sticky
 
 
 def pair_from_formulas(
@@ -335,6 +348,20 @@ def pair_from_formulas(
     )
 
 
+#: Protocol instances memoized per pair: the protocol's firing table and
+#: sticky pair are memoized *on the instance*, so handing the same pair
+#: to ``fip`` twice must return the same instance for that memoization
+#: (and the sticky token identity it guards) to engage.  Keyed weakly —
+#: pairs die with the systems that built them.
+_FIP_MEMO: "WeakValueDictionary[int, FullInformationProtocol]" = (
+    WeakValueDictionary()
+)
+
+
 def fip(pair: DecisionPair) -> FullInformationProtocol:
     """Convenience constructor mirroring the paper's ``FIP(Z, O)``."""
-    return FullInformationProtocol(pair)
+    protocol = _FIP_MEMO.get(pair.token)
+    if protocol is None or protocol.pair is not pair:
+        protocol = FullInformationProtocol(pair)
+        _FIP_MEMO[pair.token] = protocol
+    return protocol

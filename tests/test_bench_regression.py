@@ -174,6 +174,22 @@ class TestRunnerScript:
         module = importlib.util.module_from_spec(spec)
         spec.loader.exec_module(module)
         snapshot = module.take_snapshot("test", rounds=1)
-        assert set(snapshot.timings) == set(module.MICRO_BENCHES)
+        expected = set(module.MICRO_BENCHES)
+        from repro.model import native
+
+        if native.available():
+            # The native-inner-loop bench rides along iff a C compiler
+            # is present on this machine.
+            expected.add("kernel_chunked_fixpoint_native")
+        assert set(snapshot.timings) == expected
         assert all(value > 0 for value in snapshot.timings.values())
+        # Per-entry effective kernels cover every timed entry: pinned
+        # kernels for the kernel_* benches, the resolved ambient kernel
+        # for system-evaluating benches, None where no kernel runs.
+        entry_kernels = snapshot.meta["entry_kernels"]
+        assert set(entry_kernels) == set(snapshot.timings)
+        assert entry_kernels["kernel_reference_common_fixpoint"] == (
+            "reference"
+        )
+        assert entry_kernels["enumerate_crash_system_n4"] is None
         json.dumps(snapshot.to_dict())

@@ -504,6 +504,36 @@ class TestVerdictParity:
         assert_results_match(mono, sharded)
         assert sharded.data["kernel"] == kernel
 
+    @pytest.mark.parametrize("kernel", ["bitset", "chunked", "reference"])
+    @pytest.mark.parametrize("experiment", ["E4", "E5", "E21"])
+    def test_portfolio_parity_all_kernels(
+        self, experiment, kernel, tmp_path, monkeypatch
+    ):
+        """E4/E5/E21 limb-block sharding is verdict-identical everywhere.
+
+        The monolithic run goes first; the provider's memory LRU is then
+        dropped so the sharded run evaluates on fresh ``System`` objects
+        — its verdicts come from the caches the portfolio stages seeded,
+        not from leftovers of the monolithic pass.
+        """
+        from repro.experiments.e04_continual_ck import run as e4_run
+        from repro.experiments.e05_knowledge_conditions import run as e5_run
+        from repro.experiments.e21_eventual_ck import run as e21_run
+        from repro.model.provider import get_provider
+
+        runners = {"E4": e4_run, "E5": e5_run, "E21": e21_run}
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with use_kernel(kernel):
+            mono = runners[experiment](3, 1, 2)
+            get_provider().clear(disk=False)
+            sharded = run_batch(
+                plan_for(experiment, n=3, t=1, horizon=2),
+                workers=2,
+                shard_size=64,
+                checkpoint_root=str(tmp_path / "exec"),
+            )
+        assert_results_match(mono, sharded)
+
     def test_e20_parity_exact(self, tmp_path):
         from repro.experiments.e20_scaling_gains import run as e20_run
 

@@ -1,0 +1,123 @@
+"""Byte-parity of the arrays-first builder against the object graph.
+
+The fastbuild contract (see ``repro.model.fastbuild``) is that every
+array it emits is **byte-identical** — same dtype, same shape, same
+buffer — to ``SystemArrays.from_system`` on the ``build_system`` object
+graph of the same cell, including the dense first-appearance view-id
+order.  These tests pin that contract per failure mode, plus the
+provider integration: a cold ``get_arrays`` takes the fast path (no
+``Run`` objects anywhere), and ``REPRO_ARRAYS_FASTBUILD=0`` routes back
+through the object graph with identical output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.adversary import (
+    ExhaustiveCrashAdversary,
+    ExhaustiveOmissionAdversary,
+    ExhaustiveReceiveOmissionAdversary,
+)
+from repro.model.failures import FailureMode
+from repro.model.fastbuild import build_arrays, supports, try_build_arrays
+from repro.model.partition import SystemArrays
+from repro.model.provider import SystemProvider
+from repro.model.system import build_system
+
+#: Every array field of a ``SystemArrays`` (meta fields checked apart).
+_ARRAY_FIELDS = (
+    "views",
+    "owner",
+    "vtime",
+    "prev",
+    "init",
+    "nonfaulty",
+    "deliveries",
+    "occurs",
+)
+
+_CELLS = [
+    (FailureMode.CRASH, ExhaustiveCrashAdversary, 3, 1, 2),
+    (FailureMode.CRASH, ExhaustiveCrashAdversary, 4, 2, 2),
+    (FailureMode.OMISSION, ExhaustiveOmissionAdversary, 3, 1, 2),
+    (
+        FailureMode.RECEIVE_OMISSION,
+        ExhaustiveReceiveOmissionAdversary,
+        3,
+        1,
+        2,
+    ),
+]
+
+
+def _require_fastbuild(mode, n, t, horizon):
+    if not supports(mode, n, t, horizon):
+        pytest.skip("arrays-first builder unavailable (no numpy backend)")
+
+
+def assert_arrays_byte_identical(fast, reference):
+    assert (fast.mode, fast.n, fast.t, fast.horizon) == (
+        reference.mode,
+        reference.n,
+        reference.t,
+        reference.horizon,
+    )
+    assert fast.num_views == reference.num_views
+    for name in _ARRAY_FIELDS:
+        built = getattr(fast, name)
+        projected = getattr(reference, name)
+        assert built.dtype == projected.dtype, name
+        assert built.shape == projected.shape, name
+        assert built.tobytes() == projected.tobytes(), name
+
+
+class TestByteParity:
+    @pytest.mark.parametrize(
+        "mode,adversary_cls,n,t,horizon",
+        _CELLS,
+        ids=[f"{m.value}-n{n}t{t}h{h}" for m, _, n, t, h in _CELLS],
+    )
+    def test_identical_to_object_graph_projection(
+        self, mode, adversary_cls, n, t, horizon
+    ):
+        _require_fastbuild(mode, n, t, horizon)
+        fast = build_arrays(mode, n, t, horizon)
+        reference = SystemArrays.from_system(
+            build_system(adversary_cls(n, t, horizon))
+        )
+        assert_arrays_byte_identical(fast, reference)
+
+    def test_save_load_round_trip(self, tmp_path):
+        _require_fastbuild(FailureMode.CRASH, 3, 1, 2)
+        fast = build_arrays(FailureMode.CRASH, 3, 1, 2)
+        path = str(tmp_path / "cell.npz")
+        fast.save(path)
+        assert_arrays_byte_identical(SystemArrays.load(path), fast)
+
+
+class TestProviderIntegration:
+    def test_cold_get_arrays_takes_fast_path(self, tmp_path):
+        _require_fastbuild(FailureMode.CRASH, 3, 1, 2)
+        from repro import obs
+
+        provider = SystemProvider(cache_dir=str(tmp_path))
+        before = obs.snapshot()["counters"].get("system_fast_builds", 0)
+        arrays = provider.get_arrays(FailureMode.CRASH, 3, 1, 2)
+        after = obs.snapshot()["counters"].get("system_fast_builds", 0)
+        assert after == before + 1
+        # The object graph was never materialized on the way.
+        assert not provider.has_memory_cell(FailureMode.CRASH, 3, 1, 2)
+        reference = SystemArrays.from_system(
+            build_system(ExhaustiveCrashAdversary(3, 1, 2))
+        )
+        assert_arrays_byte_identical(arrays, reference)
+
+    def test_env_gate_disables_fast_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAYS_FASTBUILD", "0")
+        assert not supports(FailureMode.CRASH, 3, 1, 2)
+        assert try_build_arrays(FailureMode.CRASH, 3, 1, 2) is None
+
+    def test_unsupported_cells_return_none(self):
+        assert try_build_arrays(FailureMode.CRASH, 1, 0, 2) is None
+        assert try_build_arrays(FailureMode.CRASH, 3, 1, 0) is None

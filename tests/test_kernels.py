@@ -465,6 +465,174 @@ class TestPlannerDifferential:
             assert planned.to_rows() == lone.to_rows(), repr(formula)
 
 
+class TestBlockComponentSeeding:
+    """``planner.seed_block_components``: limb-block Corollary 3.3 labels.
+
+    The seeded labelling must be partition-identical to the monolithic
+    same-state scan (label *values* may differ — both sides pick
+    arbitrary representatives — so the comparison canonicalizes to the
+    induced partition, with the ``-1`` no-occurrence sentinel matched
+    run-for-run), only canonical provider cells are eligible, and a
+    present cache entry makes the hook a no-op.
+    """
+
+    @staticmethod
+    def _partition(labels):
+        groups = {}
+        unlabelled = set()
+        for run, label in enumerate(labels):
+            if label == -1:
+                unlabelled.add(run)
+            else:
+                groups.setdefault(label, set()).add(run)
+        return set(map(frozenset, groups.values())), unlabelled
+
+    @pytest.mark.parametrize("builder", ["crash", "omission"])
+    def test_nonfaulty_partition_identical_to_monolithic(self, builder):
+        from repro.knowledge.nonrigid import NONFAULTY
+        from repro.knowledge.planner import seed_block_components
+        from repro.knowledge.semantics import _compute_components
+        from repro.model.builder import crash_system, omission_system
+
+        system = (crash_system if builder == "crash" else omission_system)(
+            3, 1, 3
+        )
+        system.clear_caches()
+        assert seed_block_components(system, NONFAULTY)
+        seeded = system._components_cache[NONFAULTY.cache_key()]
+        monolithic = _compute_components(system, NONFAULTY)
+        assert self._partition(seeded) == self._partition(monolithic)
+
+    def test_nonfaulty_and_deciding_partition_identical(self):
+        from repro.core.construction import two_step_optimization
+        from repro.core.decision_sets import empty_pair
+        from repro.knowledge.nonrigid import nonfaulty_and_zeros
+        from repro.knowledge.planner import seed_block_components
+        from repro.knowledge.semantics import _compute_components
+        from repro.model.builder import crash_system
+
+        system = crash_system(3, 1, 3)
+        pair = two_step_optimization(system, empty_pair())[0]
+        nonrigid = nonfaulty_and_zeros(pair)
+        system._components_cache.pop(nonrigid.cache_key(), None)
+        assert seed_block_components(system, nonrigid)
+        seeded = system._components_cache[nonrigid.cache_key()]
+        monolithic = _compute_components(system, nonrigid)
+        assert self._partition(seeded) == self._partition(monolithic)
+
+    def test_restricted_system_is_ineligible(self):
+        from repro.knowledge.nonrigid import NONFAULTY
+        from repro.knowledge.planner import seed_block_components
+        from repro.model.adversary import ExplicitAdversary
+        from repro.model.failures import (
+            FailureMode,
+            FailurePattern,
+            OmissionBehavior,
+        )
+        from repro.model.system import build_system
+
+        # Same mode/n/t/horizon stamp as a canonical cell, but a subset
+        # of its runs: seeding it from the provider's arrays would be
+        # wrong, so the peek-identity gate must reject it.
+        pattern = FailurePattern({0: OmissionBehavior({1: [1]})})
+        system = build_system(
+            ExplicitAdversary(3, 1, 2, [pattern], mode=FailureMode.OMISSION)
+        )
+        assert not seed_block_components(system, NONFAULTY)
+        assert NONFAULTY.cache_key() not in system._components_cache
+
+    def test_present_cache_entry_makes_hook_a_noop(self):
+        from repro.knowledge.nonrigid import NONFAULTY
+        from repro.knowledge.planner import seed_block_components
+        from repro.model.builder import crash_system
+
+        system = crash_system(3, 1, 3)
+        system.clear_caches()
+        assert seed_block_components(system, NONFAULTY)
+        assert not seed_block_components(system, NONFAULTY)
+
+    def test_continual_common_agrees_with_unseeded_evaluation(self):
+        from repro.knowledge.formulas import ContinualCommon, Exists
+        from repro.knowledge.nonrigid import NONFAULTY
+        from repro.knowledge.planner import seed_block_components
+        from repro.model.builder import omission_system
+
+        system = omission_system(3, 1, 3)
+        formula = ContinualCommon(NONFAULTY, Exists(1))
+        system.clear_caches()
+        unseeded = formula.evaluate(system).to_rows()
+        system.clear_caches()
+        assert seed_block_components(system, NONFAULTY)
+        assert formula.evaluate(system).to_rows() == unseeded
+
+
+class TestNativeBackendParity:
+    """``REPRO_CHUNKED_BACKEND=native``: identical rows, silent fallback."""
+
+    @staticmethod
+    def _formulas():
+        from repro.knowledge.formulas import (
+            Common,
+            ContinualCommon,
+            EventualCommon,
+            Exists,
+        )
+        from repro.knowledge.nonrigid import NONFAULTY
+
+        continual = ContinualCommon(NONFAULTY, Exists(1))
+        continual.force_fixpoint = True
+        return [
+            Common(NONFAULTY, Exists(1)),
+            EventualCommon(NONFAULTY, Exists(0)),
+            continual,
+        ]
+
+    def test_fixpoints_match_numpy_backend(self, omission3, monkeypatch):
+        from repro.model import native
+
+        if not native.available():
+            pytest.skip("native backend unavailable (no C compiler)")
+        with kernels.use_kernel("chunked"):
+            monkeypatch.delenv("REPRO_CHUNKED_BACKEND", raising=False)
+            omission3.clear_caches()
+            baseline = [
+                formula.evaluate(omission3).to_rows()
+                for formula in self._formulas()
+            ]
+            monkeypatch.setenv("REPRO_CHUNKED_BACKEND", "native")
+            omission3.clear_caches()
+            native_rows = [
+                formula.evaluate(omission3).to_rows()
+                for formula in self._formulas()
+            ]
+        omission3.clear_caches()
+        assert native_rows == baseline
+
+    def test_request_degrades_silently_without_library(
+        self, crash3, monkeypatch
+    ):
+        from repro.model import native
+
+        monkeypatch.delenv("REPRO_CHUNKED_BACKEND", raising=False)
+        with kernels.use_kernel("chunked"):
+            crash3.clear_caches()
+            baseline = [
+                formula.evaluate(crash3).to_rows()
+                for formula in self._formulas()
+            ]
+            # Simulate "no compiler": the memoized load failed.
+            monkeypatch.setattr(native, "_attempted", True)
+            monkeypatch.setattr(native, "_loaded", None)
+            monkeypatch.setenv("REPRO_CHUNKED_BACKEND", "native")
+            crash3.clear_caches()
+            degraded = [
+                formula.evaluate(crash3).to_rows()
+                for formula in self._formulas()
+            ]
+        crash3.clear_caches()
+        assert degraded == baseline
+
+
 class TestShardedDifferential:
     """Limb-block-sharded batches vs the monolithic path (E9/E14/E20).
 
